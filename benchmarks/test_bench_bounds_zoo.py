@@ -1,0 +1,96 @@
+"""Ablation: is the KMR bound really the right choice? (§V-A's claim)
+
+The paper picks the KMR convergence bound over alternatives, claiming it
+is the tightest.  This bench fits three bound families — KMR, a
+Stich-style local-SGD bound, and a K-step-averaging-style bound — to the
+*same* pilot observations from the simulated testbed, then scores each
+on held-out operating points: relative RMSE of the gap predictions and
+accuracy of the implied round count ``T*``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from conftest import emit
+from repro.core.bounds_zoo import ALL_MODEL_FAMILIES, fit_model
+from repro.core.calibration import GapObservation
+from repro.experiments.calibrate import CalibratedSystem
+from repro.experiments.report import render_table
+
+# Pilot grid the models are fitted on and the held-out probe points.
+FIT_POINTS = ((1, 5), (10, 5), (20, 5), (1, 20), (10, 20), (1, 60), (4, 60))
+HOLDOUT_POINTS = ((4, 10), (16, 40))
+
+
+def _observe(
+    system: CalibratedSystem, points
+) -> list[GapObservation]:
+    observations = []
+    for k, e in points:
+        run = system.prototype.run(
+            participants=k,
+            epochs=e,
+            n_rounds=system.scale.max_rounds,
+            target_accuracy=system.scale.target_accuracy,
+        )
+        rounds = run.history.rounds_to_accuracy(system.scale.target_accuracy)
+        if rounds is None:
+            continue
+        gap = run.history.records[rounds - 1].train_loss - system.f_star
+        if gap > 0:
+            observations.append(GapObservation(rounds, e, k, gap))
+    return observations
+
+
+@pytest.mark.paper
+def test_bench_bound_family_comparison(benchmark, system: CalibratedSystem) -> None:
+    fit_obs = _observe(system, FIT_POINTS)
+    holdout_obs = _observe(system, HOLDOUT_POINTS)
+    assert len(fit_obs) >= 4
+    assert holdout_obs
+
+    def fit_all():
+        return {
+            family.name: fit_model(family, fit_obs)
+            for family in ALL_MODEL_FAMILIES
+        }
+
+    models = benchmark(fit_all)
+
+    rows = []
+    scores = {}
+    for name, model in models.items():
+        fit_rmse = model.relative_rmse(fit_obs)
+        holdout_rmse = model.relative_rmse(holdout_obs)
+        t_errors = []
+        for obs in holdout_obs:
+            try:
+                predicted = model.required_rounds_int(obs.gap, obs.epochs, obs.participants)
+            except ValueError:
+                continue
+            t_errors.append(abs(predicted - obs.rounds) / obs.rounds)
+        t_error = float(np.mean(t_errors)) if t_errors else float("nan")
+        scores[name] = holdout_rmse
+        rows.append(
+            [
+                name,
+                f"{fit_rmse:.3f}",
+                f"{holdout_rmse:.3f}",
+                f"{100 * t_error:.0f}%" if t_errors else "-",
+            ]
+        )
+    emit(
+        render_table(
+            ["bound family", "fit rel-RMSE", "holdout rel-RMSE", "T* error (holdout)"],
+            rows,
+            title="Ablation — convergence-bound families on the same pilots",
+        )
+    )
+
+    # The paper's KMR choice must be competitive: within 1.5x of the best
+    # family on held-out relative RMSE (it has a K-floor term the others
+    # lack, which is what the energy optimizer needs).
+    best = min(scores.values())
+    assert scores["KMR (paper)"] <= 1.5 * best + 1e-9

@@ -1,0 +1,97 @@
+"""What the 49.8 % saving means operationally: sensor-battery lifetime.
+
+The paper motivates EE-FEI with the sustainability of IoT networks,
+whose sensors run on primary batteries.  This example converts the
+energy-optimal schedule into operational terms: how many training tasks
+a sensor cluster's batteries support, and how many extra months of
+lifetime the optimized schedule buys compared with the naive policy.
+
+Run:  python examples/battery_lifetime.py
+"""
+
+from __future__ import annotations
+
+from repro.core import ConvergenceBound, EnergyParams, EnergyPlanner, fixed_policy
+from repro.experiments.report import render_table
+from repro.iot.battery import BatteryConfig, FleetLifetimeModel
+from repro.iot.collision import SlottedAlohaModel
+from repro.iot.network import IoTCluster
+from repro.iot.device import IoTDevice
+
+# ----------------------------------------------------------------------
+# 1. The IoT cluster feeding one edge server: 30 NB-IoT-class sensors
+#    sharing an unlicensed-band cell.
+# ----------------------------------------------------------------------
+N_DEVICES = 30
+cluster = IoTCluster(
+    edge_server_id=0,
+    devices=[IoTDevice(device_id=i, sample_bytes=785) for i in range(N_DEVICES)],
+    contention=SlottedAlohaModel(n_devices=N_DEVICES, transmit_probability=0.01),
+)
+print(f"Cluster of {N_DEVICES} sensors; per-sample uplink energy "
+      f"rho = {cluster.rho:.3f} J (incl. collision retries, "
+      f"success p = {cluster.success_probability:.3f})")
+print()
+
+# ----------------------------------------------------------------------
+# 2. Plan a training task with EE-FEI vs the naive policy.
+#    rho now comes from the *actual* IoT substrate above.
+# ----------------------------------------------------------------------
+N_SAMPLES = 3000
+energy = EnergyParams(rho=cluster.rho, e_upload=2.0, n_samples=N_SAMPLES)
+planner = EnergyPlanner(
+    bound=ConvergenceBound(a0=5.0, a1=0.02, a2=1e-4),
+    energy=energy,
+    n_servers=20,
+)
+EPSILON = 0.05
+plan = planner.plan(EPSILON)
+objective = planner.objective(EPSILON)
+naive = fixed_policy(objective, 1, 1, name="naive")
+
+# IoT energy per task *for this cluster*: rho * n_k per round in which
+# its edge server participates.  With uniform random selection a cluster
+# serves in K/N of the T rounds.
+def cluster_task_energy(participants: int, rounds: int) -> float:
+    served_rounds = rounds * participants / 20
+    return cluster.rho * N_SAMPLES * served_rounds
+
+optimized_task_j = cluster_task_energy(plan.participants, plan.rounds)
+naive_task_j = cluster_task_energy(naive.participants, naive.rounds)
+
+print(f"EE-FEI plan : K={plan.participants}, E={plan.epochs}, T={plan.rounds} "
+      f"-> {optimized_task_j:.1f} J of uplink per task for this cluster")
+print(f"naive plan  : K=1, E=1, T={naive.rounds} "
+      f"-> {naive_task_j:.1f} J of uplink per task")
+print()
+
+# ----------------------------------------------------------------------
+# 3. Battery lifetime under a recurring training workload.
+# ----------------------------------------------------------------------
+battery = BatteryConfig()  # two-AA lithium sensor node
+TASKS_PER_DAY = 4.0
+
+rows = []
+for name, per_task in (("EE-FEI", optimized_task_j), ("naive", naive_task_j)):
+    fleet = FleetLifetimeModel(
+        n_devices=N_DEVICES, per_task_cluster_energy_j=per_task, battery=battery
+    )
+    rows.append(
+        [
+            name,
+            f"{per_task:.1f}",
+            fleet.tasks_until_depletion(),
+            f"{fleet.lifetime_days(TASKS_PER_DAY):.0f}",
+        ]
+    )
+print(render_table(
+    ["policy", "J/task (cluster)", "tasks per charge", f"days @ {TASKS_PER_DAY:g} tasks/day"],
+    rows,
+    title="Battery lifetime of the sensor cluster",
+))
+print()
+ratio = naive_task_j / optimized_task_j
+print(
+    f"The optimized schedule stretches each battery charge {ratio:.1f}x "
+    "further — the operational meaning of the paper's energy savings."
+)

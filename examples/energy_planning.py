@@ -1,0 +1,99 @@
+"""End-to-end energy planning: calibrate, optimize, validate.
+
+The full EE-FEI workflow on the simulated 20-server testbed:
+
+1. calibrate the energy constants (c0, c1, e^U) and the convergence
+   constants (A0, A1, A2) from pilot runs;
+2. solve the biconvex program with ACS for the optimal ``(K, E, T)``;
+3. *validate* the plan by actually training with it on the testbed and
+   measuring the energy, against a naive policy.
+
+Run:  python examples/energy_planning.py        (~1 minute)
+"""
+
+from __future__ import annotations
+
+from repro.experiments.calibrate import calibrate_system
+from repro.experiments.config import TEST_SCALE
+from repro.experiments.report import render_table
+
+# ----------------------------------------------------------------------
+# 1. Calibration (runs pilot FL jobs on the simulated testbed).
+# ----------------------------------------------------------------------
+print("=" * 64)
+print("Step 1 — calibrate from the testbed")
+print("=" * 64)
+system = calibrate_system(TEST_SCALE)
+print(f"energy constants : c0={system.energy_params.c0:.3e} J/(sample*epoch), "
+      f"c1={system.energy_params.c1:.3e} J/epoch, "
+      f"e_upload={system.energy_params.e_upload:.4f} J")
+print(f"convergence bound: A0={system.bound.a0:.3f}, "
+      f"A1={system.bound.a1:.4f}, A2={system.bound.a2:.2e}")
+print(f"loss-gap target  : epsilon={system.epsilon:.4f} "
+      f"(accuracy {TEST_SCALE.target_accuracy})")
+print()
+
+# ----------------------------------------------------------------------
+# 2. Optimize with ACS.
+# ----------------------------------------------------------------------
+print("=" * 64)
+print("Step 2 — solve for the optimal schedule (Algorithm 1)")
+print("=" * 64)
+plan = system.planner().plan(system.epsilon)
+print(plan.describe())
+iterate_rows = [
+    [it.iteration, f"{it.participants:.2f}", f"{it.epochs:.2f}",
+     f"{it.objective_value:.4f}"]
+    for it in plan.acs.iterates
+]
+print(render_table(["sweep", "K", "E", "objective (J)"], iterate_rows,
+                   title="ACS iterate history"))
+print()
+
+# ----------------------------------------------------------------------
+# 3. Validate: run the plan for real and compare with a naive policy.
+# ----------------------------------------------------------------------
+print("=" * 64)
+print("Step 3 — validate on the testbed")
+print("=" * 64)
+optimal_run = system.prototype.run(
+    participants=plan.participants,
+    epochs=plan.epochs,
+    n_rounds=TEST_SCALE.max_rounds,
+    target_accuracy=TEST_SCALE.target_accuracy,
+)
+naive_run = system.prototype.run(
+    participants=TEST_SCALE.n_servers,  # everyone participates...
+    epochs=5,                           # ...with a few local epochs
+    n_rounds=TEST_SCALE.max_rounds,
+    target_accuracy=TEST_SCALE.target_accuracy,
+)
+
+rows = []
+for name, run in (("EE-FEI plan", optimal_run), ("naive (K=N, E=5)", naive_run)):
+    rows.append(
+        [
+            name,
+            run.participants,
+            run.epochs,
+            run.rounds,
+            f"{run.total_energy_j:.2f}",
+            f"{run.wall_clock_s:.1f}",
+            run.reached_target,
+        ]
+    )
+print(render_table(
+    ["policy", "K", "E", "T", "energy (J)", "wall clock (s)", "hit target"],
+    rows,
+))
+if naive_run.reached_target and optimal_run.reached_target:
+    saving = 1.0 - optimal_run.total_energy_j / naive_run.total_energy_j
+    print()
+    print(f"Measured saving of the optimized schedule: {100 * saving:.1f}%")
+print()
+print(
+    f"Note: the bound predicted T = {plan.rounds} for the plan; the testbed "
+    f"needed T = {optimal_run.rounds}.  The bound is an upper-bound *model* "
+    "fitted at moderate E, so extreme-E plans under-predict rounds — the "
+    "plan still wins by a wide margin, which is the paper's point."
+)

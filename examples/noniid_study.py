@@ -1,0 +1,136 @@
+"""Extension study: does K* = 1 survive non-iid data?
+
+The paper finds the optimal participation level is ``K* = 1`` and
+attributes it to the iid allocation: "the gradients calculated using
+datasets at different edge servers should show similar statistic
+features".  This example stress-tests that explanation by repeating the
+Fig. 5 energy-vs-K sweep under an extreme label-skew partition (one
+label shard per client).
+
+Findings this study demonstrates (deterministic for the default seed):
+
+* On pure *energy*, ``K* = 1`` is more robust than the paper's iid
+  explanation suggests — it survives even one-class-per-client skew,
+  because energy scales ~linearly with K while skew only inflates the
+  required rounds sub-linearly.
+* But the *margin* collapses (under iid, K = N costs several times
+  K = 1; under skew the curves nearly meet), and the required number of
+  rounds at K = 1 balloons.  Under a latency constraint (a deadline on
+  T, natural for edge systems), small K becomes infeasible and the
+  energy-optimal feasible K jumps upward.
+
+Run:  python examples/noniid_study.py        (~1-2 minutes)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.synthetic_mnist import load_synthetic_mnist
+from repro.experiments.report import render_table
+from repro.fl.partition import partition_by_shards, partition_iid
+from repro.hardware.prototype import HardwarePrototype, PrototypeConfig, PrototypeResult
+
+N_SERVERS = 10
+K_VALUES = (1, 2, 4, 10)
+EPOCHS = 20
+TARGET = 0.75
+MAX_ROUNDS = 200
+ROUND_DEADLINE = 30  # latency constraint for the second analysis
+
+
+def sweep(prototype: HardwarePrototype) -> dict[int, PrototypeResult]:
+    return {
+        k: prototype.run(
+            participants=k,
+            epochs=EPOCHS,
+            n_rounds=MAX_ROUNDS,
+            target_accuracy=TARGET,
+        )
+        for k in K_VALUES
+    }
+
+
+def argmin_energy(
+    runs: dict[int, PrototypeResult], max_rounds: int | None = None
+) -> int | None:
+    feasible = {
+        k: r.total_energy_j
+        for k, r in runs.items()
+        if r.reached_target and (max_rounds is None or r.rounds <= max_rounds)
+    }
+    return min(feasible, key=feasible.__getitem__) if feasible else None
+
+
+def main() -> None:
+    train, test = load_synthetic_mnist(n_train=1500, n_test=400, seed=0)
+    config = PrototypeConfig(n_servers=N_SERVERS, seed=0)
+    rng = np.random.default_rng(0)
+
+    iid_proto = HardwarePrototype(
+        train, test, config, partitions=partition_iid(train, N_SERVERS, rng)
+    )
+    # One shard per client: every edge server sees essentially one class.
+    skew_proto = HardwarePrototype(
+        train,
+        test,
+        config,
+        partitions=partition_by_shards(train, N_SERVERS, 1, rng),
+    )
+
+    print("=" * 72)
+    print(f"Energy and rounds to accuracy {TARGET} vs K: iid vs 1-shard skew")
+    print("=" * 72)
+    iid_runs = sweep(iid_proto)
+    skew_runs = sweep(skew_proto)
+
+    rows = []
+    for k in K_VALUES:
+        iid, skew = iid_runs[k], skew_runs[k]
+        rows.append(
+            [
+                k,
+                f"{iid.total_energy_j:.1f}" if iid.reached_target else "-",
+                iid.rounds if iid.reached_target else "-",
+                f"{skew.total_energy_j:.1f}" if skew.reached_target else "-",
+                skew.rounds if skew.reached_target else "-",
+            ]
+        )
+    print(
+        render_table(
+            ["K", "iid energy (J)", "iid T", "skew energy (J)", "skew T"], rows
+        )
+    )
+    print()
+
+    print(f"K* on energy alone : iid = {argmin_energy(iid_runs)}, "
+          f"skew = {argmin_energy(skew_runs)}")
+    print(
+        f"K* with T <= {ROUND_DEADLINE:>3}    : "
+        f"iid = {argmin_energy(iid_runs, ROUND_DEADLINE)}, "
+        f"skew = {argmin_energy(skew_runs, ROUND_DEADLINE)}"
+    )
+    print()
+
+    iid_ratio = iid_runs[max(K_VALUES)].total_energy_j / iid_runs[1].total_energy_j
+    skew_ratio = (
+        skew_runs[max(K_VALUES)].total_energy_j / skew_runs[1].total_energy_j
+    )
+    print(
+        f"Energy penalty of full participation (K={max(K_VALUES)} vs K=1): "
+        f"{iid_ratio:.2f}x under iid, {skew_ratio:.2f}x under skew."
+    )
+    print()
+    print(
+        "Interpretation: on energy alone K* = 1 survives even extreme\n"
+        "skew — energy grows ~linearly in K while skew inflates the\n"
+        "required rounds sub-linearly — so the paper's conclusion is\n"
+        "stronger than its iid-based explanation implies.  The cost is\n"
+        "latency: at K = 1 the skewed system needs many times more\n"
+        "rounds, and under a round deadline the optimal feasible K\n"
+        "shifts to full participation."
+    )
+
+
+if __name__ == "__main__":
+    main()

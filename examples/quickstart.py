@@ -1,0 +1,76 @@
+"""Quickstart: plan an energy-optimal FL schedule in a few lines.
+
+This example instantiates the EE-FEI optimizer directly from the paper's
+measured constants (no simulation needed) and asks it for the
+energy-optimal ``(K, E, T)`` schedule at a target accuracy, comparing it
+against the naive ``(K=1, E=1)`` baseline and exhaustive grid search.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro.core import (
+    ConvergenceBound,
+    EnergyParams,
+    EnergyPlanner,
+    fixed_policy,
+    grid_search,
+)
+
+# ----------------------------------------------------------------------
+# 1. Describe the system.
+#
+# Energy constants: the paper's Raspberry Pi fit (c0, c1 are defaults),
+# a per-sample IoT uplink cost rho, and a per-round model-upload cost.
+# ----------------------------------------------------------------------
+energy = EnergyParams(
+    rho=1e-3,        # J per uploaded data sample (IoT uplink)
+    e_upload=2.0,    # J per model upload (edge server -> coordinator)
+    n_samples=3000,  # n_k: samples per edge server (paper: 60000/20)
+)
+
+# Convergence constants (A0, A1, A2) of the Khaled et al. bound.  On a
+# real deployment these come from repro.core.calibration; here we use
+# representative values with a visible variance term (A1) and drift term
+# (A2) so both trade-offs are active.
+bound = ConvergenceBound(a0=5.0, a1=0.02, a2=1e-4)
+
+planner = EnergyPlanner(bound=bound, energy=energy, n_servers=20)
+
+# ----------------------------------------------------------------------
+# 2. Ask for the optimal schedule at a target loss gap.
+# ----------------------------------------------------------------------
+TARGET_EPSILON = 0.05
+
+plan = planner.plan(epsilon=TARGET_EPSILON)
+print("=" * 64)
+print("EE-FEI quickstart")
+print("=" * 64)
+print(plan.describe())
+print()
+
+# ----------------------------------------------------------------------
+# 3. Compare against the baselines the paper uses.
+# ----------------------------------------------------------------------
+objective = planner.objective(TARGET_EPSILON)
+baseline = fixed_policy(objective, 1, 1, name="naive (K=1, E=1)")
+exhaustive = grid_search(objective, max_epochs=500)
+
+print(f"{'policy':<24} {'K':>3} {'E':>4} {'T':>5} {'energy (J)':>12}")
+for policy in (baseline, exhaustive):
+    print(
+        f"{policy.name:<24} {policy.participants:>3} {policy.epochs:>4} "
+        f"{policy.rounds:>5} {policy.energy:>12.3f}"
+    )
+print(
+    f"{'EE-FEI (ACS)':<24} {plan.participants:>3} {plan.epochs:>4} "
+    f"{plan.rounds:>5} {plan.predicted_energy:>12.3f}"
+)
+print()
+print(
+    "ACS used "
+    f"{plan.acs.n_iterations} sweeps vs {exhaustive.evaluations} objective "
+    "evaluations for exhaustive search, for the same optimum."
+)
+assert abs(plan.predicted_energy - exhaustive.energy) < 1e-9

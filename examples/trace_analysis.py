@@ -1,0 +1,80 @@
+"""Analyse a raw power capture: from waveform to training parameters.
+
+The paper's measurement study reads phase durations off an oscilloscope
+trace by hand.  This example shows the automated path a practitioner
+with a real KM001C would use:
+
+1. record a multi-round capture (here: from the simulated testbed),
+2. save/load it through the meter's CSV format,
+3. segment it into rounds and phases,
+4. invert the Table-I timing law to recover how many local epochs the
+   device was actually running.
+
+Run:  python examples/trace_analysis.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+from repro.data.synthetic_mnist import generate_synthetic_mnist
+from repro.experiments.report import render_table
+from repro.hardware.analysis import analyze_trace
+from repro.hardware.power_model import RoundPhase
+from repro.hardware.prototype import HardwarePrototype, PrototypeConfig
+from repro.hardware.trace_io import load_trace_csv, save_trace_csv
+
+EPOCHS = 25  # ground truth the analysis should recover
+N_ROUNDS = 3
+
+# ----------------------------------------------------------------------
+# 1-2. Record a capture and round-trip it through the CSV log format.
+# ----------------------------------------------------------------------
+train = generate_synthetic_mnist(800, seed=0)
+test = generate_synthetic_mnist(200, seed=1)
+prototype = HardwarePrototype(train, test, PrototypeConfig(n_servers=4))
+trace = prototype.record_power_trace(0, epochs=EPOCHS, n_rounds=N_ROUNDS)
+
+with tempfile.TemporaryDirectory() as tmp:
+    path = Path(tmp) / "capture.csv"
+    save_trace_csv(trace, path)
+    print(f"capture: {len(trace)} samples @ {trace.sample_rate:.0f} Hz "
+          f"-> {path.stat().st_size} bytes of CSV")
+    trace = load_trace_csv(path)
+
+# ----------------------------------------------------------------------
+# 3. Segment into rounds and phases.
+# ----------------------------------------------------------------------
+analysis = analyze_trace(trace)
+print(f"recovered {analysis.n_rounds} rounds\n")
+
+rows = []
+for round_ in analysis.rounds:
+    for estimate in round_.phases:
+        rows.append(
+            [
+                round_.index,
+                estimate.phase.value,
+                f"{estimate.duration_s:.3f}",
+                f"{estimate.mean_power_w:.3f}",
+                f"{estimate.energy_j:.3f}",
+            ]
+        )
+print(render_table(
+    ["round", "phase", "duration (s)", "power (W)", "energy (J)"],
+    rows,
+    title="Recovered round structure",
+))
+print()
+
+# ----------------------------------------------------------------------
+# 4. Invert the timing law.
+# ----------------------------------------------------------------------
+n_k = prototype.samples_per_server
+estimated = analysis.estimate_epochs(n_k)
+print(f"training phase averages "
+      f"{analysis.mean_phase_duration(RoundPhase.TRAINING):.3f} s; "
+      f"with n_k = {n_k} the timing law gives E ~= {estimated:.1f} "
+      f"(ground truth: {EPOCHS})")
+print(f"mean active energy per round: {analysis.mean_round_energy():.3f} J")

@@ -1,0 +1,36 @@
+"""EE-FEI: energy-efficient federated edge intelligence for IoT networks.
+
+Reproduction of Wang et al., "Towards Energy-efficient Federated Edge
+Intelligence for IoT Networks", ICDCS 2021.
+
+Public API highlights:
+
+* :class:`repro.core.EnergyPlanner` — calibrated constants in, optimal
+  integer ``(K, E, T)`` schedule out (the paper's contribution).
+* :mod:`repro.fl` — FedAvg substrate (model, clients, coordinator, loop).
+* :mod:`repro.data` — synthetic-MNIST dataset substrate.
+* :mod:`repro.hardware` — simulated Raspberry-Pi prototype + power meter.
+* :mod:`repro.iot` / :mod:`repro.net` — uplink and coordination channels.
+* :mod:`repro.experiments` — regenerates every table/figure of §VI.
+"""
+
+from repro.core import (
+    ACSSolver,
+    ConvergenceBound,
+    EnergyObjective,
+    EnergyParams,
+    EnergyPlan,
+    EnergyPlanner,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ACSSolver",
+    "ConvergenceBound",
+    "EnergyObjective",
+    "EnergyParams",
+    "EnergyPlan",
+    "EnergyPlanner",
+    "__version__",
+]

@@ -1,0 +1,92 @@
+"""EE-FEI core: energy models, convergence bound, biconvex optimisation."""
+
+from repro.core import constants
+from repro.core.acs import ACSIterate, ACSResult, ACSSolver
+from repro.core.baselines import (
+    PolicyResult,
+    fixed_policy,
+    grid_search,
+    optimize_e_only,
+    optimize_k_only,
+    random_search,
+)
+from repro.core.bounds_zoo import (
+    ALL_MODEL_FAMILIES,
+    ConvergenceModel,
+    KMRBoundModel,
+    KStepBoundModel,
+    StichBoundModel,
+    fit_model,
+)
+from repro.core.calibration import (
+    EnergyFit,
+    GapObservation,
+    TimingFit,
+    fit_convergence_constants,
+    fit_training_energy,
+    fit_training_timing,
+    gap_observations_from_history,
+)
+from repro.core.closed_form import e_star, e_star_unclipped, k_star, k_star_unclipped
+from repro.core.convergence import ConvergenceBound
+from repro.core.deadline import DeadlinePlan, solve_with_deadline
+from repro.core.energy_model import (
+    EnergyParams,
+    HeterogeneousEnergyParams,
+    data_collection_energy,
+    local_training_energy,
+    round_energy_per_server,
+    total_energy,
+)
+from repro.core.objective import EnergyObjective
+from repro.core.planner import EnergyPlan, EnergyPlanner
+from repro.core.sensitivity import (
+    PerturbationResult,
+    SensitivityReport,
+    analyze_sensitivity,
+)
+
+__all__ = [
+    "constants",
+    "ACSIterate",
+    "ACSResult",
+    "ACSSolver",
+    "PolicyResult",
+    "fixed_policy",
+    "grid_search",
+    "optimize_e_only",
+    "optimize_k_only",
+    "random_search",
+    "ALL_MODEL_FAMILIES",
+    "ConvergenceModel",
+    "KMRBoundModel",
+    "KStepBoundModel",
+    "StichBoundModel",
+    "fit_model",
+    "EnergyFit",
+    "GapObservation",
+    "TimingFit",
+    "fit_convergence_constants",
+    "fit_training_energy",
+    "fit_training_timing",
+    "gap_observations_from_history",
+    "DeadlinePlan",
+    "solve_with_deadline",
+    "PerturbationResult",
+    "SensitivityReport",
+    "analyze_sensitivity",
+    "e_star",
+    "e_star_unclipped",
+    "k_star",
+    "k_star_unclipped",
+    "ConvergenceBound",
+    "EnergyParams",
+    "HeterogeneousEnergyParams",
+    "data_collection_energy",
+    "local_training_energy",
+    "round_energy_per_server",
+    "total_energy",
+    "EnergyObjective",
+    "EnergyPlan",
+    "EnergyPlanner",
+]

@@ -1,0 +1,172 @@
+"""Baseline parameter-selection policies EE-FEI is compared against.
+
+The paper's headline result — a 49.8 % energy reduction — is measured
+against the naive ``(K = 1, E = 1)`` policy (mini-batch SGD with a single
+participant).  This module also provides exhaustive integer grid search
+(the gold standard ACS is validated against), random search, and the
+single-parameter optimizers representative of prior work the paper cites
+(optimising K alone or E alone).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.closed_form import e_star, k_star
+from repro.core.objective import EnergyObjective
+
+__all__ = [
+    "PolicyResult",
+    "fixed_policy",
+    "grid_search",
+    "random_search",
+    "optimize_k_only",
+    "optimize_e_only",
+]
+
+
+@dataclass(frozen=True)
+class PolicyResult:
+    """An integer ``(K, E, T)`` plan with its predicted energy in joules."""
+
+    name: str
+    participants: int
+    epochs: int
+    rounds: int
+    energy: float
+    evaluations: int = 0
+
+    def savings_vs(self, other: "PolicyResult") -> float:
+        """Fractional energy saving of this plan relative to ``other``."""
+        if other.energy <= 0:
+            raise ValueError("reference energy must be positive")
+        return 1.0 - self.energy / other.energy
+
+
+def _plan(objective: EnergyObjective, name: str, k: int, e: int, evals: int) -> PolicyResult:
+    rounds = objective.bound.required_rounds_int(objective.epsilon, e, k)
+    return PolicyResult(
+        name=name,
+        participants=k,
+        epochs=e,
+        rounds=rounds,
+        energy=objective.value_integer(k, e),
+        evaluations=evals,
+    )
+
+
+def fixed_policy(
+    objective: EnergyObjective, participants: int, epochs: int, name: str | None = None
+) -> PolicyResult:
+    """Evaluate a fixed ``(K, E)`` choice (e.g. the paper's K=1, E=1 baseline).
+
+    Raises ``ValueError`` if the choice cannot reach the target accuracy.
+    """
+    if not objective.is_feasible(participants, epochs):
+        raise ValueError(
+            f"fixed policy (K={participants}, E={epochs}) is infeasible for "
+            f"epsilon={objective.epsilon}"
+        )
+    label = name or f"fixed(K={participants},E={epochs})"
+    return _plan(objective, label, participants, epochs, evals=1)
+
+
+def _max_integer_epochs(objective: EnergyObjective, participants: int, cap: int) -> int:
+    """Largest feasible integer E at this K, bounded by ``cap``."""
+    hi = objective.bound.max_feasible_epochs(objective.epsilon, participants)
+    if math.isinf(hi):
+        return cap
+    return min(cap, int(math.ceil(hi)) - 1)
+
+
+def grid_search(
+    objective: EnergyObjective, max_epochs: int = 1000
+) -> PolicyResult:
+    """Exhaustive search over all feasible integer ``(K, E)`` pairs.
+
+    This is the brute-force optimum used to validate ACS.  Complexity is
+    ``O(N * max_epochs)`` objective evaluations.
+    """
+    best: PolicyResult | None = None
+    evals = 0
+    for k in range(1, objective.n_servers + 1):
+        if not objective.is_feasible(k, 1):
+            continue
+        e_hi = _max_integer_epochs(objective, k, max_epochs)
+        for e in range(1, e_hi + 1):
+            if not objective.is_feasible(k, e):
+                break
+            evals += 1
+            energy = objective.value_integer(k, e)
+            if best is None or energy < best.energy:
+                best = PolicyResult("grid-search", k, e, 0, energy)
+    if best is None:
+        raise ValueError("no feasible integer plan exists")
+    return _plan(objective, "grid-search", best.participants, best.epochs, evals)
+
+
+def random_search(
+    objective: EnergyObjective,
+    n_trials: int,
+    rng: np.random.Generator,
+    max_epochs: int = 1000,
+) -> PolicyResult:
+    """Uniform random sampling of feasible integer ``(K, E)`` pairs."""
+    if n_trials < 1:
+        raise ValueError(f"n_trials must be >= 1; got {n_trials}")
+    best: tuple[int, int, float] | None = None
+    evals = 0
+    for _ in range(n_trials):
+        k = int(rng.integers(1, objective.n_servers + 1))
+        e = int(rng.integers(1, max_epochs + 1))
+        if not objective.is_feasible(k, e):
+            continue
+        evals += 1
+        energy = objective.value_integer(k, e)
+        if best is None or energy < best[2]:
+            best = (k, e, energy)
+    if best is None:
+        raise ValueError(
+            f"random search found no feasible plan in {n_trials} trials"
+        )
+    return _plan(objective, "random-search", best[0], best[1], evals)
+
+
+def optimize_k_only(
+    objective: EnergyObjective, epochs: int = 1
+) -> PolicyResult:
+    """Single-parameter baseline: closed-form K* at a fixed E.
+
+    Represents prior work that tunes participation alone (paper §I:
+    "most of these works focus on optimizing a single parameter").
+    """
+    k_cont = k_star(objective, epochs)
+    candidates = {
+        min(max(int(math.floor(k_cont)), 1), objective.n_servers),
+        min(max(int(math.ceil(k_cont)), 1), objective.n_servers),
+    }
+    feasible = [k for k in candidates if objective.is_feasible(k, epochs)]
+    if not feasible:
+        raise ValueError(f"no feasible integer K near {k_cont} at E={epochs}")
+    k_best = min(feasible, key=lambda k: objective.value_integer(k, epochs))
+    return _plan(objective, f"K-only(E={epochs})", k_best, epochs, len(feasible))
+
+
+def optimize_e_only(
+    objective: EnergyObjective, participants: int = 1
+) -> PolicyResult:
+    """Single-parameter baseline: closed-form E* at a fixed K."""
+    e_cont = e_star(objective, participants)
+    candidates = {max(int(math.floor(e_cont)), 1), max(int(math.ceil(e_cont)), 1)}
+    feasible = [e for e in candidates if objective.is_feasible(participants, e)]
+    if not feasible:
+        raise ValueError(
+            f"no feasible integer E near {e_cont} at K={participants}"
+        )
+    e_best = min(feasible, key=lambda e: objective.value_integer(participants, e))
+    return _plan(
+        objective, f"E-only(K={participants})", participants, e_best, len(feasible)
+    )

@@ -1,0 +1,122 @@
+"""Closed-form per-variable optima ``K*(E)`` and ``E*(K)`` — eqs. (15) & (17).
+
+For a fixed ``E``, setting ``d E_hat / dK = 0`` on
+``E_hat = A0 C0 K^2 / (C1 K - A1)`` (``C0 = (B0 E + B1)/E``,
+``C1 = eps - A2 (E-1)``) gives the stationary point
+
+    K* = 2 A1 / (eps - A2 (E - 1)),
+
+clipped to ``[1, N]`` — eq. (15) (the paper's branch condition prints
+``A1/...`` but the derivative vanishes at ``2 A1/...``; see DESIGN.md).
+
+For a fixed ``K``, setting ``d E_hat / dE = 0`` gives the quadratic
+
+    A2 K B0 E^2 + 2 A2 K B1 E - B1 C4 = 0,   C4 = eps K - A1 + A2 K,
+
+whose positive root is the exact interior optimum.  The paper's printed
+eq. (17), ``E* = (C4 B1 - A2 B0 K) / (2 A2 B1 K)``, does not satisfy this
+first-order condition; both are implemented (``paper_formula=True``
+selects the printed version) and the benchmark
+``benchmarks/test_bench_ablation_estar.py`` quantifies the difference.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.objective import EnergyObjective
+
+__all__ = ["k_star", "e_star", "k_star_unclipped", "e_star_unclipped"]
+
+
+def k_star_unclipped(objective: EnergyObjective, epochs: float) -> float:
+    """The unconstrained stationary point ``2 A1 / (eps - A2 (E-1))``.
+
+    Raises ``ValueError`` when the drift floor makes every K infeasible.
+    """
+    margin = objective.epsilon - objective.bound.a2 * (epochs - 1)
+    if margin <= 0:
+        raise ValueError(
+            f"E={epochs} exceeds the drift limit: eps - A2(E-1) = {margin} <= 0"
+        )
+    if objective.bound.a1 == 0:
+        # No gradient-variance term: energy strictly increases with K, so
+        # the interior stationary point degenerates to the lower edge.
+        return 1.0
+    return 2.0 * objective.bound.a1 / margin
+
+
+def k_star(objective: EnergyObjective, epochs: float) -> float:
+    """Optimal continuous ``K`` for fixed ``E`` — eq. (15) with clipping.
+
+    The result is clipped into ``[1, N]`` and, because the feasible region
+    is open below at ``A1 / (eps - A2(E-1))``, additionally raised above
+    the feasibility edge when clipping at 1 would leave the region.
+    """
+    candidate = k_star_unclipped(objective, epochs)
+    lo, hi = objective.k_domain(epochs)
+    return min(max(candidate, lo), hi)
+
+
+def e_star_unclipped(
+    objective: EnergyObjective, participants: float, paper_formula: bool = False
+) -> float:
+    """Interior stationary point of the objective in ``E`` for fixed ``K``.
+
+    With ``A2 = 0`` the objective decreases in ``E`` towards the
+    asymptote ``A0 K^2 B0 / (eps K - A1)``, so there is no interior
+    stationary point and ``math.inf`` is returned (the caller clips).
+    """
+    a1, a2 = objective.bound.a1, objective.bound.a2
+    b0, b1 = objective.energy.b0, objective.energy.b1
+    eps, k = objective.epsilon, participants
+    c4 = eps * k - a1 + a2 * k
+    if c4 <= 0:
+        raise ValueError(
+            f"K={participants} is infeasible even at E=1 (C4={c4} <= 0)"
+        )
+    if a2 == 0:
+        return math.inf
+    if b1 == 0:
+        # No per-round fixed cost: the objective A0 K^2 B0 / (C4 - A2 K E)
+        # strictly increases in E, so the optimum is the lower edge.
+        return 1.0
+    if paper_formula:
+        return (c4 * b1 - a2 * b0 * k) / (2.0 * a2 * b1 * k)
+    # Positive root of A2 K B0 E^2 + 2 A2 K B1 E - B1 C4 = 0, written in
+    # the cancellation-free form 2c / (-b - sqrt(D)): for very small A2
+    # the naive (-b + sqrt(D)) / (2a) subtracts nearly equal numbers and
+    # overflows/garbles the result.  Coefficients that underflow to zero
+    # (subnormal A2) degrade to the corresponding limit.
+    a_coef = a2 * k * b0
+    b_coef = 2.0 * a2 * k * b1
+    c_coef = -b1 * c4
+    if a_coef == 0.0 and b_coef == 0.0:
+        # Drift term numerically vanished: behave as A2 = 0.
+        return math.inf
+    if a_coef == 0.0:
+        # B0 = 0 (or underflow): linear equation 2 A2 K B1 E = B1 C4.
+        return -c_coef / b_coef
+    discriminant = b_coef**2 - 4.0 * a_coef * c_coef
+    denominator = -b_coef - math.sqrt(discriminant)
+    if denominator == 0.0:
+        return math.inf
+    return 2.0 * c_coef / denominator
+
+
+def e_star(
+    objective: EnergyObjective, participants: float, paper_formula: bool = False
+) -> float:
+    """Optimal continuous ``E`` for fixed ``K`` — eq. (17) with clipping.
+
+    Clips the stationary point into the feasible ``Z_E`` interval; with
+    ``A2 = 0`` (unbounded domain) a cap of ``1e6`` epochs is applied so
+    callers always receive a finite value.
+    """
+    candidate = e_star_unclipped(objective, participants, paper_formula)
+    lo, hi = objective.e_domain(participants)
+    if math.isinf(hi):
+        hi = 1e6
+    if math.isinf(candidate):
+        return hi
+    return min(max(candidate, lo), hi)

@@ -1,0 +1,148 @@
+"""Convergence bound of local SGD — §V-A of the paper.
+
+The paper adopts the Khaled–Mishchenko–Richtárik (AISTATS 2020, Theorem 4)
+bound for mu-convex, L-smooth local losses (Proposition 1), combined with
+the monotone-averaging argument of Proposition 2, giving for the loss gap
+after ``T`` global rounds of ``E`` local epochs with ``K`` participants:
+
+    eps(T, E, K) = A0 / (T * E)  +  A1 / K  +  A2 * (E - 1)      (eq. 10)
+
+with ``A0 = alpha0 ||w0 - w*||^2 / gamma``, ``A1 = alpha1 gamma sigma^2``,
+``A2 = alpha2 gamma^2 L sigma^2``.  Rearranging for the smallest ``T``
+that achieves a target gap ``eps`` gives eq. (11):
+
+    T*(K, E) = A0 * K / ((eps*K - A1 - A2*K*(E-1)) * E).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["ConvergenceBound"]
+
+
+@dataclass(frozen=True)
+class ConvergenceBound:
+    """The three-constant convergence model ``(A0, A1, A2)``.
+
+    Attributes:
+        a0: optimisation term — distance-to-optimum over learning rate;
+            decays as ``1/(T E)``.
+        a1: gradient-variance term — decays as ``1/K`` (more participants
+            average out more stochastic-gradient noise).
+        a2: client-drift term — grows as ``E - 1`` (longer local runs
+            drift further from the global trajectory).  ``A2 = 0`` models
+            fully homogeneous deterministic gradients.
+    """
+
+    a0: float
+    a1: float
+    a2: float
+
+    def __post_init__(self) -> None:
+        if self.a0 <= 0:
+            raise ValueError(f"a0 must be positive; got {self.a0}")
+        if self.a1 < 0:
+            raise ValueError(f"a1 must be non-negative; got {self.a1}")
+        if self.a2 < 0:
+            raise ValueError(f"a2 must be non-negative; got {self.a2}")
+
+    # ------------------------------------------------------------------
+    # The bound itself.
+    # ------------------------------------------------------------------
+    def loss_gap(self, rounds: float, epochs: float, participants: float) -> float:
+        """Evaluate eq. (10)'s upper bound on ``E[F(w_T) - F(w*)]``."""
+        if rounds <= 0 or epochs < 1 or participants < 1:
+            raise ValueError(
+                "need rounds > 0, epochs >= 1, participants >= 1; got "
+                f"T={rounds}, E={epochs}, K={participants}"
+            )
+        return (
+            self.a0 / (rounds * epochs)
+            + self.a1 / participants
+            + self.a2 * (epochs - 1)
+        )
+
+    def asymptotic_gap(self, epochs: float, participants: float) -> float:
+        """The floor ``A1/K + A2(E-1)`` that no amount of rounds removes.
+
+        A target ``eps`` is reachable with ``(E, K)`` iff it exceeds this
+        floor — this is exactly constraint (13c) divided by ``K``.
+        """
+        if epochs < 1 or participants < 1:
+            raise ValueError(
+                f"need epochs >= 1, participants >= 1; got E={epochs}, K={participants}"
+            )
+        return self.a1 / participants + self.a2 * (epochs - 1)
+
+    # ------------------------------------------------------------------
+    # Feasibility (constraint 13c) and the optimal number of rounds.
+    # ------------------------------------------------------------------
+    def is_feasible(self, epsilon: float, epochs: float, participants: float) -> bool:
+        """Check ``eps*K - A1 - A2*K*(E-1) > 0`` (eq. 13c)."""
+        if epsilon <= 0:
+            raise ValueError(f"epsilon must be positive; got {epsilon}")
+        return epsilon > self.asymptotic_gap(epochs, participants)
+
+    def required_rounds(
+        self, epsilon: float, epochs: float, participants: float
+    ) -> float:
+        """Continuous ``T*(K, E)`` from eq. (11).
+
+        Raises ``ValueError`` when ``(E, K)`` cannot reach ``epsilon`` at
+        any ``T`` (the asymptotic floor is too high).
+        """
+        if not self.is_feasible(epsilon, epochs, participants):
+            raise ValueError(
+                f"target epsilon={epsilon} is unreachable with E={epochs}, "
+                f"K={participants}: asymptotic floor is "
+                f"{self.asymptotic_gap(epochs, participants)}"
+            )
+        denominator = (
+            epsilon * participants
+            - self.a1
+            - self.a2 * participants * (epochs - 1)
+        ) * epochs
+        return self.a0 * participants / denominator
+
+    def required_rounds_int(
+        self, epsilon: float, epochs: float, participants: float
+    ) -> int:
+        """Integer ``T`` (ceiling of :meth:`required_rounds`, at least 1)."""
+        return max(1, math.ceil(self.required_rounds(epsilon, epochs, participants)))
+
+    # ------------------------------------------------------------------
+    # Domain limits used by the ACS search (Z_K, Z_E in §V-B).
+    # ------------------------------------------------------------------
+    def min_feasible_participants(self, epsilon: float, epochs: float) -> float:
+        """Smallest continuous ``K`` satisfying (13c) for the given ``E``.
+
+        From ``eps*K - A1 - A2*K*(E-1) > 0``: ``K > A1 / (eps - A2(E-1))``.
+        Raises ``ValueError`` when even ``K -> inf`` cannot help (i.e.
+        ``eps <= A2 (E-1)``).
+        """
+        margin = epsilon - self.a2 * (epochs - 1)
+        if margin <= 0:
+            raise ValueError(
+                f"epsilon={epsilon} is below the drift floor A2*(E-1)="
+                f"{self.a2 * (epochs - 1)}; no K is feasible"
+            )
+        return self.a1 / margin
+
+    def max_feasible_epochs(self, epsilon: float, participants: float) -> float:
+        """Largest continuous ``E`` satisfying (13c) for the given ``K``.
+
+        From (13c): ``E < (eps*K - A1 + A2*K) / (A2*K)``.  Returns
+        ``math.inf`` when ``A2 == 0`` (no drift, any E converges).
+        Raises ``ValueError`` when not even ``E = 1`` is feasible.
+        """
+        if not self.is_feasible(epsilon, 1, participants):
+            raise ValueError(
+                f"even E=1 is infeasible for epsilon={epsilon}, K={participants}"
+            )
+        if self.a2 == 0:
+            return math.inf
+        return (
+            epsilon * participants - self.a1 + self.a2 * participants
+        ) / (self.a2 * participants)

@@ -1,0 +1,134 @@
+"""Latency-constrained EE-FEI: minimize energy under a round deadline.
+
+The paper minimizes energy alone; edge deployments usually also face a
+*latency* budget — the training must finish within ``T <= T_max``
+global rounds (each round costs wall-clock time for the slowest
+participant).  This extension solves
+
+    min_{K, E}  E_hat(K, E)
+    s.t.        T*(K, E) <= T_max,  feasibility (13c),  1 <= K <= N,
+
+which stays tractable because the deadline carves a *convex* sub-region
+out of each coordinate slice: ``T*(K, E) <= T_max`` lower-bounds ``E``
+at fixed ``K`` (more local work per round compresses rounds) and
+lower-bounds ``K`` at fixed ``E``.  The solver reuses the plateau-exact
+integer machinery of :mod:`repro.core.acs` restricted to the deadline
+region.
+
+The non-iid study (`examples/noniid_study.py`) motivates this: under
+label skew the unconstrained optimum ``K* = 1`` needs many times more
+rounds, so a deadline shifts the energy-optimal feasible participation
+upward.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.acs import ACSSolver
+from repro.core.objective import EnergyObjective
+
+__all__ = ["DeadlinePlan", "solve_with_deadline"]
+
+
+@dataclass(frozen=True)
+class DeadlinePlan:
+    """An integer schedule satisfying the round deadline.
+
+    Attributes:
+        participants / epochs / rounds: the plan.
+        energy: predicted energy of the plan in joules.
+        deadline: the round budget ``T_max`` that was enforced.
+        binding: whether the deadline constraint is active (the
+            unconstrained optimum would exceed it).
+    """
+
+    participants: int
+    epochs: int
+    rounds: int
+    energy: float
+    deadline: int
+    binding: bool
+
+
+def _min_epochs_for_deadline(
+    objective: EnergyObjective, participants: int, deadline: int
+) -> int | None:
+    """Smallest feasible integer E at this K with ``T*(K, E) <= T_max``.
+
+    Delegates to the plateau boundary of the ACS solver, which solves
+    exactly this equation.
+    """
+    solver = ACSSolver(objective)
+    return solver._min_epochs_for_rounds(participants, deadline)
+
+
+def solve_with_deadline(
+    objective: EnergyObjective, deadline: int
+) -> DeadlinePlan:
+    """Energy-optimal integer ``(K, E, T)`` with ``T <= deadline``.
+
+    Raises ``ValueError`` when no feasible plan meets the deadline (the
+    accuracy target cannot be reached in ``deadline`` rounds at any
+    ``(K, E)`` with ``K <= N``).
+    """
+    if deadline < 1:
+        raise ValueError(f"deadline must be >= 1; got {deadline}")
+
+    # Is the unconstrained optimum already within the deadline?
+    unconstrained = ACSSolver(objective).solve()
+    assert unconstrained.rounds_int is not None
+    assert unconstrained.energy_int is not None
+    if unconstrained.rounds_int <= deadline:
+        assert unconstrained.participants_int is not None
+        assert unconstrained.epochs_int is not None
+        return DeadlinePlan(
+            participants=unconstrained.participants_int,
+            epochs=unconstrained.epochs_int,
+            rounds=unconstrained.rounds_int,
+            energy=unconstrained.energy_int,
+            deadline=deadline,
+            binding=False,
+        )
+
+    # Deadline is binding.  Within the region T* <= T_max, the integer
+    # objective at fixed K is minimised at the smallest E meeting the
+    # deadline: on the boundary plateau the per-round cost B0*E + B1
+    # grows with E while ceil(T*) can only shrink or stay — shrinking T
+    # below the deadline never helps because the plateau walk already
+    # proved larger-m plateaus are costlier here (the unconstrained
+    # optimum lies at T > T_max, and energy is unimodal along the
+    # plateau curve between them).  We still guard against plateau
+    # jitter by evaluating a few rounds below the deadline as well.
+    best: tuple[int, int, int, float] | None = None
+    solver = ACSSolver(objective)
+    for k in range(1, objective.n_servers + 1):
+        if not objective.is_feasible(k, 1):
+            continue
+        for rounds in range(max(1, deadline - 2), deadline + 1):
+            epochs = solver._min_epochs_for_rounds(k, rounds)
+            if epochs is None:
+                continue
+            true_rounds = objective.bound.required_rounds_int(
+                objective.epsilon, epochs, k
+            )
+            if true_rounds > deadline:
+                continue
+            energy = objective.value_integer(k, epochs)
+            if best is None or energy < best[3]:
+                best = (k, epochs, true_rounds, energy)
+    if best is None:
+        raise ValueError(
+            f"no (K <= {objective.n_servers}, E) plan reaches "
+            f"epsilon={objective.epsilon} within {deadline} rounds"
+        )
+    k, e, t, energy = best
+    return DeadlinePlan(
+        participants=k,
+        epochs=e,
+        rounds=t,
+        energy=energy,
+        deadline=deadline,
+        binding=True,
+    )

@@ -1,0 +1,179 @@
+"""Energy consumption models of FEI — §IV of the paper.
+
+Three per-round energy terms are modelled for each participating edge
+server ``k``:
+
+* **data collection** (eq. (4)): ``e_k^I(n_k) = rho_k * n_k`` — the energy
+  IoT devices spend uploading ``n_k`` samples;
+* **local training** (eq. (5)): ``e_k^P(E, n_k) = c0*E*n_k + c1*E``;
+* **model upload**: a constant ``e_k^U`` per selected server.
+
+The total over ``T`` rounds with ``K`` participants per round is
+``e = sum_t sum_{k in K_t} (e^I + e^P + e^U)`` (eq. (3)/(6)).
+
+Heterogeneity: eq. (12) takes expectations over the per-server constants
+(``B0 = E[c0] n + E[c1]``, ``B1 = E[rho] n + E[e^U]``).
+:class:`EnergyParams` is the homogeneous case used throughout the paper's
+evaluation; :class:`HeterogeneousEnergyParams` draws per-server constants
+and reduces to expectations for the optimizer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core import constants
+
+__all__ = [
+    "EnergyParams",
+    "HeterogeneousEnergyParams",
+    "data_collection_energy",
+    "local_training_energy",
+    "round_energy_per_server",
+    "total_energy",
+]
+
+
+def data_collection_energy(rho: float, n_samples: int | np.ndarray) -> float | np.ndarray:
+    """Energy for IoT devices to upload ``n_samples`` samples — eq. (4)."""
+    if rho < 0:
+        raise ValueError(f"rho must be non-negative; got {rho}")
+    return rho * np.asarray(n_samples, dtype=float) if np.ndim(n_samples) else rho * n_samples
+
+
+def local_training_energy(
+    c0: float, c1: float, epochs: int | float, n_samples: int | float
+) -> float:
+    """Energy for ``epochs`` local epochs over ``n_samples`` — eq. (5)."""
+    if c0 < 0 or c1 < 0:
+        raise ValueError(f"c0 and c1 must be non-negative; got c0={c0}, c1={c1}")
+    if epochs < 0 or n_samples < 0:
+        raise ValueError("epochs and n_samples must be non-negative")
+    return c0 * epochs * n_samples + c1 * epochs
+
+
+@dataclass(frozen=True)
+class EnergyParams:
+    """Homogeneous per-server energy constants (the paper's prototype).
+
+    Attributes:
+        rho: IoT uplink energy per data sample, J (eq. (4)).
+        c0: training energy per sample-epoch, J (eq. (5)).
+        c1: training energy per epoch independent of data size, J.
+        e_upload: energy for one model upload ``e_k^U``, J.
+        n_samples: local dataset size ``n_k`` (paper: 3 000 per server).
+    """
+
+    rho: float
+    c0: float = constants.C0_JOULES_PER_SAMPLE_EPOCH
+    c1: float = constants.C1_JOULES_PER_EPOCH
+    e_upload: float = 0.0
+    n_samples: int = constants.SAMPLES_PER_SERVER
+
+    def __post_init__(self) -> None:
+        for name in ("rho", "c0", "c1", "e_upload"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative; got {getattr(self, name)}")
+        if self.n_samples < 1:
+            raise ValueError(f"n_samples must be positive; got {self.n_samples}")
+
+    @property
+    def b0(self) -> float:
+        """``B0 = c0 * n + c1`` — energy that scales with E (eq. (12))."""
+        return self.c0 * self.n_samples + self.c1
+
+    @property
+    def b1(self) -> float:
+        """``B1 = rho * n + e^U`` — per-round energy independent of E."""
+        return self.rho * self.n_samples + self.e_upload
+
+    def round_energy(self, epochs: int | float) -> float:
+        """Per-server energy of one global round: ``B0*E + B1``."""
+        if epochs < 1:
+            raise ValueError(f"epochs must be >= 1; got {epochs}")
+        return self.b0 * epochs + self.b1
+
+
+@dataclass(frozen=True)
+class HeterogeneousEnergyParams:
+    """Per-server energy constants drawn from arbitrary arrays.
+
+    All arrays must share the same length ``N`` (number of edge servers).
+    The optimizer consumes the *expected* constants through :meth:`mean`,
+    exercising the expectation operators of eq. (12); the testbed
+    simulation consumes the per-server values through :meth:`for_server`.
+    """
+
+    rho: np.ndarray
+    c0: np.ndarray
+    c1: np.ndarray
+    e_upload: np.ndarray
+    n_samples: int
+
+    def __post_init__(self) -> None:
+        arrays = {
+            "rho": np.asarray(self.rho, dtype=float),
+            "c0": np.asarray(self.c0, dtype=float),
+            "c1": np.asarray(self.c1, dtype=float),
+            "e_upload": np.asarray(self.e_upload, dtype=float),
+        }
+        lengths = {a.shape for a in arrays.values()}
+        if len(lengths) != 1 or arrays["rho"].ndim != 1:
+            raise ValueError("rho, c0, c1 and e_upload must be 1-D arrays of equal length")
+        if arrays["rho"].size == 0:
+            raise ValueError("need at least one server")
+        for name, arr in arrays.items():
+            if (arr < 0).any():
+                raise ValueError(f"{name} must be non-negative")
+            object.__setattr__(self, name, arr)
+        if self.n_samples < 1:
+            raise ValueError(f"n_samples must be positive; got {self.n_samples}")
+
+    @property
+    def n_servers(self) -> int:
+        return int(self.rho.size)
+
+    def for_server(self, server_id: int) -> EnergyParams:
+        """Materialise the constants of one specific edge server."""
+        return EnergyParams(
+            rho=float(self.rho[server_id]),
+            c0=float(self.c0[server_id]),
+            c1=float(self.c1[server_id]),
+            e_upload=float(self.e_upload[server_id]),
+            n_samples=self.n_samples,
+        )
+
+    def mean(self) -> EnergyParams:
+        """Expected constants — what eq. (12)'s B0/B1 are built from."""
+        return EnergyParams(
+            rho=float(self.rho.mean()),
+            c0=float(self.c0.mean()),
+            c1=float(self.c1.mean()),
+            e_upload=float(self.e_upload.mean()),
+            n_samples=self.n_samples,
+        )
+
+
+def round_energy_per_server(params: EnergyParams, epochs: int | float) -> float:
+    """Energy one participating server consumes in one round (all 3 terms)."""
+    return params.round_energy(epochs)
+
+
+def total_energy(
+    params: EnergyParams,
+    epochs: int | float,
+    participants: int | float,
+    rounds: int | float,
+) -> float:
+    """Total FEI energy ``e = T * K * (B0*E + B1)`` — eq. (6) homogeneous case.
+
+    Continuous values of ``epochs``/``participants``/``rounds`` are allowed
+    because the optimizer relaxes the integer constraints.
+    """
+    if participants < 1:
+        raise ValueError(f"participants must be >= 1; got {participants}")
+    if rounds <= 0:
+        raise ValueError(f"rounds must be positive; got {rounds}")
+    return rounds * participants * params.round_energy(epochs)

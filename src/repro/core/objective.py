@@ -1,0 +1,191 @@
+"""The energy-minimisation objective ``E[e_hat](K, E)`` — eqs. (12)-(13).
+
+Substituting the optimal round count ``T*(K, E)`` (eq. (11)) into the
+total-energy expression ``T * K * (B0 E + B1)`` yields the reduced
+two-variable objective
+
+    E_hat(K, E) = A0 * K^2 * (B0 E + B1)
+                  / ((eps*K - A1 - A2*K*(E-1)) * E),
+
+defined on the feasible region (13c).  Lemmas 1 and 2 of the paper show
+it is strictly convex in each variable separately (biconvex, Theorem 1);
+this module evaluates the objective, its analytic second derivatives, the
+ACS search domains ``Z_K``/``Z_E``, and numeric biconvexity certificates.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.convergence import ConvergenceBound
+from repro.core.energy_model import EnergyParams
+
+__all__ = ["EnergyObjective"]
+
+# Relative margin used to keep continuous search iterates strictly inside
+# the open feasible region (13c), where the objective diverges at the edge.
+_DOMAIN_MARGIN = 1e-9
+
+
+@dataclass(frozen=True)
+class EnergyObjective:
+    """Reduced energy objective for a target accuracy ``epsilon``.
+
+    Attributes:
+        bound: the convergence constants ``(A0, A1, A2)``.
+        energy: per-server energy constants providing ``B0``/``B1``.
+        epsilon: target loss gap (constraint (6b)).
+        n_servers: total number of edge servers ``N`` (upper limit on K).
+    """
+
+    bound: ConvergenceBound
+    energy: EnergyParams
+    epsilon: float
+    n_servers: int
+
+    def __post_init__(self) -> None:
+        if self.epsilon <= 0:
+            raise ValueError(f"epsilon must be positive; got {self.epsilon}")
+        if self.n_servers < 1:
+            raise ValueError(f"n_servers must be >= 1; got {self.n_servers}")
+
+    # ------------------------------------------------------------------
+    # Evaluation.
+    # ------------------------------------------------------------------
+    def is_feasible(self, participants: float, epochs: float) -> bool:
+        """Whether ``(K, E)`` lies in the open region (13c) with ``K <= N``."""
+        if participants < 1 or participants > self.n_servers or epochs < 1:
+            return False
+        return self.bound.is_feasible(self.epsilon, epochs, participants)
+
+    def value(self, participants: float, epochs: float) -> float:
+        """Continuous objective ``E_hat(K, E)`` (eq. (12))."""
+        if not self.is_feasible(participants, epochs):
+            raise ValueError(
+                f"(K={participants}, E={epochs}) is infeasible for "
+                f"epsilon={self.epsilon}, N={self.n_servers}"
+            )
+        rounds = self.bound.required_rounds(self.epsilon, epochs, participants)
+        return rounds * participants * self.energy.round_energy(epochs)
+
+    def value_integer(self, participants: int, epochs: int) -> float:
+        """Energy with the *integer* round count ``ceil(T*)``.
+
+        This is the energy a real deployment would pay, since rounds are
+        discrete; it upper-bounds :meth:`value` by at most one round.
+        """
+        if participants != int(participants) or epochs != int(epochs):
+            raise ValueError("participants and epochs must be integers")
+        rounds = self.bound.required_rounds_int(self.epsilon, epochs, participants)
+        return rounds * participants * self.energy.round_energy(epochs)
+
+    def rounds(self, participants: float, epochs: float) -> float:
+        """The continuous ``T*(K, E)`` used inside the objective."""
+        return self.bound.required_rounds(self.epsilon, epochs, participants)
+
+    # ------------------------------------------------------------------
+    # Analytic curvature (Lemmas 1 and 2).
+    # ------------------------------------------------------------------
+    def d2_dk2(self, participants: float, epochs: float) -> float:
+        """Second partial derivative in K — eq. (14).
+
+        ``d^2 E_hat / dK^2 = 2 A0 A1^2 C0 / (C1 K - A1)^3`` with
+        ``C0 = (B0 E + B1)/E`` and ``C1 = eps - A2 (E - 1)``; strictly
+        positive everywhere on the feasible region.
+        """
+        if not self.is_feasible(participants, epochs):
+            raise ValueError("point is infeasible")
+        c0 = (self.energy.b0 * epochs + self.energy.b1) / epochs
+        c1 = self.epsilon - self.bound.a2 * (epochs - 1)
+        return (
+            2.0
+            * self.bound.a0
+            * self.bound.a1**2
+            * c0
+            / (c1 * participants - self.bound.a1) ** 3
+        )
+
+    def d2_de2(self, participants: float, epochs: float) -> float:
+        """Second partial derivative in E (Lemma 2), computed exactly.
+
+        Writing ``g(E) = (B0 E + B1) / ((C4 - A2 K E) E)`` with
+        ``C4 = eps K - A1 + A2 K``, the objective is
+        ``A0 K^2 g(E)`` and its curvature follows from differentiating
+        the quotient twice.  Positive on the feasible region.
+        """
+        if not self.is_feasible(participants, epochs):
+            raise ValueError("point is infeasible")
+        k = participants
+        a0, a1, a2 = self.bound.a0, self.bound.a1, self.bound.a2
+        b0, b1 = self.energy.b0, self.energy.b1
+        c4 = self.epsilon * k - a1 + a2 * k
+        d = (c4 - a2 * k * epochs) * epochs          # denominator D(E)
+        d1 = c4 - 2.0 * a2 * k * epochs              # D'(E)
+        d2 = -2.0 * a2 * k                           # D''(E)
+        n = b0 * epochs + b1                         # numerator N(E)
+        # (N/D)'' = (N'' D^2 - 2 N' D D' - N D D'' + 2 N D'^2) / D^3,
+        # with N'' = 0 and N' = B0.
+        second = (-2.0 * b0 * d * d1 - n * d * d2 + 2.0 * n * d1**2) / d**3
+        return a0 * k**2 * second
+
+    # ------------------------------------------------------------------
+    # ACS search domains (§V-B).
+    # ------------------------------------------------------------------
+    def k_domain(self, epochs: float) -> tuple[float, float]:
+        """Closed interval of feasible continuous K at fixed E (``Z_K``).
+
+        The open constraint ``K > A1/(eps - A2(E-1))`` is tightened by a
+        tiny relative margin so the returned interval is safe to evaluate.
+        Raises ``ValueError`` when no feasible K <= N exists.
+        """
+        k_min = self.bound.min_feasible_participants(self.epsilon, epochs)
+        lo = max(1.0, k_min * (1.0 + _DOMAIN_MARGIN) + _DOMAIN_MARGIN)
+        hi = float(self.n_servers)
+        if lo > hi:
+            raise ValueError(
+                f"no feasible K in [1, {self.n_servers}] for E={epochs}: "
+                f"need K > {k_min}"
+            )
+        return lo, hi
+
+    def e_domain(self, participants: float) -> tuple[float, float]:
+        """Closed interval of feasible continuous E at fixed K (``Z_E``).
+
+        The open upper limit ``E < (eps K - A1 + A2 K)/(A2 K)`` is
+        tightened by a small margin; when ``A2 == 0`` the domain is
+        unbounded above and ``math.inf`` is returned.
+        """
+        e_max = self.bound.max_feasible_epochs(self.epsilon, participants)
+        if math.isinf(e_max):
+            return 1.0, math.inf
+        hi = e_max * (1.0 - _DOMAIN_MARGIN) - _DOMAIN_MARGIN
+        if hi < 1.0:
+            raise ValueError(
+                f"no feasible E >= 1 for K={participants}: need E < {e_max}"
+            )
+        return 1.0, hi
+
+    # ------------------------------------------------------------------
+    # Numeric biconvexity certificates (Theorem 1 checks).
+    # ------------------------------------------------------------------
+    def certify_convex_in_k(self, epochs: float, n_points: int = 64) -> bool:
+        """Check ``d2/dK2 > 0`` on a grid spanning the K-domain."""
+        lo, hi = self.k_domain(epochs)
+        if hi <= lo:
+            return True
+        grid = np.linspace(lo, hi, n_points)
+        return all(self.d2_dk2(float(k), epochs) > 0 for k in grid)
+
+    def certify_convex_in_e(
+        self, participants: float, n_points: int = 64, e_cap: float = 1e4
+    ) -> bool:
+        """Check ``d2/dE2 > 0`` on a grid spanning the E-domain."""
+        lo, hi = self.e_domain(participants)
+        hi = min(hi, e_cap)
+        if hi <= lo:
+            return True
+        grid = np.linspace(lo, hi, n_points)
+        return all(self.d2_de2(participants, float(e)) > 0 for e in grid)

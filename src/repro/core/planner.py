@@ -1,0 +1,128 @@
+"""High-level planner: the one-call public API of EE-FEI.
+
+:class:`EnergyPlanner` bundles the convergence bound, the energy
+constants, and the system size into a single object that produces an
+:class:`EnergyPlan` — the integer ``(K, E, T)`` schedule a deployment
+should run, together with its predicted energy and the saving relative
+to the ``(K=1, E=1)`` baseline the paper reports 49.8 % against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.acs import ACSResult, ACSSolver
+from repro.core.baselines import PolicyResult, fixed_policy
+from repro.core.convergence import ConvergenceBound
+from repro.core.energy_model import EnergyParams
+from repro.core.objective import EnergyObjective
+
+__all__ = ["EnergyPlan", "EnergyPlanner"]
+
+
+@dataclass(frozen=True)
+class EnergyPlan:
+    """The schedule EE-FEI recommends for one training task.
+
+    Attributes:
+        participants: number of edge servers per round ``K``.
+        epochs: local epochs per round ``E``.
+        rounds: global coordination rounds ``T``.
+        predicted_energy: predicted total energy in joules.
+        baseline_energy: predicted energy of the ``(K=1, E=1)`` policy,
+            or ``None`` when that policy cannot reach the target.
+        acs: the underlying solver result (iterate history etc.).
+    """
+
+    participants: int
+    epochs: int
+    rounds: int
+    predicted_energy: float
+    baseline_energy: float | None
+    acs: ACSResult
+
+    @property
+    def savings_fraction(self) -> float | None:
+        """Fractional saving vs the (1, 1) baseline (paper: 0.498)."""
+        if self.baseline_energy is None or self.baseline_energy <= 0:
+            return None
+        return 1.0 - self.predicted_energy / self.baseline_energy
+
+    def describe(self) -> str:
+        """Human-readable one-paragraph summary of the plan."""
+        lines = [
+            f"EE-FEI plan: K={self.participants} edge servers/round, "
+            f"E={self.epochs} local epochs, T={self.rounds} global rounds.",
+            f"Predicted energy: {self.predicted_energy:.3f} J.",
+        ]
+        if self.savings_fraction is not None:
+            lines.append(
+                f"Saving vs (K=1, E=1) baseline: {100 * self.savings_fraction:.1f}% "
+                f"(baseline {self.baseline_energy:.3f} J)."
+            )
+        return "\n".join(lines)
+
+
+class EnergyPlanner:
+    """Facade: calibrated constants in, optimal integer schedule out.
+
+    Args:
+        bound: convergence constants, typically from
+            :func:`repro.core.calibration.fit_convergence_constants`.
+        energy: per-server energy constants, typically from
+            :func:`repro.core.calibration.fit_training_energy` plus the
+            uplink/upload measurements.
+        n_servers: system size ``N``.
+    """
+
+    def __init__(
+        self, bound: ConvergenceBound, energy: EnergyParams, n_servers: int
+    ) -> None:
+        self.bound = bound
+        self.energy = energy
+        self.n_servers = n_servers
+
+    def objective(self, epsilon: float) -> EnergyObjective:
+        """Build the reduced objective for a target loss gap."""
+        return EnergyObjective(
+            bound=self.bound,
+            energy=self.energy,
+            epsilon=epsilon,
+            n_servers=self.n_servers,
+        )
+
+    def baseline(self, epsilon: float) -> PolicyResult | None:
+        """The (K=1, E=1) reference policy, or ``None`` when infeasible."""
+        objective = self.objective(epsilon)
+        if not objective.is_feasible(1, 1):
+            return None
+        return fixed_policy(objective, 1, 1, name="baseline(K=1,E=1)")
+
+    def plan(
+        self,
+        epsilon: float,
+        residual: float = 1e-9,
+        k0: float | None = None,
+        e0: float | None = None,
+    ) -> EnergyPlan:
+        """Solve for the energy-optimal integer ``(K, E, T)`` schedule.
+
+        Raises ``ValueError`` when no ``(K, E)`` with ``K <= N`` can
+        reach the target accuracy.
+        """
+        objective = self.objective(epsilon)
+        solver = ACSSolver(objective, residual=residual)
+        result = solver.solve(k0=k0, e0=e0, round_to_integers=True)
+        assert result.participants_int is not None  # round_to_integers=True
+        assert result.epochs_int is not None
+        assert result.rounds_int is not None
+        assert result.energy_int is not None
+        baseline = self.baseline(epsilon)
+        return EnergyPlan(
+            participants=result.participants_int,
+            epochs=result.epochs_int,
+            rounds=result.rounds_int,
+            predicted_energy=result.energy_int,
+            baseline_energy=baseline.energy if baseline else None,
+            acs=result,
+        )

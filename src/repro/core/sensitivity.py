@@ -1,0 +1,147 @@
+"""Sensitivity of the EE-FEI plan to mis-calibrated constants.
+
+The optimizer is only as good as the constants fed into it: ``(c0, c1)``
+come from a least-squares fit over a timing grid and ``(A0, A1, A2)``
+from noisy pilot runs.  This module quantifies the *regret* of planning
+with perturbed constants — the extra energy paid when the schedule is
+computed from wrong constants but executed on the true system:
+
+    regret(delta) = E_true(plan(perturbed)) / E_true(plan(true)) - 1.
+
+A small regret under large perturbations means the biconvex landscape is
+flat around the optimum and calibration precision is not critical — an
+ablation DESIGN.md calls out explicitly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.core.acs import ACSSolver
+from repro.core.convergence import ConvergenceBound
+from repro.core.energy_model import EnergyParams
+from repro.core.objective import EnergyObjective
+
+__all__ = ["PerturbationResult", "SensitivityReport", "analyze_sensitivity"]
+
+
+@dataclass(frozen=True)
+class PerturbationResult:
+    """Outcome of planning with one perturbed constant.
+
+    Attributes:
+        constant: name of the perturbed constant (e.g. ``"a1"``).
+        factor: multiplicative perturbation applied (e.g. 1.5 = +50 %).
+        participants / epochs: the (wrong) plan's integer parameters.
+        planned_energy: energy the wrong model *predicted* for its plan.
+        true_energy: energy the true system pays for the wrong plan, or
+            ``None`` when the wrong plan is infeasible on the true
+            system (it fails to reach the accuracy target at any T).
+        regret: ``true_energy / optimal_true_energy - 1`` (None when
+            infeasible).
+    """
+
+    constant: str
+    factor: float
+    participants: int
+    epochs: int
+    planned_energy: float
+    true_energy: float | None
+    regret: float | None
+
+
+@dataclass(frozen=True)
+class SensitivityReport:
+    """All perturbation outcomes around one true objective."""
+
+    optimal_energy: float
+    results: tuple[PerturbationResult, ...]
+
+    def worst_regret(self) -> float:
+        """Largest finite regret across all perturbations."""
+        finite = [r.regret for r in self.results if r.regret is not None]
+        return max(finite) if finite else 0.0
+
+    def infeasible_count(self) -> int:
+        """Perturbations whose plan cannot reach the target on truth."""
+        return sum(1 for r in self.results if r.true_energy is None)
+
+
+def _perturbed_objective(
+    objective: EnergyObjective, constant: str, factor: float
+) -> EnergyObjective:
+    """Copy of ``objective`` with one constant scaled by ``factor``."""
+    bound = objective.bound
+    energy = objective.energy
+    if constant in ("a0", "a1", "a2"):
+        bound = ConvergenceBound(
+            a0=bound.a0 * factor if constant == "a0" else bound.a0,
+            a1=bound.a1 * factor if constant == "a1" else bound.a1,
+            a2=bound.a2 * factor if constant == "a2" else bound.a2,
+        )
+    elif constant in ("c0", "c1", "rho", "e_upload"):
+        energy = replace(energy, **{constant: getattr(energy, constant) * factor})
+    else:
+        raise ValueError(f"unknown constant {constant!r}")
+    return EnergyObjective(
+        bound=bound,
+        energy=energy,
+        epsilon=objective.epsilon,
+        n_servers=objective.n_servers,
+    )
+
+
+def analyze_sensitivity(
+    objective: EnergyObjective,
+    constants: tuple[str, ...] = ("a0", "a1", "a2", "c0", "c1", "rho", "e_upload"),
+    factors: tuple[float, ...] = (0.5, 0.8, 1.25, 2.0),
+) -> SensitivityReport:
+    """Plan under each single-constant perturbation, price on the truth.
+
+    Args:
+        objective: the *true* objective (ground-truth constants).
+        constants: which constants to perturb, one at a time.
+        factors: multiplicative perturbations to apply.
+
+    Returns:
+        A :class:`SensitivityReport`; perturbations whose planning
+        problem becomes globally infeasible are skipped (they would make
+        the planner refuse, which is a calibration error the operator
+        notices immediately, unlike silent regret).
+    """
+    true_plan = ACSSolver(objective).solve()
+    assert true_plan.energy_int is not None
+    optimal = true_plan.energy_int
+
+    results: list[PerturbationResult] = []
+    for constant in constants:
+        for factor in factors:
+            perturbed = _perturbed_objective(objective, constant, factor)
+            try:
+                wrong_plan = ACSSolver(perturbed).solve()
+            except ValueError:
+                continue  # planner visibly refuses: not silent regret
+            k = wrong_plan.participants_int
+            e = wrong_plan.epochs_int
+            assert k is not None and e is not None
+            assert wrong_plan.energy_int is not None
+            if objective.is_feasible(k, e):
+                true_energy = objective.value_integer(k, e)
+                regret = true_energy / optimal - 1.0
+            else:
+                true_energy = None
+                regret = None
+            results.append(
+                PerturbationResult(
+                    constant=constant,
+                    factor=factor,
+                    participants=k,
+                    epochs=e,
+                    planned_energy=wrong_plan.energy_int,
+                    true_energy=true_energy,
+                    regret=regret,
+                )
+            )
+    return SensitivityReport(optimal_energy=optimal, results=tuple(results))

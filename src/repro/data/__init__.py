@@ -1,0 +1,22 @@
+"""Dataset substrate: containers and the synthetic-MNIST generator."""
+
+from repro.data.dataset import Dataset, train_test_split
+from repro.data.synthetic_mnist import (
+    IMAGE_SIDE,
+    N_CLASSES,
+    N_FEATURES,
+    generate_synthetic_mnist,
+    load_synthetic_mnist,
+    render_glyph,
+)
+
+__all__ = [
+    "Dataset",
+    "train_test_split",
+    "IMAGE_SIDE",
+    "N_CLASSES",
+    "N_FEATURES",
+    "generate_synthetic_mnist",
+    "load_synthetic_mnist",
+    "render_glyph",
+]

@@ -1,0 +1,126 @@
+"""Loader for real MNIST in IDX format (optional, offline-friendly).
+
+The reproduction ships a synthetic MNIST stand-in because the real
+dataset is not available in the offline build environment.  If you *do*
+have the original IDX files (``train-images-idx3-ubyte`` etc., possibly
+gzipped), this module loads them into the same
+:class:`~repro.data.dataset.Dataset` container, so every experiment can
+be re-run on the true data with one argument change.
+
+IDX format (Le Cun's spec): big-endian magic ``0x00 0x00 <dtype>
+<ndims>``, then one 32-bit big-endian size per dimension, then raw data.
+MNIST uses dtype ``0x08`` (unsigned byte) with 3 dims for images and 1
+for labels.
+"""
+
+from __future__ import annotations
+
+import gzip
+import struct
+from pathlib import Path
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.data.synthetic_mnist import N_CLASSES
+
+__all__ = ["read_idx", "load_mnist_idx", "mnist_files_present"]
+
+_DTYPE_CODES = {
+    0x08: np.dtype(">u1"),
+    0x09: np.dtype(">i1"),
+    0x0B: np.dtype(">i2"),
+    0x0C: np.dtype(">i4"),
+    0x0D: np.dtype(">f4"),
+    0x0E: np.dtype(">f8"),
+}
+
+# Canonical file names, with and without .gz.
+_FILES = {
+    "train_images": "train-images-idx3-ubyte",
+    "train_labels": "train-labels-idx1-ubyte",
+    "test_images": "t10k-images-idx3-ubyte",
+    "test_labels": "t10k-labels-idx1-ubyte",
+}
+
+
+def _read_bytes(path: Path) -> bytes:
+    if path.suffix == ".gz":
+        return gzip.decompress(path.read_bytes())
+    return path.read_bytes()
+
+
+def read_idx(path: str | Path) -> np.ndarray:
+    """Parse one IDX file into a numpy array (native byte order)."""
+    raw = _read_bytes(Path(path))
+    if len(raw) < 4:
+        raise ValueError(f"{path}: too short to be an IDX file")
+    zero0, zero1, dtype_code, ndims = struct.unpack(">BBBB", raw[:4])
+    if zero0 != 0 or zero1 != 0:
+        raise ValueError(f"{path}: bad IDX magic (leading bytes not zero)")
+    if dtype_code not in _DTYPE_CODES:
+        raise ValueError(f"{path}: unknown IDX dtype code 0x{dtype_code:02x}")
+    if ndims < 1 or ndims > 4:
+        raise ValueError(f"{path}: implausible dimension count {ndims}")
+    header_end = 4 + 4 * ndims
+    if len(raw) < header_end:
+        raise ValueError(f"{path}: truncated IDX header")
+    shape = struct.unpack(f">{ndims}I", raw[4:header_end])
+    dtype = _DTYPE_CODES[dtype_code]
+    expected = int(np.prod(shape)) * dtype.itemsize
+    body = raw[header_end:]
+    if len(body) != expected:
+        raise ValueError(
+            f"{path}: body has {len(body)} bytes, expected {expected} "
+            f"for shape {shape}"
+        )
+    array = np.frombuffer(body, dtype=dtype).reshape(shape)
+    return array.astype(dtype.newbyteorder("="), copy=False)
+
+
+def _find(directory: Path, stem: str) -> Path | None:
+    for candidate in (directory / stem, directory / f"{stem}.gz"):
+        if candidate.exists():
+            return candidate
+    return None
+
+
+def mnist_files_present(directory: str | Path) -> bool:
+    """Whether all four MNIST IDX files exist under ``directory``."""
+    directory = Path(directory)
+    return all(_find(directory, stem) is not None for stem in _FILES.values())
+
+
+def load_mnist_idx(directory: str | Path) -> tuple[Dataset, Dataset]:
+    """Load the real MNIST train/test split from IDX files.
+
+    Pixels are scaled to ``[0, 1]`` float32, matching the synthetic
+    generator's range, so models and energy experiments are directly
+    comparable.
+
+    Raises ``FileNotFoundError`` when any of the four files is missing.
+    """
+    directory = Path(directory)
+    paths = {}
+    for key, stem in _FILES.items():
+        found = _find(directory, stem)
+        if found is None:
+            raise FileNotFoundError(
+                f"missing MNIST file {stem}(.gz) under {directory}"
+            )
+        paths[key] = found
+
+    def build(images_key: str, labels_key: str) -> Dataset:
+        images = read_idx(paths[images_key])
+        labels = read_idx(paths[labels_key])
+        if images.ndim != 3:
+            raise ValueError(f"{paths[images_key]}: expected 3-D image tensor")
+        if labels.ndim != 1 or labels.shape[0] != images.shape[0]:
+            raise ValueError(
+                f"{paths[labels_key]}: label count does not match images"
+            )
+        n = images.shape[0]
+        features = images.reshape(n, -1).astype(np.float32) / 255.0
+        return Dataset(features, labels.astype(np.int64), N_CLASSES)
+
+    return build("train_images", "train_labels"), build("test_images", "test_labels")

@@ -1,0 +1,192 @@
+"""Synthetic stand-in for the MNIST dataset.
+
+The paper evaluates FEI on MNIST (70 000 gray-scale 28x28 images of
+hand-written digits; 60 000 train / 10 000 test).  MNIST itself is not
+available offline, so this module generates a deterministic synthetic
+look-alike: each of the 10 classes is rendered from a fixed digit glyph
+prototype, then perturbed per-sample with random translation, intensity
+scaling, and pixel noise.
+
+For a *linear* model (multinomial logistic regression, as used in the
+paper) the resulting task has the properties the evaluation relies on:
+
+* 784-dimensional inputs in ``[0, 1]`` and 10 balanced classes,
+* classes are mostly linearly separable but overlap enough that accuracy
+  climbs gradually over many SGD rounds (so the K/E/T convergence
+  trade-offs of Fig. 4 are visible),
+* i.i.d. sampling across edge servers, matching the paper's uniform
+  60 000-sample allocation over 20 servers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+
+__all__ = [
+    "IMAGE_SIDE",
+    "N_FEATURES",
+    "N_CLASSES",
+    "render_glyph",
+    "generate_synthetic_mnist",
+    "load_synthetic_mnist",
+]
+
+IMAGE_SIDE = 28
+N_FEATURES = IMAGE_SIDE * IMAGE_SIDE
+N_CLASSES = 10
+
+# 7x5 bitmap prototypes for the digits 0-9 ('#' = ink).  These mimic a
+# seven-segment-like hand-written style; they only need to be mutually
+# distinguishable under noise, not beautiful.
+_GLYPHS: dict[int, tuple[str, ...]] = {
+    0: (" ### ", "#   #", "#   #", "#   #", "#   #", "#   #", " ### "),
+    1: ("  #  ", " ##  ", "  #  ", "  #  ", "  #  ", "  #  ", " ### "),
+    2: (" ### ", "#   #", "    #", "   # ", "  #  ", " #   ", "#####"),
+    3: (" ### ", "#   #", "    #", "  ## ", "    #", "#   #", " ### "),
+    4: ("   # ", "  ## ", " # # ", "#  # ", "#####", "   # ", "   # "),
+    5: ("#####", "#    ", "#### ", "    #", "    #", "#   #", " ### "),
+    6: (" ### ", "#    ", "#    ", "#### ", "#   #", "#   #", " ### "),
+    7: ("#####", "    #", "   # ", "  #  ", "  #  ", " #   ", " #   "),
+    8: (" ### ", "#   #", "#   #", " ### ", "#   #", "#   #", " ### "),
+    9: (" ### ", "#   #", "#   #", " ####", "    #", "    #", " ### "),
+}
+
+_GLYPH_ROWS = 7
+_GLYPH_COLS = 5
+# Upsampling factors chosen so the rendered glyph occupies the centre of the
+# 28x28 canvas with a margin that leaves room for +-3 pixel translations.
+_SCALE_Y = 3
+_SCALE_X = 4
+_MAX_SHIFT = 3
+
+
+def render_glyph(digit: int) -> np.ndarray:
+    """Render the clean 28x28 prototype image for ``digit``.
+
+    Returns a float32 array with values in ``{0.0, 1.0}`` (ink mask) of
+    shape ``(28, 28)``.
+    """
+    if digit not in _GLYPHS:
+        raise ValueError(f"digit must be in 0..9; got {digit}")
+    bitmap = np.array(
+        [[1.0 if ch == "#" else 0.0 for ch in row] for row in _GLYPHS[digit]],
+        dtype=np.float32,
+    )
+    scaled = np.kron(bitmap, np.ones((_SCALE_Y, _SCALE_X), dtype=np.float32))
+    canvas = np.zeros((IMAGE_SIDE, IMAGE_SIDE), dtype=np.float32)
+    top = (IMAGE_SIDE - scaled.shape[0]) // 2
+    left = (IMAGE_SIDE - scaled.shape[1]) // 2
+    canvas[top : top + scaled.shape[0], left : left + scaled.shape[1]] = scaled
+    return canvas
+
+
+def _perturb(
+    base: np.ndarray,
+    n: int,
+    rng: np.random.Generator,
+    noise_std: float,
+) -> np.ndarray:
+    """Produce ``n`` noisy translated copies of ``base`` (shape (28, 28)).
+
+    Translation is applied with :func:`numpy.roll`, vectorised by grouping
+    samples that share the same (dy, dx) offset, so generating the full
+    60 000-sample training set stays fast.
+    """
+    shifts_y = rng.integers(-_MAX_SHIFT, _MAX_SHIFT + 1, size=n)
+    shifts_x = rng.integers(-_MAX_SHIFT, _MAX_SHIFT + 1, size=n)
+    out = np.empty((n, IMAGE_SIDE, IMAGE_SIDE), dtype=np.float32)
+    for dy in range(-_MAX_SHIFT, _MAX_SHIFT + 1):
+        for dx in range(-_MAX_SHIFT, _MAX_SHIFT + 1):
+            mask = (shifts_y == dy) & (shifts_x == dx)
+            if not mask.any():
+                continue
+            out[mask] = np.roll(base, (dy, dx), axis=(0, 1))
+    intensity = rng.uniform(0.6, 1.0, size=(n, 1, 1)).astype(np.float32)
+    out *= intensity
+    out += rng.normal(0.0, noise_std, size=out.shape).astype(np.float32)
+    np.clip(out, 0.0, 1.0, out=out)
+    return out
+
+
+def generate_synthetic_mnist(
+    n_samples: int,
+    seed: int = 0,
+    noise_std: float = 0.25,
+    label_noise: float = 0.08,
+) -> Dataset:
+    """Generate a synthetic-MNIST dataset of ``n_samples`` samples.
+
+    Classes are balanced (up to rounding) and the sample order is shuffled.
+
+    Args:
+        n_samples: total number of images to generate.
+        seed: seed for the deterministic generator.
+        noise_std: standard deviation of the additive pixel noise.  The
+            default 0.25 makes the task hard enough for a linear model that
+            accuracy improves over hundreds of rounds, as in the paper's
+            Fig. 4.
+        label_noise: fraction of samples whose label is re-drawn uniformly
+            at random.  This makes the task *non-separable*, like real
+            MNIST under logistic regression: without it the synthetic task
+            is linearly separable, the minimum loss is ~0, the stochastic
+            gradients vanish at the optimum (``sigma^2 = 0``), and the
+            paper's variance (``A1``) and drift (``A2``) terms would be
+            degenerate.  The default 0.08 caps achievable accuracy around
+            the ~92-93 % that logistic regression reaches on MNIST.
+
+    Returns:
+        A :class:`~repro.data.dataset.Dataset` with 784 features per sample.
+    """
+    if n_samples < 1:
+        raise ValueError(f"n_samples must be positive; got {n_samples}")
+    if not 0.0 <= label_noise < 1.0:
+        raise ValueError(f"label_noise must be in [0, 1); got {label_noise}")
+    rng = np.random.default_rng(seed)
+    per_class = np.full(N_CLASSES, n_samples // N_CLASSES, dtype=np.int64)
+    per_class[: n_samples % N_CLASSES] += 1
+
+    images = np.empty((n_samples, IMAGE_SIDE, IMAGE_SIDE), dtype=np.float32)
+    labels = np.empty(n_samples, dtype=np.int64)
+    cursor = 0
+    for digit in range(N_CLASSES):
+        count = int(per_class[digit])
+        if count == 0:
+            continue
+        base = render_glyph(digit)
+        images[cursor : cursor + count] = _perturb(base, count, rng, noise_std)
+        labels[cursor : cursor + count] = digit
+        cursor += count
+
+    if label_noise > 0:
+        # Dedicated stream so changing label_noise never perturbs the
+        # images or the sample order drawn from the main stream.
+        label_rng = np.random.default_rng([seed, 0x1AB31])
+        flip = label_rng.random(n_samples) < label_noise
+        labels[flip] = label_rng.integers(0, N_CLASSES, size=int(flip.sum()))
+
+    perm = rng.permutation(n_samples)
+    features = images.reshape(n_samples, N_FEATURES)[perm]
+    return Dataset(features, labels[perm], N_CLASSES)
+
+
+def load_synthetic_mnist(
+    n_train: int = 60_000,
+    n_test: int = 10_000,
+    seed: int = 0,
+    noise_std: float = 0.25,
+    label_noise: float = 0.08,
+) -> tuple[Dataset, Dataset]:
+    """Generate the (train, test) pair matching the paper's MNIST split.
+
+    Train and test sets are generated from independent random streams of
+    the same seed so they are disjoint draws of the same distribution.
+    """
+    train = generate_synthetic_mnist(
+        n_train, seed=seed, noise_std=noise_std, label_noise=label_noise
+    )
+    test = generate_synthetic_mnist(
+        n_test, seed=seed + 1, noise_std=noise_std, label_noise=label_noise
+    )
+    return train, test

@@ -1,0 +1,49 @@
+"""Experiment harness: one module per table/figure of the paper's §VI."""
+
+from repro.experiments.calibrate import (
+    CalibratedSystem,
+    calibrate_system,
+    estimate_f_star,
+)
+from repro.experiments.config import (
+    PAPER_SCALE,
+    TEST_SCALE,
+    ExperimentScale,
+    table_ii_rows,
+)
+from repro.experiments.fig3 import Fig3Result, run_fig3
+from repro.experiments.fig4 import Fig4Result, run_fig4
+from repro.experiments.fig5 import Fig5Result, run_fig5
+from repro.experiments.fig6 import Fig6Result, run_fig6
+from repro.experiments.plots import Series, line_chart
+from repro.experiments.report import format_percent, render_series, render_table
+from repro.experiments.stats import SeedSummary, repeat_over_seeds, summarize
+from repro.experiments.table1 import Table1Result, run_table1
+
+__all__ = [
+    "CalibratedSystem",
+    "calibrate_system",
+    "estimate_f_star",
+    "PAPER_SCALE",
+    "TEST_SCALE",
+    "ExperimentScale",
+    "table_ii_rows",
+    "Fig3Result",
+    "run_fig3",
+    "Fig4Result",
+    "run_fig4",
+    "Fig5Result",
+    "run_fig5",
+    "Fig6Result",
+    "run_fig6",
+    "Series",
+    "line_chart",
+    "SeedSummary",
+    "repeat_over_seeds",
+    "summarize",
+    "format_percent",
+    "render_series",
+    "render_table",
+    "Table1Result",
+    "run_table1",
+]

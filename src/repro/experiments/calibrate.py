@@ -1,0 +1,262 @@
+"""End-to-end calibration: from raw substrate to an optimizer instance.
+
+The paper instantiates its optimizer from measurements: ``(c0, c1)`` from
+the Table I timing grid, ``rho`` from the IoT radio, ``e^U`` from the
+upload step, and ``(A0, A1, A2)`` from observed convergence.  This module
+performs the same pipeline on the simulated testbed:
+
+1. build datasets and a :class:`HardwarePrototype` at a chosen scale,
+2. regenerate the Table-I grid on one device and least-squares fit
+   ``(c0, c1)``,
+3. run a handful of *pilot* FL runs at varied ``(K, E)`` and fit the
+   convergence constants from their loss-gap curves,
+4. estimate ``F(w*)`` by centralised full-batch gradient descent on the
+   pooled data, and translate the target accuracy into a loss-gap target
+   ``epsilon``.
+
+The result, :class:`CalibratedSystem`, contains everything Figs. 4-6
+need: the prototype (for "real traces") and a ready
+:class:`EnergyObjective` factory (for the "theoretical bound" curves).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.calibration import (
+    GapObservation,
+    fit_convergence_constants,
+    fit_training_energy,
+)
+from repro.core.convergence import ConvergenceBound
+from repro.core.energy_model import EnergyParams
+from repro.core.objective import EnergyObjective
+from repro.core.planner import EnergyPlanner
+from repro.data.dataset import Dataset
+from repro.data.synthetic_mnist import load_synthetic_mnist
+from repro.experiments.config import ExperimentScale
+from repro.fl.model import LogisticRegressionModel
+from repro.hardware.prototype import HardwarePrototype, PrototypeConfig
+from repro.iot.network import IoTNetwork
+from repro.net.messages import model_upload_message
+
+__all__ = ["CalibratedSystem", "estimate_f_star", "calibrate_system"]
+
+# (K, E) combinations for the pilot convergence runs.  They must vary K
+# at fixed E (identifying A1) and E at fixed K over the range the
+# optimizer will search (identifying A2), with the per-run required round
+# count identifying A0.  Fractions are of the testbed size N.
+_PILOT_FRACTIONS: tuple[tuple[float, int], ...] = (
+    (0.05, 5),
+    (0.5, 5),
+    (1.0, 5),
+    (0.05, 20),
+    (0.5, 20),
+    (1.0, 20),
+    (0.05, 60),
+    (0.5, 60),
+)
+
+
+def estimate_f_star(
+    train: Dataset,
+    scale: ExperimentScale,
+    max_iterations: int = 2000,
+) -> float:
+    """Estimate the minimum loss ``F(w*)`` by centralised training.
+
+    Minimises the pooled cross-entropy with L-BFGS; logistic regression
+    is convex, so this converges to the global optimum far faster and
+    tighter than plain gradient descent.  The tightness matters: the
+    calibration fits *gaps* against this value, and an overestimated
+    ``F(w*)`` produces spurious negative gaps late in training.
+    """
+    from scipy.optimize import minimize
+
+    model = LogisticRegressionModel(scale.model_config())
+
+    def loss_and_grad(flat: np.ndarray) -> tuple[float, np.ndarray]:
+        model.set_parameters(flat)
+        loss = model.loss(train.features, train.labels)
+        grad = model.gradient_flat(train.features, train.labels)
+        return loss, grad
+
+    result = minimize(
+        loss_and_grad,
+        x0=np.zeros(model.config.n_parameters),
+        jac=True,
+        method="L-BFGS-B",
+        options={"maxiter": max_iterations},
+    )
+    return float(result.fun)
+
+
+@dataclass(frozen=True)
+class CalibratedSystem:
+    """Everything needed to run the evaluation at one scale.
+
+    Attributes:
+        scale: the experiment scale used.
+        train / test: the datasets.
+        prototype: the simulated testbed ("real traces" source).
+        energy_params: fitted/derived per-server energy constants.
+        bound: fitted convergence constants.
+        f_star: estimated minimum loss.
+        epsilon: loss-gap target equivalent to ``scale.target_accuracy``.
+    """
+
+    scale: ExperimentScale
+    train: Dataset
+    test: Dataset
+    prototype: HardwarePrototype
+    energy_params: EnergyParams
+    bound: ConvergenceBound
+    f_star: float
+    epsilon: float
+
+    def objective(self, epsilon: float | None = None) -> EnergyObjective:
+        """The reduced energy objective at the calibrated constants."""
+        return EnergyObjective(
+            bound=self.bound,
+            energy=self.energy_params,
+            epsilon=self.epsilon if epsilon is None else epsilon,
+            n_servers=self.scale.n_servers,
+        )
+
+    def planner(self) -> EnergyPlanner:
+        """A ready :class:`EnergyPlanner` over the calibrated constants."""
+        return EnergyPlanner(
+            bound=self.bound,
+            energy=self.energy_params,
+            n_servers=self.scale.n_servers,
+        )
+
+
+def _pilot_combinations(n_servers: int) -> list[tuple[int, int]]:
+    """Concrete pilot (K, E) pairs for a testbed of ``n_servers``."""
+    combos = []
+    for fraction, epochs in _PILOT_FRACTIONS:
+        k = max(1, min(n_servers, int(round(fraction * n_servers))))
+        combos.append((k, epochs))
+    # De-duplicate while keeping order (tiny testbeds can collapse pairs).
+    seen: set[tuple[int, int]] = set()
+    unique = []
+    for combo in combos:
+        if combo not in seen:
+            seen.add(combo)
+            unique.append(combo)
+    return unique
+
+
+def calibrate_system(
+    scale: ExperimentScale,
+    iot_network: IoTNetwork | None = None,
+    include_iot_energy: bool = False,
+    noise_std: float = 0.25,
+) -> CalibratedSystem:
+    """Run the full calibration pipeline at ``scale``.
+
+    Args:
+        scale: dataset/testbed sizes and the accuracy target.
+        iot_network: optional IoT substrate; when given, its mean
+            ``rho_k`` enters the energy constants (otherwise ``rho = 0``,
+            matching the paper's prototype where data is pre-loaded).
+        include_iot_energy: whether the *prototype* should also charge
+            IoT collection energy per round.
+        noise_std: synthetic-MNIST pixel-noise level.
+    """
+    train, test = load_synthetic_mnist(
+        n_train=scale.n_train,
+        n_test=scale.n_test,
+        seed=scale.seed,
+        noise_std=noise_std,
+    )
+    config = PrototypeConfig(
+        n_servers=scale.n_servers,
+        model=scale.model_config(),
+        sgd=scale.sgd_config(),
+        include_iot=include_iot_energy,
+        seed=scale.seed,
+    )
+    prototype = HardwarePrototype(train, test, config, iot_network=iot_network)
+
+    # --- (c0, c1): regenerate the Table-I grid on device 0 and fit. ---
+    device = prototype.devices[0]
+    grid = device.duration_table([10, 20, 40], [100, 500, 1000, 2000])
+    energy_fit = fit_training_energy(grid, device.powers.training_w)
+
+    rho = iot_network.mean_rho() if iot_network is not None else 0.0
+    upload_energy = device.upload_energy(model_upload_message(config.model))
+    energy_params = EnergyParams(
+        rho=rho,
+        c0=energy_fit.c0,
+        c1=energy_fit.c1,
+        e_upload=upload_energy,
+        n_samples=scale.samples_per_server,
+    )
+
+    # --- F(w*) and the loss-gap target. ---
+    f_star = estimate_f_star(train, scale)
+
+    # --- (A0, A1, A2) from accuracy-driven pilot runs. ---
+    # The bound is calibrated the way the paper *uses* it: T*(K, E) must
+    # predict the measured rounds-to-target.  Each pilot run trains until
+    # the accuracy target (or the round budget) and contributes one
+    # observation (T_hit, E, K, gap_at_hit); fitting eq. (10) on these
+    # operating points makes the theoretical energy curve track the
+    # measured one, which is exactly the comparison of Figs. 5-6.
+    # Fitting on *full per-round loss curves* instead is tempting but
+    # unsound here: early-round transients are not representable by the
+    # three-term bound and leak into A1, predicting spurious
+    # infeasibility at small K.
+    observations: list[GapObservation] = []
+    gaps_at_hit: list[float] = []
+    for k, epochs in _pilot_combinations(scale.n_servers):
+        result = prototype.run(
+            participants=k,
+            epochs=epochs,
+            n_rounds=scale.max_rounds,
+            target_accuracy=scale.target_accuracy,
+        )
+        history = result.history
+        rounds_hit = history.rounds_to_accuracy(scale.target_accuracy)
+        if rounds_hit is None:
+            continue
+        gap = history.records[rounds_hit - 1].train_loss - f_star
+        if gap <= 0:
+            continue
+        observations.append(
+            GapObservation(
+                rounds=rounds_hit, epochs=epochs, participants=k, gap=gap
+            )
+        )
+        gaps_at_hit.append(gap)
+    if len(observations) < 3:
+        raise RuntimeError(
+            f"only {len(observations)} pilot runs reached accuracy "
+            f"{scale.target_accuracy} within {scale.max_rounds} rounds; "
+            "loosen the target or enlarge the budget for this scale"
+        )
+    bound = fit_convergence_constants(observations)
+
+    # The loss-gap target equivalent to the accuracy target: the median
+    # gap observed at the moment pilots crossed the accuracy threshold.
+    epsilon = float(np.median(gaps_at_hit))
+    # Ensure the target is reachable at K = N, E = 1 (otherwise the whole
+    # optimisation problem is vacuous at this scale).
+    floor = bound.asymptotic_gap(1, scale.n_servers)
+    if epsilon <= floor:
+        epsilon = floor * 1.5 + 1e-12
+
+    return CalibratedSystem(
+        scale=scale,
+        train=train,
+        test=test,
+        prototype=prototype,
+        energy_params=energy_params,
+        bound=bound,
+        f_star=f_star,
+        epsilon=epsilon,
+    )

@@ -1,0 +1,207 @@
+"""Fig. 4 reproduction: convergence vs ``T`` for varying ``K`` and ``E``.
+
+The paper trains multinomial logistic regression on MNIST and plots the
+global loss and test accuracy against the number of global rounds:
+
+* Fig. 4(a)/(b): ``E`` fixed at 40, ``K`` in {1, 5, 10, 20} — at a loose
+  accuracy target K barely changes the required ``T``; at a strict
+  target, larger ``K`` cuts ``T`` roughly linearly.
+* Fig. 4(c)/(d): ``K`` fixed at 10, ``E`` in {1, 20, 40, 100} — the total
+  number of local gradient epochs ``E x T`` needed for a target accuracy
+  is *non-monotone* in ``E`` (5 600 at E=20, 3 600 at E=40, 6 000 at
+  E=100 in the paper), proving an interior-optimal ``E`` exists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.plots import Series, line_chart
+from repro.experiments.report import render_table
+from repro.fl.metrics import TrainingHistory
+from repro.hardware.prototype import HardwarePrototype
+
+__all__ = ["Fig4Result", "run_fig4"]
+
+# The paper's swept values.
+DEFAULT_K_VALUES = (1, 5, 10, 20)
+DEFAULT_E_VALUES = (1, 20, 40, 100)
+DEFAULT_FIXED_E = 40
+DEFAULT_FIXED_K = 10
+
+
+@dataclass(frozen=True)
+class Fig4Result:
+    """Histories and derived round counts for both sweeps.
+
+    Attributes:
+        fixed_e_histories: ``K -> history`` with ``E = fixed_e``.
+        fixed_k_histories: ``E -> history`` with ``K = fixed_k``.
+        fixed_e / fixed_k: the pinned parameter values.
+        loose_target / strict_target: the two accuracy levels analysed.
+    """
+
+    fixed_e_histories: dict[int, TrainingHistory]
+    fixed_k_histories: dict[int, TrainingHistory]
+    fixed_e: int
+    fixed_k: int
+    loose_target: float
+    strict_target: float
+
+    # ----- Fig. 4(a)/(b): K sweep -------------------------------------
+    def rounds_vs_k(self, target: float) -> dict[int, int | None]:
+        """Required ``T`` per ``K`` at an accuracy target."""
+        return {
+            k: history.rounds_to_accuracy(target)
+            for k, history in self.fixed_e_histories.items()
+        }
+
+    # ----- Fig. 4(c)/(d): E sweep -------------------------------------
+    def rounds_vs_e(self, target: float) -> dict[int, int | None]:
+        """Required ``T`` per ``E`` at an accuracy target."""
+        return {
+            e: history.rounds_to_accuracy(target)
+            for e, history in self.fixed_k_histories.items()
+        }
+
+    def local_gradients_vs_e(self, target: float) -> dict[int, int | None]:
+        """Total local gradient epochs ``E x T`` per ``E`` at a target.
+
+        The non-monotonicity of these totals is the paper's evidence for
+        an interior-optimal ``E``.
+        """
+        return {
+            e: history.local_gradient_rounds_to_accuracy(target)
+            for e, history in self.fixed_k_histories.items()
+        }
+
+    def report(self) -> str:
+        sections = []
+        rows_k = [
+            [
+                k,
+                self.rounds_vs_k(self.loose_target)[k],
+                self.rounds_vs_k(self.strict_target)[k],
+                round(history.final_accuracy(), 4),
+            ]
+            for k, history in sorted(self.fixed_e_histories.items())
+        ]
+        sections.append(
+            render_table(
+                [
+                    "K",
+                    f"T @ acc {self.loose_target}",
+                    f"T @ acc {self.strict_target}",
+                    "final acc",
+                ],
+                rows_k,
+                title=f"Fig. 4(a)/(b) — fixed E = {self.fixed_e}",
+            )
+        )
+        rows_e = [
+            [
+                e,
+                self.rounds_vs_e(self.strict_target)[e],
+                self.local_gradients_vs_e(self.strict_target)[e],
+                round(history.final_accuracy(), 4),
+            ]
+            for e, history in sorted(self.fixed_k_histories.items())
+        ]
+        sections.append(
+            render_table(
+                ["E", f"T @ acc {self.strict_target}", "E*T (local gradients)", "final acc"],
+                rows_e,
+                title=f"Fig. 4(c)/(d) — fixed K = {self.fixed_k}",
+            )
+        )
+        return "\n\n".join(sections)
+
+    def loss_chart(self, which: str = "fixed_k") -> str:
+        """ASCII rendering of the loss curves (Fig. 4(a)/(c)).
+
+        ``which`` selects the sweep: ``"fixed_e"`` (loss vs T per K) or
+        ``"fixed_k"`` (loss vs T per E).
+        """
+        if which == "fixed_e":
+            histories = self.fixed_e_histories
+            prefix, pinned = "K", f"E={self.fixed_e}"
+        elif which == "fixed_k":
+            histories = self.fixed_k_histories
+            prefix, pinned = "E", f"K={self.fixed_k}"
+        else:
+            raise ValueError(f"which must be 'fixed_e' or 'fixed_k'; got {which!r}")
+        series = [
+            Series(
+                f"{prefix}={value}",
+                [(t + 1, float(loss)) for t, loss in enumerate(history.losses)],
+            )
+            for value, history in sorted(histories.items())
+        ]
+        return line_chart(
+            series,
+            title=f"Fig. 4 — global loss vs T ({pinned})",
+            x_label="T (global rounds)",
+            y_label="loss",
+        )
+
+    def accuracy_chart(self, which: str = "fixed_k") -> str:
+        """ASCII rendering of the accuracy curves (Fig. 4(b)/(d))."""
+        if which == "fixed_e":
+            histories = self.fixed_e_histories
+            prefix, pinned = "K", f"E={self.fixed_e}"
+        elif which == "fixed_k":
+            histories = self.fixed_k_histories
+            prefix, pinned = "E", f"K={self.fixed_k}"
+        else:
+            raise ValueError(f"which must be 'fixed_e' or 'fixed_k'; got {which!r}")
+        series = [
+            Series(
+                f"{prefix}={value}",
+                [(t + 1, float(acc)) for t, acc in enumerate(history.accuracies)],
+            )
+            for value, history in sorted(histories.items())
+        ]
+        return line_chart(
+            series,
+            title=f"Fig. 4 — test accuracy vs T ({pinned})",
+            x_label="T (global rounds)",
+            y_label="accuracy",
+        )
+
+
+def run_fig4(
+    prototype: HardwarePrototype,
+    k_values: tuple[int, ...] = DEFAULT_K_VALUES,
+    e_values: tuple[int, ...] = DEFAULT_E_VALUES,
+    fixed_e: int = DEFAULT_FIXED_E,
+    fixed_k: int = DEFAULT_FIXED_K,
+    max_rounds: int = 300,
+    loose_target: float = 0.89,
+    strict_target: float = 0.90,
+) -> Fig4Result:
+    """Run both convergence sweeps on the testbed.
+
+    Runs train for the full ``max_rounds`` budget (no early stop) so the
+    complete loss/accuracy curves are available, exactly like the figure.
+    """
+    if loose_target >= strict_target:
+        raise ValueError(
+            f"loose_target must be below strict_target; got "
+            f"{loose_target} >= {strict_target}"
+        )
+    fixed_e_histories: dict[int, TrainingHistory] = {}
+    for k in k_values:
+        result = prototype.run(participants=k, epochs=fixed_e, n_rounds=max_rounds)
+        fixed_e_histories[k] = result.history
+    fixed_k_histories: dict[int, TrainingHistory] = {}
+    for e in e_values:
+        result = prototype.run(participants=fixed_k, epochs=e, n_rounds=max_rounds)
+        fixed_k_histories[e] = result.history
+    return Fig4Result(
+        fixed_e_histories=fixed_e_histories,
+        fixed_k_histories=fixed_k_histories,
+        fixed_e=fixed_e,
+        fixed_k=fixed_k,
+        loose_target=loose_target,
+        strict_target=strict_target,
+    )

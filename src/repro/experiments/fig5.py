@@ -1,0 +1,150 @@
+"""Fig. 5 reproduction: total energy vs ``K`` — theory vs measured traces.
+
+The paper fixes ``E``, sweeps the number of participating edge servers
+``K``, and compares the energy predicted by the theoretical bound (13a)
+with the energy measured on the prototype when training to a fixed
+accuracy (92 %).  Under the iid data allocation the optimum is ``K* = 1``
+— selecting a single edge server per round is the most
+communication-efficient choice because all local gradients look alike.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.closed_form import k_star
+from repro.experiments.calibrate import CalibratedSystem
+from repro.experiments.plots import Series, line_chart
+from repro.experiments.report import render_table
+
+__all__ = ["Fig5Result", "run_fig5"]
+
+
+@dataclass(frozen=True)
+class Fig5Result:
+    """Energy-vs-K series from both sources.
+
+    Attributes:
+        epochs: the fixed ``E``.
+        theory_energy: ``K -> joules`` from the bound (None = infeasible).
+        measured_energy: ``K -> joules`` from prototype runs trained to
+            the accuracy target (None = target not reached in budget).
+        k_star_theory: continuous closed-form optimum (red asterisk).
+        k_star_measured: argmin of the measured series (black asterisk).
+        target_accuracy: accuracy level the measured runs trained to.
+    """
+
+    epochs: int
+    theory_energy: dict[int, float | None]
+    measured_energy: dict[int, float | None]
+    k_star_theory: float
+    k_star_measured: int | None
+    target_accuracy: float
+
+    def theory_argmin(self) -> int | None:
+        """Integer K minimising the theory curve."""
+        feasible = {k: e for k, e in self.theory_energy.items() if e is not None}
+        if not feasible:
+            return None
+        return min(feasible, key=feasible.__getitem__)
+
+    def report(self) -> str:
+        rows = [
+            [
+                k,
+                self.theory_energy[k] if self.theory_energy[k] is not None else "-",
+                self.measured_energy[k]
+                if self.measured_energy[k] is not None
+                else "-",
+            ]
+            for k in sorted(self.theory_energy)
+        ]
+        table = render_table(
+            ["K", "theory energy (J)", "measured energy (J)"],
+            rows,
+            title=(
+                f"Fig. 5 — energy to accuracy {self.target_accuracy} vs K "
+                f"(fixed E = {self.epochs})"
+            ),
+        )
+        stars = (
+            f"K* (theory, continuous) = {self.k_star_theory:.2f}; "
+            f"K* (theory, integer) = {self.theory_argmin()}; "
+            f"K* (measured) = {self.k_star_measured}"
+        )
+        return f"{table}\n{stars}\n\n{self.chart()}"
+
+    def chart(self) -> str:
+        """ASCII rendering of the two energy-vs-K curves."""
+        theory = Series(
+            "theory bound",
+            [(float(k), v) for k, v in sorted(self.theory_energy.items())],
+        )
+        measured = Series(
+            "measured",
+            [(float(k), v) for k, v in sorted(self.measured_energy.items())],
+        )
+        return line_chart(
+            [theory, measured],
+            title=f"Fig. 5 — energy vs K (E = {self.epochs})",
+            x_label="K (participants per round)",
+            y_label="energy (J)",
+        )
+
+
+def run_fig5(
+    system: CalibratedSystem,
+    epochs: int = 5,
+    k_values: tuple[int, ...] | None = None,
+    max_rounds: int | None = None,
+) -> Fig5Result:
+    """Sweep ``K`` with ``E`` fixed, measuring both curves.
+
+    Args:
+        system: a calibrated testbed (provides both the objective and the
+            prototype).
+        epochs: the fixed ``E`` (the paper pins E while sweeping K).
+        k_values: swept participation counts; defaults to ``1..N``.
+        max_rounds: round budget per measured run; defaults to the
+            scale's ``max_rounds``.
+    """
+    scale = system.scale
+    k_values = k_values or tuple(range(1, scale.n_servers + 1))
+    max_rounds = max_rounds or scale.max_rounds
+    objective = system.objective()
+
+    theory: dict[int, float | None] = {}
+    measured: dict[int, float | None] = {}
+    for k in k_values:
+        theory[k] = (
+            objective.value_integer(k, epochs)
+            if objective.is_feasible(k, epochs)
+            else None
+        )
+        run = system.prototype.run(
+            participants=k,
+            epochs=epochs,
+            n_rounds=max_rounds,
+            target_accuracy=scale.target_accuracy,
+        )
+        measured[k] = run.total_energy_j if run.reached_target else None
+
+    try:
+        star_theory = k_star(objective, epochs)
+    except ValueError:
+        star_theory = math.nan
+    feasible_measured = {k: e for k, e in measured.items() if e is not None}
+    star_measured = (
+        min(feasible_measured, key=feasible_measured.__getitem__)
+        if feasible_measured
+        else None
+    )
+    return Fig5Result(
+        epochs=epochs,
+        theory_energy=theory,
+        measured_energy=measured,
+        k_star_theory=star_theory,
+        k_star_measured=star_measured,
+        target_accuracy=scale.target_accuracy,
+    )

@@ -1,0 +1,147 @@
+"""Terminal plotting: render the paper's figures as ASCII charts.
+
+The benchmark harness prints tables; for the *curves* of Figs. 4-6 a
+picture is worth having even in a terminal.  This module renders
+multi-series line charts on a character canvas with axes, tick labels
+and a legend — no plotting dependencies, deterministic output, easy to
+assert on in tests.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+__all__ = ["Series", "line_chart"]
+
+# Glyphs assigned to successive series.
+_MARKERS = "*o+x#@%&"
+
+
+@dataclass(frozen=True)
+class Series:
+    """One named line on the chart.
+
+    Attributes:
+        label: legend entry.
+        points: ``(x, y)`` pairs; ``None`` y-values are skipped (e.g. a
+            configuration that failed to reach the target).
+    """
+
+    label: str
+    points: Sequence[tuple[float, float | None]]
+
+    def clean(self) -> list[tuple[float, float]]:
+        """The plottable points (finite x and y only)."""
+        out = []
+        for x, y in self.points:
+            if y is None:
+                continue
+            if math.isfinite(x) and math.isfinite(y):
+                out.append((float(x), float(y)))
+        return out
+
+
+def _ticks(lo: float, hi: float, count: int) -> list[float]:
+    """``count`` evenly spaced tick values covering [lo, hi]."""
+    if count < 2:
+        raise ValueError(f"need at least two ticks; got {count}")
+    if hi == lo:
+        return [lo] * count
+    step = (hi - lo) / (count - 1)
+    return [lo + i * step for i in range(count)]
+
+
+def line_chart(
+    series: Sequence[Series],
+    width: int = 60,
+    height: int = 18,
+    title: str | None = None,
+    x_label: str = "x",
+    y_label: str = "y",
+    log_x: bool = False,
+) -> str:
+    """Render series as an ASCII line chart.
+
+    Args:
+        series: the lines to draw (at least one non-empty).
+        width / height: plot-area size in characters.
+        title: optional heading.
+        x_label / y_label: axis captions.
+        log_x: plot x on a log10 scale (useful for the E sweeps, which
+            the paper spaces logarithmically).
+
+    Returns:
+        The chart as a multi-line string.
+    """
+    if width < 10 or height < 4:
+        raise ValueError(f"chart must be at least 10x4; got {width}x{height}")
+    cleaned = [(s.label, s.clean()) for s in series]
+    cleaned = [(label, pts) for label, pts in cleaned if pts]
+    if not cleaned:
+        raise ValueError("nothing to plot: every series is empty")
+
+    def tx(x: float) -> float:
+        if not log_x:
+            return x
+        if x <= 0:
+            raise ValueError(f"log_x requires positive x values; got {x}")
+        return math.log10(x)
+
+    xs = [tx(x) for _, pts in cleaned for x, _ in pts]
+    ys = [y for _, pts in cleaned for _, y in pts]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def to_col(x: float) -> int:
+        return round((tx(x) - x_lo) / (x_hi - x_lo) * (width - 1))
+
+    def to_row(y: float) -> int:
+        return (height - 1) - round((y - y_lo) / (y_hi - y_lo) * (height - 1))
+
+    for index, (label, pts) in enumerate(cleaned):
+        marker = _MARKERS[index % len(_MARKERS)]
+        pts = sorted(pts)
+        # Connect consecutive points with interpolated dots, then stamp
+        # the markers on top so data points stay visible.
+        for (x0, y0), (x1, y1) in zip(pts, pts[1:]):
+            c0, r0 = to_col(x0), to_row(y0)
+            c1, r1 = to_col(x1), to_row(y1)
+            steps = max(abs(c1 - c0), abs(r1 - r0))
+            for step in range(1, steps):
+                frac = step / steps
+                col = round(c0 + frac * (c1 - c0))
+                row = round(r0 + frac * (r1 - r0))
+                if grid[row][col] == " ":
+                    grid[row][col] = "."
+        for x, y in pts:
+            grid[to_row(y)][to_col(x)] = marker
+
+    # Compose with a y-axis gutter and an x-axis line.
+    y_ticks = {0: y_hi, height // 2: (y_lo + y_hi) / 2, height - 1: y_lo}
+    gutter = max(len(f"{v:.3g}") for v in y_ticks.values()) + 1
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    lines.append(f"{y_label}")
+    for row in range(height):
+        tick = f"{y_ticks[row]:.3g}".rjust(gutter) if row in y_ticks else " " * gutter
+        lines.append(f"{tick} |" + "".join(grid[row]))
+    lines.append(" " * gutter + " +" + "-" * width)
+    left = f"{(10 ** x_lo if log_x else x_lo):.3g}"
+    right = f"{(10 ** x_hi if log_x else x_hi):.3g}"
+    axis = left + " " * max(1, width - len(left) - len(right)) + right
+    lines.append(" " * (gutter + 2) + axis)
+    lines.append(" " * (gutter + 2) + x_label + (" [log]" if log_x else ""))
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} {label}" for i, (label, _) in enumerate(cleaned)
+    )
+    lines.append(" " * (gutter + 2) + legend)
+    return "\n".join(lines)

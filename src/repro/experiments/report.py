@@ -1,0 +1,68 @@
+"""Plain-text report rendering for the experiment harness.
+
+Every benchmark prints the rows/series the paper's tables and figures
+report, in aligned plain text, so a terminal run of the harness can be
+compared against the paper side by side without plotting.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["render_table", "render_series", "format_percent"]
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render an aligned fixed-width table.
+
+    Floats are shown with 4 significant decimals; everything else via
+    ``str``.
+    """
+    if not headers:
+        raise ValueError("headers must be non-empty")
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row {row!r} has {len(row)} cells, expected {len(headers)}"
+            )
+
+    def fmt(cell: object) -> str:
+        if isinstance(cell, bool):
+            return str(cell)
+        if isinstance(cell, float):
+            return f"{cell:.4g}"
+        return str(cell)
+
+    text_rows = [[fmt(c) for c in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in text_rows)) if text_rows else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in text_rows:
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(headers))))
+    return "\n".join(lines)
+
+
+def render_series(
+    x_label: str,
+    y_label: str,
+    points: Sequence[tuple[object, object]],
+    title: str | None = None,
+) -> str:
+    """Render an (x, y) series as a two-column table — one figure line."""
+    return render_table([x_label, y_label], [list(p) for p in points], title=title)
+
+
+def format_percent(fraction: float) -> str:
+    """``0.498 -> '49.8%'``."""
+    return f"{100.0 * fraction:.1f}%"

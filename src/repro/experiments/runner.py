@@ -1,0 +1,212 @@
+"""Command-line runner: regenerate any paper artifact with one command.
+
+Usage (also available as ``python -m repro``)::
+
+    python -m repro table1
+    python -m repro fig3
+    python -m repro fig4  --scale test
+    python -m repro fig5  --scale tiny
+    python -m repro fig6
+    python -m repro plan  --scale test      # calibrate + print the plan
+    python -m repro all   --scale tiny
+
+The ``--scale`` flag selects dataset/testbed size: ``tiny`` for smoke
+runs (seconds), ``test`` for the benchmark scale (minutes), ``paper``
+for the full 60 000-sample setup (hours on one core).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable
+
+from repro.experiments.calibrate import CalibratedSystem, calibrate_system
+from repro.experiments.config import PAPER_SCALE, TEST_SCALE, ExperimentScale
+from repro.experiments.fig3 import run_fig3
+from repro.experiments.fig4 import run_fig4
+from repro.experiments.fig5 import run_fig5
+from repro.experiments.fig6 import run_fig6
+from repro.experiments.report import render_table
+from repro.experiments.table1 import run_table1
+
+__all__ = ["main", "SCALES"]
+
+TINY_SCALE = ExperimentScale(
+    name="tiny",
+    n_train=800,
+    n_test=200,
+    n_servers=8,
+    max_rounds=80,
+    target_accuracy=0.75,
+)
+
+SCALES: dict[str, ExperimentScale] = {
+    "tiny": TINY_SCALE,
+    "test": TEST_SCALE,
+    "paper": PAPER_SCALE,
+}
+
+_CALIBRATION_CACHE: dict[str, CalibratedSystem] = {}
+
+
+def _system(scale: ExperimentScale) -> CalibratedSystem:
+    """Calibrate once per scale per process (fig4/5/6 share the system)."""
+    if scale.name not in _CALIBRATION_CACHE:
+        print(f"[calibrating at scale {scale.name!r} ...]", file=sys.stderr)
+        _CALIBRATION_CACHE[scale.name] = calibrate_system(scale)
+    return _CALIBRATION_CACHE[scale.name]
+
+
+def _run_table1(scale: ExperimentScale) -> str:
+    return run_table1().report()
+
+
+def _run_fig3(scale: ExperimentScale) -> str:
+    return run_fig3().report()
+
+
+def _run_fig4(scale: ExperimentScale) -> str:
+    system = _system(scale)
+    result = run_fig4(
+        system.prototype,
+        max_rounds=min(scale.max_rounds * 2, 300),
+        loose_target=scale.target_accuracy - 0.05,
+        strict_target=scale.target_accuracy,
+    )
+    return result.report()
+
+
+def _run_fig5(scale: ExperimentScale) -> str:
+    return run_fig5(_system(scale), epochs=20).report()
+
+
+def _run_fig6(scale: ExperimentScale) -> str:
+    return run_fig6(_system(scale), participants=1).report()
+
+
+def _run_sensitivity(scale: ExperimentScale) -> str:
+    from repro.core.sensitivity import analyze_sensitivity
+
+    system = _system(scale)
+    report = analyze_sensitivity(system.objective())
+    rows = [
+        [
+            r.constant,
+            f"{r.factor:g}x",
+            f"({r.participants},{r.epochs})",
+            f"{100 * r.regret:.2f}%" if r.regret is not None else "inf",
+        ]
+        for r in report.results
+    ]
+    table = render_table(
+        ["constant", "perturbation", "plan (K,E)", "regret"],
+        rows,
+        title=(
+            "Plan regret under mis-calibration "
+            f"(optimum {report.optimal_energy:.3f} J)"
+        ),
+    )
+    return f"{table}\nworst regret: {100 * report.worst_regret():.2f}%"
+
+
+def _run_frontier(scale: ExperimentScale) -> str:
+    from repro.core.deadline import solve_with_deadline
+
+    system = _system(scale)
+    objective = system.objective()
+    rows = []
+    for deadline in (1, 2, 3, 5, 10, 25, 100, 1000):
+        try:
+            plan = solve_with_deadline(objective, deadline)
+        except ValueError:
+            rows.append([deadline, "-", "-", "-", "-", "infeasible"])
+            continue
+        rows.append(
+            [
+                deadline,
+                plan.participants,
+                plan.epochs,
+                plan.rounds,
+                f"{plan.energy:.3f}",
+                "binding" if plan.binding else "slack",
+            ]
+        )
+    return render_table(
+        ["deadline T_max", "K", "E", "T", "energy (J)", "constraint"],
+        rows,
+        title="Energy-latency Pareto frontier",
+    )
+
+
+def _run_plan(scale: ExperimentScale) -> str:
+    system = _system(scale)
+    plan = system.planner().plan(system.epsilon)
+    constants = render_table(
+        ["constant", "value"],
+        [
+            ["A0", f"{system.bound.a0:.4f}"],
+            ["A1", f"{system.bound.a1:.6f}"],
+            ["A2", f"{system.bound.a2:.3e}"],
+            ["c0 (J/sample-epoch)", f"{system.energy_params.c0:.3e}"],
+            ["c1 (J/epoch)", f"{system.energy_params.c1:.3e}"],
+            ["e_upload (J)", f"{system.energy_params.e_upload:.4f}"],
+            ["epsilon (loss gap)", f"{system.epsilon:.4f}"],
+            ["F(w*)", f"{system.f_star:.4f}"],
+        ],
+        title=f"Calibrated constants at scale {scale.name!r}",
+    )
+    return constants + "\n\n" + plan.describe()
+
+
+EXPERIMENTS: dict[str, Callable[[ExperimentScale], str]] = {
+    "table1": _run_table1,
+    "fig3": _run_fig3,
+    "fig4": _run_fig4,
+    "fig5": _run_fig5,
+    "fig6": _run_fig6,
+    "plan": _run_plan,
+    "sensitivity": _run_sensitivity,
+    "frontier": _run_frontier,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate the EE-FEI paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["all"],
+        help="which artifact to regenerate ('all' runs every one)",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=sorted(SCALES),
+        default="tiny",
+        help="dataset/testbed size (default: tiny)",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    scale = SCALES[args.scale]
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        started = time.perf_counter()
+        report = EXPERIMENTS[name](scale)
+        elapsed = time.perf_counter() - started
+        print("=" * 64)
+        print(f"{name} (scale {scale.name!r}, {elapsed:.1f}s)")
+        print("=" * 64)
+        print(report)
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

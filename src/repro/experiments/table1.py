@@ -1,0 +1,81 @@
+"""Table I reproduction: local-training duration vs ``(E, n_k)``.
+
+The paper measures the duration of the local-training step on a
+Raspberry Pi for E in {10, 20, 40} and n_k in {100, 500, 1000, 2000},
+observes linear scaling in both, and least-squares fits eq. (5) to
+obtain ``c0 = 7.79e-5`` and ``c1 = 3.34e-3``.
+
+This module regenerates the grid on the simulated device, reruns the
+fit, and reports both side by side with the paper's numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core import constants
+from repro.core.calibration import EnergyFit, fit_training_energy
+from repro.experiments.report import render_table
+from repro.hardware.raspberry_pi import RaspberryPiEdgeServer
+
+__all__ = ["Table1Result", "run_table1"]
+
+_E_VALUES = (10, 20, 40)
+_N_VALUES = (100, 500, 1000, 2000)
+
+
+@dataclass(frozen=True)
+class Table1Result:
+    """The regenerated Table I grid and the (c0, c1) fit.
+
+    Attributes:
+        durations: mapping ``(E, n_k) -> seconds`` from the simulated
+            device.
+        paper_durations: the paper's measured values for the same grid.
+        fit: least-squares ``(c0, c1)`` over the regenerated grid.
+    """
+
+    durations: dict[tuple[int, int], float]
+    paper_durations: dict[tuple[int, int], float]
+    fit: EnergyFit
+
+    def rows(self) -> list[tuple[int, int, float, float]]:
+        """``(E, n_k, simulated_s, paper_s)`` rows in the paper's order."""
+        return [
+            (e, n, self.durations[(e, n)], self.paper_durations[(e, n)])
+            for e in _E_VALUES
+            for n in _N_VALUES
+        ]
+
+    def max_relative_error(self) -> float:
+        """Largest |simulated - paper| / paper over the grid."""
+        return max(
+            abs(sim - paper) / paper for _, _, sim, paper in self.rows()
+        )
+
+    def report(self) -> str:
+        """Aligned text report comparing simulated and paper durations."""
+        table = render_table(
+            ["E", "n_k", "time step(3) sim (s)", "time step(3) paper (s)"],
+            [list(r) for r in self.rows()],
+            title="Table I — duration of local training step",
+        )
+        fit_line = (
+            f"fit: c0 = {self.fit.c0:.3e} J/sample-epoch "
+            f"(paper {constants.C0_JOULES_PER_SAMPLE_EPOCH:.3e}), "
+            f"c1 = {self.fit.c1:.3e} J/epoch "
+            f"(paper {constants.C1_JOULES_PER_EPOCH:.3e})"
+        )
+        return f"{table}\n{fit_line}"
+
+
+def run_table1(device: RaspberryPiEdgeServer | None = None) -> Table1Result:
+    """Regenerate Table I on ``device`` (a default Pi when omitted)."""
+    device = device or RaspberryPiEdgeServer(server_id=0)
+    durations = device.duration_table(list(_E_VALUES), list(_N_VALUES))
+    fit = fit_training_energy(durations, device.powers.training_w)
+    return Table1Result(
+        durations=durations,
+        paper_durations=dict(constants.TABLE_I_DURATIONS),
+        fit=fit,
+    )

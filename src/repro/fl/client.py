@@ -1,0 +1,156 @@
+"""Edge-server client: local model training (step (2) of the FEI loop).
+
+Each edge server holds a local dataset uploaded by its IoT devices,
+receives the global model from the coordinator, performs ``E`` epochs of
+local SGD (full-batch by default, as in the paper), and returns the
+updated parameter vector for uploading.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.fl.model import LogisticRegressionConfig, LogisticRegressionModel
+from repro.fl.sgd import SGDConfig
+
+__all__ = ["LocalUpdate", "EdgeServerClient"]
+
+
+@dataclass(frozen=True)
+class LocalUpdate:
+    """Result of one local-training invocation at an edge server.
+
+    Attributes:
+        client_id: identifier of the edge server that produced the update.
+        parameters: flat updated model parameter vector (what gets
+            uploaded to the coordinator, step (3) of the FEI loop).
+        n_samples: size of the local dataset used (``n_k``), needed for
+            sample-weighted aggregation variants.
+        epochs: number of local epochs ``E`` that were run.
+        gradient_steps: total number of SGD steps taken (``E`` times the
+            number of mini-batches per epoch).
+        final_local_loss: local loss after training, for diagnostics.
+    """
+
+    client_id: int
+    parameters: np.ndarray
+    n_samples: int
+    epochs: int
+    gradient_steps: int
+    final_local_loss: float
+
+
+class EdgeServerClient:
+    """One edge server participating in federated training.
+
+    The client is stateless between rounds apart from its dataset: at
+    every round it re-initialises its model from the received global
+    parameters, exactly as FedAvg prescribes.
+    """
+
+    def __init__(
+        self,
+        client_id: int,
+        dataset: Dataset,
+        model_config: LogisticRegressionConfig,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if len(dataset) == 0:
+            raise ValueError(f"client {client_id} received an empty dataset")
+        if dataset.n_features != model_config.n_features:
+            raise ValueError(
+                f"dataset has {dataset.n_features} features but the model "
+                f"expects {model_config.n_features}"
+            )
+        self.client_id = client_id
+        self.dataset = dataset
+        self.model_config = model_config
+        self._rng = rng or np.random.default_rng(client_id)
+        # Any config exposing the model-factory protocol works here —
+        # LogisticRegressionConfig (the paper's model) or MLPConfig (the
+        # non-convex extension).
+        self._model = model_config.build()
+
+    @property
+    def n_samples(self) -> int:
+        """Local dataset size ``n_k``."""
+        return len(self.dataset)
+
+    def local_loss(self, parameters: np.ndarray) -> float:
+        """Evaluate the local loss function ``F_k`` (eq. (1)) at ``parameters``."""
+        self._model.set_parameters(parameters)
+        return self._model.loss(self.dataset.features, self.dataset.labels)
+
+    def local_gradient(self, parameters: np.ndarray) -> np.ndarray:
+        """Full-batch gradient of ``F_k`` at ``parameters`` (flat vector)."""
+        self._model.set_parameters(parameters)
+        return self._model.gradient_flat(self.dataset.features, self.dataset.labels)
+
+    def train(
+        self,
+        global_parameters: np.ndarray,
+        epochs: int,
+        learning_rate: float,
+        sgd: SGDConfig | None = None,
+        proximal_mu: float = 0.0,
+    ) -> LocalUpdate:
+        """Run ``epochs`` rounds of local SGD starting from the global model.
+
+        Args:
+            global_parameters: flat parameter vector received from the
+                coordinator (step "Model Downloading").
+            epochs: the paper's ``E`` — local epochs to run.
+            learning_rate: rate for this global round (already decayed by
+                the coordinator's schedule).
+            sgd: optional optimizer config; only ``batch_size`` is read
+                here (``None`` = full batch, the paper's setting).
+            proximal_mu: FedProx proximal strength.  When positive, each
+                step also descends ``mu/2 ||w - w_global||^2``, anchoring
+                local training to the global model — the standard
+                client-drift mitigation for non-iid data (extension; the
+                paper uses plain FedAvg, ``mu = 0``).
+
+        Returns:
+            The :class:`LocalUpdate` to be uploaded.
+        """
+        if epochs < 1:
+            raise ValueError(f"epochs must be >= 1; got {epochs}")
+        if learning_rate <= 0:
+            raise ValueError(f"learning_rate must be positive; got {learning_rate}")
+        if proximal_mu < 0:
+            raise ValueError(f"proximal_mu must be non-negative; got {proximal_mu}")
+        batch_size = sgd.batch_size if sgd is not None else None
+        global_parameters = np.asarray(global_parameters, dtype=float)
+        self._model.set_parameters(global_parameters)
+        steps = 0
+
+        def step(features: np.ndarray, labels: np.ndarray) -> None:
+            if proximal_mu == 0.0:
+                self._model.sgd_step(features, labels, learning_rate)
+                return
+            params = self._model.get_parameters()
+            gradient = self._model.gradient_flat(features, labels)
+            gradient = gradient + proximal_mu * (params - global_parameters)
+            self._model.set_parameters(params - learning_rate * gradient)
+
+        for _ in range(epochs):
+            if batch_size is None:
+                step(self.dataset.features, self.dataset.labels)
+                steps += 1
+            else:
+                for feats, labels in self.dataset.batches(batch_size, self._rng):
+                    step(feats, labels)
+                    steps += 1
+        return LocalUpdate(
+            client_id=self.client_id,
+            parameters=self._model.get_parameters(),
+            n_samples=self.n_samples,
+            epochs=epochs,
+            gradient_steps=steps,
+            final_local_loss=self._model.loss(
+                self.dataset.features, self.dataset.labels
+            ),
+        )

@@ -1,0 +1,180 @@
+"""Update compression: shrinking the model-upload energy ``e_k^U``.
+
+The paper treats the per-upload energy as a constant tied to the model
+size.  Compressing the *update* (the difference between the locally
+trained and the global parameters) shrinks the upload, directly scaling
+``e_k^U`` and therefore the ``B1`` term of the energy objective — an
+extension the paper's framework prices naturally.
+
+Implemented schemes:
+
+* :class:`NoCompression` — identity (the paper's setting).
+* :class:`TopKCompressor` — keep the ``k`` largest-magnitude entries
+  (sparsification); payload is ``k`` (index, value) pairs.
+* :class:`UniformQuantizer` — linear quantisation to ``bits`` bits per
+  entry with a per-update scale.
+* :class:`ErrorFeedback` — a stateful wrapper accumulating the residual
+  each round and adding it back before the next compression; the
+  standard fix that keeps biased compressors (like top-k) convergent.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "CompressedUpdate",
+    "Compressor",
+    "NoCompression",
+    "TopKCompressor",
+    "UniformQuantizer",
+    "ErrorFeedback",
+]
+
+# Bytes per float32 / int32 on the wire.
+_VALUE_BYTES = 4
+_INDEX_BYTES = 4
+_HEADER_BYTES = 16  # scheme id, element count, scale, checksum
+
+
+@dataclass(frozen=True)
+class CompressedUpdate:
+    """A compressed update plus its wire size.
+
+    Attributes:
+        dense: the *reconstructed* dense vector (what the server uses).
+        payload_bytes: serialised size of the compressed representation.
+    """
+
+    dense: np.ndarray
+    payload_bytes: int
+
+
+class Compressor(ABC):
+    """Strategy interface for update compression."""
+
+    @abstractmethod
+    def compress(self, update: np.ndarray) -> CompressedUpdate:
+        """Compress ``update`` and return its reconstruction + wire size."""
+
+    @abstractmethod
+    def compressed_bytes(self, n_parameters: int) -> int:
+        """Wire size for an update of ``n_parameters`` entries."""
+
+    def compression_ratio(self, n_parameters: int) -> float:
+        """Uncompressed bytes / compressed bytes (>= 1 is a win)."""
+        dense_bytes = n_parameters * _VALUE_BYTES
+        return dense_bytes / self.compressed_bytes(n_parameters)
+
+
+class NoCompression(Compressor):
+    """Identity compressor: full-precision dense upload."""
+
+    def compress(self, update: np.ndarray) -> CompressedUpdate:
+        update = np.asarray(update, dtype=float)
+        return CompressedUpdate(
+            dense=update.copy(),
+            payload_bytes=self.compressed_bytes(update.size),
+        )
+
+    def compressed_bytes(self, n_parameters: int) -> int:
+        return n_parameters * _VALUE_BYTES + _HEADER_BYTES
+
+
+class TopKCompressor(Compressor):
+    """Keep the ``fraction`` largest-magnitude coordinates.
+
+    Biased (drops mass every round); wrap in :class:`ErrorFeedback` for
+    convergence at aggressive sparsity.
+    """
+
+    def __init__(self, fraction: float) -> None:
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError(f"fraction must be in (0, 1]; got {fraction}")
+        self.fraction = fraction
+
+    def _k(self, n_parameters: int) -> int:
+        return max(1, int(round(self.fraction * n_parameters)))
+
+    def compress(self, update: np.ndarray) -> CompressedUpdate:
+        update = np.asarray(update, dtype=float)
+        k = self._k(update.size)
+        if k >= update.size:
+            dense = update.copy()
+        else:
+            keep = np.argpartition(np.abs(update), -k)[-k:]
+            dense = np.zeros_like(update)
+            dense[keep] = update[keep]
+        return CompressedUpdate(
+            dense=dense, payload_bytes=self.compressed_bytes(update.size)
+        )
+
+    def compressed_bytes(self, n_parameters: int) -> int:
+        k = self._k(n_parameters)
+        return k * (_VALUE_BYTES + _INDEX_BYTES) + _HEADER_BYTES
+
+
+class UniformQuantizer(Compressor):
+    """Linear quantisation to ``bits`` bits per coordinate.
+
+    Symmetric around zero with a per-update scale; unbiased up to
+    rounding, so it usually works without error feedback.
+    """
+
+    def __init__(self, bits: int) -> None:
+        if not 1 <= bits <= 16:
+            raise ValueError(f"bits must be in [1, 16]; got {bits}")
+        self.bits = bits
+
+    def compress(self, update: np.ndarray) -> CompressedUpdate:
+        update = np.asarray(update, dtype=float)
+        magnitude = float(np.abs(update).max())
+        if magnitude == 0.0:
+            dense = np.zeros_like(update)
+        else:
+            levels = 2 ** (self.bits - 1) - 1 or 1
+            quantised = np.round(update / magnitude * levels)
+            dense = quantised / levels * magnitude
+        return CompressedUpdate(
+            dense=dense, payload_bytes=self.compressed_bytes(update.size)
+        )
+
+    def compressed_bytes(self, n_parameters: int) -> int:
+        payload = (n_parameters * self.bits + 7) // 8
+        return payload + _HEADER_BYTES
+
+
+class ErrorFeedback:
+    """Stateful per-client error-feedback wrapper.
+
+    Maintains one residual vector per client: the part of the update the
+    compressor dropped is carried into the next round, so no gradient
+    mass is permanently lost.
+    """
+
+    def __init__(self, compressor: Compressor) -> None:
+        if isinstance(compressor, ErrorFeedback):
+            raise ValueError("cannot nest ErrorFeedback wrappers")
+        self.compressor = compressor
+        self._residuals: dict[int, np.ndarray] = {}
+
+    def compress(self, client_id: int, update: np.ndarray) -> CompressedUpdate:
+        """Compress ``update`` with this client's accumulated residual."""
+        update = np.asarray(update, dtype=float)
+        residual = self._residuals.get(client_id)
+        corrected = update if residual is None else update + residual
+        compressed = self.compressor.compress(corrected)
+        self._residuals[client_id] = corrected - compressed.dense
+        return compressed
+
+    def residual_norm(self, client_id: int) -> float:
+        """L2 norm of a client's pending residual (0 if never seen)."""
+        residual = self._residuals.get(client_id)
+        return 0.0 if residual is None else float(np.linalg.norm(residual))
+
+    def reset(self) -> None:
+        """Drop all residual state (e.g. between independent runs)."""
+        self._residuals.clear()

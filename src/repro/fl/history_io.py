@@ -1,0 +1,82 @@
+"""Persistence for training histories (JSON).
+
+Energy sweeps at paper scale take hours; persisting each run's history
+lets the analysis (rounds-to-accuracy, E*T totals, Fig. 4 curves) be
+re-done without re-training.  The format is a self-describing JSON
+document with a schema version.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.fl.metrics import RoundRecord, TrainingHistory
+
+__all__ = [
+    "history_to_json",
+    "history_from_json",
+    "save_history_json",
+    "load_history_json",
+]
+
+_SCHEMA = "repro.training-history/1"
+
+
+def history_to_json(history: TrainingHistory, indent: int | None = None) -> str:
+    """Serialise a history to a JSON string."""
+    document = {
+        "schema": _SCHEMA,
+        "records": [
+            {
+                "round_index": record.round_index,
+                "train_loss": record.train_loss,
+                "test_accuracy": record.test_accuracy,
+                "participants": list(record.participants),
+                "local_epochs": record.local_epochs,
+                "learning_rate": record.learning_rate,
+                "aggregated": list(record.aggregated),
+            }
+            for record in history.records
+        ],
+    }
+    return json.dumps(document, indent=indent)
+
+
+def history_from_json(text: str) -> TrainingHistory:
+    """Parse a history from JSON produced by :func:`history_to_json`."""
+    try:
+        document = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise ValueError(f"invalid JSON: {error}") from None
+    if not isinstance(document, dict) or document.get("schema") != _SCHEMA:
+        raise ValueError(
+            f"unexpected document schema {document.get('schema')!r}; "
+            f"expected {_SCHEMA!r}"
+        )
+    history = TrainingHistory()
+    for entry in document.get("records", []):
+        try:
+            record = RoundRecord(
+                round_index=int(entry["round_index"]),
+                train_loss=float(entry["train_loss"]),
+                test_accuracy=float(entry["test_accuracy"]),
+                participants=tuple(int(p) for p in entry["participants"]),
+                local_epochs=int(entry["local_epochs"]),
+                learning_rate=float(entry["learning_rate"]),
+                aggregated=tuple(int(p) for p in entry.get("aggregated", [])),
+            )
+        except (KeyError, TypeError) as error:
+            raise ValueError(f"malformed record {entry!r}: {error}") from None
+        history.append(record)
+    return history
+
+
+def save_history_json(history: TrainingHistory, path: str | Path) -> None:
+    """Write a history to a JSON file."""
+    Path(path).write_text(history_to_json(history, indent=2))
+
+
+def load_history_json(path: str | Path) -> TrainingHistory:
+    """Read a history from a JSON file."""
+    return history_from_json(Path(path).read_text())

@@ -1,0 +1,133 @@
+"""Training history: the measurements behind Fig. 4 of the paper.
+
+The history records, per global round, the global training loss, the
+test accuracy, and the cumulative number of local gradient epochs
+(``E x t``).  Fig. 4's analysis queries it for "rounds needed to reach a
+target accuracy" and "total local gradients computed at that point",
+which is how the paper demonstrates the interior-optimal ``E``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["RoundRecord", "TrainingHistory"]
+
+
+@dataclass(frozen=True)
+class RoundRecord:
+    """Snapshot of the global model after one coordination round.
+
+    Attributes:
+        round_index: 0-based index ``t`` of the completed round.
+        train_loss: global loss ``F(omega_{t+1})`` on the full training set.
+        test_accuracy: accuracy of the global model on the held-out test set.
+        participants: ids of the edge servers selected this round (they
+            all performed local training and consumed energy).
+        local_epochs: ``E`` used this round.
+        learning_rate: rate the participants used this round.
+        aggregated: ids whose updates entered the aggregation.  Equals
+            ``participants`` in plain FedAvg; a strict subset under
+            over-selection (stragglers trained but were not waited for)
+            or dropout (their upload was lost).
+    """
+
+    round_index: int
+    train_loss: float
+    test_accuracy: float
+    participants: tuple[int, ...]
+    local_epochs: int
+    learning_rate: float
+    aggregated: tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.aggregated:
+            object.__setattr__(self, "aggregated", self.participants)
+        if not set(self.aggregated) <= set(self.participants):
+            raise ValueError("aggregated ids must be a subset of participants")
+
+
+class TrainingHistory:
+    """Accumulates :class:`RoundRecord` objects and answers Fig.-4 queries."""
+
+    def __init__(self) -> None:
+        self._records: list[RoundRecord] = []
+
+    def append(self, record: RoundRecord) -> None:
+        """Record the outcome of one global round (must arrive in order)."""
+        if self._records and record.round_index != self._records[-1].round_index + 1:
+            raise ValueError(
+                f"round {record.round_index} arrived after "
+                f"round {self._records[-1].round_index}"
+            )
+        if not self._records and record.round_index != 0:
+            raise ValueError(
+                f"first record must have round_index 0; got {record.round_index}"
+            )
+        self._records.append(record)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __getitem__(self, index: int) -> RoundRecord:
+        return self._records[index]
+
+    @property
+    def records(self) -> tuple[RoundRecord, ...]:
+        return tuple(self._records)
+
+    @property
+    def losses(self) -> np.ndarray:
+        """Per-round global training losses (Fig. 4(a)/(c) y-axis)."""
+        return np.array([r.train_loss for r in self._records])
+
+    @property
+    def accuracies(self) -> np.ndarray:
+        """Per-round test accuracies (Fig. 4(b)/(d) y-axis)."""
+        return np.array([r.test_accuracy for r in self._records])
+
+    def final_loss(self) -> float:
+        """Loss after the last completed round."""
+        if not self._records:
+            raise ValueError("history is empty")
+        return self._records[-1].train_loss
+
+    def final_accuracy(self) -> float:
+        """Accuracy after the last completed round."""
+        if not self._records:
+            raise ValueError("history is empty")
+        return self._records[-1].test_accuracy
+
+    def best_accuracy(self) -> float:
+        """Highest accuracy observed over all rounds."""
+        if not self._records:
+            raise ValueError("history is empty")
+        return float(self.accuracies.max())
+
+    def rounds_to_accuracy(self, target: float) -> int | None:
+        """Smallest ``T`` such that test accuracy first reaches ``target``.
+
+        Returns the 1-based round count (the paper's ``T``), or ``None``
+        if the target was never reached.
+        """
+        hits = np.flatnonzero(self.accuracies >= target)
+        return int(hits[0]) + 1 if hits.size else None
+
+    def rounds_to_loss(self, target: float) -> int | None:
+        """Smallest ``T`` such that train loss first drops to ``target``."""
+        hits = np.flatnonzero(self.losses <= target)
+        return int(hits[0]) + 1 if hits.size else None
+
+    def local_gradient_rounds_to_accuracy(self, target: float) -> int | None:
+        """Total local gradient epochs (``sum of E over rounds``) at target.
+
+        This is the quantity the paper calls "rounds of local gradients"
+        in the Fixed-K analysis of Fig. 4: for E = 20 it reports T = 280
+        giving 5 600, for E = 40 it reports T = 90 giving 3 600, etc.
+        """
+        rounds = self.rounds_to_accuracy(target)
+        if rounds is None:
+            return None
+        return int(sum(r.local_epochs for r in self._records[:rounds]))

@@ -1,0 +1,216 @@
+"""Multinomial logistic regression implemented on numpy.
+
+This is the model trained by the paper's prototype (Table II: input
+784x1, output 10x1, SGD with learning rate 0.01 and decay 0.99).  The
+paper lists "Sigmoid" as the activation; multinomial logistic regression
+is conventionally trained with a softmax + cross-entropy head, so softmax
+is the default here and an element-wise sigmoid head (with the same
+cross-entropy-style loss) is available for strict fidelity.
+
+The model exposes a *flat parameter vector* interface because FedAvg
+aggregates models by averaging their parameter vectors (eq. (2) of the
+paper), and the communication substrate needs the byte size of one model
+update.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["LogisticRegressionConfig", "LogisticRegressionModel", "softmax"]
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    """Numerically stable softmax over the last axis."""
+    shifted = logits - logits.max(axis=-1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=-1, keepdims=True)
+
+
+def _sigmoid(logits: np.ndarray) -> np.ndarray:
+    """Numerically stable element-wise sigmoid."""
+    out = np.empty_like(logits)
+    pos = logits >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-logits[pos]))
+    exp_l = np.exp(logits[~pos])
+    out[~pos] = exp_l / (1.0 + exp_l)
+    return out
+
+
+@dataclass(frozen=True)
+class LogisticRegressionConfig:
+    """Configuration of the classification head.
+
+    Attributes:
+        n_features: input dimensionality (784 for 28x28 images).
+        n_classes: output dimensionality (10 digits).
+        activation: ``"softmax"`` (standard multinomial logistic
+            regression) or ``"sigmoid"`` (one-vs-all head, as printed in
+            the paper's Table II).
+        l2: optional L2 regularisation strength.  With ``l2 > 0`` the loss
+            is strongly convex, matching the mu-convexity assumption of
+            Proposition 1.
+    """
+
+    n_features: int = 784
+    n_classes: int = 10
+    activation: str = "softmax"
+    l2: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.n_features < 1:
+            raise ValueError(f"n_features must be positive; got {self.n_features}")
+        if self.n_classes < 2:
+            raise ValueError(f"n_classes must be >= 2; got {self.n_classes}")
+        if self.activation not in ("softmax", "sigmoid"):
+            raise ValueError(
+                f"activation must be 'softmax' or 'sigmoid'; got {self.activation!r}"
+            )
+        if self.l2 < 0:
+            raise ValueError(f"l2 must be non-negative; got {self.l2}")
+
+    @property
+    def n_parameters(self) -> int:
+        """Total number of scalar parameters (weights + biases)."""
+        return self.n_features * self.n_classes + self.n_classes
+
+    def parameter_bytes(self, dtype_bytes: int = 4) -> int:
+        """Size of one serialised model update in bytes.
+
+        Used by the communication substrate to derive the model
+        upload/download energy ``e_k^U``.
+        """
+        return self.n_parameters * dtype_bytes
+
+    def build(self) -> "LogisticRegressionModel":
+        """Construct a model with this architecture.
+
+        The canonical factory used by clients and the coordinator; every
+        call returns the same (zero) initialisation, so all parties agree
+        on ``omega_0``.
+        """
+        return LogisticRegressionModel(self)
+
+
+class LogisticRegressionModel:
+    """A linear classifier with gradient, loss, and flat-vector access.
+
+    Parameters are stored as a weight matrix ``W`` of shape
+    ``(n_features, n_classes)`` and a bias vector ``b`` of shape
+    ``(n_classes,)``.
+    """
+
+    def __init__(
+        self,
+        config: LogisticRegressionConfig | None = None,
+        rng: np.random.Generator | None = None,
+        init_scale: float = 0.0,
+    ) -> None:
+        self.config = config or LogisticRegressionConfig()
+        if init_scale and rng is None:
+            raise ValueError("init_scale > 0 requires an rng")
+        if init_scale and rng is not None:
+            self.weights = rng.normal(
+                0.0, init_scale, size=(self.config.n_features, self.config.n_classes)
+            )
+            self.bias = rng.normal(0.0, init_scale, size=self.config.n_classes)
+        else:
+            self.weights = np.zeros((self.config.n_features, self.config.n_classes))
+            self.bias = np.zeros(self.config.n_classes)
+
+    # ------------------------------------------------------------------
+    # Flat parameter-vector interface (what FedAvg averages and uploads).
+    # ------------------------------------------------------------------
+    def get_parameters(self) -> np.ndarray:
+        """Return a flat copy of all parameters (weights then biases)."""
+        return np.concatenate([self.weights.ravel(), self.bias])
+
+    def set_parameters(self, flat: np.ndarray) -> None:
+        """Load parameters from a flat vector produced by :meth:`get_parameters`."""
+        flat = np.asarray(flat, dtype=float)
+        if flat.shape != (self.config.n_parameters,):
+            raise ValueError(
+                f"expected a flat vector of length {self.config.n_parameters}; "
+                f"got shape {flat.shape}"
+            )
+        n_w = self.config.n_features * self.config.n_classes
+        self.weights = flat[:n_w].reshape(self.config.n_features, self.config.n_classes).copy()
+        self.bias = flat[n_w:].copy()
+
+    def clone(self) -> "LogisticRegressionModel":
+        """Return a deep copy of this model."""
+        other = LogisticRegressionModel(self.config)
+        other.weights = self.weights.copy()
+        other.bias = self.bias.copy()
+        return other
+
+    # ------------------------------------------------------------------
+    # Forward / loss / gradient.
+    # ------------------------------------------------------------------
+    def logits(self, features: np.ndarray) -> np.ndarray:
+        """Compute the pre-activation scores for a batch of samples."""
+        return features @ self.weights + self.bias
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        """Per-class probabilities (rows sum to 1 under softmax)."""
+        scores = self.logits(features)
+        if self.config.activation == "softmax":
+            return softmax(scores)
+        probs = _sigmoid(scores)
+        total = probs.sum(axis=-1, keepdims=True)
+        return probs / np.maximum(total, 1e-12)
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """Hard class predictions (argmax of the logits)."""
+        return np.argmax(self.logits(features), axis=-1)
+
+    def loss(self, features: np.ndarray, labels: np.ndarray) -> float:
+        """Mean cross-entropy loss over the batch, eq. (1) of the paper."""
+        probs = self.predict_proba(features)
+        n = features.shape[0]
+        picked = probs[np.arange(n), labels]
+        data_loss = float(-np.mean(np.log(np.maximum(picked, 1e-12))))
+        if self.config.l2:
+            data_loss += 0.5 * self.config.l2 * float(np.sum(self.weights**2))
+        return data_loss
+
+    def gradient(
+        self, features: np.ndarray, labels: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Gradient of :meth:`loss` with respect to ``(weights, bias)``.
+
+        For the softmax head this is the exact cross-entropy gradient
+        ``X^T (p - y) / n``; for the sigmoid head we use the same
+        expression, which corresponds to a one-vs-all logistic loss and
+        keeps training stable.
+        """
+        n = features.shape[0]
+        if self.config.activation == "softmax":
+            probs = softmax(self.logits(features))
+        else:
+            probs = _sigmoid(self.logits(features))
+        probs[np.arange(n), labels] -= 1.0
+        grad_w = features.T @ probs / n
+        grad_b = probs.sum(axis=0) / n
+        if self.config.l2:
+            grad_w = grad_w + self.config.l2 * self.weights
+        return grad_w, grad_b
+
+    def gradient_flat(self, features: np.ndarray, labels: np.ndarray) -> np.ndarray:
+        """Gradient as a flat vector aligned with :meth:`get_parameters`."""
+        grad_w, grad_b = self.gradient(features, labels)
+        return np.concatenate([grad_w.ravel(), grad_b])
+
+    def accuracy(self, features: np.ndarray, labels: np.ndarray) -> float:
+        """Fraction of correctly classified samples."""
+        return float(np.mean(self.predict(features) == labels))
+
+    def sgd_step(
+        self, features: np.ndarray, labels: np.ndarray, learning_rate: float
+    ) -> None:
+        """Apply one gradient-descent step in place."""
+        grad_w, grad_b = self.gradient(features, labels)
+        self.weights -= learning_rate * grad_w
+        self.bias -= learning_rate * grad_b

@@ -1,0 +1,86 @@
+"""Client-sampling strategies for the coordinator.
+
+The paper selects a uniformly random subset ``K_t`` of ``K`` edge servers
+in each global round (step (2) of §III-A).  Alternatives are provided for
+the scheduling ablations: round-robin (deterministic fair rotation) and a
+fixed subset (always the same servers, the degenerate policy the random
+sampler is compared against).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "ClientSampler",
+    "UniformSampler",
+    "RoundRobinSampler",
+    "FixedSampler",
+]
+
+
+class ClientSampler(ABC):
+    """Strategy interface: choose which edge servers join round ``t``."""
+
+    def __init__(self, n_clients: int, k: int) -> None:
+        if n_clients < 1:
+            raise ValueError(f"n_clients must be positive; got {n_clients}")
+        if not 1 <= k <= n_clients:
+            raise ValueError(f"k must be in [1, {n_clients}]; got {k}")
+        self.n_clients = n_clients
+        self.k = k
+
+    @abstractmethod
+    def select(self, round_index: int) -> np.ndarray:
+        """Return the sorted ids of the ``k`` clients for ``round_index``."""
+
+
+class UniformSampler(ClientSampler):
+    """Sample ``k`` distinct clients uniformly at random each round."""
+
+    def __init__(self, n_clients: int, k: int, rng: np.random.Generator) -> None:
+        super().__init__(n_clients, k)
+        self._rng = rng
+
+    def select(self, round_index: int) -> np.ndarray:
+        chosen = self._rng.choice(self.n_clients, size=self.k, replace=False)
+        return np.sort(chosen)
+
+
+class RoundRobinSampler(ClientSampler):
+    """Rotate deterministically through clients, ``k`` at a time.
+
+    Guarantees every client participates once every
+    ``ceil(n_clients / k)`` rounds — the fairest schedule, useful as a
+    variance-free baseline in convergence studies.
+    """
+
+    def select(self, round_index: int) -> np.ndarray:
+        if round_index < 0:
+            raise ValueError(f"round_index must be non-negative; got {round_index}")
+        start = (round_index * self.k) % self.n_clients
+        ids = (start + np.arange(self.k)) % self.n_clients
+        return np.sort(ids)
+
+
+class FixedSampler(ClientSampler):
+    """Always select the same subset of clients."""
+
+    def __init__(self, n_clients: int, client_ids: Sequence[int]) -> None:
+        ids = np.unique(np.asarray(client_ids, dtype=np.int64))
+        if ids.size != len(client_ids):
+            raise ValueError("client_ids contains duplicates")
+        if ids.size == 0:
+            raise ValueError("client_ids must be non-empty")
+        if ids.min() < 0 or ids.max() >= n_clients:
+            raise ValueError(
+                f"client_ids must lie in [0, {n_clients}); got {list(client_ids)}"
+            )
+        super().__init__(n_clients, ids.size)
+        self._ids = ids
+
+    def select(self, round_index: int) -> np.ndarray:
+        return self._ids.copy()

@@ -1,0 +1,101 @@
+"""Coordinator: model aggregation and global state (steps (2) and (4)).
+
+The coordinator dispatches the global model to the selected edge servers
+at the beginning of each round and aggregates the returned local models.
+The paper's aggregation rule (eq. (2)) is the unweighted mean over the
+``K`` participating servers — valid because the prototype allocates equal
+dataset sizes.  A sample-weighted variant (classic FedAvg) is provided
+for the heterogeneous-size extension.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fl.client import LocalUpdate
+from repro.fl.model import LogisticRegressionConfig, LogisticRegressionModel
+
+__all__ = ["Coordinator", "aggregate_mean", "aggregate_weighted"]
+
+
+def aggregate_mean(updates: list[LocalUpdate]) -> np.ndarray:
+    """Unweighted average of local parameter vectors — eq. (2) of the paper."""
+    if not updates:
+        raise ValueError("cannot aggregate an empty list of updates")
+    stacked = np.stack([u.parameters for u in updates])
+    return stacked.mean(axis=0)
+
+
+def aggregate_weighted(updates: list[LocalUpdate]) -> np.ndarray:
+    """Sample-count-weighted average (classic FedAvg aggregation)."""
+    if not updates:
+        raise ValueError("cannot aggregate an empty list of updates")
+    weights = np.array([u.n_samples for u in updates], dtype=float)
+    total = weights.sum()
+    if total <= 0:
+        raise ValueError("total sample count across updates must be positive")
+    stacked = np.stack([u.parameters for u in updates])
+    return (weights[:, None] * stacked).sum(axis=0) / total
+
+
+class Coordinator:
+    """Holds the global model and applies the aggregation rule.
+
+    Args:
+        model_config: architecture of the shared model.
+        aggregation: ``"mean"`` (paper's eq. (2)) or ``"weighted"``
+            (classic FedAvg, weights by local dataset size).
+        initial_parameters: optional starting point ``omega_0``; defaults
+            to the zero vector, which for logistic regression is the
+            conventional neutral initialisation.
+    """
+
+    def __init__(
+        self,
+        model_config: LogisticRegressionConfig,
+        aggregation: str = "mean",
+        initial_parameters: np.ndarray | None = None,
+    ) -> None:
+        if aggregation not in ("mean", "weighted"):
+            raise ValueError(
+                f"aggregation must be 'mean' or 'weighted'; got {aggregation!r}"
+            )
+        self.model_config = model_config
+        self.aggregation = aggregation
+        if initial_parameters is None:
+            # The config's factory defines omega_0 (zeros for logistic
+            # regression, deterministic He init for the MLP extension);
+            # clients build from the same factory, so everyone agrees.
+            self._parameters = model_config.build().get_parameters()
+        else:
+            initial_parameters = np.asarray(initial_parameters, dtype=float)
+            if initial_parameters.shape != (model_config.n_parameters,):
+                raise ValueError(
+                    f"initial_parameters must have shape "
+                    f"({model_config.n_parameters},); got {initial_parameters.shape}"
+                )
+            self._parameters = initial_parameters.copy()
+        self.rounds_completed = 0
+
+    @property
+    def global_parameters(self) -> np.ndarray:
+        """Copy of the current global parameter vector ``omega_t``."""
+        return self._parameters.copy()
+
+    def global_model(self) -> LogisticRegressionModel:
+        """Materialise the global parameters as a model for evaluation."""
+        model = self.model_config.build()
+        model.set_parameters(self._parameters)
+        return model
+
+    def aggregate(self, updates: list[LocalUpdate]) -> np.ndarray:
+        """Apply the aggregation rule and advance to round ``t + 1``.
+
+        Returns the new global parameter vector ``omega_{t+1}``.
+        """
+        if self.aggregation == "mean":
+            self._parameters = aggregate_mean(updates)
+        else:
+            self._parameters = aggregate_weighted(updates)
+        self.rounds_completed += 1
+        return self.global_parameters

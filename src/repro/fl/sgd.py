@@ -1,0 +1,73 @@
+"""SGD optimizer with per-round learning-rate decay.
+
+The paper's configuration (Table II): SGD with learning rate 0.01 and a
+fixed decay rate of 0.99.  The decay is applied once per *global
+coordination round*, so every edge server uses the same learning rate
+within a round — required for the FedAvg averaging in eq. (2) to be
+meaningful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["SGDConfig", "LearningRateSchedule"]
+
+
+@dataclass(frozen=True)
+class SGDConfig:
+    """Hyper-parameters of the local SGD optimizer.
+
+    Attributes:
+        learning_rate: initial learning rate (paper: 0.01).
+        decay: multiplicative decay applied per global round (paper: 0.99).
+        batch_size: mini-batch size for local SGD; ``None`` means
+            full-batch, which is what the paper uses ("full batch size for
+            SGD").
+    """
+
+    learning_rate: float = 0.01
+    decay: float = 0.99
+    batch_size: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.learning_rate <= 0:
+            raise ValueError(
+                f"learning_rate must be positive; got {self.learning_rate}"
+            )
+        if not 0.0 < self.decay <= 1.0:
+            raise ValueError(f"decay must be in (0, 1]; got {self.decay}")
+        if self.batch_size is not None and self.batch_size < 1:
+            raise ValueError(f"batch_size must be positive; got {self.batch_size}")
+
+    def rate_at_round(self, round_index: int) -> float:
+        """Learning rate used during global round ``round_index`` (0-based)."""
+        if round_index < 0:
+            raise ValueError(f"round_index must be non-negative; got {round_index}")
+        return self.learning_rate * self.decay**round_index
+
+
+class LearningRateSchedule:
+    """Stateful view of :class:`SGDConfig` that advances once per round."""
+
+    def __init__(self, config: SGDConfig) -> None:
+        self._config = config
+        self._round = 0
+
+    @property
+    def current_rate(self) -> float:
+        """Learning rate for the round currently in progress."""
+        return self._config.rate_at_round(self._round)
+
+    @property
+    def round_index(self) -> int:
+        """Index of the round currently in progress (0-based)."""
+        return self._round
+
+    def advance(self) -> None:
+        """Move to the next global round, applying one decay step."""
+        self._round += 1
+
+    def reset(self) -> None:
+        """Rewind the schedule to round 0."""
+        self._round = 0

@@ -1,0 +1,269 @@
+"""The federated training loop (FedAvg over edge servers, §III-A).
+
+This ties the substrate together: a :class:`Coordinator`, a population of
+:class:`EdgeServerClient` objects, a :class:`ClientSampler`, and the SGD
+schedule.  Each global round executes the paper's four steps:
+
+1. *data collection* happens up-front (datasets are pre-loaded, as in the
+   prototype);
+2. a subset ``K_t`` of edge servers receives ``omega_t`` and runs ``E``
+   local epochs;
+3. updated local models are uploaded;
+4. the coordinator aggregates them into ``omega_{t+1}``.
+
+The loop optionally injects client *dropouts* (stragglers that fail to
+upload), an extension used by the failure-injection tests: FedAvg then
+aggregates over the surviving subset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.fl.client import EdgeServerClient, LocalUpdate
+from repro.fl.metrics import RoundRecord, TrainingHistory
+from repro.fl.model import LogisticRegressionConfig
+from repro.fl.sampling import ClientSampler, UniformSampler
+from repro.fl.server import Coordinator
+from repro.fl.sgd import LearningRateSchedule, SGDConfig
+
+__all__ = ["FederatedConfig", "FederatedTrainer", "build_clients"]
+
+
+@dataclass(frozen=True)
+class FederatedConfig:
+    """Hyper-parameters of one federated training run.
+
+    Attributes:
+        n_rounds: maximum number of global coordination rounds ``T``.
+        participants_per_round: the paper's ``K``.
+        local_epochs: the paper's ``E``.
+        sgd: local optimizer configuration.
+        target_accuracy: optional early-stopping threshold; when set, the
+            loop stops at the first round whose test accuracy reaches it
+            (this is how "required T for a target accuracy" is measured).
+        dropout_probability: probability that a selected client fails to
+            upload its update in a given round (failure injection; the
+            paper's prototype has no failures, so the default is 0).
+        proximal_mu: FedProx proximal strength forwarded to every client
+            (0 = plain FedAvg, the paper's algorithm).
+        overselection: extra clients selected per round beyond ``K``
+            (production-FL straggler mitigation): ``K + overselection``
+            clients train, but only the ``K`` fastest uploads are
+            aggregated.  Which clients count as fastest is decided by the
+            trainer's ``completion_ranker`` (arrival order by default).
+            Over-selected stragglers still burn energy — the trade-off
+            the extension benchmarks quantify.
+        seed: seed for sampling and dropout randomness.
+    """
+
+    n_rounds: int
+    participants_per_round: int
+    local_epochs: int
+    sgd: SGDConfig = field(default_factory=SGDConfig)
+    target_accuracy: float | None = None
+    dropout_probability: float = 0.0
+    proximal_mu: float = 0.0
+    overselection: int = 0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_rounds < 1:
+            raise ValueError(f"n_rounds must be >= 1; got {self.n_rounds}")
+        if self.participants_per_round < 1:
+            raise ValueError(
+                "participants_per_round must be >= 1; "
+                f"got {self.participants_per_round}"
+            )
+        if self.local_epochs < 1:
+            raise ValueError(f"local_epochs must be >= 1; got {self.local_epochs}")
+        if not 0.0 <= self.dropout_probability < 1.0:
+            raise ValueError(
+                f"dropout_probability must be in [0, 1); got {self.dropout_probability}"
+            )
+        if self.target_accuracy is not None and not 0.0 < self.target_accuracy <= 1.0:
+            raise ValueError(
+                f"target_accuracy must be in (0, 1]; got {self.target_accuracy}"
+            )
+        if self.overselection < 0:
+            raise ValueError(
+                f"overselection must be non-negative; got {self.overselection}"
+            )
+        if self.proximal_mu < 0:
+            raise ValueError(
+                f"proximal_mu must be non-negative; got {self.proximal_mu}"
+            )
+
+
+def build_clients(
+    partitions: list[Dataset],
+    model_config: LogisticRegressionConfig,
+    seed: int = 0,
+) -> list[EdgeServerClient]:
+    """Construct one :class:`EdgeServerClient` per dataset partition."""
+    return [
+        EdgeServerClient(
+            client_id=i,
+            dataset=part,
+            model_config=model_config,
+            rng=np.random.default_rng((seed, i)),
+        )
+        for i, part in enumerate(partitions)
+    ]
+
+
+class FederatedTrainer:
+    """Runs FedAvg rounds and records a :class:`TrainingHistory`."""
+
+    def __init__(
+        self,
+        clients: list[EdgeServerClient],
+        config: FederatedConfig,
+        train_eval: Dataset,
+        test_eval: Dataset,
+        sampler: ClientSampler | None = None,
+        coordinator: Coordinator | None = None,
+        completion_ranker: "Callable[[int, list[int]], list[int]] | None" = None,
+        update_compressor: "Compressor | ErrorFeedback | None" = None,
+    ) -> None:
+        if not clients:
+            raise ValueError("need at least one client")
+        selected_per_round = config.participants_per_round + config.overselection
+        if selected_per_round > len(clients):
+            raise ValueError(
+                f"K + overselection = {selected_per_round} exceeds the "
+                f"number of edge servers N = {len(clients)}"
+            )
+        model_config = clients[0].model_config
+        for client in clients:
+            if client.model_config != model_config:
+                raise ValueError("all clients must share the same model config")
+        self.clients = clients
+        self.config = config
+        self.train_eval = train_eval
+        self.test_eval = test_eval
+        self._rng = np.random.default_rng(config.seed)
+        self.sampler = sampler or UniformSampler(
+            len(clients), selected_per_round, self._rng
+        )
+        if self.sampler.k != selected_per_round:
+            raise ValueError(
+                f"sampler selects {self.sampler.k} clients but the config "
+                f"needs K + overselection = {selected_per_round}"
+            )
+        self.coordinator = coordinator or Coordinator(model_config)
+        self.completion_ranker = completion_ranker
+        self.update_compressor = update_compressor
+        self.history = TrainingHistory()
+        self._schedule = LearningRateSchedule(config.sgd)
+        self.total_gradient_steps = 0
+        self.total_uploads = 0
+        self.total_upload_bytes = 0
+
+    @property
+    def n_clients(self) -> int:
+        """Number of edge servers ``N`` in the system."""
+        return len(self.clients)
+
+    def _apply_compression(
+        self,
+        client_id: int,
+        update: LocalUpdate,
+        global_params: np.ndarray,
+    ) -> LocalUpdate:
+        """Compress the uploaded *delta* and account for the wire bytes.
+
+        The server reconstructs ``global + decompressed_delta``; without a
+        compressor the full-precision parameters are counted at dense
+        float32 size.
+        """
+        from dataclasses import replace
+
+        from repro.fl.compression import ErrorFeedback
+
+        if self.update_compressor is None:
+            self.total_upload_bytes += update.parameters.size * 4
+            return update
+        delta = update.parameters - global_params
+        if isinstance(self.update_compressor, ErrorFeedback):
+            compressed = self.update_compressor.compress(client_id, delta)
+        else:
+            compressed = self.update_compressor.compress(delta)
+        self.total_upload_bytes += compressed.payload_bytes
+        return replace(update, parameters=global_params + compressed.dense)
+
+    def run_round(self) -> RoundRecord:
+        """Execute one global coordination round and record its outcome."""
+        round_index = self.coordinator.rounds_completed
+        learning_rate = self._schedule.current_rate
+        selected = self.sampler.select(round_index)
+        global_params = self.coordinator.global_parameters
+
+        updates: dict[int, LocalUpdate] = {}
+        for client_id in selected:
+            update = self.clients[int(client_id)].train(
+                global_params,
+                epochs=self.config.local_epochs,
+                learning_rate=learning_rate,
+                sgd=self.config.sgd,
+                proximal_mu=self.config.proximal_mu,
+            )
+            self.total_gradient_steps += update.gradient_steps
+            dropped = (
+                self.config.dropout_probability > 0
+                and self._rng.random() < self.config.dropout_probability
+            )
+            if not dropped:
+                update = self._apply_compression(int(client_id), update, global_params)
+                updates[int(client_id)] = update
+                self.total_uploads += 1
+
+        # Over-selection: keep only the first K arrivals among survivors.
+        if self.completion_ranker is not None:
+            arrival_order = self.completion_ranker(
+                round_index, [int(c) for c in selected]
+            )
+        else:
+            arrival_order = [int(c) for c in selected]
+        kept_ids = [
+            cid for cid in arrival_order if cid in updates
+        ][: self.config.participants_per_round]
+        kept_updates = [updates[cid] for cid in kept_ids]
+
+        if kept_updates:
+            self.coordinator.aggregate(kept_updates)
+        else:
+            # Every selected client dropped: the round is wasted and the
+            # global model is unchanged, but the round still counts.
+            self.coordinator.rounds_completed += 1
+        self._schedule.advance()
+
+        model = self.coordinator.global_model()
+        record = RoundRecord(
+            round_index=round_index,
+            train_loss=model.loss(self.train_eval.features, self.train_eval.labels),
+            test_accuracy=model.accuracy(
+                self.test_eval.features, self.test_eval.labels
+            ),
+            participants=tuple(int(c) for c in selected),
+            local_epochs=self.config.local_epochs,
+            learning_rate=learning_rate,
+            aggregated=tuple(sorted(kept_ids)),
+        )
+        self.history.append(record)
+        return record
+
+    def run(self) -> TrainingHistory:
+        """Run rounds until ``n_rounds`` or the target accuracy is reached."""
+        for _ in range(self.config.n_rounds):
+            record = self.run_round()
+            if (
+                self.config.target_accuracy is not None
+                and record.test_accuracy >= self.config.target_accuracy
+            ):
+                break
+        return self.history

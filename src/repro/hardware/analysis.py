@@ -1,0 +1,181 @@
+"""Trace analysis: recover round structure and parameters from raw power.
+
+The paper reads its Fig. 3 trace by eye — "step (3) lasted 0.1471 s at
+5.553 W".  This module automates that workflow: given a raw
+:class:`~repro.hardware.trace.PowerTrace` of a training run and the
+nominal phase powers, it
+
+1. segments the trace into rounds (each round = one
+   waiting → download → train → upload cycle),
+2. extracts per-round phase durations and energies, and
+3. inverts the Table-I timing law ``t_train = E (tau0 n + tau1)`` to
+   estimate the local epoch count ``E`` (given ``n_k``) or the dataset
+   size ``n_k`` (given ``E``) the device was actually running.
+
+This is what you would run on captures from a *real* KM001C to calibrate
+the substrate against your own hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.hardware.power_model import RoundPhase, StepPowers
+from repro.hardware.raspberry_pi import PiTimingConfig
+from repro.hardware.trace import PowerTrace
+
+__all__ = ["PhaseEstimate", "RoundEstimate", "TraceAnalysis", "analyze_trace"]
+
+_PHASE_ORDER = (
+    RoundPhase.WAITING,
+    RoundPhase.DOWNLOADING,
+    RoundPhase.TRAINING,
+    RoundPhase.UPLOADING,
+)
+
+
+@dataclass(frozen=True)
+class PhaseEstimate:
+    """One recovered phase occurrence within a round."""
+
+    phase: RoundPhase
+    start_s: float
+    end_s: float
+    mean_power_w: float
+
+    @property
+    def duration_s(self) -> float:
+        return self.end_s - self.start_s
+
+    @property
+    def energy_j(self) -> float:
+        return self.duration_s * self.mean_power_w
+
+
+@dataclass(frozen=True)
+class RoundEstimate:
+    """One recovered global round (a full four-phase cycle)."""
+
+    index: int
+    phases: tuple[PhaseEstimate, ...]
+
+    def phase(self, which: RoundPhase) -> PhaseEstimate | None:
+        """The round's occurrence of ``which`` (None when merged away)."""
+        for estimate in self.phases:
+            if estimate.phase is which:
+                return estimate
+        return None
+
+    @property
+    def duration_s(self) -> float:
+        return self.phases[-1].end_s - self.phases[0].start_s
+
+    @property
+    def energy_j(self) -> float:
+        """Energy of the active phases (training-task accounting)."""
+        return sum(
+            p.energy_j for p in self.phases if p.phase is not RoundPhase.WAITING
+        )
+
+
+@dataclass(frozen=True)
+class TraceAnalysis:
+    """The recovered round structure of a trace."""
+
+    rounds: tuple[RoundEstimate, ...]
+
+    @property
+    def n_rounds(self) -> int:
+        return len(self.rounds)
+
+    def mean_phase_duration(self, phase: RoundPhase) -> float:
+        """Average duration of ``phase`` across rounds that contain it."""
+        durations = [
+            estimate.duration_s
+            for round_ in self.rounds
+            for estimate in round_.phases
+            if estimate.phase is phase
+        ]
+        if not durations:
+            raise ValueError(f"no {phase.value} phase found in the trace")
+        return float(np.mean(durations))
+
+    def mean_round_energy(self) -> float:
+        """Average active energy per recovered round, joules."""
+        if not self.rounds:
+            raise ValueError("no rounds recovered")
+        return float(np.mean([round_.energy_j for round_ in self.rounds]))
+
+    # ------------------------------------------------------------------
+    # Inverting the Table-I timing law.
+    # ------------------------------------------------------------------
+    def estimate_epochs(
+        self, n_samples: int, timing: PiTimingConfig | None = None
+    ) -> float:
+        """Estimate ``E`` from the training duration, given ``n_k``."""
+        if n_samples < 1:
+            raise ValueError(f"n_samples must be >= 1; got {n_samples}")
+        timing = timing or PiTimingConfig()
+        train_s = self.mean_phase_duration(RoundPhase.TRAINING)
+        return train_s / (timing.tau0 * n_samples + timing.tau1)
+
+    def estimate_samples(
+        self, epochs: int, timing: PiTimingConfig | None = None
+    ) -> float:
+        """Estimate ``n_k`` from the training duration, given ``E``."""
+        if epochs < 1:
+            raise ValueError(f"epochs must be >= 1; got {epochs}")
+        timing = timing or PiTimingConfig()
+        train_s = self.mean_phase_duration(RoundPhase.TRAINING)
+        return (train_s / epochs - timing.tau1) / timing.tau0
+
+
+def _classify(power: float, powers: StepPowers) -> RoundPhase:
+    """Nearest-phase classification of one plateau power."""
+    return min(_PHASE_ORDER, key=lambda p: abs(powers.power_for(p) - power))
+
+
+def analyze_trace(
+    trace: PowerTrace,
+    powers: StepPowers | None = None,
+    tolerance_w: float = 0.3,
+) -> TraceAnalysis:
+    """Segment ``trace`` into rounds of classified phases.
+
+    Plateaus are detected by the trace's change-point scan, classified to
+    the nearest nominal phase power, and grouped into rounds: a new round
+    starts at each WAITING plateau (the idle gap between rounds), or — in
+    captures that begin mid-round or whose waiting phase was trimmed — at
+    a phase that does not follow its predecessor in the canonical order.
+    """
+    powers = powers or StepPowers()
+    plateaus = trace.detect_plateaus(tolerance_w=tolerance_w)
+    if not plateaus:
+        raise ValueError("no plateaus detected; is the trace flat or too noisy?")
+    estimates = [
+        PhaseEstimate(
+            phase=_classify(mean_power, powers),
+            start_s=start,
+            end_s=end,
+            mean_power_w=mean_power,
+        )
+        for start, end, mean_power in plateaus
+    ]
+
+    order = {phase: i for i, phase in enumerate(_PHASE_ORDER)}
+    rounds: list[RoundEstimate] = []
+    current: list[PhaseEstimate] = []
+    for estimate in estimates:
+        starts_new_round = bool(current) and (
+            estimate.phase is RoundPhase.WAITING
+            or order[estimate.phase] <= order[current[-1].phase]
+        )
+        if starts_new_round:
+            rounds.append(RoundEstimate(index=len(rounds), phases=tuple(current)))
+            current = []
+        current.append(estimate)
+    if current:
+        rounds.append(RoundEstimate(index=len(rounds), phases=tuple(current)))
+    return TraceAnalysis(rounds=tuple(rounds))

@@ -1,0 +1,71 @@
+"""Power states of an edge server across the four round steps (Fig. 3).
+
+The paper's measurements show each Raspberry Pi cycling through four
+power plateaus per global round:
+
+1. *Waiting* — idle at 3.600 W;
+2. *Model Downloading* — 4.286 W average;
+3. *Local Model Training* — 5.553 W, independent of ``E`` and ``n_k``
+   (only the *duration* grows with them — Table I);
+4. *Local Model Uploading* — 5.015 W.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.core import constants
+
+__all__ = ["RoundPhase", "StepPowers"]
+
+
+class RoundPhase(enum.Enum):
+    """The four steps of one global coordination round at an edge server."""
+
+    WAITING = "waiting"
+    DOWNLOADING = "downloading"
+    TRAINING = "training"
+    UPLOADING = "uploading"
+
+
+@dataclass(frozen=True)
+class StepPowers:
+    """Average power draw (watts) in each round phase.
+
+    Defaults are the paper's measured Raspberry Pi 4B values.
+    """
+
+    waiting_w: float = constants.POWER_WAITING_W
+    downloading_w: float = constants.POWER_DOWNLOADING_W
+    training_w: float = constants.POWER_TRAINING_W
+    uploading_w: float = constants.POWER_UPLOADING_W
+
+    def __post_init__(self) -> None:
+        for name in ("waiting_w", "downloading_w", "training_w", "uploading_w"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive; got {getattr(self, name)}")
+
+    def power_for(self, phase: RoundPhase) -> float:
+        """Average power during ``phase``."""
+        return {
+            RoundPhase.WAITING: self.waiting_w,
+            RoundPhase.DOWNLOADING: self.downloading_w,
+            RoundPhase.TRAINING: self.training_w,
+            RoundPhase.UPLOADING: self.uploading_w,
+        }[phase]
+
+    def scaled(self, factor: float) -> "StepPowers":
+        """A device whose every phase draws ``factor`` times the power.
+
+        Used to model heterogeneous hardware (e.g. a faster but hungrier
+        edge box) in the heterogeneity extension.
+        """
+        if factor <= 0:
+            raise ValueError(f"factor must be positive; got {factor}")
+        return StepPowers(
+            waiting_w=self.waiting_w * factor,
+            downloading_w=self.downloading_w * factor,
+            training_w=self.training_w * factor,
+            uploading_w=self.uploading_w * factor,
+        )

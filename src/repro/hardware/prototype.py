@@ -1,0 +1,484 @@
+"""The full simulated testbed: 20 Raspberry Pis + coordinator + meters.
+
+This is the stand-in for the paper's §VI-A hardware prototype.  It
+couples three substrates:
+
+* the **FL substrate** actually trains the shared model (so required
+  round counts ``T`` come from real convergence behaviour, not from the
+  bound),
+* the **hardware substrate** prices every round in joules and seconds
+  using the measured RPi 4B constants,
+* the **discrete-event engine** advances a shared wall clock so rounds
+  are synchronised the way the coordinator synchronised the physical
+  testbed (a round ends when its slowest participant uploads).
+
+The "real measurement traces" of Figs. 5-6 are produced by
+:meth:`HardwarePrototype.run`: train to the target accuracy with a given
+``(K, E)``, integrate the energy the participating devices consumed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.energy_model import HeterogeneousEnergyParams
+from repro.data.dataset import Dataset
+from repro.fl.model import LogisticRegressionConfig
+from repro.fl.partition import partition_iid
+from repro.fl.sgd import SGDConfig
+from repro.fl.training import FederatedConfig, FederatedTrainer, build_clients
+from repro.fl.metrics import TrainingHistory
+from repro.hardware.power_meter import MeterConfig, PowerMeter
+from repro.hardware.power_model import StepPowers
+from repro.hardware.raspberry_pi import PiTimingConfig, RaspberryPiEdgeServer
+from repro.hardware.trace import PowerTrace
+from repro.iot.network import IoTNetwork
+from repro.net.channel import ChannelConfig, WirelessChannel
+from repro.net.messages import (
+    ModelMessage,
+    model_download_message,
+    model_upload_message,
+)
+from repro.sim.engine import Simulator
+from repro.sim.processes import StepProcess
+
+__all__ = ["PrototypeConfig", "PrototypeResult", "HardwarePrototype"]
+
+
+@dataclass(frozen=True)
+class PrototypeConfig:
+    """Configuration of the simulated testbed.
+
+    Defaults mirror the paper: 20 edge servers, 3 000 samples each,
+    multinomial logistic regression, full-batch SGD at lr 0.01 with
+    decay 0.99, measured RPi 4B power/timing constants.
+    """
+
+    n_servers: int = 20
+    model: LogisticRegressionConfig = field(default_factory=LogisticRegressionConfig)
+    sgd: SGDConfig = field(default_factory=SGDConfig)
+    timing: PiTimingConfig = field(default_factory=PiTimingConfig)
+    powers: StepPowers = field(default_factory=StepPowers)
+    channel: ChannelConfig = field(default_factory=ChannelConfig)
+    include_waiting: bool = False
+    include_iot: bool = False
+    heterogeneity: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_servers < 1:
+            raise ValueError(f"n_servers must be >= 1; got {self.n_servers}")
+        if not 0.0 <= self.heterogeneity < 0.9:
+            raise ValueError(
+                "heterogeneity must be in [0, 0.9) — it is the relative "
+                f"spread of per-device power/speed factors; got {self.heterogeneity}"
+            )
+
+
+@dataclass(frozen=True)
+class PrototypeResult:
+    """Everything one testbed run measured.
+
+    Attributes:
+        history: per-round loss/accuracy records from the FL substrate.
+        rounds: number of global rounds executed.
+        total_energy_j: summed energy of all participants over all rounds
+            (the paper's headline metric for Figs. 5-6).
+        energy_per_round_j: round-by-round energy.
+        iot_energy_j: data-collection energy (0 unless ``include_iot``).
+        wall_clock_s: simulated testbed time from start to last upload.
+        reached_target: whether the accuracy target was met within the
+            round budget.
+        participants: the ``K`` used.
+        epochs: the ``E`` used.
+    """
+
+    history: TrainingHistory
+    rounds: int
+    total_energy_j: float
+    energy_per_round_j: np.ndarray
+    iot_energy_j: float
+    wall_clock_s: float
+    reached_target: bool
+    participants: int
+    epochs: int
+
+    @property
+    def mean_round_energy_j(self) -> float:
+        return float(self.energy_per_round_j.mean())
+
+
+class HardwarePrototype:
+    """The simulated 20-Pi testbed.
+
+    Args:
+        train: pooled training dataset (uniformly partitioned over the
+            servers, as in the paper).
+        test: held-out evaluation set.
+        config: testbed configuration.
+        iot_network: optional IoT substrate; required when
+            ``config.include_iot`` is set, providing the per-server
+            ``rho_k`` constants for the data-collection energy.
+    """
+
+    def __init__(
+        self,
+        train: Dataset,
+        test: Dataset,
+        config: PrototypeConfig | None = None,
+        iot_network: IoTNetwork | None = None,
+        partitions: list[Dataset] | None = None,
+    ) -> None:
+        self.config = config or PrototypeConfig()
+        if self.config.include_iot and iot_network is None:
+            raise ValueError("include_iot=True requires an iot_network")
+        self.train = train
+        self.test = test
+        self.iot_network = iot_network
+        rng = np.random.default_rng(self.config.seed)
+        if partitions is None:
+            # The paper's allocation: uniform iid split over the servers.
+            partitions = partition_iid(train, self.config.n_servers, rng)
+        elif len(partitions) != self.config.n_servers:
+            raise ValueError(
+                f"got {len(partitions)} partitions for "
+                f"{self.config.n_servers} servers"
+            )
+        self._partitions = partitions
+        # Heterogeneous testbeds (config.heterogeneity > 0) draw a
+        # per-device hardware factor: a faster, hungrier box has both
+        # shorter epochs (timing / factor would be *speed*; here the
+        # factor scales power and training time together as different
+        # SoC bins do) — we scale powers up and timing independently so
+        # per-round energies genuinely differ across devices.
+        factor_rng = np.random.default_rng([self.config.seed, 0x4A4D])
+        self.devices = []
+        for i in range(self.config.n_servers):
+            timing = self.config.timing
+            powers = self.config.powers
+            if self.config.heterogeneity > 0:
+                power_factor = float(
+                    np.clip(
+                        factor_rng.normal(1.0, self.config.heterogeneity), 0.2, 3.0
+                    )
+                )
+                speed_factor = float(
+                    np.clip(
+                        factor_rng.normal(1.0, self.config.heterogeneity), 0.2, 3.0
+                    )
+                )
+                powers = powers.scaled(power_factor)
+                timing = PiTimingConfig(
+                    tau0=timing.tau0 * speed_factor,
+                    tau1=timing.tau1 * speed_factor,
+                    waiting_s=timing.waiting_s,
+                    jitter_fraction=timing.jitter_fraction,
+                )
+            self.devices.append(
+                RaspberryPiEdgeServer(
+                    server_id=i,
+                    timing=timing,
+                    powers=powers,
+                    channel=WirelessChannel(self.config.channel),
+                    rng=np.random.default_rng((self.config.seed, i)),
+                )
+            )
+        self._download = model_download_message(self.config.model)
+        self._upload = model_upload_message(self.config.model)
+
+    @property
+    def samples_per_server(self) -> int:
+        """``n_k`` of the first server (uniform partition sizes +-1)."""
+        return len(self._partitions[0])
+
+    def heterogeneous_energy_params(
+        self, rho_values: dict[int, float] | None = None
+    ) -> HeterogeneousEnergyParams:
+        """Per-device energy constants of this testbed.
+
+        Derives each device's ``(c0, c1)`` from its timing law and
+        training power (``c = tau * P_train``) and its ``e^U`` from the
+        upload transfer; the result feeds eq. (12)'s expectation
+        operators via :meth:`HeterogeneousEnergyParams.mean`.
+        """
+        n = self.config.n_servers
+        rho = np.zeros(n)
+        if rho_values is not None:
+            for server_id, value in rho_values.items():
+                rho[server_id] = value
+        elif self.iot_network is not None:
+            for server_id, value in self.iot_network.rho_values().items():
+                rho[server_id] = value
+        c0 = np.array(
+            [d.timing.tau0 * d.powers.training_w for d in self.devices]
+        )
+        c1 = np.array(
+            [d.timing.tau1 * d.powers.training_w for d in self.devices]
+        )
+        e_upload = np.array(
+            [d.upload_energy(self._upload) for d in self.devices]
+        )
+        return HeterogeneousEnergyParams(
+            rho=rho,
+            c0=c0,
+            c1=c1,
+            e_upload=e_upload,
+            n_samples=self.samples_per_server,
+        )
+
+    def _make_trainer(
+        self,
+        participants: int,
+        epochs: int,
+        n_rounds: int,
+        target_accuracy: float | None,
+        overselection: int = 0,
+        completion_ranker=None,
+        update_compressor=None,
+    ) -> FederatedTrainer:
+        clients = build_clients(
+            self._partitions, self.config.model, seed=self.config.seed
+        )
+        fed_config = FederatedConfig(
+            n_rounds=n_rounds,
+            participants_per_round=participants,
+            local_epochs=epochs,
+            sgd=self.config.sgd,
+            target_accuracy=target_accuracy,
+            overselection=overselection,
+            seed=self.config.seed,
+        )
+        return FederatedTrainer(
+            clients=clients,
+            config=fed_config,
+            train_eval=self.train,
+            test_eval=self.test,
+            completion_ranker=completion_ranker,
+            update_compressor=update_compressor,
+        )
+
+    def _round_energy(
+        self,
+        server_id: int,
+        epochs: int,
+        n_samples: int,
+        upload: ModelMessage | None = None,
+    ) -> float:
+        device = self.devices[server_id]
+        energy = device.round_energy(
+            epochs,
+            n_samples,
+            self._download,
+            upload or self._upload,
+            include_waiting=self.config.include_waiting,
+        )
+        if self.config.include_iot:
+            assert self.iot_network is not None
+            energy += self.iot_network.cluster(server_id).collection_energy(n_samples)
+        return energy
+
+    def run(
+        self,
+        participants: int,
+        epochs: int,
+        n_rounds: int = 1000,
+        target_accuracy: float | None = None,
+        overselection: int = 0,
+        update_compressor=None,
+    ) -> PrototypeResult:
+        """Train with ``(K, E)`` and measure the energy spent.
+
+        Stops at ``target_accuracy`` if given, else after ``n_rounds``.
+        The simulated wall clock advances round by round: a round lasts
+        as long as its slowest *awaited* participant — all selected with
+        plain FedAvg; only the K fastest with ``overselection > 0``
+        (stragglers still train and burn energy, but the coordinator
+        moves on without them).
+
+        ``update_compressor`` (a :class:`~repro.fl.compression.Compressor`
+        or :class:`~repro.fl.compression.ErrorFeedback`) compresses each
+        uploaded update; the upload message — and hence the upload time
+        and energy ``e_k^U`` — shrinks to the compressed size.
+        """
+        upload_message = self._upload
+        if update_compressor is not None:
+            compressor = getattr(update_compressor, "compressor", update_compressor)
+            upload_message = ModelMessage(
+                "upload",
+                compressor.compressed_bytes(self.config.model.n_parameters),
+            )
+        round_timings: dict[int, dict[int, float]] = {}
+
+        def ranker(round_index: int, selected: list[int]) -> list[int]:
+            timings = {
+                cid: self.devices[cid]
+                .round_timing(
+                    epochs,
+                    len(self._partitions[cid]),
+                    self._download,
+                    upload_message,
+                )
+                .total_s
+                for cid in selected
+            }
+            round_timings[round_index] = timings
+            return sorted(selected, key=lambda cid: timings[cid])
+
+        trainer = self._make_trainer(
+            participants,
+            epochs,
+            n_rounds,
+            target_accuracy,
+            overselection=overselection,
+            completion_ranker=ranker if overselection > 0 else None,
+            update_compressor=update_compressor,
+        )
+        simulator = Simulator()
+        energy_per_round: list[float] = []
+        iot_energy = 0.0
+        state = {"stop": False}
+
+        def run_round(sim: Simulator) -> None:
+            record = trainer.run_round()
+            round_energy = 0.0
+            round_duration = 0.0
+            timings = round_timings.get(record.round_index)
+            for server_id in record.participants:
+                n_k = len(self._partitions[server_id])
+                round_energy += self._round_energy(
+                    server_id, epochs, n_k, upload=upload_message
+                )
+            awaited = record.aggregated or record.participants
+            for server_id in awaited:
+                if timings is not None:
+                    duration = timings[server_id]
+                else:
+                    duration = self.devices[server_id].round_timing(
+                        epochs,
+                        len(self._partitions[server_id]),
+                        self._download,
+                        upload_message,
+                    ).total_s
+                round_duration = max(round_duration, duration)
+            energy_per_round.append(round_energy)
+            done = len(energy_per_round) >= n_rounds or (
+                target_accuracy is not None
+                and record.test_accuracy >= target_accuracy
+            )
+            if done:
+                state["stop"] = True
+                # Advance the clock over the final round without
+                # scheduling another one.
+                sim.schedule(round_duration, lambda s: None, label="final-upload")
+            else:
+                sim.schedule(round_duration, run_round, label="round-start")
+
+        simulator.schedule(0.0, run_round, label="round-start")
+        simulator.run()
+
+        if self.config.include_iot:
+            assert self.iot_network is not None
+            for record in trainer.history.records:
+                for server_id in record.participants:
+                    n_k = len(self._partitions[server_id])
+                    iot_energy += self.iot_network.cluster(
+                        server_id
+                    ).collection_energy(n_k)
+
+        history = trainer.history
+        reached = (
+            target_accuracy is not None
+            and history.final_accuracy() >= target_accuracy
+        )
+        return PrototypeResult(
+            history=history,
+            rounds=len(history),
+            total_energy_j=float(np.sum(energy_per_round)),
+            energy_per_round_j=np.array(energy_per_round),
+            iot_energy_j=iot_energy,
+            wall_clock_s=simulator.now,
+            reached_target=reached,
+            participants=participants,
+            epochs=epochs,
+        )
+
+    def run_async(
+        self,
+        max_updates: int,
+        epochs: int,
+        mixing_alpha: float = 0.6,
+        staleness_beta: float = 0.5,
+        target_accuracy: float | None = None,
+        eval_every: int = 1,
+    ):
+        """Asynchronous (FedAsync-style) training on this testbed.
+
+        Every device trains continuously at its own measured pace (the
+        round-timing model minus the waiting phase — async has no round
+        barrier to wait at); the coordinator merges each arriving update
+        with a staleness-discounted weight.  Returns
+        ``(AsyncResult, total_energy_j)``: energy is the active energy of
+        every completed local job, merged or not.
+        """
+        from repro.fl.async_training import AsyncConfig, AsyncFederatedTrainer
+
+        energy_counter = {"total": 0.0}
+
+        def duration(client_id: int) -> float:
+            n_k = len(self._partitions[client_id])
+            timing = self.devices[client_id].round_timing(
+                epochs, n_k, self._download, self._upload
+            )
+            energy_counter["total"] += self._round_energy(client_id, epochs, n_k)
+            return timing.total_s - timing.waiting_s
+
+        clients = build_clients(
+            self._partitions, self.config.model, seed=self.config.seed
+        )
+        trainer = AsyncFederatedTrainer(
+            clients=clients,
+            config=AsyncConfig(
+                max_updates=max_updates,
+                local_epochs=epochs,
+                mixing_alpha=mixing_alpha,
+                staleness_beta=staleness_beta,
+                sgd=self.config.sgd,
+                eval_every=eval_every,
+                target_accuracy=target_accuracy,
+                seed=self.config.seed,
+            ),
+            train_eval=self.train,
+            test_eval=self.test,
+            duration_fn=duration,
+        )
+        result = trainer.run()
+        return result, energy_counter["total"]
+
+    # ------------------------------------------------------------------
+    # Fig. 3: a metered trace of consecutive rounds at one device.
+    # ------------------------------------------------------------------
+    def record_power_trace(
+        self,
+        server_id: int,
+        epochs: int,
+        n_rounds: int = 2,
+        meter: PowerMeter | None = None,
+    ) -> PowerTrace:
+        """Meter one device across ``n_rounds`` consecutive rounds.
+
+        Reproduces Fig. 3: the four-plateau pattern repeating each round.
+        """
+        if n_rounds < 1:
+            raise ValueError(f"n_rounds must be >= 1; got {n_rounds}")
+        device = self.devices[server_id]
+        n_k = len(self._partitions[server_id])
+        process = StepProcess()
+        for _ in range(n_rounds):
+            timing = device.round_timing(epochs, n_k, self._download, self._upload)
+            process.extend(device.round_power_process(timing))
+        meter = meter or PowerMeter(
+            MeterConfig(), rng=np.random.default_rng(self.config.seed)
+        )
+        return meter.record(process)

@@ -1,0 +1,126 @@
+"""Power traces: what the POWER-Z KM001C multimeter records.
+
+A trace is a uniformly sampled time series of (voltage, current, power)
+triples.  The paper integrates traces into energy (power x duration of
+the whole training process) and inspects the per-step plateaus of Fig. 3;
+this module supports both along with phase segmentation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["PowerTrace"]
+
+
+@dataclass(frozen=True)
+class PowerTrace:
+    """A sampled power measurement.
+
+    Attributes:
+        times: sample instants in seconds, strictly increasing, uniform.
+        power_w: instantaneous power at each instant.
+        voltage_v: bus voltage at each instant.
+        current_a: current at each instant (``power / voltage``).
+    """
+
+    times: np.ndarray
+    power_w: np.ndarray
+    voltage_v: np.ndarray
+    current_a: np.ndarray
+
+    def __post_init__(self) -> None:
+        arrays = {
+            "times": np.asarray(self.times, dtype=float),
+            "power_w": np.asarray(self.power_w, dtype=float),
+            "voltage_v": np.asarray(self.voltage_v, dtype=float),
+            "current_a": np.asarray(self.current_a, dtype=float),
+        }
+        n = arrays["times"].size
+        if n < 2:
+            raise ValueError("trace needs at least two samples")
+        for name, arr in arrays.items():
+            if arr.shape != (n,):
+                raise ValueError(f"{name} must be 1-D with {n} samples; got {arr.shape}")
+            object.__setattr__(self, name, arr)
+        if not np.all(np.diff(arrays["times"]) > 0):
+            raise ValueError("times must be strictly increasing")
+
+    def __len__(self) -> int:
+        return int(self.times.size)
+
+    @property
+    def duration(self) -> float:
+        """Span of the trace in seconds."""
+        return float(self.times[-1] - self.times[0])
+
+    @property
+    def sample_rate(self) -> float:
+        """Mean sampling rate in Hz."""
+        return (len(self) - 1) / self.duration
+
+    def energy(self) -> float:
+        """Trapezoidal integral of power over time, in joules."""
+        return float(np.trapezoid(self.power_w, self.times))
+
+    def mean_power(self) -> float:
+        """Time-averaged power in watts."""
+        return self.energy() / self.duration
+
+    def peak_power(self) -> float:
+        """Maximum sampled power in watts."""
+        return float(self.power_w.max())
+
+    def between(self, start: float, end: float) -> "PowerTrace":
+        """Sub-trace of samples with ``start <= t <= end``."""
+        if end <= start:
+            raise ValueError(f"need end > start; got [{start}, {end}]")
+        mask = (self.times >= start) & (self.times <= end)
+        if mask.sum() < 2:
+            raise ValueError(f"fewer than two samples inside [{start}, {end}]")
+        return PowerTrace(
+            self.times[mask],
+            self.power_w[mask],
+            self.voltage_v[mask],
+            self.current_a[mask],
+        )
+
+    def concatenated_with(self, other: "PowerTrace") -> "PowerTrace":
+        """Join two traces recorded back to back (other must start later)."""
+        if other.times[0] <= self.times[-1]:
+            raise ValueError(
+                "other trace must start strictly after this trace ends"
+            )
+        return PowerTrace(
+            np.concatenate([self.times, other.times]),
+            np.concatenate([self.power_w, other.power_w]),
+            np.concatenate([self.voltage_v, other.voltage_v]),
+            np.concatenate([self.current_a, other.current_a]),
+        )
+
+    def detect_plateaus(self, tolerance_w: float = 0.2) -> list[tuple[float, float, float]]:
+        """Segment the trace into approximately constant-power plateaus.
+
+        Returns ``(start_time, end_time, mean_power)`` per plateau.  Used
+        by the Fig. 3 analysis to recover the four round steps from a raw
+        trace, mirroring how the paper reads its measurements.
+        """
+        if tolerance_w <= 0:
+            raise ValueError(f"tolerance_w must be positive; got {tolerance_w}")
+        breaks = np.flatnonzero(np.abs(np.diff(self.power_w)) > tolerance_w)
+        starts = np.concatenate([[0], breaks + 1])
+        ends = np.concatenate([breaks, [len(self) - 1]])
+        plateaus = []
+        for lo, hi in zip(starts, ends):
+            if hi <= lo:
+                continue
+            plateaus.append(
+                (
+                    float(self.times[lo]),
+                    float(self.times[hi]),
+                    float(self.power_w[lo : hi + 1].mean()),
+                )
+            )
+        return plateaus

@@ -1,0 +1,83 @@
+"""Persistence for power traces — the KM001C's CSV log format.
+
+The physical POWER-Z meter logs ``time, voltage, current, power`` rows
+to CSV; analysis happens offline.  This module reads and writes that
+format so traces recorded by the simulated meter can round-trip through
+files exactly like real captures, and real captures (if you have the
+hardware) can be loaded into the same analysis pipeline.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+
+import numpy as np
+
+from repro.hardware.trace import PowerTrace
+
+__all__ = ["save_trace_csv", "load_trace_csv", "trace_to_csv", "trace_from_csv"]
+
+_HEADER = ("time_s", "voltage_v", "current_a", "power_w")
+
+
+def trace_to_csv(trace: PowerTrace) -> str:
+    """Serialise a trace to CSV text (header + one row per sample)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(_HEADER)
+    for t, v, i, p in zip(
+        trace.times, trace.voltage_v, trace.current_a, trace.power_w
+    ):
+        writer.writerow([f"{t:.9g}", f"{v:.9g}", f"{i:.9g}", f"{p:.9g}"])
+    return buffer.getvalue()
+
+
+def trace_from_csv(text: str) -> PowerTrace:
+    """Parse CSV text produced by :func:`trace_to_csv` (or a real meter).
+
+    Raises ``ValueError`` on a missing/incorrect header or malformed
+    rows.
+    """
+    reader = csv.reader(io.StringIO(text))
+    try:
+        header = tuple(next(reader))
+    except StopIteration:
+        raise ValueError("empty CSV: no header row") from None
+    if header != _HEADER:
+        raise ValueError(
+            f"unexpected CSV header {header!r}; expected {_HEADER!r}"
+        )
+    times, volts, amps, watts = [], [], [], []
+    for line_number, row in enumerate(reader, start=2):
+        if not row:
+            continue
+        if len(row) != 4:
+            raise ValueError(
+                f"line {line_number}: expected 4 columns, got {len(row)}"
+            )
+        try:
+            t, v, i, p = (float(cell) for cell in row)
+        except ValueError as error:
+            raise ValueError(f"line {line_number}: {error}") from None
+        times.append(t)
+        volts.append(v)
+        amps.append(i)
+        watts.append(p)
+    return PowerTrace(
+        times=np.array(times),
+        power_w=np.array(watts),
+        voltage_v=np.array(volts),
+        current_a=np.array(amps),
+    )
+
+
+def save_trace_csv(trace: PowerTrace, path: str | Path) -> None:
+    """Write a trace to a CSV file."""
+    Path(path).write_text(trace_to_csv(trace))
+
+
+def load_trace_csv(path: str | Path) -> PowerTrace:
+    """Read a trace from a CSV file."""
+    return trace_from_csv(Path(path).read_text())

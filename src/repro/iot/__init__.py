@@ -1,0 +1,19 @@
+"""IoT network substrate: devices, contention, and data-collection energy."""
+
+from repro.iot.battery import Battery, BatteryConfig, FleetLifetimeModel
+from repro.iot.collision import SlottedAlohaModel
+from repro.iot.device import NBIOT_PROFILE, IoTDevice, RadioProfile
+from repro.iot.network import CollectionReport, IoTCluster, IoTNetwork
+
+__all__ = [
+    "Battery",
+    "BatteryConfig",
+    "FleetLifetimeModel",
+    "SlottedAlohaModel",
+    "NBIOT_PROFILE",
+    "IoTDevice",
+    "RadioProfile",
+    "CollectionReport",
+    "IoTCluster",
+    "IoTNetwork",
+]

@@ -1,0 +1,99 @@
+"""IoT devices: the sensors that feed data samples to edge servers.
+
+§IV-A of the paper: IoT devices use passive sensors (data *collection*
+energy is negligible) and simple low-cost radios without power adaptation,
+so uploading one fixed-size data sample always costs the same energy.
+The paper quotes NB-IoT at 7.74 mWs per byte.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.constants import NBIOT_ENERGY_PER_BYTE_J
+
+__all__ = ["RadioProfile", "IoTDevice", "NBIOT_PROFILE"]
+
+
+@dataclass(frozen=True)
+class RadioProfile:
+    """Per-byte transmission characteristics of an IoT radio technology.
+
+    Attributes:
+        name: human-readable technology name.
+        energy_per_byte_j: joules consumed to transmit one byte.
+        rate_bps: transmission rate in bits per second.
+        licensed_band: whether the technology uses licensed spectrum
+            (licensed-band radios do not suffer the collision losses of
+            §IV-A's unlicensed-band discussion).
+    """
+
+    name: str
+    energy_per_byte_j: float
+    rate_bps: float
+    licensed_band: bool
+
+    def __post_init__(self) -> None:
+        if self.energy_per_byte_j <= 0:
+            raise ValueError(
+                f"energy_per_byte_j must be positive; got {self.energy_per_byte_j}"
+            )
+        if self.rate_bps <= 0:
+            raise ValueError(f"rate_bps must be positive; got {self.rate_bps}")
+
+
+# The paper's reference technology (§IV-A): NB-IoT, licensed band.
+# 26 kbit/s is a typical NB-IoT uplink rate.
+NBIOT_PROFILE = RadioProfile(
+    name="NB-IoT",
+    energy_per_byte_j=NBIOT_ENERGY_PER_BYTE_J,
+    rate_bps=26_000.0,
+    licensed_band=True,
+)
+
+
+@dataclass(frozen=True)
+class IoTDevice:
+    """One sensor node uploading fixed-size samples to its edge server.
+
+    Attributes:
+        device_id: identifier within its edge server's cluster.
+        sample_bytes: serialised size of one data sample.  The paper's
+            MNIST samples are 28*28 = 784 bytes of pixel data plus a
+            1-byte label.
+        radio: the device's radio technology.
+    """
+
+    device_id: int
+    sample_bytes: int = 785
+    radio: RadioProfile = NBIOT_PROFILE
+
+    def __post_init__(self) -> None:
+        if self.sample_bytes < 1:
+            raise ValueError(f"sample_bytes must be positive; got {self.sample_bytes}")
+
+    @property
+    def energy_per_sample(self) -> float:
+        """Joules to transmit one sample once (no collision losses)."""
+        return self.sample_bytes * self.radio.energy_per_byte_j
+
+    @property
+    def time_per_sample(self) -> float:
+        """Seconds of airtime to transmit one sample once."""
+        return 8.0 * self.sample_bytes / self.radio.rate_bps
+
+    def upload_energy(self, n_samples: int, success_probability: float = 1.0) -> float:
+        """Expected energy to *successfully* deliver ``n_samples`` samples.
+
+        With per-attempt success probability ``p`` the expected number of
+        attempts per sample is ``1/p`` (geometric), so the effective
+        per-sample energy is scaled accordingly — this is how the paper's
+        constant ``rho_k`` absorbs unlicensed-band collisions.
+        """
+        if n_samples < 0:
+            raise ValueError(f"n_samples must be non-negative; got {n_samples}")
+        if not 0.0 < success_probability <= 1.0:
+            raise ValueError(
+                f"success_probability must be in (0, 1]; got {success_probability}"
+            )
+        return n_samples * self.energy_per_sample / success_probability

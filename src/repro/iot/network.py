@@ -1,0 +1,168 @@
+"""The IoT network: clusters of sensors feeding each edge server.
+
+Step (1) of each FEI round: every edge server ``k`` requests ``n_k``
+fresh data samples from its associated IoT devices.  This module
+aggregates the per-device energy model into the per-server constant
+``rho_k`` of eq. (4) and simulates the collection process (which devices
+send how many samples, with what energy and airtime).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.iot.collision import SlottedAlohaModel
+from repro.iot.device import IoTDevice
+
+__all__ = ["CollectionReport", "IoTCluster", "IoTNetwork"]
+
+
+@dataclass(frozen=True)
+class CollectionReport:
+    """Outcome of collecting ``n`` samples for one edge server."""
+
+    edge_server_id: int
+    n_samples: int
+    energy_j: float
+    airtime_s: float
+    attempts: int
+
+
+class IoTCluster:
+    """The IoT devices associated with one edge server.
+
+    Args:
+        edge_server_id: the edge server this cluster uploads to.
+        devices: sensor nodes in the cluster (all upload to the same
+            server).
+        contention: optional unlicensed-band collision model shared by
+            the cluster; ``None`` models a licensed-band deployment with
+            no collision losses.
+    """
+
+    def __init__(
+        self,
+        edge_server_id: int,
+        devices: list[IoTDevice],
+        contention: SlottedAlohaModel | None = None,
+    ) -> None:
+        if not devices:
+            raise ValueError("cluster needs at least one device")
+        self.edge_server_id = edge_server_id
+        self.devices = devices
+        self.contention = contention
+
+    @property
+    def success_probability(self) -> float:
+        """Per-transmission success probability for cluster devices."""
+        return self.contention.success_probability if self.contention else 1.0
+
+    @property
+    def rho(self) -> float:
+        """The per-sample upload energy ``rho_k`` of eq. (4), in joules.
+
+        The cluster average of per-device sample energy, inflated by the
+        expected retransmission count.  Constant across rounds — the
+        paper's key modelling assumption for data collection.
+        """
+        per_device = float(np.mean([d.energy_per_sample for d in self.devices]))
+        return per_device / self.success_probability
+
+    def collection_energy(self, n_samples: int) -> float:
+        """Expected energy for the cluster to deliver ``n_samples`` — eq. (4)."""
+        if n_samples < 0:
+            raise ValueError(f"n_samples must be non-negative; got {n_samples}")
+        return self.rho * n_samples
+
+    def collect(self, n_samples: int, rng: np.random.Generator) -> CollectionReport:
+        """Simulate one collection: draws per-packet retransmissions.
+
+        Samples are spread round-robin over the cluster's devices, as a
+        real edge server would poll its sensors.
+        """
+        if n_samples < 0:
+            raise ValueError(f"n_samples must be non-negative; got {n_samples}")
+        energy = 0.0
+        airtime = 0.0
+        attempts_total = 0
+        if n_samples:
+            device_ids = np.arange(n_samples) % len(self.devices)
+            if self.contention is not None:
+                attempts = self.contention.simulate_deliveries(n_samples, rng)
+            else:
+                attempts = np.ones(n_samples, dtype=np.int64)
+            for device_index, n_attempts in zip(device_ids, attempts):
+                device = self.devices[int(device_index)]
+                energy += n_attempts * device.energy_per_sample
+                airtime += n_attempts * device.time_per_sample
+                attempts_total += int(n_attempts)
+        return CollectionReport(
+            edge_server_id=self.edge_server_id,
+            n_samples=n_samples,
+            energy_j=energy,
+            airtime_s=airtime,
+            attempts=attempts_total,
+        )
+
+
+class IoTNetwork:
+    """All IoT clusters of the FEI system (one per edge server)."""
+
+    def __init__(self, clusters: list[IoTCluster]) -> None:
+        if not clusters:
+            raise ValueError("network needs at least one cluster")
+        ids = [c.edge_server_id for c in clusters]
+        if len(set(ids)) != len(ids):
+            raise ValueError("duplicate edge_server_id across clusters")
+        self._clusters = {c.edge_server_id: c for c in clusters}
+
+    @classmethod
+    def homogeneous(
+        cls,
+        n_edge_servers: int,
+        devices_per_cluster: int,
+        sample_bytes: int = 785,
+        contention: SlottedAlohaModel | None = None,
+    ) -> "IoTNetwork":
+        """Build a uniform network: identical clusters for every server."""
+        if n_edge_servers < 1 or devices_per_cluster < 1:
+            raise ValueError("need at least one server and one device per cluster")
+        clusters = [
+            IoTCluster(
+                edge_server_id=server_id,
+                devices=[
+                    IoTDevice(device_id=i, sample_bytes=sample_bytes)
+                    for i in range(devices_per_cluster)
+                ],
+                contention=contention,
+            )
+            for server_id in range(n_edge_servers)
+        ]
+        return cls(clusters)
+
+    @property
+    def n_clusters(self) -> int:
+        return len(self._clusters)
+
+    def cluster(self, edge_server_id: int) -> IoTCluster:
+        if edge_server_id not in self._clusters:
+            raise KeyError(f"no cluster for edge server {edge_server_id}")
+        return self._clusters[edge_server_id]
+
+    def rho_values(self) -> dict[int, float]:
+        """Per-server ``rho_k`` constants for the energy optimizer."""
+        return {sid: c.rho for sid, c in self._clusters.items()}
+
+    def mean_rho(self) -> float:
+        """``E[rho_k]`` — the expectation entering eq. (12)'s ``B1``."""
+        return float(np.mean(list(self.rho_values().values())))
+
+    def collect_round(
+        self, requests: dict[int, int], rng: np.random.Generator
+    ) -> dict[int, CollectionReport]:
+        """Simulate step (1) for one round: ``requests[k] = n_k``."""
+        return {
+            sid: self.cluster(sid).collect(n, rng) for sid, n in requests.items()
+        }

@@ -1,0 +1,19 @@
+"""Edge-server <-> coordinator communication substrate."""
+
+from repro.net.channel import ChannelConfig, TransferResult, WirelessChannel
+from repro.net.messages import (
+    ModelMessage,
+    model_download_message,
+    model_upload_message,
+)
+from repro.net.router import Router
+
+__all__ = [
+    "ChannelConfig",
+    "TransferResult",
+    "WirelessChannel",
+    "ModelMessage",
+    "model_download_message",
+    "model_upload_message",
+    "Router",
+]

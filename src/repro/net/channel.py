@@ -1,0 +1,103 @@
+"""Wireless channel between edge servers and the coordinator.
+
+The prototype connects 20 Raspberry Pis and the coordinating laptop via
+a TP-Link WiFi router.  For the energy model only two quantities matter:
+how long a model transfer occupies the radio (which sets the duration of
+steps (2)/(4) and, with the step powers of Fig. 3, their energy), and
+how much extra power the transfer draws.  The channel model therefore
+exposes transfer *time* for a byte count at a configurable effective
+rate, with optional per-transfer latency and retransmissions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.net.messages import ModelMessage
+
+__all__ = ["ChannelConfig", "WirelessChannel", "TransferResult"]
+
+
+@dataclass(frozen=True)
+class ChannelConfig:
+    """Effective link parameters between one device and the router.
+
+    Attributes:
+        rate_bps: effective application-layer throughput in bits/second.
+            Default 20 Mbit/s, a realistic 802.11n figure for an RPi 4B
+            on 2.4 GHz through one wall.
+        latency_s: fixed per-transfer protocol latency (connection +
+            acknowledgement), seconds.
+        loss_probability: probability a transfer attempt fails entirely
+            and is retried (frame-level retransmission is folded into the
+            effective rate; this models application-level retries).
+    """
+
+    rate_bps: float = 20e6
+    latency_s: float = 0.01
+    loss_probability: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.rate_bps <= 0:
+            raise ValueError(f"rate_bps must be positive; got {self.rate_bps}")
+        if self.latency_s < 0:
+            raise ValueError(f"latency_s must be non-negative; got {self.latency_s}")
+        if not 0.0 <= self.loss_probability < 1.0:
+            raise ValueError(
+                f"loss_probability must be in [0, 1); got {self.loss_probability}"
+            )
+
+
+@dataclass(frozen=True)
+class TransferResult:
+    """Outcome of one (possibly retried) transfer."""
+
+    duration_s: float
+    attempts: int
+    payload_bytes: int
+
+
+class WirelessChannel:
+    """Transfer-time model with geometric retries.
+
+    Deterministic when ``loss_probability == 0`` (the default and the
+    paper's effective setting — its WiFi link is treated as reliable);
+    a ``rng`` is only required otherwise.
+    """
+
+    def __init__(
+        self, config: ChannelConfig, rng: np.random.Generator | None = None
+    ) -> None:
+        self.config = config
+        if config.loss_probability > 0 and rng is None:
+            raise ValueError("loss_probability > 0 requires an rng")
+        self._rng = rng
+
+    def attempt_duration(self, n_bytes: int) -> float:
+        """Time for a single transfer attempt of ``n_bytes``."""
+        if n_bytes < 0:
+            raise ValueError(f"n_bytes must be non-negative; got {n_bytes}")
+        return self.config.latency_s + 8.0 * n_bytes / self.config.rate_bps
+
+    def expected_duration(self, n_bytes: int) -> float:
+        """Expected total duration including retries (geometric attempts)."""
+        single = self.attempt_duration(n_bytes)
+        return single / (1.0 - self.config.loss_probability)
+
+    def transfer(self, n_bytes: int) -> TransferResult:
+        """Simulate one transfer, drawing retries when the link is lossy."""
+        attempts = 1
+        if self.config.loss_probability > 0:
+            assert self._rng is not None
+            while self._rng.random() < self.config.loss_probability:
+                attempts += 1
+        duration = attempts * self.attempt_duration(n_bytes)
+        return TransferResult(
+            duration_s=duration, attempts=attempts, payload_bytes=n_bytes
+        )
+
+    def transfer_message(self, message: ModelMessage) -> TransferResult:
+        """Simulate the transfer of a model message."""
+        return self.transfer(message.total_bytes)

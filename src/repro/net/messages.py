@@ -1,0 +1,65 @@
+"""Message sizes exchanged between edge servers and the coordinator.
+
+Step (2) of each FEI round downloads the global model to every selected
+edge server; step (3)/(4) uploads each locally trained model back.  Both
+messages carry the flat parameter vector plus a small framing header, so
+their size is determined by the model architecture (784*10 + 10 floats
+for the paper's logistic regression).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.fl.model import LogisticRegressionConfig
+
+__all__ = ["ModelMessage", "model_download_message", "model_upload_message"]
+
+# Fixed per-message framing overhead: message type, round index, client
+# id, and length fields.  Small compared to the 31 kB parameter payload.
+_HEADER_BYTES = 64
+
+
+@dataclass(frozen=True)
+class ModelMessage:
+    """One model transfer between coordinator and an edge server.
+
+    Attributes:
+        direction: ``"download"`` (coordinator -> server) or ``"upload"``.
+        payload_bytes: serialised parameter-vector size.
+        header_bytes: framing overhead.
+    """
+
+    direction: str
+    payload_bytes: int
+    header_bytes: int = _HEADER_BYTES
+
+    def __post_init__(self) -> None:
+        if self.direction not in ("download", "upload"):
+            raise ValueError(
+                f"direction must be 'download' or 'upload'; got {self.direction!r}"
+            )
+        if self.payload_bytes < 0 or self.header_bytes < 0:
+            raise ValueError("sizes must be non-negative")
+
+    @property
+    def total_bytes(self) -> int:
+        return self.payload_bytes + self.header_bytes
+
+    @property
+    def total_bits(self) -> int:
+        return 8 * self.total_bytes
+
+
+def model_download_message(
+    config: LogisticRegressionConfig, dtype_bytes: int = 4
+) -> ModelMessage:
+    """The global-model message of step (2)."""
+    return ModelMessage("download", config.parameter_bytes(dtype_bytes))
+
+
+def model_upload_message(
+    config: LogisticRegressionConfig, dtype_bytes: int = 4
+) -> ModelMessage:
+    """The local-model message of step (4)."""
+    return ModelMessage("upload", config.parameter_bytes(dtype_bytes))

@@ -1,0 +1,97 @@
+"""The coordination network: a router linking edge servers to the coordinator.
+
+Models the prototype's star topology (every Pi talks to the laptop
+through one WiFi router).  The router serialises nothing — WiFi is a
+shared medium, but model transfers in FEI are staggered by the protocol
+(downloads fan out at the start of a round, uploads trickle in as servers
+finish) — so the default model gives each transfer the full link rate.
+A ``shared_medium=True`` mode divides the rate by the number of
+concurrent transfers for the congestion ablation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.net.channel import ChannelConfig, WirelessChannel
+from repro.net.messages import ModelMessage
+
+__all__ = ["Router"]
+
+
+@dataclass(frozen=True)
+class _Link:
+    device_id: int
+    channel: WirelessChannel
+
+
+class Router:
+    """Star-topology coordination network.
+
+    Args:
+        n_devices: number of edge servers attached.
+        config: channel parameters shared by all links (heterogeneous
+            links can be set after construction via :meth:`set_link`).
+        shared_medium: when True, a transfer occurring with ``m``
+            concurrent transfers takes ``m`` times as long.
+        rng: randomness source for lossy links.
+    """
+
+    def __init__(
+        self,
+        n_devices: int,
+        config: ChannelConfig | None = None,
+        shared_medium: bool = False,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if n_devices < 1:
+            raise ValueError(f"n_devices must be >= 1; got {n_devices}")
+        self.n_devices = n_devices
+        self.shared_medium = shared_medium
+        base = config or ChannelConfig()
+        self._links = [
+            _Link(i, WirelessChannel(base, rng)) for i in range(n_devices)
+        ]
+
+    def set_link(self, device_id: int, channel: WirelessChannel) -> None:
+        """Replace the channel of one device (heterogeneous links)."""
+        self._check_device(device_id)
+        self._links[device_id] = _Link(device_id, channel)
+
+    def link(self, device_id: int) -> WirelessChannel:
+        """The channel serving ``device_id``."""
+        self._check_device(device_id)
+        return self._links[device_id].channel
+
+    def _check_device(self, device_id: int) -> None:
+        if not 0 <= device_id < self.n_devices:
+            raise ValueError(
+                f"device_id must be in [0, {self.n_devices}); got {device_id}"
+            )
+
+    def transfer_duration(
+        self, device_id: int, message: ModelMessage, concurrent: int = 1
+    ) -> float:
+        """Duration of one model transfer for ``device_id``.
+
+        ``concurrent`` is the number of simultaneous transfers sharing the
+        medium (only relevant with ``shared_medium=True``).
+        """
+        if concurrent < 1:
+            raise ValueError(f"concurrent must be >= 1; got {concurrent}")
+        duration = self.link(device_id).transfer_message(message).duration_s
+        if self.shared_medium:
+            duration *= concurrent
+        return duration
+
+    def broadcast_duration(
+        self, device_ids: list[int], message: ModelMessage
+    ) -> dict[int, float]:
+        """Durations for the coordinator fanning a message to many devices."""
+        concurrent = len(device_ids) if self.shared_medium else 1
+        return {
+            device_id: self.transfer_duration(device_id, message, concurrent)
+            for device_id in device_ids
+        }

@@ -1,0 +1,6 @@
+"""Discrete-event simulation engine used by the hardware substrate."""
+
+from repro.sim.engine import Event, Simulator
+from repro.sim.processes import Segment, StepProcess
+
+__all__ = ["Event", "Simulator", "Segment", "StepProcess"]

@@ -1,0 +1,143 @@
+"""A small discrete-event simulation engine.
+
+The hardware-prototype substrate replays the FEI round structure
+(waiting → download → train → upload) as timed events on a shared clock
+so that per-device power traces line up the way they did on the paper's
+physical testbed (20 Raspberry Pis synchronised by the coordinator).
+
+The engine is deliberately generic: events are ``(time, priority, seq,
+action)`` tuples on a heap; actions are callables receiving the
+simulator, may schedule further events, and run in deterministic order
+(time, then priority, then insertion order).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+__all__ = ["Event", "Simulator"]
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled action, ordered by (time, priority, sequence number)."""
+
+    time: float
+    priority: int
+    sequence: int
+    action: Callable[["Simulator"], None] = field(compare=False)
+    label: str = field(default="", compare=False)
+
+
+class Simulator:
+    """Deterministic event-driven simulator with a floating-point clock."""
+
+    def __init__(self) -> None:
+        self._queue: list[Event] = []
+        self._sequence = itertools.count()
+        self._now = 0.0
+        self._processed = 0
+        self._trace: list[tuple[float, str]] = []
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of events executed so far."""
+        return self._processed
+
+    @property
+    def pending(self) -> int:
+        """Number of events still queued."""
+        return len(self._queue)
+
+    @property
+    def trace(self) -> list[tuple[float, str]]:
+        """Chronological ``(time, label)`` log of executed labelled events."""
+        return list(self._trace)
+
+    def schedule(
+        self,
+        delay: float,
+        action: Callable[["Simulator"], None],
+        priority: int = 0,
+        label: str = "",
+    ) -> Event:
+        """Schedule ``action`` to run ``delay`` seconds from now.
+
+        Returns the :class:`Event`, which can be cancelled with
+        :meth:`cancel`.
+        """
+        if delay < 0:
+            raise ValueError(f"delay must be non-negative; got {delay}")
+        event = Event(
+            time=self._now + delay,
+            priority=priority,
+            sequence=next(self._sequence),
+            action=action,
+            label=label,
+        )
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule_at(
+        self,
+        time: float,
+        action: Callable[["Simulator"], None],
+        priority: int = 0,
+        label: str = "",
+    ) -> Event:
+        """Schedule ``action`` at an absolute simulation time."""
+        if time < self._now:
+            raise ValueError(
+                f"cannot schedule in the past: {time} < now {self._now}"
+            )
+        return self.schedule(time - self._now, action, priority, label)
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a pending event (no-op if it already ran)."""
+        event.action = _cancelled
+
+    def step(self) -> bool:
+        """Execute the next event.  Returns False when the queue is empty."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.action is _cancelled:
+                continue
+            self._now = event.time
+            if event.label:
+                self._trace.append((event.time, event.label))
+            event.action(self)
+            self._processed += 1
+            return True
+        return False
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> None:
+        """Run events in order, optionally bounded by time or event count.
+
+        With ``until`` set, the clock is advanced to exactly ``until`` even
+        when the queue empties earlier, and events after ``until`` remain
+        queued.
+        """
+        executed = 0
+        while self._queue:
+            if max_events is not None and executed >= max_events:
+                return
+            if until is not None and self._queue[0].time > until:
+                break
+            if not self.step():
+                break
+            executed += 1
+        if until is not None and until > self._now:
+            self._now = until
+
+
+def _cancelled(sim: Simulator) -> None:
+    """Sentinel action for cancelled events (never executed)."""
+    raise AssertionError("cancelled event executed")

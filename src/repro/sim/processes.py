@@ -1,0 +1,136 @@
+"""Piecewise-constant processes over simulation time.
+
+The power draw of an edge server during a training round is a step
+function of time: 3.6 W while waiting, 4.286 W while downloading, and so
+on (Fig. 3 of the paper).  :class:`StepProcess` models such signals and
+supports the two operations the prototype needs: point evaluation (what
+the power meter samples) and exact integration (ground-truth energy).
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Segment", "StepProcess"]
+
+
+@dataclass(frozen=True)
+class Segment:
+    """One constant-valued interval ``[start, end)`` of a step process."""
+
+    start: float
+    end: float
+    value: float
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise ValueError(
+                f"segment must have positive duration; got [{self.start}, {self.end})"
+            )
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class StepProcess:
+    """A right-open piecewise-constant function of time.
+
+    Segments must be appended in chronological order and be contiguous
+    (each starts where the previous ended); gaps are not allowed because
+    a physical device always draws *some* power.
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._segments: list[Segment] = []
+        self._starts: list[float] = []
+        self._start_time = start_time
+
+    @property
+    def segments(self) -> tuple[Segment, ...]:
+        return tuple(self._segments)
+
+    @property
+    def start_time(self) -> float:
+        return self._start_time
+
+    @property
+    def end_time(self) -> float:
+        """End of the last segment (== start time when empty)."""
+        return self._segments[-1].end if self._segments else self._start_time
+
+    @property
+    def duration(self) -> float:
+        return self.end_time - self.start_time
+
+    def append(self, duration: float, value: float, label: str = "") -> Segment:
+        """Append a constant segment of ``duration`` seconds at the end."""
+        if duration <= 0:
+            raise ValueError(f"duration must be positive; got {duration}")
+        start = self.end_time
+        segment = Segment(start, start + duration, value, label)
+        self._segments.append(segment)
+        self._starts.append(start)
+        return segment
+
+    def extend(self, other: "StepProcess") -> None:
+        """Append all of ``other``'s segments after this process."""
+        for segment in other.segments:
+            self.append(segment.duration, segment.value, segment.label)
+
+    def value_at(self, time: float) -> float:
+        """Evaluate the process at ``time`` (right-open segments).
+
+        Querying at exactly ``end_time`` returns the final segment's value
+        so meters sampling the closing instant see a defined signal.
+        """
+        if not self._segments:
+            raise ValueError("process has no segments")
+        if time < self._start_time or time > self.end_time:
+            raise ValueError(
+                f"time {time} outside process span "
+                f"[{self._start_time}, {self.end_time}]"
+            )
+        index = bisect.bisect_right(self._starts, time) - 1
+        index = max(index, 0)
+        return self._segments[index].value
+
+    def values_at(self, times: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`value_at` for sorted or unsorted sample times."""
+        times = np.asarray(times, dtype=float)
+        if times.size and (times.min() < self._start_time or times.max() > self.end_time):
+            raise ValueError("sample times outside the process span")
+        starts = np.array(self._starts)
+        values = np.array([s.value for s in self._segments])
+        indices = np.clip(np.searchsorted(starts, times, side="right") - 1, 0, None)
+        return values[indices]
+
+    def integral(self, start: float | None = None, end: float | None = None) -> float:
+        """Exact integral of the process over ``[start, end]``.
+
+        For a power process this is the energy in joules.  Defaults to the
+        full span.
+        """
+        if not self._segments:
+            return 0.0
+        lo = self._start_time if start is None else start
+        hi = self.end_time if end is None else end
+        if lo > hi:
+            raise ValueError(f"empty integration range [{lo}, {hi}]")
+        total = 0.0
+        for segment in self._segments:
+            overlap = min(segment.end, hi) - max(segment.start, lo)
+            if overlap > 0:
+                total += overlap * segment.value
+        return total
+
+    def labelled_spans(self) -> dict[str, float]:
+        """Total duration per segment label (e.g. seconds spent training)."""
+        spans: dict[str, float] = {}
+        for segment in self._segments:
+            spans[segment.label] = spans.get(segment.label, 0.0) + segment.duration
+        return spans

@@ -1,0 +1,150 @@
+"""Unit tests for the Alternate Convex Search solver (Algorithm 1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.acs import ACSSolver
+from repro.core.baselines import grid_search
+from repro.core.convergence import ConvergenceBound
+from repro.core.energy_model import EnergyParams
+from repro.core.objective import EnergyObjective
+
+
+def _objective(
+    a0: float = 5.0,
+    a1: float = 0.02,
+    a2: float = 1e-4,
+    epsilon: float = 0.05,
+    n_servers: int = 20,
+    n_samples: int = 3000,
+    rho: float = 1e-3,
+    e_upload: float = 2.0,
+) -> EnergyObjective:
+    return EnergyObjective(
+        bound=ConvergenceBound(a0=a0, a1=a1, a2=a2),
+        energy=EnergyParams(rho=rho, e_upload=e_upload, n_samples=n_samples),
+        epsilon=epsilon,
+        n_servers=n_servers,
+    )
+
+
+class TestContinuousSolve:
+    def test_converges_with_history(self) -> None:
+        solver = ACSSolver(_objective())
+        result = solver.solve()
+        assert result.converged
+        assert result.n_iterations >= 2
+        assert result.iterates[0].iteration == 0
+
+    def test_objective_monotone_nonincreasing(self) -> None:
+        result = ACSSolver(_objective(a1=0.3, a2=5e-4)).solve()
+        values = [it.objective_value for it in result.iterates]
+        assert all(b <= a + 1e-9 for a, b in zip(values, values[1:]))
+
+    def test_solution_is_partial_optimum(self) -> None:
+        # At an ACS fixed point, neither coordinate can improve alone.
+        obj = _objective(a1=0.3, a2=5e-4)
+        result = ACSSolver(obj).solve()
+        k, e = result.participants, result.epochs
+        base = obj.value(k, e)
+        for dk in (-0.01, 0.01):
+            if obj.is_feasible(k + dk, e):
+                assert obj.value(k + dk, e) >= base - 1e-9
+        for de in (-0.01, 0.01):
+            if e + de >= 1 and obj.is_feasible(k, e + de):
+                assert obj.value(k, e + de) >= base - 1e-9
+
+    def test_insensitive_to_initial_point(self) -> None:
+        obj = _objective(a1=0.3, a2=5e-4)
+        from_top = ACSSolver(obj).solve(k0=20.0, e0=1.0)
+        lo, hi = obj.e_domain(20.0)
+        from_side = ACSSolver(obj).solve(k0=20.0, e0=min(50.0, hi))
+        assert from_top.objective_value == pytest.approx(
+            from_side.objective_value, rel=1e-6
+        )
+
+    def test_infeasible_initial_point_raises(self) -> None:
+        obj = _objective(a1=0.5)
+        with pytest.raises(ValueError, match="infeasible"):
+            ACSSolver(obj).solve(k0=1.0, e0=1.0)
+
+    def test_infeasible_problem_raises(self) -> None:
+        # Even K = N cannot meet the target.
+        obj = _objective(a1=2.0, epsilon=0.05, n_servers=20)
+        with pytest.raises(ValueError, match="no feasible K"):
+            ACSSolver(obj).solve()
+
+    @pytest.mark.parametrize(
+        "kwargs", [{"residual": 0.0}, {"residual": -1.0}, {"max_iterations": 0}]
+    )
+    def test_rejects_invalid_solver_config(self, kwargs: dict) -> None:
+        with pytest.raises(ValueError):
+            ACSSolver(_objective(), **kwargs)
+
+
+class TestIntegerSolve:
+    @pytest.mark.parametrize(
+        "objective_kwargs",
+        [
+            {},  # defaults: interior-ish optimum
+            {"a1": 0.3, "a2": 5e-4},  # strongly interior in both axes
+            {"a1": 1e-5, "a2": 1e-5},  # K* clipped to 1
+            {"a1": 0.9, "epsilon": 0.05},  # K* clipped to N
+            {"a2": 0.0},  # no drift: E knee at T* = 1
+            {"a2": 0.0, "a1": 0.0},  # pure optimisation term
+            {"epsilon": 0.5},  # loose target, T small
+        ],
+    )
+    def test_matches_grid_search(self, objective_kwargs: dict) -> None:
+        obj = _objective(**objective_kwargs)
+        plan = ACSSolver(obj).solve()
+        best = grid_search(obj, max_epochs=1500)
+        assert plan.energy_int is not None
+        assert plan.energy_int == pytest.approx(best.energy, rel=1e-12)
+
+    def test_integer_fields_populated(self) -> None:
+        result = ACSSolver(_objective()).solve()
+        assert result.participants_int is not None
+        assert result.epochs_int is not None
+        assert result.rounds_int is not None
+        assert result.rounds_int >= 1
+        assert 1 <= result.participants_int <= 20
+        assert result.epochs_int >= 1
+
+    def test_rounding_disabled(self) -> None:
+        result = ACSSolver(_objective()).solve(round_to_integers=False)
+        assert result.participants_int is None
+        assert result.epochs_int is None
+        assert result.rounds_int is None
+        assert result.energy_int is None
+
+    def test_integer_plan_is_feasible(self) -> None:
+        obj = _objective(a1=0.3, a2=5e-4)
+        result = ACSSolver(obj).solve()
+        assert obj.is_feasible(result.participants_int, result.epochs_int)
+
+    def test_integer_energy_close_to_continuous(self) -> None:
+        # The integer plan can cost more (ceiling on T) but never less
+        # than the continuous lower bound, and shouldn't be absurdly far.
+        obj = _objective(a1=0.3, a2=5e-4)
+        result = ACSSolver(obj).solve()
+        assert result.energy_int >= result.objective_value - 1e-9
+        assert result.energy_int <= 3.0 * result.objective_value
+
+
+class TestSeedEpochs:
+    def test_seed_clamps_to_t_equals_one_knee(self) -> None:
+        obj = _objective(a2=0.0)
+        solver = ACSSolver(obj)
+        seed = solver._seed_epochs(1, 1e6)
+        # At the seed T* is already 1; one epoch earlier it is above 1.
+        assert obj.bound.required_rounds(obj.epsilon, seed, 1) < 1.0
+        if seed > 1:
+            assert obj.bound.required_rounds(obj.epsilon, seed - 1, 1) >= 1.0
+
+    def test_seed_keeps_small_e(self) -> None:
+        obj = _objective()
+        solver = ACSSolver(obj)
+        assert solver._seed_epochs(5, 3.0) == 3

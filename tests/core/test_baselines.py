@@ -1,0 +1,138 @@
+"""Unit tests for the baseline policies."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.baselines import (
+    fixed_policy,
+    grid_search,
+    optimize_e_only,
+    optimize_k_only,
+    random_search,
+)
+from repro.core.convergence import ConvergenceBound
+from repro.core.energy_model import EnergyParams
+from repro.core.objective import EnergyObjective
+
+
+@pytest.fixture()
+def objective() -> EnergyObjective:
+    return EnergyObjective(
+        bound=ConvergenceBound(a0=5.0, a1=0.02, a2=1e-4),
+        energy=EnergyParams(rho=1e-3, e_upload=2.0, n_samples=3000),
+        epsilon=0.05,
+        n_servers=20,
+    )
+
+
+class TestFixedPolicy:
+    def test_baseline_k1_e1(self, objective: EnergyObjective) -> None:
+        result = fixed_policy(objective, 1, 1)
+        assert result.participants == 1
+        assert result.epochs == 1
+        assert result.energy == pytest.approx(objective.value_integer(1, 1))
+        assert result.rounds == objective.bound.required_rounds_int(0.05, 1, 1)
+
+    def test_custom_name(self, objective: EnergyObjective) -> None:
+        assert fixed_policy(objective, 2, 3, name="mine").name == "mine"
+
+    def test_infeasible_raises(self, objective: EnergyObjective) -> None:
+        bad = EnergyObjective(
+            bound=ConvergenceBound(a0=5.0, a1=0.5, a2=0.0),
+            energy=objective.energy,
+            epsilon=0.05,
+            n_servers=20,
+        )
+        with pytest.raises(ValueError, match="infeasible"):
+            fixed_policy(bad, 1, 1)
+
+    def test_savings_vs(self, objective: EnergyObjective) -> None:
+        expensive = fixed_policy(objective, 1, 1)
+        cheap = grid_search(objective, max_epochs=500)
+        saving = cheap.savings_vs(expensive)
+        assert 0.0 < saving < 1.0
+
+    def test_savings_vs_rejects_zero_reference(self, objective) -> None:
+        result = fixed_policy(objective, 1, 1)
+        zero = fixed_policy(objective, 1, 1)
+        object.__setattr__(zero, "energy", 0.0)
+        with pytest.raises(ValueError, match="positive"):
+            result.savings_vs(zero)
+
+
+class TestGridSearch:
+    def test_finds_global_integer_minimum(self, objective: EnergyObjective) -> None:
+        best = grid_search(objective, max_epochs=300)
+        # Verify against a direct scan.
+        values = []
+        for k in range(1, 21):
+            for e in range(1, 301):
+                if objective.is_feasible(k, e):
+                    values.append(objective.value_integer(k, e))
+        assert best.energy == pytest.approx(min(values))
+
+    def test_counts_evaluations(self, objective: EnergyObjective) -> None:
+        best = grid_search(objective, max_epochs=50)
+        assert best.evaluations > 0
+
+    def test_infeasible_everywhere_raises(self) -> None:
+        objective = EnergyObjective(
+            bound=ConvergenceBound(a0=5.0, a1=5.0, a2=0.0),
+            energy=EnergyParams(rho=0.0),
+            epsilon=0.05,
+            n_servers=20,
+        )
+        with pytest.raises(ValueError, match="no feasible"):
+            grid_search(objective)
+
+
+class TestRandomSearch:
+    def test_finds_feasible_plan(self, objective: EnergyObjective) -> None:
+        result = random_search(objective, 200, np.random.default_rng(0), max_epochs=300)
+        assert objective.is_feasible(result.participants, result.epochs)
+
+    def test_never_beats_grid(self, objective: EnergyObjective) -> None:
+        grid = grid_search(objective, max_epochs=300)
+        rand = random_search(objective, 500, np.random.default_rng(1), max_epochs=300)
+        assert rand.energy >= grid.energy - 1e-12
+
+    def test_more_trials_no_worse(self, objective: EnergyObjective) -> None:
+        few = random_search(objective, 20, np.random.default_rng(2), max_epochs=300)
+        many = random_search(objective, 2000, np.random.default_rng(2), max_epochs=300)
+        assert many.energy <= few.energy + 1e-12
+
+    def test_rejects_nonpositive_trials(self, objective: EnergyObjective) -> None:
+        with pytest.raises(ValueError, match="n_trials"):
+            random_search(objective, 0, np.random.default_rng(0))
+
+
+class TestSingleParameter:
+    def test_k_only_feasible_and_integer(self, objective: EnergyObjective) -> None:
+        result = optimize_k_only(objective, epochs=2)
+        assert result.epochs == 2
+        assert objective.is_feasible(result.participants, 2)
+
+    def test_e_only_feasible_and_integer(self, objective: EnergyObjective) -> None:
+        result = optimize_e_only(objective, participants=3)
+        assert result.participants == 3
+        assert objective.is_feasible(3, result.epochs)
+
+    def test_joint_beats_or_ties_single_parameter(
+        self, objective: EnergyObjective
+    ) -> None:
+        # The paper's core argument: joint (K, E) optimisation dominates
+        # single-parameter tuning.
+        joint = grid_search(objective, max_epochs=300)
+        k_only = optimize_k_only(objective, epochs=1)
+        e_only = optimize_e_only(objective, participants=1)
+        assert joint.energy <= k_only.energy + 1e-12
+        assert joint.energy <= e_only.energy + 1e-12
+
+    def test_k_only_near_closed_form(self, objective: EnergyObjective) -> None:
+        from repro.core.closed_form import k_star
+
+        result = optimize_k_only(objective, epochs=2)
+        continuous = k_star(objective, 2)
+        assert abs(result.participants - continuous) <= 1.0

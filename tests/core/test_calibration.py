@@ -1,0 +1,198 @@
+"""Unit tests for the calibration fits (§VI-B)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import constants
+from repro.core.calibration import (
+    GapObservation,
+    fit_convergence_constants,
+    fit_training_energy,
+    fit_training_timing,
+    gap_observations_from_history,
+)
+from repro.core.convergence import ConvergenceBound
+from repro.fl.metrics import RoundRecord, TrainingHistory
+
+
+class TestEnergyFit:
+    def test_recovers_paper_constants_from_table1(self) -> None:
+        fit = fit_training_energy(
+            dict(constants.TABLE_I_DURATIONS), constants.POWER_TRAINING_W
+        )
+        # The paper reports c0 = 7.79e-5 and c1 = 3.34e-3 from this data.
+        # c0 reproduces to <1%; plain least squares on the printed grid
+        # gives c1 ~ 2.6e-3 rather than 3.34e-3 (the paper's fit likely
+        # used raw traces, not the rounded table), so c1 gets a loose
+        # tolerance.
+        assert fit.c0 == pytest.approx(constants.C0_JOULES_PER_SAMPLE_EPOCH, rel=0.02)
+        assert fit.c1 == pytest.approx(constants.C1_JOULES_PER_EPOCH, rel=0.35)
+
+    def test_exact_recovery_from_synthetic_grid(self) -> None:
+        c0, c1, power = 2e-5, 4e-3, 5.0
+        durations = {
+            (e, n): e * (c0 * n + c1) / power
+            for e in (1, 5, 10)
+            for n in (50, 500, 5000)
+        }
+        fit = fit_training_energy(durations, power)
+        assert fit.c0 == pytest.approx(c0, rel=1e-10)
+        assert fit.c1 == pytest.approx(c1, rel=1e-10)
+        assert fit.rmse == pytest.approx(0.0, abs=1e-12)
+
+    def test_noisy_grid_recovers_approximately(self) -> None:
+        rng = np.random.default_rng(0)
+        c0, c1, power = 7.79e-5, 3.34e-3, 5.553
+        durations = {
+            (e, n): e * (c0 * n + c1) / power * (1 + rng.normal(0, 0.02))
+            for e in (10, 20, 40)
+            for n in (100, 500, 1000, 2000)
+        }
+        fit = fit_training_energy(durations, power)
+        assert fit.c0 == pytest.approx(c0, rel=0.1)
+        assert fit.rmse > 0
+
+    def test_timing_fit_is_energy_fit_over_power(self) -> None:
+        timing = fit_training_timing(dict(constants.TABLE_I_DURATIONS))
+        energy = fit_training_energy(
+            dict(constants.TABLE_I_DURATIONS), constants.POWER_TRAINING_W
+        )
+        assert energy.c0 == pytest.approx(
+            timing.tau0 * constants.POWER_TRAINING_W, rel=1e-10
+        )
+        assert energy.c1 == pytest.approx(
+            timing.tau1 * constants.POWER_TRAINING_W, rel=1e-10
+        )
+
+    def test_rejects_too_few_points(self) -> None:
+        with pytest.raises(ValueError, match="at least two"):
+            fit_training_energy({(1, 10): 0.5}, 5.0)
+
+    def test_rejects_bad_measurements(self) -> None:
+        with pytest.raises(ValueError, match="positive"):
+            fit_training_energy({(1, 10): -0.5, (2, 10): 0.5}, 5.0)
+        with pytest.raises(ValueError, match="invalid measurement"):
+            fit_training_energy({(0, 10): 0.5, (2, 10): 0.5}, 5.0)
+        with pytest.raises(ValueError, match="training power"):
+            fit_training_energy({(1, 10): 0.5, (2, 10): 0.9}, 0.0)
+
+
+class TestConvergenceFit:
+    def _synthetic_observations(
+        self, bound: ConvergenceBound, noise: float = 0.0, seed: int = 0
+    ) -> list[GapObservation]:
+        rng = np.random.default_rng(seed)
+        observations = []
+        for k in (1, 2, 5, 10, 20):
+            for e in (1, 5, 20, 60):
+                for t in (5, 20, 80):
+                    gap = bound.loss_gap(t, e, k) * (1 + noise * rng.normal())
+                    observations.append(GapObservation(t, e, k, max(gap, 1e-6)))
+        return observations
+
+    def test_exact_recovery(self) -> None:
+        truth = ConvergenceBound(a0=12.0, a1=0.3, a2=2e-3)
+        fitted = fit_convergence_constants(self._synthetic_observations(truth))
+        assert fitted.a0 == pytest.approx(truth.a0, rel=1e-6)
+        assert fitted.a1 == pytest.approx(truth.a1, rel=1e-6)
+        assert fitted.a2 == pytest.approx(truth.a2, rel=1e-6)
+
+    def test_noisy_recovery(self) -> None:
+        truth = ConvergenceBound(a0=12.0, a1=0.3, a2=2e-3)
+        fitted = fit_convergence_constants(
+            self._synthetic_observations(truth, noise=0.05, seed=3)
+        )
+        assert fitted.a0 == pytest.approx(truth.a0, rel=0.15)
+        assert fitted.a1 == pytest.approx(truth.a1, rel=0.15)
+        assert fitted.a2 == pytest.approx(truth.a2, rel=0.25)
+
+    def test_absolute_weighting_mode(self) -> None:
+        truth = ConvergenceBound(a0=12.0, a1=0.3, a2=2e-3)
+        fitted = fit_convergence_constants(
+            self._synthetic_observations(truth), weighting="absolute"
+        )
+        assert fitted.a0 == pytest.approx(truth.a0, rel=1e-6)
+
+    def test_nonnegativity_enforced(self) -> None:
+        # Gaps that *grow* with 1/K would want A1 < 0; NNLS clamps it.
+        observations = [
+            GapObservation(10, 1, 1, 0.1),
+            GapObservation(10, 1, 2, 0.2),
+            GapObservation(10, 1, 10, 0.9),
+            GapObservation(20, 1, 10, 0.8),
+        ]
+        fitted = fit_convergence_constants(observations)
+        assert fitted.a1 >= 0.0
+        assert fitted.a2 >= 0.0
+
+    def test_a0_floor_applied(self) -> None:
+        # Constant gaps identify no 1/(TE) term; A0 must still be valid.
+        observations = [
+            GapObservation(t, 1, k, 0.5) for t in (10, 20) for k in (1, 2, 4)
+        ]
+        fitted = fit_convergence_constants(observations, min_a0=1e-9)
+        assert fitted.a0 >= 1e-9
+
+    def test_rejects_too_few(self) -> None:
+        with pytest.raises(ValueError, match="at least three"):
+            fit_convergence_constants([GapObservation(1, 1, 1, 0.5)] * 2)
+
+    def test_rejects_unknown_weighting(self) -> None:
+        obs = [GapObservation(1, 1, 1, 0.5)] * 3
+        with pytest.raises(ValueError, match="weighting"):
+            fit_convergence_constants(obs, weighting="huber")
+
+    def test_observation_validation(self) -> None:
+        with pytest.raises(ValueError, match="gap must be positive"):
+            GapObservation(1, 1, 1, 0.0)
+        with pytest.raises(ValueError, match=">= 1"):
+            GapObservation(0, 1, 1, 0.5)
+
+
+class TestHistoryConversion:
+    def _history(self, losses: list[float], epochs: int = 4) -> TrainingHistory:
+        history = TrainingHistory()
+        for t, loss in enumerate(losses):
+            history.append(
+                RoundRecord(
+                    round_index=t,
+                    train_loss=loss,
+                    test_accuracy=0.5,
+                    participants=(0,),
+                    local_epochs=epochs,
+                    learning_rate=0.01,
+                )
+            )
+        return history
+
+    def test_produces_observations(self) -> None:
+        history = self._history([2.0, 1.5, 1.2, 1.1])
+        obs = gap_observations_from_history(history, participants=3, f_star=1.0)
+        assert len(obs) == 4
+        assert obs[0].rounds == 1
+        assert obs[0].gap == pytest.approx(1.0)
+        assert all(o.participants == 3 and o.epochs == 4 for o in obs)
+
+    def test_stride_subsamples(self) -> None:
+        history = self._history([2.0, 1.5, 1.2, 1.1, 1.05, 1.01])
+        obs = gap_observations_from_history(history, 1, f_star=1.0, stride=2)
+        assert [o.rounds for o in obs] == [1, 3, 5]
+
+    def test_burn_in_drops_prefix(self) -> None:
+        history = self._history([2.0, 1.5, 1.2, 1.1])
+        obs = gap_observations_from_history(history, 1, f_star=1.0, burn_in=2)
+        assert [o.rounds for o in obs] == [3, 4]
+
+    def test_non_positive_gaps_dropped(self) -> None:
+        history = self._history([2.0, 1.0, 0.5])
+        obs = gap_observations_from_history(history, 1, f_star=1.0)
+        assert [o.rounds for o in obs] == [1]
+
+    def test_rejects_bad_args(self) -> None:
+        history = self._history([2.0])
+        with pytest.raises(ValueError, match="stride"):
+            gap_observations_from_history(history, 1, 0.0, stride=0)
+        with pytest.raises(ValueError, match="burn_in"):
+            gap_observations_from_history(history, 1, 0.0, burn_in=-1)

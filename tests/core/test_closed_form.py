@@ -1,0 +1,165 @@
+"""Unit tests for the closed-form optima (eqs. 15 and 17)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.closed_form import (
+    e_star,
+    e_star_unclipped,
+    k_star,
+    k_star_unclipped,
+)
+from repro.core.convergence import ConvergenceBound
+from repro.core.energy_model import EnergyParams
+from repro.core.objective import EnergyObjective
+
+
+def _objective(
+    a0: float = 5.0,
+    a1: float = 0.02,
+    a2: float = 1e-4,
+    epsilon: float = 0.05,
+    n_servers: int = 20,
+    rho: float = 1e-3,
+    e_upload: float = 2.0,
+) -> EnergyObjective:
+    return EnergyObjective(
+        bound=ConvergenceBound(a0=a0, a1=a1, a2=a2),
+        energy=EnergyParams(rho=rho, e_upload=e_upload, n_samples=3000),
+        epsilon=epsilon,
+        n_servers=n_servers,
+    )
+
+
+class TestKStar:
+    def test_unclipped_formula(self) -> None:
+        obj = _objective()
+        e = 3.0
+        expected = 2 * obj.bound.a1 / (obj.epsilon - obj.bound.a2 * (e - 1))
+        assert k_star_unclipped(obj, e) == pytest.approx(expected)
+
+    def test_stationary_point_is_first_order_optimal(self) -> None:
+        # Derivative of the objective in K vanishes at the unclipped K*.
+        obj = _objective(a1=0.3)  # interior optimum
+        e = 2.0
+        k = k_star_unclipped(obj, e)
+        h = 1e-5
+        derivative = (obj.value(k + h, e) - obj.value(k - h, e)) / (2 * h)
+        assert abs(derivative) < 1e-6 * obj.value(k, e)
+
+    def test_matches_numeric_minimum(self) -> None:
+        obj = _objective(a1=0.3)
+        e = 2.0
+        star = k_star(obj, e)
+        lo, hi = obj.k_domain(e)
+        grid = np.linspace(lo, hi, 4000)
+        numeric = grid[np.argmin([obj.value(float(k), e) for k in grid])]
+        assert star == pytest.approx(numeric, abs=(hi - lo) / 1000)
+
+    def test_clipped_to_one(self) -> None:
+        # Tiny A1: the variance term is negligible, K* = 1 (the paper's
+        # iid conclusion in Fig. 5).
+        obj = _objective(a1=1e-4)
+        assert k_star(obj, 1.0) == 1.0
+
+    def test_clipped_to_n(self) -> None:
+        # Huge A1 relative to eps: K* wants to exceed N.
+        obj = _objective(a1=0.9, epsilon=0.05, n_servers=20)
+        assert k_star(obj, 1.0) == 20.0
+
+    def test_zero_a1_returns_edge(self) -> None:
+        obj = _objective(a1=0.0)
+        assert k_star_unclipped(obj, 1.0) == 1.0
+
+    def test_drift_dominated_raises(self) -> None:
+        obj = _objective(a2=0.1, epsilon=0.05)
+        with pytest.raises(ValueError, match="drift limit"):
+            k_star_unclipped(obj, 10.0)
+
+    def test_respects_feasibility_edge(self) -> None:
+        # When K* = 1 would be infeasible, the clipped value sits on the
+        # feasible edge instead.
+        obj = _objective(a1=0.08, epsilon=0.05)  # needs K > 1.6
+        star = k_star(obj, 1.0)
+        assert obj.is_feasible(star, 1.0)
+
+
+class TestEStar:
+    def test_exact_root_satisfies_first_order_condition(self) -> None:
+        obj = _objective(a2=5e-4)
+        k = 10.0
+        e = e_star_unclipped(obj, k)
+        h = 1e-5
+        derivative = (obj.value(k, e + h) - obj.value(k, e - h)) / (2 * h)
+        assert abs(derivative) < 1e-6 * obj.value(k, e)
+
+    def test_exact_root_solves_quadratic(self) -> None:
+        obj = _objective(a2=5e-4)
+        k = 10.0
+        e = e_star_unclipped(obj, k)
+        a1, a2 = obj.bound.a1, obj.bound.a2
+        b0, b1 = obj.energy.b0, obj.energy.b1
+        c4 = obj.epsilon * k - a1 + a2 * k
+        residual = a2 * k * b0 * e**2 + 2 * a2 * k * b1 * e - b1 * c4
+        assert residual == pytest.approx(0.0, abs=1e-8)
+
+    def test_matches_numeric_minimum(self) -> None:
+        obj = _objective(a2=5e-4)
+        k = 10.0
+        star = e_star(obj, k)
+        lo, hi = obj.e_domain(k)
+        grid = np.linspace(lo, hi * 0.999, 8000)
+        numeric = grid[np.argmin([obj.value(k, float(e)) for e in grid])]
+        assert star == pytest.approx(numeric, abs=(hi - lo) / 2000)
+
+    def test_paper_formula_differs_from_exact(self) -> None:
+        # The printed eq. (17) does not satisfy the first-order condition;
+        # the repo documents this erratum (DESIGN.md).
+        obj = _objective(a2=5e-4)
+        exact = e_star_unclipped(obj, 10.0)
+        paper = e_star_unclipped(obj, 10.0, paper_formula=True)
+        assert exact != pytest.approx(paper, rel=0.01)
+
+    def test_no_drift_returns_capped(self) -> None:
+        obj = _objective(a2=0.0)
+        assert math.isinf(e_star_unclipped(obj, 5.0))
+        assert e_star(obj, 5.0) == 1e6
+
+    def test_clipped_to_one_when_b0_dominates(self) -> None:
+        # Expensive computation, cheap communication: E* below 1 clips up.
+        obj = _objective(a2=2e-3, rho=0.0, e_upload=1e-4, epsilon=0.05)
+        assert e_star(obj, 20.0) == 1.0
+
+    def test_infeasible_k_raises(self) -> None:
+        obj = _objective(a1=0.5, epsilon=0.05)
+        with pytest.raises(ValueError, match="infeasible"):
+            e_star_unclipped(obj, 1.0)
+
+    def test_b0_zero_degenerate_linear(self) -> None:
+        obj = EnergyObjective(
+            bound=ConvergenceBound(a0=5.0, a1=0.02, a2=1e-4),
+            energy=EnergyParams(rho=1e-3, c0=0.0, c1=0.0, e_upload=2.0, n_samples=100),
+            epsilon=0.05,
+            n_servers=20,
+        )
+        k = 10.0
+        e = e_star_unclipped(obj, k)
+        c4 = obj.epsilon * k - obj.bound.a1 + obj.bound.a2 * k
+        assert e == pytest.approx(c4 / (2 * obj.bound.a2 * k))
+
+
+class TestConsistency:
+    def test_alternating_optima_decrease_objective(self) -> None:
+        obj = _objective(a1=0.3, a2=5e-4)
+        k, e = float(obj.n_servers), 1.0
+        previous = obj.value(k, e)
+        for _ in range(5):
+            k = k_star(obj, e)
+            e = e_star(obj, k)
+            current = obj.value(k, e)
+            assert current <= previous + 1e-12
+            previous = current

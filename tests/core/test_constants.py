@@ -1,0 +1,77 @@
+"""Consistency checks on the paper-measured constants."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import constants
+
+
+class TestPowerOrdering:
+    def test_phase_powers_ordered_as_in_fig3(self) -> None:
+        # Fig. 3: waiting < downloading < uploading < training.
+        assert (
+            constants.POWER_WAITING_W
+            < constants.POWER_DOWNLOADING_W
+            < constants.POWER_UPLOADING_W
+            < constants.POWER_TRAINING_W
+        )
+
+    def test_exact_paper_values(self) -> None:
+        assert constants.POWER_WAITING_W == 3.600
+        assert constants.POWER_DOWNLOADING_W == 4.286
+        assert constants.POWER_TRAINING_W == 5.553
+        assert constants.POWER_UPLOADING_W == 5.015
+
+
+class TestTimingConstants:
+    def test_tau_consistent_with_c_over_power(self) -> None:
+        assert constants.TAU0_SECONDS_PER_SAMPLE_EPOCH == pytest.approx(
+            constants.C0_JOULES_PER_SAMPLE_EPOCH / constants.POWER_TRAINING_W
+        )
+        assert constants.TAU1_SECONDS_PER_EPOCH == pytest.approx(
+            constants.C1_JOULES_PER_EPOCH / constants.POWER_TRAINING_W
+        )
+
+    def test_timing_law_reproduces_table1_within_6_percent(self) -> None:
+        for (epochs, n), measured in constants.TABLE_I_DURATIONS.items():
+            predicted = epochs * (
+                constants.TAU0_SECONDS_PER_SAMPLE_EPOCH * n
+                + constants.TAU1_SECONDS_PER_EPOCH
+            )
+            assert predicted == pytest.approx(measured, rel=0.06), (epochs, n)
+
+
+class TestTableI:
+    def test_full_grid_present(self) -> None:
+        assert set(constants.TABLE_I_DURATIONS) == {
+            (e, n) for e in (10, 20, 40) for n in (100, 500, 1000, 2000)
+        }
+
+    def test_durations_increase_with_epochs(self) -> None:
+        for n in (100, 500, 1000, 2000):
+            assert (
+                constants.TABLE_I_DURATIONS[(10, n)]
+                < constants.TABLE_I_DURATIONS[(20, n)]
+                < constants.TABLE_I_DURATIONS[(40, n)]
+            )
+
+    def test_durations_increase_with_samples(self) -> None:
+        for e in (10, 20, 40):
+            row = [constants.TABLE_I_DURATIONS[(e, n)] for n in (100, 500, 1000, 2000)]
+            assert row == sorted(row)
+
+    def test_mapping_is_readonly(self) -> None:
+        with pytest.raises(TypeError):
+            constants.TABLE_I_DURATIONS[(10, 100)] = 0.0  # type: ignore[index]
+
+
+class TestScale:
+    def test_prototype_dimensions(self) -> None:
+        assert constants.N_EDGE_SERVERS == 20
+        assert constants.SAMPLES_PER_SERVER == 3000
+        assert constants.POWER_SAMPLE_RATE_HZ == 1000.0
+
+    def test_nbiot_energy_per_byte(self) -> None:
+        # §IV-A: 7.74 mWs per byte.
+        assert constants.NBIOT_ENERGY_PER_BYTE_J == pytest.approx(7.74e-3)

@@ -1,0 +1,131 @@
+"""Unit tests for the convergence bound (eqs. 10-11)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.convergence import ConvergenceBound
+
+
+@pytest.fixture()
+def bound() -> ConvergenceBound:
+    return ConvergenceBound(a0=10.0, a1=0.1, a2=0.001)
+
+
+class TestLossGap:
+    def test_matches_eq10(self, bound: ConvergenceBound) -> None:
+        gap = bound.loss_gap(rounds=50, epochs=4, participants=5)
+        assert gap == pytest.approx(10.0 / 200 + 0.1 / 5 + 0.001 * 3)
+
+    def test_monotone_decreasing_in_rounds(self, bound: ConvergenceBound) -> None:
+        gaps = [bound.loss_gap(t, 4, 5) for t in (1, 10, 100, 1000)]
+        assert gaps == sorted(gaps, reverse=True)
+
+    def test_monotone_decreasing_in_participants(self, bound: ConvergenceBound) -> None:
+        gaps = [bound.loss_gap(10, 4, k) for k in (1, 2, 5, 20)]
+        assert gaps == sorted(gaps, reverse=True)
+
+    def test_epochs_tradeoff(self, bound: ConvergenceBound) -> None:
+        # E reduces the optimisation term but inflates the drift term, so
+        # at very large E the gap goes back up.
+        small = bound.loss_gap(10, 1, 5)
+        mid = bound.loss_gap(10, 10, 5)
+        huge = bound.loss_gap(10, 100000, 5)
+        assert mid < small
+        assert huge > mid
+
+    def test_rejects_invalid_ranges(self, bound: ConvergenceBound) -> None:
+        with pytest.raises(ValueError):
+            bound.loss_gap(0, 1, 1)
+        with pytest.raises(ValueError):
+            bound.loss_gap(1, 0, 1)
+        with pytest.raises(ValueError):
+            bound.loss_gap(1, 1, 0)
+
+    @pytest.mark.parametrize(
+        "kwargs", [{"a0": 0.0}, {"a0": -1.0}, {"a1": -0.1}, {"a2": -0.1}]
+    )
+    def test_rejects_invalid_constants(self, kwargs: dict) -> None:
+        defaults = dict(a0=1.0, a1=0.0, a2=0.0)
+        defaults.update(kwargs)
+        with pytest.raises(ValueError):
+            ConvergenceBound(**defaults)
+
+
+class TestAsymptoticGap:
+    def test_floor_value(self, bound: ConvergenceBound) -> None:
+        assert bound.asymptotic_gap(5, 10) == pytest.approx(0.1 / 10 + 0.001 * 4)
+
+    def test_gap_approaches_floor(self, bound: ConvergenceBound) -> None:
+        floor = bound.asymptotic_gap(4, 5)
+        assert bound.loss_gap(10**9, 4, 5) == pytest.approx(floor, rel=1e-6)
+
+    def test_feasibility_is_strict(self, bound: ConvergenceBound) -> None:
+        floor = bound.asymptotic_gap(4, 5)
+        assert not bound.is_feasible(floor, 4, 5)
+        assert bound.is_feasible(floor * 1.01, 4, 5)
+
+    def test_is_feasible_rejects_bad_epsilon(self, bound: ConvergenceBound) -> None:
+        with pytest.raises(ValueError, match="epsilon"):
+            bound.is_feasible(0.0, 1, 1)
+
+
+class TestRequiredRounds:
+    def test_eq11_value(self, bound: ConvergenceBound) -> None:
+        eps, e, k = 0.1, 4, 5
+        expected = bound.a0 * k / ((eps * k - bound.a1 - bound.a2 * k * (e - 1)) * e)
+        assert bound.required_rounds(eps, e, k) == pytest.approx(expected)
+
+    def test_bound_is_tight_at_required_rounds(self, bound: ConvergenceBound) -> None:
+        # Plugging T* back into eq. (10) recovers epsilon exactly.
+        eps = 0.07
+        t_star = bound.required_rounds(eps, 3, 8)
+        assert bound.loss_gap(t_star, 3, 8) == pytest.approx(eps)
+
+    def test_infeasible_raises(self, bound: ConvergenceBound) -> None:
+        with pytest.raises(ValueError, match="unreachable"):
+            bound.required_rounds(0.01, 1, 1)  # A1 = 0.1 > 0.01
+
+    def test_integer_rounds_at_least_one(self, bound: ConvergenceBound) -> None:
+        # Very loose target: T* < 1 but the integer plan still needs a round.
+        assert bound.required_rounds(50.0, 1, 20) < 1.0
+        assert bound.required_rounds_int(50.0, 1, 20) == 1
+
+    def test_integer_rounds_is_ceiling(self, bound: ConvergenceBound) -> None:
+        eps = 0.1
+        t_star = bound.required_rounds(eps, 4, 5)
+        assert bound.required_rounds_int(eps, 4, 5) == math.ceil(t_star)
+
+    def test_more_participants_fewer_rounds(self, bound: ConvergenceBound) -> None:
+        rounds = [bound.required_rounds(0.05, 2, k) for k in (3, 5, 10, 20)]
+        assert rounds == sorted(rounds, reverse=True)
+
+
+class TestDomains:
+    def test_min_feasible_participants(self, bound: ConvergenceBound) -> None:
+        k_min = bound.min_feasible_participants(0.05, 10)
+        # Just above the edge must be feasible, just below must not.
+        assert bound.is_feasible(0.05, 10, k_min * 1.01)
+        assert not bound.is_feasible(0.05, 10, k_min * 0.99)
+
+    def test_min_feasible_participants_drift_dominates(
+        self, bound: ConvergenceBound
+    ) -> None:
+        # eps <= A2 (E-1): no K can help.
+        with pytest.raises(ValueError, match="drift floor"):
+            bound.min_feasible_participants(0.0005, 10**6)
+
+    def test_max_feasible_epochs(self, bound: ConvergenceBound) -> None:
+        e_max = bound.max_feasible_epochs(0.05, 10)
+        assert bound.is_feasible(0.05, e_max * 0.99, 10)
+        assert not bound.is_feasible(0.05, e_max * 1.01, 10)
+
+    def test_max_feasible_epochs_no_drift(self) -> None:
+        no_drift = ConvergenceBound(a0=1.0, a1=0.01, a2=0.0)
+        assert math.isinf(no_drift.max_feasible_epochs(0.05, 10))
+
+    def test_max_feasible_epochs_infeasible_k(self, bound: ConvergenceBound) -> None:
+        with pytest.raises(ValueError, match="infeasible"):
+            bound.max_feasible_epochs(0.01, 1)

@@ -1,0 +1,115 @@
+"""Unit tests for the latency-constrained planner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.acs import ACSSolver
+from repro.core.convergence import ConvergenceBound
+from repro.core.deadline import solve_with_deadline
+from repro.core.energy_model import EnergyParams
+from repro.core.objective import EnergyObjective
+
+
+def _objective(
+    a1: float = 0.02, a2: float = 1e-4, epsilon: float = 0.05
+) -> EnergyObjective:
+    return EnergyObjective(
+        bound=ConvergenceBound(a0=5.0, a1=a1, a2=a2),
+        energy=EnergyParams(rho=1e-3, e_upload=2.0, n_samples=3000),
+        epsilon=epsilon,
+        n_servers=20,
+    )
+
+
+class TestUnbindingDeadline:
+    def test_loose_deadline_returns_unconstrained_plan(self) -> None:
+        objective = _objective()
+        unconstrained = ACSSolver(objective).solve()
+        plan = solve_with_deadline(objective, deadline=10_000)
+        assert not plan.binding
+        assert plan.energy == pytest.approx(unconstrained.energy_int)
+        assert plan.rounds <= 10_000
+
+
+class TestBindingDeadline:
+    def test_plan_meets_deadline(self) -> None:
+        objective = _objective()
+        unconstrained = ACSSolver(objective).solve()
+        tight = max(1, unconstrained.rounds_int // 2)
+        plan = solve_with_deadline(objective, deadline=tight)
+        if plan.binding:
+            assert plan.rounds <= tight
+        assert objective.is_feasible(plan.participants, plan.epochs)
+
+    @staticmethod
+    def _min_feasible_rounds(objective: EnergyObjective, max_epochs: int = 1200) -> int:
+        """Smallest integer T any feasible (K, E) can achieve."""
+        best = None
+        for k in range(1, objective.n_servers + 1):
+            for e in range(1, max_epochs):
+                if not objective.is_feasible(k, e):
+                    break
+                rounds = objective.bound.required_rounds_int(objective.epsilon, e, k)
+                if best is None or rounds < best:
+                    best = rounds
+        assert best is not None
+        return best
+
+    def test_binding_costs_more_energy(self) -> None:
+        objective = _objective(a1=0.3, a2=5e-4)
+        unconstrained = ACSSolver(objective).solve()
+        assert unconstrained.rounds_int is not None
+        t_min = self._min_feasible_rounds(objective)
+        if t_min >= unconstrained.rounds_int:
+            pytest.skip("no binding deadline exists for this instance")
+        plan = solve_with_deadline(objective, deadline=t_min)
+        assert plan.binding
+        assert plan.rounds <= t_min
+        assert plan.energy >= unconstrained.energy_int - 1e-9
+
+    def test_tighter_deadline_monotone_energy(self) -> None:
+        objective = _objective(a1=0.3, a2=5e-4)
+        energies = []
+        for deadline in (1, 3, 10, 100):
+            try:
+                plan = solve_with_deadline(objective, deadline)
+            except ValueError:
+                continue
+            energies.append((deadline, plan.energy))
+        # Looser deadlines can only help.
+        for (d1, e1), (d2, e2) in zip(energies, energies[1:]):
+            assert e2 <= e1 + 1e-9
+
+    def test_consistency_with_exhaustive_search(self) -> None:
+        objective = _objective(a1=0.3, a2=5e-4)
+        deadline = self._min_feasible_rounds(objective) + 1
+        plan = solve_with_deadline(objective, deadline)
+        # Exhaustive check over the integer grid.
+        best = None
+        for k in range(1, 21):
+            for e in range(1, 1200):
+                if not objective.is_feasible(k, e):
+                    break
+                rounds = objective.bound.required_rounds_int(
+                    objective.epsilon, e, k
+                )
+                if rounds > deadline:
+                    continue
+                energy = objective.value_integer(k, e)
+                if best is None or energy < best:
+                    best = energy
+        assert best is not None
+        assert plan.energy == pytest.approx(best, rel=1e-9)
+
+
+class TestInfeasible:
+    def test_impossible_deadline_raises(self) -> None:
+        # Strong drift caps E, so one round cannot absorb all the work.
+        objective = _objective(a1=0.3, a2=2e-3, epsilon=0.02)
+        with pytest.raises(ValueError, match="within"):
+            solve_with_deadline(objective, deadline=1)
+
+    def test_rejects_nonpositive_deadline(self) -> None:
+        with pytest.raises(ValueError, match="deadline"):
+            solve_with_deadline(_objective(), deadline=0)

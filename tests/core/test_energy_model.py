@@ -1,0 +1,164 @@
+"""Unit tests for the energy-consumption models (eqs. 4-6)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import constants
+from repro.core.energy_model import (
+    EnergyParams,
+    HeterogeneousEnergyParams,
+    data_collection_energy,
+    local_training_energy,
+    round_energy_per_server,
+    total_energy,
+)
+
+
+class TestEquations:
+    def test_data_collection_is_linear(self) -> None:
+        # eq. (4): e^I = rho * n.
+        assert data_collection_energy(0.5, 10) == pytest.approx(5.0)
+        assert data_collection_energy(0.5, 0) == 0.0
+
+    def test_data_collection_rejects_negative_rho(self) -> None:
+        with pytest.raises(ValueError, match="rho"):
+            data_collection_energy(-0.1, 10)
+
+    def test_local_training_matches_eq5(self) -> None:
+        # eq. (5): e^P = c0*E*n + c1*E with the paper's fitted constants.
+        c0, c1 = constants.C0_JOULES_PER_SAMPLE_EPOCH, constants.C1_JOULES_PER_EPOCH
+        energy = local_training_energy(c0, c1, epochs=10, n_samples=1000)
+        assert energy == pytest.approx(10 * (c0 * 1000 + c1))
+
+    def test_local_training_zero_epochs(self) -> None:
+        assert local_training_energy(1.0, 1.0, 0, 100) == 0.0
+
+    def test_local_training_rejects_negative(self) -> None:
+        with pytest.raises(ValueError):
+            local_training_energy(-1.0, 0.0, 1, 1)
+        with pytest.raises(ValueError):
+            local_training_energy(0.0, 0.0, -1, 1)
+
+
+class TestEnergyParams:
+    def test_b0_b1(self) -> None:
+        params = EnergyParams(rho=0.01, c0=1e-4, c1=1e-3, e_upload=0.5, n_samples=1000)
+        assert params.b0 == pytest.approx(1e-4 * 1000 + 1e-3)
+        assert params.b1 == pytest.approx(0.01 * 1000 + 0.5)
+
+    def test_round_energy(self) -> None:
+        params = EnergyParams(rho=0.01, c0=1e-4, c1=1e-3, e_upload=0.5, n_samples=1000)
+        assert params.round_energy(5) == pytest.approx(params.b0 * 5 + params.b1)
+
+    def test_round_energy_rejects_zero_epochs(self) -> None:
+        with pytest.raises(ValueError, match="epochs"):
+            EnergyParams(rho=0.0).round_energy(0)
+
+    def test_defaults_are_paper_constants(self) -> None:
+        params = EnergyParams(rho=0.0)
+        assert params.c0 == constants.C0_JOULES_PER_SAMPLE_EPOCH
+        assert params.c1 == constants.C1_JOULES_PER_EPOCH
+        assert params.n_samples == constants.SAMPLES_PER_SERVER
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"rho": -1.0},
+            {"rho": 0.0, "c0": -1.0},
+            {"rho": 0.0, "c1": -1.0},
+            {"rho": 0.0, "e_upload": -1.0},
+            {"rho": 0.0, "n_samples": 0},
+        ],
+    )
+    def test_rejects_invalid(self, kwargs: dict) -> None:
+        with pytest.raises(ValueError):
+            EnergyParams(**kwargs)
+
+
+class TestTotalEnergy:
+    def test_total_is_product(self) -> None:
+        # eq. (6) homogeneous: e = T * K * (B0 E + B1).
+        params = EnergyParams(rho=0.01, e_upload=1.0, n_samples=100)
+        assert total_energy(params, epochs=4, participants=3, rounds=7) == pytest.approx(
+            7 * 3 * params.round_energy(4)
+        )
+
+    def test_accepts_continuous_relaxation(self) -> None:
+        params = EnergyParams(rho=0.0, n_samples=100)
+        value = total_energy(params, epochs=2.5, participants=1.5, rounds=3.7)
+        assert value == pytest.approx(3.7 * 1.5 * (params.b0 * 2.5 + params.b1))
+
+    def test_rejects_bad_ranges(self) -> None:
+        params = EnergyParams(rho=0.0)
+        with pytest.raises(ValueError, match="participants"):
+            total_energy(params, 1, 0, 1)
+        with pytest.raises(ValueError, match="rounds"):
+            total_energy(params, 1, 1, 0)
+
+    def test_round_energy_per_server_alias(self) -> None:
+        params = EnergyParams(rho=0.0, n_samples=100)
+        assert round_energy_per_server(params, 3) == params.round_energy(3)
+
+
+class TestHeterogeneous:
+    def _params(self) -> HeterogeneousEnergyParams:
+        return HeterogeneousEnergyParams(
+            rho=np.array([0.1, 0.2, 0.3]),
+            c0=np.array([1e-4, 2e-4, 3e-4]),
+            c1=np.array([1e-3, 1e-3, 1e-3]),
+            e_upload=np.array([0.5, 1.0, 1.5]),
+            n_samples=100,
+        )
+
+    def test_mean_matches_expectations(self) -> None:
+        mean = self._params().mean()
+        assert mean.rho == pytest.approx(0.2)
+        assert mean.c0 == pytest.approx(2e-4)
+        assert mean.e_upload == pytest.approx(1.0)
+
+    def test_for_server_selects_row(self) -> None:
+        server1 = self._params().for_server(1)
+        assert server1.rho == pytest.approx(0.2)
+        assert server1.c0 == pytest.approx(2e-4)
+
+    def test_b0_b1_of_mean_match_eq12(self) -> None:
+        # B0 = E[c0] n + E[c1], B1 = E[rho] n + E[e^U].
+        het = self._params()
+        mean = het.mean()
+        assert mean.b0 == pytest.approx(2e-4 * 100 + 1e-3)
+        assert mean.b1 == pytest.approx(0.2 * 100 + 1.0)
+
+    def test_n_servers(self) -> None:
+        assert self._params().n_servers == 3
+
+    def test_rejects_length_mismatch(self) -> None:
+        with pytest.raises(ValueError, match="equal length"):
+            HeterogeneousEnergyParams(
+                rho=np.zeros(3),
+                c0=np.zeros(2),
+                c1=np.zeros(3),
+                e_upload=np.zeros(3),
+                n_samples=10,
+            )
+
+    def test_rejects_negative_entries(self) -> None:
+        with pytest.raises(ValueError, match="non-negative"):
+            HeterogeneousEnergyParams(
+                rho=np.array([-0.1]),
+                c0=np.zeros(1),
+                c1=np.zeros(1),
+                e_upload=np.zeros(1),
+                n_samples=10,
+            )
+
+    def test_rejects_empty(self) -> None:
+        with pytest.raises(ValueError, match="at least one server"):
+            HeterogeneousEnergyParams(
+                rho=np.zeros(0),
+                c0=np.zeros(0),
+                c1=np.zeros(0),
+                e_upload=np.zeros(0),
+                n_samples=10,
+            )

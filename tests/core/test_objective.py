@@ -1,0 +1,175 @@
+"""Unit tests for the reduced energy objective (eqs. 12-13, Lemmas 1-2)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.convergence import ConvergenceBound
+from repro.core.energy_model import EnergyParams
+from repro.core.objective import EnergyObjective
+
+
+def _objective(
+    a0: float = 5.0,
+    a1: float = 0.02,
+    a2: float = 1e-4,
+    epsilon: float = 0.05,
+    n_servers: int = 20,
+) -> EnergyObjective:
+    return EnergyObjective(
+        bound=ConvergenceBound(a0=a0, a1=a1, a2=a2),
+        energy=EnergyParams(rho=1e-3, e_upload=2.0, n_samples=3000),
+        epsilon=epsilon,
+        n_servers=n_servers,
+    )
+
+
+class TestValue:
+    def test_matches_analytic_form(self) -> None:
+        obj = _objective()
+        k, e = 5.0, 3.0
+        b0, b1 = obj.energy.b0, obj.energy.b1
+        denom = (obj.epsilon * k - obj.bound.a1 - obj.bound.a2 * k * (e - 1)) * e
+        expected = obj.bound.a0 * k**2 * (b0 * e + b1) / denom
+        assert obj.value(k, e) == pytest.approx(expected)
+
+    def test_value_is_t_times_round_cost(self) -> None:
+        obj = _objective()
+        k, e = 4.0, 2.0
+        t_star = obj.rounds(k, e)
+        assert obj.value(k, e) == pytest.approx(
+            t_star * k * obj.energy.round_energy(e)
+        )
+
+    def test_value_rejects_infeasible(self) -> None:
+        obj = _objective(a1=0.5, epsilon=0.05)
+        with pytest.raises(ValueError, match="infeasible"):
+            obj.value(1, 1)  # A1/K = 0.5 > eps
+
+    def test_value_rejects_k_above_n(self) -> None:
+        obj = _objective()
+        with pytest.raises(ValueError, match="infeasible"):
+            obj.value(21, 1)
+
+    def test_value_integer_uses_ceiling(self) -> None:
+        obj = _objective()
+        t_int = obj.bound.required_rounds_int(obj.epsilon, 2, 5)
+        assert obj.value_integer(5, 2) == pytest.approx(
+            t_int * 5 * obj.energy.round_energy(2)
+        )
+
+    def test_value_integer_at_least_continuous(self) -> None:
+        obj = _objective()
+        for k in (1, 3, 10, 20):
+            for e in (1, 5, 20):
+                if obj.is_feasible(k, e):
+                    assert obj.value_integer(k, e) >= obj.value(k, e) - 1e-9
+
+    def test_value_integer_rejects_fractional(self) -> None:
+        with pytest.raises(ValueError, match="integers"):
+            _objective().value_integer(2.5, 1)
+
+    @pytest.mark.parametrize(
+        "kwargs", [{"epsilon": 0.0}, {"epsilon": -1.0}, {"n_servers": 0}]
+    )
+    def test_rejects_invalid_construction(self, kwargs: dict) -> None:
+        with pytest.raises(ValueError):
+            _objective(**kwargs)
+
+
+class TestCurvature:
+    def test_d2_dk2_positive_lemma1(self) -> None:
+        obj = _objective()
+        for e in (1.0, 2.0, 10.0):
+            lo, hi = obj.k_domain(e)
+            for k in np.linspace(lo, hi, 8):
+                assert obj.d2_dk2(float(k), e) > 0
+
+    def test_d2_de2_positive_lemma2(self) -> None:
+        obj = _objective()
+        for k in (1.0, 5.0, 20.0):
+            lo, hi = obj.e_domain(k)
+            hi = min(hi, 400.0)
+            for e in np.linspace(lo, hi, 8):
+                assert obj.d2_de2(k, float(e)) > 0
+
+    def test_d2_dk2_matches_finite_differences(self) -> None:
+        obj = _objective()
+        k, e, h = 8.0, 4.0, 1e-4
+        numeric = (obj.value(k + h, e) - 2 * obj.value(k, e) + obj.value(k - h, e)) / h**2
+        assert obj.d2_dk2(k, e) == pytest.approx(numeric, rel=1e-3)
+
+    def test_d2_de2_matches_finite_differences(self) -> None:
+        obj = _objective()
+        k, e, h = 8.0, 4.0, 1e-4
+        numeric = (obj.value(k, e + h) - 2 * obj.value(k, e) + obj.value(k, e - h)) / h**2
+        assert obj.d2_de2(k, e) == pytest.approx(numeric, rel=1e-4)
+
+    def test_certificates_hold(self) -> None:
+        obj = _objective()
+        assert obj.certify_convex_in_k(epochs=3)
+        assert obj.certify_convex_in_e(participants=7)
+
+    def test_curvature_rejects_infeasible_point(self) -> None:
+        obj = _objective(a1=0.5)
+        with pytest.raises(ValueError, match="infeasible"):
+            obj.d2_dk2(1, 1)
+        with pytest.raises(ValueError, match="infeasible"):
+            obj.d2_de2(1, 1)
+
+
+class TestDomains:
+    def test_k_domain_edges_feasible(self) -> None:
+        obj = _objective(a1=0.5, epsilon=0.05)  # lower edge above 1
+        lo, hi = obj.k_domain(1.0)
+        assert lo > 1.0
+        assert obj.is_feasible(lo, 1.0)
+        assert hi == 20.0
+
+    def test_k_domain_raises_when_empty(self) -> None:
+        # A1/eps > N: even K = N is infeasible.
+        obj = _objective(a1=2.0, epsilon=0.05, n_servers=20)
+        with pytest.raises(ValueError, match="no feasible K"):
+            obj.k_domain(1.0)
+
+    def test_e_domain_upper_edge(self) -> None:
+        obj = _objective()
+        lo, hi = obj.e_domain(10.0)
+        assert lo == 1.0
+        assert obj.is_feasible(10.0, hi)
+        assert not obj.is_feasible(10.0, hi * 1.01)
+
+    def test_e_domain_unbounded_without_drift(self) -> None:
+        obj = _objective(a2=0.0)
+        lo, hi = obj.e_domain(5.0)
+        assert math.isinf(hi)
+
+    def test_e_domain_raises_when_empty(self) -> None:
+        # Strong drift: even E = 1 barely feasible only for big K; pick
+        # K where C4 < A2*K so no E >= 1 fits.
+        obj = _objective(a1=0.9, a2=0.04, epsilon=0.05, n_servers=100)
+        with pytest.raises(ValueError):
+            obj.e_domain(2.0)
+
+
+class TestMinimumStructure:
+    def test_interior_k_minimum_found_by_scan(self) -> None:
+        # With a1 sizeable the optimal K is interior; the scan minimum
+        # must beat both edges.
+        obj = _objective(a1=0.3, epsilon=0.05)
+        lo, hi = obj.k_domain(2.0)
+        grid = np.linspace(lo, hi, 400)
+        values = [obj.value(float(k), 2.0) for k in grid]
+        best = int(np.argmin(values))
+        assert 0 < best < len(grid) - 1
+
+    def test_interior_e_minimum_found_by_scan(self) -> None:
+        obj = _objective(a2=5e-4, epsilon=0.05)
+        lo, hi = obj.e_domain(10.0)
+        grid = np.linspace(lo, min(hi, 200.0), 400)
+        values = [obj.value(10.0, float(e)) for e in grid]
+        best = int(np.argmin(values))
+        assert 0 < best < len(grid) - 1

@@ -1,0 +1,84 @@
+"""Unit tests for the high-level EnergyPlanner facade."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.baselines import grid_search
+from repro.core.convergence import ConvergenceBound
+from repro.core.energy_model import EnergyParams
+from repro.core.planner import EnergyPlanner
+
+
+@pytest.fixture()
+def planner() -> EnergyPlanner:
+    return EnergyPlanner(
+        bound=ConvergenceBound(a0=5.0, a1=0.02, a2=1e-4),
+        energy=EnergyParams(rho=1e-3, e_upload=2.0, n_samples=3000),
+        n_servers=20,
+    )
+
+
+class TestPlan:
+    def test_plan_fields(self, planner: EnergyPlanner) -> None:
+        plan = planner.plan(epsilon=0.05)
+        assert 1 <= plan.participants <= 20
+        assert plan.epochs >= 1
+        assert plan.rounds >= 1
+        assert plan.predicted_energy > 0
+        assert plan.acs.converged
+
+    def test_plan_matches_grid_search(self, planner: EnergyPlanner) -> None:
+        plan = planner.plan(epsilon=0.05)
+        best = grid_search(planner.objective(0.05), max_epochs=1000)
+        assert plan.predicted_energy == pytest.approx(best.energy)
+        assert plan.participants == best.participants
+        assert plan.epochs == best.epochs
+
+    def test_savings_against_baseline(self, planner: EnergyPlanner) -> None:
+        plan = planner.plan(epsilon=0.05)
+        assert plan.baseline_energy is not None
+        assert plan.savings_fraction is not None
+        assert 0.0 < plan.savings_fraction < 1.0
+
+    def test_baseline_none_when_k1e1_infeasible(self) -> None:
+        # A1 = 0.5 > eps: (1, 1) cannot reach the target.
+        planner = EnergyPlanner(
+            bound=ConvergenceBound(a0=5.0, a1=0.5, a2=0.0),
+            energy=EnergyParams(rho=1e-3, e_upload=2.0),
+            n_servers=20,
+        )
+        plan = planner.plan(epsilon=0.1)
+        assert plan.baseline_energy is None
+        assert plan.savings_fraction is None
+
+    def test_describe_mentions_parameters(self, planner: EnergyPlanner) -> None:
+        plan = planner.plan(epsilon=0.05)
+        text = plan.describe()
+        assert f"K={plan.participants}" in text
+        assert f"E={plan.epochs}" in text
+        assert f"T={plan.rounds}" in text
+        assert "Saving" in text
+
+    def test_describe_without_baseline(self) -> None:
+        planner = EnergyPlanner(
+            bound=ConvergenceBound(a0=5.0, a1=0.5, a2=0.0),
+            energy=EnergyParams(rho=1e-3, e_upload=2.0),
+            n_servers=20,
+        )
+        text = planner.plan(epsilon=0.1).describe()
+        assert "Saving" not in text
+
+    def test_tighter_target_costs_more(self, planner: EnergyPlanner) -> None:
+        loose = planner.plan(epsilon=0.2)
+        tight = planner.plan(epsilon=0.02)
+        assert tight.predicted_energy > loose.predicted_energy
+
+    def test_infeasible_epsilon_raises(self, planner: EnergyPlanner) -> None:
+        with pytest.raises(ValueError):
+            planner.plan(epsilon=0.0009)  # below A1/N floor
+
+    def test_objective_factory(self, planner: EnergyPlanner) -> None:
+        objective = planner.objective(0.1)
+        assert objective.epsilon == 0.1
+        assert objective.n_servers == 20

@@ -1,0 +1,87 @@
+"""Unit tests for the calibration-sensitivity analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.convergence import ConvergenceBound
+from repro.core.energy_model import EnergyParams
+from repro.core.objective import EnergyObjective
+from repro.core.sensitivity import analyze_sensitivity, _perturbed_objective
+
+
+@pytest.fixture()
+def objective() -> EnergyObjective:
+    return EnergyObjective(
+        bound=ConvergenceBound(a0=5.0, a1=0.05, a2=2e-4),
+        energy=EnergyParams(rho=1e-3, e_upload=2.0, n_samples=3000),
+        epsilon=0.05,
+        n_servers=20,
+    )
+
+
+class TestPerturbation:
+    def test_perturbs_bound_constant(self, objective: EnergyObjective) -> None:
+        perturbed = _perturbed_objective(objective, "a1", 2.0)
+        assert perturbed.bound.a1 == pytest.approx(2 * objective.bound.a1)
+        assert perturbed.bound.a0 == objective.bound.a0
+        assert perturbed.energy == objective.energy
+
+    def test_perturbs_energy_constant(self, objective: EnergyObjective) -> None:
+        perturbed = _perturbed_objective(objective, "e_upload", 0.5)
+        assert perturbed.energy.e_upload == pytest.approx(1.0)
+        assert perturbed.bound == objective.bound
+
+    def test_rejects_unknown_constant(self, objective: EnergyObjective) -> None:
+        with pytest.raises(ValueError, match="unknown constant"):
+            _perturbed_objective(objective, "epsilon", 2.0)
+
+    def test_identity_factor_is_noop(self, objective: EnergyObjective) -> None:
+        perturbed = _perturbed_objective(objective, "c0", 1.0)
+        assert perturbed.energy.c0 == objective.energy.c0
+
+
+class TestAnalyze:
+    def test_report_structure(self, objective: EnergyObjective) -> None:
+        report = analyze_sensitivity(
+            objective, constants=("a1", "c0"), factors=(0.5, 2.0)
+        )
+        assert report.optimal_energy > 0
+        assert len(report.results) <= 4
+        for result in report.results:
+            assert result.constant in ("a1", "c0")
+            assert result.factor in (0.5, 2.0)
+            assert result.participants >= 1
+            assert result.epochs >= 1
+
+    def test_regret_nonnegative(self, objective: EnergyObjective) -> None:
+        report = analyze_sensitivity(objective)
+        for result in report.results:
+            if result.regret is not None:
+                # Planning with wrong constants can never beat planning
+                # with the truth, priced on the truth.
+                assert result.regret >= -1e-9
+
+    def test_a0_scaling_has_tiny_regret(self, objective: EnergyObjective) -> None:
+        # A0 is a pure multiplicative factor of the *continuous*
+        # objective, so it cannot move the continuous optimum; only the
+        # ceil(T*) plateau boundaries shift, so the integer plan's regret
+        # stays within a few percent.
+        report = analyze_sensitivity(objective, constants=("a0",), factors=(0.5, 2.0))
+        for result in report.results:
+            assert result.regret is not None
+            assert result.regret < 0.05
+
+    def test_worst_regret_and_infeasible_count(self, objective) -> None:
+        report = analyze_sensitivity(objective)
+        assert report.worst_regret() >= 0.0
+        assert 0 <= report.infeasible_count() <= len(report.results)
+
+    def test_moderate_perturbations_keep_regret_bounded(
+        self, objective: EnergyObjective
+    ) -> None:
+        # The flat-optimum claim: +-25% on any single constant costs
+        # less than 50% extra energy on this representative instance.
+        report = analyze_sensitivity(objective, factors=(0.8, 1.25))
+        assert report.infeasible_count() == 0
+        assert report.worst_regret() < 0.5

@@ -1,0 +1,164 @@
+"""Unit tests for the Dataset container."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import Dataset, train_test_split
+
+
+def _make(n: int = 10, n_features: int = 4, n_classes: int = 3) -> Dataset:
+    rng = np.random.default_rng(0)
+    return Dataset(
+        rng.normal(size=(n, n_features)),
+        rng.integers(0, n_classes, size=n),
+        n_classes,
+    )
+
+
+class TestConstruction:
+    def test_basic_properties(self) -> None:
+        ds = _make(n=10, n_features=4, n_classes=3)
+        assert len(ds) == 10
+        assert ds.n_features == 4
+        assert ds.n_classes == 3
+
+    def test_labels_cast_to_int64(self) -> None:
+        ds = Dataset(np.zeros((3, 2)), np.array([0.0, 1.0, 1.0]), 2)
+        assert ds.labels.dtype == np.int64
+
+    def test_rejects_1d_features(self) -> None:
+        with pytest.raises(ValueError, match="features must be 2-D"):
+            Dataset(np.zeros(5), np.zeros(5, dtype=int), 2)
+
+    def test_rejects_2d_labels(self) -> None:
+        with pytest.raises(ValueError, match="labels must be 1-D"):
+            Dataset(np.zeros((5, 2)), np.zeros((5, 1), dtype=int), 2)
+
+    def test_rejects_mismatched_lengths(self) -> None:
+        with pytest.raises(ValueError, match="disagree on the number of samples"):
+            Dataset(np.zeros((5, 2)), np.zeros(4, dtype=int), 2)
+
+    def test_rejects_out_of_range_labels(self) -> None:
+        with pytest.raises(ValueError, match="labels must lie in"):
+            Dataset(np.zeros((3, 2)), np.array([0, 1, 2]), 2)
+
+    def test_rejects_negative_labels(self) -> None:
+        with pytest.raises(ValueError, match="labels must lie in"):
+            Dataset(np.zeros((3, 2)), np.array([0, -1, 1]), 2)
+
+    def test_rejects_nonpositive_n_classes(self) -> None:
+        with pytest.raises(ValueError, match="n_classes must be positive"):
+            Dataset(np.zeros((3, 2)), np.zeros(3, dtype=int), 0)
+
+
+class TestSubset:
+    def test_subset_selects_rows(self) -> None:
+        ds = _make(n=10)
+        sub = ds.subset([1, 3, 5])
+        assert len(sub) == 3
+        np.testing.assert_array_equal(sub.features, ds.features[[1, 3, 5]])
+        np.testing.assert_array_equal(sub.labels, ds.labels[[1, 3, 5]])
+
+    def test_subset_keeps_n_classes(self) -> None:
+        ds = _make(n=10, n_classes=3)
+        assert ds.subset([0]).n_classes == 3
+
+    def test_take_caps_at_length(self) -> None:
+        ds = _make(n=5)
+        assert len(ds.take(100)) == 5
+        assert len(ds.take(2)) == 2
+
+    def test_take_rejects_negative(self) -> None:
+        with pytest.raises(ValueError, match="non-negative"):
+            _make().take(-1)
+
+    def test_shuffled_is_permutation(self) -> None:
+        ds = _make(n=20)
+        shuffled = ds.shuffled(np.random.default_rng(3))
+        assert sorted(shuffled.labels.tolist()) == sorted(ds.labels.tolist())
+        assert np.isclose(shuffled.features.sum(), ds.features.sum())
+
+
+class TestBatches:
+    def test_batches_cover_all_samples(self) -> None:
+        ds = _make(n=10)
+        batches = list(ds.batches(3))
+        assert sum(len(b[1]) for b in batches) == 10
+        assert [len(b[1]) for b in batches] == [3, 3, 3, 1]
+
+    def test_full_batch(self) -> None:
+        ds = _make(n=10)
+        batches = list(ds.batches(100))
+        assert len(batches) == 1
+        assert len(batches[0][1]) == 10
+
+    def test_batches_shuffle_with_rng(self) -> None:
+        ds = _make(n=50)
+        plain = np.concatenate([b[1] for b in ds.batches(50)])
+        shuffled = np.concatenate(
+            [b[1] for b in ds.batches(50, rng=np.random.default_rng(5))]
+        )
+        assert sorted(plain.tolist()) == sorted(shuffled.tolist())
+        assert not np.array_equal(plain, shuffled)
+
+    def test_rejects_nonpositive_batch_size(self) -> None:
+        with pytest.raises(ValueError, match="batch_size must be positive"):
+            list(_make().batches(0))
+
+
+class TestClassCounts:
+    def test_counts_sum_to_length(self) -> None:
+        ds = _make(n=30, n_classes=3)
+        counts = ds.class_counts()
+        assert counts.shape == (3,)
+        assert counts.sum() == 30
+
+    def test_counts_include_missing_classes(self) -> None:
+        ds = Dataset(np.zeros((3, 2)), np.array([0, 0, 1]), 5)
+        counts = ds.class_counts()
+        assert counts.tolist() == [2, 1, 0, 0, 0]
+
+
+class TestMerge:
+    def test_merge_concatenates(self) -> None:
+        a, b = _make(n=4), _make(n=6)
+        merged = a.merged_with(b)
+        assert len(merged) == 10
+
+    def test_merge_rejects_different_classes(self) -> None:
+        a = Dataset(np.zeros((2, 2)), np.zeros(2, dtype=int), 2)
+        b = Dataset(np.zeros((2, 2)), np.zeros(2, dtype=int), 3)
+        with pytest.raises(ValueError, match="different n_classes"):
+            a.merged_with(b)
+
+    def test_merge_rejects_different_features(self) -> None:
+        a = Dataset(np.zeros((2, 2)), np.zeros(2, dtype=int), 2)
+        b = Dataset(np.zeros((2, 3)), np.zeros(2, dtype=int), 2)
+        with pytest.raises(ValueError, match="different n_features"):
+            a.merged_with(b)
+
+
+class TestTrainTestSplit:
+    def test_split_covers_everything(self) -> None:
+        ds = _make(n=20)
+        train, test = train_test_split(ds, 0.25, np.random.default_rng(0))
+        assert len(train) == 15
+        assert len(test) == 5
+
+    def test_split_disjoint(self) -> None:
+        rng = np.random.default_rng(0)
+        ds = Dataset(
+            np.arange(20, dtype=float).reshape(20, 1), np.zeros(20, dtype=int), 2
+        )
+        train, test = train_test_split(ds, 0.3, rng)
+        train_vals = set(train.features.ravel().tolist())
+        test_vals = set(test.features.ravel().tolist())
+        assert not train_vals & test_vals
+        assert len(train_vals | test_vals) == 20
+
+    @pytest.mark.parametrize("bad", [0.0, 1.0, -0.5, 1.5])
+    def test_split_rejects_bad_fraction(self, bad: float) -> None:
+        with pytest.raises(ValueError, match="test_fraction"):
+            train_test_split(_make(), bad, np.random.default_rng(0))

@@ -1,0 +1,121 @@
+"""Unit tests for the IDX-format MNIST loader (uses synthetic IDX files)."""
+
+from __future__ import annotations
+
+import gzip
+import struct
+
+import numpy as np
+import pytest
+
+from repro.data.mnist_idx import load_mnist_idx, mnist_files_present, read_idx
+
+
+def _idx_bytes(array: np.ndarray, dtype_code: int = 0x08) -> bytes:
+    header = struct.pack(">BBBB", 0, 0, dtype_code, array.ndim)
+    header += struct.pack(f">{array.ndim}I", *array.shape)
+    return header + array.astype(">u1" if dtype_code == 0x08 else ">f4").tobytes()
+
+
+def _write_mnist_dir(tmp_path, n_train: int = 12, n_test: int = 6, gz: bool = False):
+    rng = np.random.default_rng(0)
+    files = {
+        "train-images-idx3-ubyte": rng.integers(
+            0, 256, size=(n_train, 28, 28), dtype=np.uint8
+        ),
+        "train-labels-idx1-ubyte": rng.integers(0, 10, size=n_train, dtype=np.uint8),
+        "t10k-images-idx3-ubyte": rng.integers(
+            0, 256, size=(n_test, 28, 28), dtype=np.uint8
+        ),
+        "t10k-labels-idx1-ubyte": rng.integers(0, 10, size=n_test, dtype=np.uint8),
+    }
+    for name, array in files.items():
+        payload = _idx_bytes(array)
+        if gz:
+            (tmp_path / f"{name}.gz").write_bytes(gzip.compress(payload))
+        else:
+            (tmp_path / name).write_bytes(payload)
+    return files
+
+
+class TestReadIdx:
+    def test_roundtrip_3d_ubyte(self, tmp_path) -> None:
+        array = np.arange(2 * 3 * 4, dtype=np.uint8).reshape(2, 3, 4)
+        path = tmp_path / "data.idx"
+        path.write_bytes(_idx_bytes(array))
+        np.testing.assert_array_equal(read_idx(path), array)
+
+    def test_roundtrip_gzipped(self, tmp_path) -> None:
+        array = np.arange(10, dtype=np.uint8)
+        path = tmp_path / "data.idx.gz"
+        path.write_bytes(gzip.compress(_idx_bytes(array)))
+        np.testing.assert_array_equal(read_idx(path), array)
+
+    def test_rejects_bad_magic(self, tmp_path) -> None:
+        path = tmp_path / "bad.idx"
+        path.write_bytes(b"\x01\x00\x08\x01" + struct.pack(">I", 1) + b"\x00")
+        with pytest.raises(ValueError, match="magic"):
+            read_idx(path)
+
+    def test_rejects_unknown_dtype(self, tmp_path) -> None:
+        path = tmp_path / "bad.idx"
+        path.write_bytes(b"\x00\x00\x07\x01" + struct.pack(">I", 1) + b"\x00")
+        with pytest.raises(ValueError, match="dtype code"):
+            read_idx(path)
+
+    def test_rejects_truncated_body(self, tmp_path) -> None:
+        array = np.arange(10, dtype=np.uint8)
+        path = tmp_path / "short.idx"
+        path.write_bytes(_idx_bytes(array)[:-3])
+        with pytest.raises(ValueError, match="body has"):
+            read_idx(path)
+
+    def test_rejects_tiny_file(self, tmp_path) -> None:
+        path = tmp_path / "tiny.idx"
+        path.write_bytes(b"\x00\x00")
+        with pytest.raises(ValueError, match="too short"):
+            read_idx(path)
+
+
+class TestLoadMnist:
+    def test_loads_plain_files(self, tmp_path) -> None:
+        files = _write_mnist_dir(tmp_path)
+        train, test = load_mnist_idx(tmp_path)
+        assert len(train) == 12
+        assert len(test) == 6
+        assert train.n_features == 784
+        assert train.n_classes == 10
+        assert train.features.dtype == np.float32
+        assert 0.0 <= train.features.min() and train.features.max() <= 1.0
+        np.testing.assert_array_equal(
+            train.labels, files["train-labels-idx1-ubyte"].astype(np.int64)
+        )
+
+    def test_loads_gzipped_files(self, tmp_path) -> None:
+        _write_mnist_dir(tmp_path, gz=True)
+        train, test = load_mnist_idx(tmp_path)
+        assert len(train) == 12
+
+    def test_pixel_scaling(self, tmp_path) -> None:
+        files = _write_mnist_dir(tmp_path)
+        train, _ = load_mnist_idx(tmp_path)
+        raw = files["train-images-idx3-ubyte"].reshape(12, -1)
+        np.testing.assert_allclose(train.features, raw / 255.0, atol=1e-6)
+
+    def test_missing_file_raises(self, tmp_path) -> None:
+        _write_mnist_dir(tmp_path)
+        (tmp_path / "t10k-labels-idx1-ubyte").unlink()
+        with pytest.raises(FileNotFoundError, match="t10k-labels"):
+            load_mnist_idx(tmp_path)
+
+    def test_presence_check(self, tmp_path) -> None:
+        assert not mnist_files_present(tmp_path)
+        _write_mnist_dir(tmp_path)
+        assert mnist_files_present(tmp_path)
+
+    def test_label_count_mismatch_rejected(self, tmp_path) -> None:
+        _write_mnist_dir(tmp_path)
+        wrong = np.zeros(5, dtype=np.uint8)
+        (tmp_path / "train-labels-idx1-ubyte").write_bytes(_idx_bytes(wrong))
+        with pytest.raises(ValueError, match="label count"):
+            load_mnist_idx(tmp_path)

@@ -1,0 +1,69 @@
+"""Unit tests for the experiment configuration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import (
+    PAPER_SCALE,
+    TEST_SCALE,
+    ExperimentScale,
+    table_ii_rows,
+)
+
+
+class TestTableII:
+    def test_rows_match_paper(self) -> None:
+        rows = dict(table_ii_rows())
+        assert rows["Model Type"] == "Multinomial Logistic Regression"
+        assert rows["Input Size"] == "784*1"
+        assert rows["Output Size"] == "10*1"
+        assert "0.01" in rows["Optimizer"]
+        assert "0.99" in rows["Optimizer"]
+
+
+class TestScales:
+    def test_paper_scale_matches_prototype(self) -> None:
+        assert PAPER_SCALE.n_train == 60_000
+        assert PAPER_SCALE.n_test == 10_000
+        assert PAPER_SCALE.n_servers == 20
+        assert PAPER_SCALE.samples_per_server == 3000
+        assert PAPER_SCALE.target_accuracy == 0.92
+
+    def test_test_scale_is_small(self) -> None:
+        assert TEST_SCALE.n_train < PAPER_SCALE.n_train
+        assert TEST_SCALE.n_servers == PAPER_SCALE.n_servers
+
+    def test_model_config_dimensions(self) -> None:
+        config = PAPER_SCALE.model_config()
+        assert config.n_features == 784
+        assert config.n_classes == 10
+        assert config.l2 == PAPER_SCALE.l2
+
+    def test_sgd_config_matches_table_ii(self) -> None:
+        sgd = PAPER_SCALE.sgd_config()
+        assert sgd.learning_rate == 0.01
+        assert sgd.decay == 0.99
+        assert sgd.batch_size is None
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_train": 5, "n_servers": 10},
+            {"target_accuracy": 0.0},
+            {"target_accuracy": 1.5},
+            {"max_rounds": 0},
+        ],
+    )
+    def test_rejects_invalid(self, kwargs: dict) -> None:
+        defaults = dict(
+            name="x",
+            n_train=100,
+            n_test=10,
+            n_servers=5,
+            max_rounds=10,
+            target_accuracy=0.8,
+        )
+        defaults.update(kwargs)
+        with pytest.raises(ValueError):
+            ExperimentScale(**defaults)

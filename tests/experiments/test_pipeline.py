@@ -1,0 +1,175 @@
+"""End-to-end pipeline tests: calibration + Figs. 4-6 at a tiny scale.
+
+These are the slowest tests in the suite (~30 s total); they validate the
+full paper pipeline — calibrate constants from the simulated testbed,
+solve the biconvex program, and check the shape criteria of DESIGN.md on
+both theory and measured energy curves.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.experiments.calibrate import CalibratedSystem, calibrate_system
+from repro.experiments.config import ExperimentScale
+from repro.experiments.fig4 import run_fig4
+from repro.experiments.fig5 import run_fig5
+from repro.experiments.fig6 import run_fig6
+
+TINY = ExperimentScale(
+    name="tiny",
+    n_train=800,
+    n_test=200,
+    n_servers=8,
+    max_rounds=80,
+    target_accuracy=0.75,
+    seed=0,
+)
+
+
+@pytest.fixture(scope="module")
+def system() -> CalibratedSystem:
+    return calibrate_system(TINY)
+
+
+class TestCalibration:
+    def test_energy_constants_recovered(self, system: CalibratedSystem) -> None:
+        # c0/c1 are regenerated from the simulated Table-I grid, so they
+        # must match the paper's constants closely.
+        assert system.energy_params.c0 == pytest.approx(7.79e-5, rel=0.01)
+        assert system.energy_params.e_upload > 0
+        assert system.energy_params.n_samples == TINY.samples_per_server
+
+    def test_bound_constants_valid(self, system: CalibratedSystem) -> None:
+        assert system.bound.a0 > 0
+        assert system.bound.a1 >= 0
+        assert system.bound.a2 >= 0
+
+    def test_epsilon_feasible_at_full_participation(
+        self, system: CalibratedSystem
+    ) -> None:
+        assert system.objective().is_feasible(TINY.n_servers, 1)
+
+    def test_f_star_below_observed_losses(self, system: CalibratedSystem) -> None:
+        assert system.f_star < system.epsilon + system.f_star
+
+    def test_planner_produces_plan(self, system: CalibratedSystem) -> None:
+        plan = system.planner().plan(system.epsilon)
+        assert 1 <= plan.participants <= TINY.n_servers
+        assert plan.epochs >= 1
+        assert plan.predicted_energy > 0
+
+    def test_bound_predicts_measured_rounds_within_factor(
+        self, system: CalibratedSystem
+    ) -> None:
+        # The calibrated T*(K, E) must land within ~3x of a fresh
+        # measured run at an operating point not in the pilot set.
+        k, e = max(1, TINY.n_servers // 2), 10
+        run = system.prototype.run(
+            participants=k,
+            epochs=e,
+            n_rounds=TINY.max_rounds,
+            target_accuracy=TINY.target_accuracy,
+        )
+        if not run.reached_target or not system.objective().is_feasible(k, e):
+            pytest.skip("operating point infeasible at this tiny scale")
+        predicted = system.bound.required_rounds(system.epsilon, e, k)
+        assert predicted == pytest.approx(run.rounds, rel=2.0)
+
+
+class TestFig4Shape:
+    @pytest.fixture(scope="class")
+    def fig4(self, system: CalibratedSystem):
+        return run_fig4(
+            system.prototype,
+            k_values=(1, 4, 8),
+            e_values=(5, 20, 60),
+            fixed_e=20,
+            fixed_k=4,
+            max_rounds=60,
+            loose_target=0.60,
+            strict_target=0.72,
+        )
+
+    def test_all_runs_recorded(self, fig4) -> None:
+        assert set(fig4.fixed_e_histories) == {1, 4, 8}
+        assert set(fig4.fixed_k_histories) == {5, 20, 60}
+
+    def test_loss_decreases_over_rounds(self, fig4) -> None:
+        for history in fig4.fixed_e_histories.values():
+            assert history.final_loss() < history.losses[0]
+
+    def test_more_epochs_converges_in_fewer_rounds(self, fig4) -> None:
+        rounds = fig4.rounds_vs_e(0.72)
+        reached = {e: t for e, t in rounds.items() if t is not None}
+        if len(reached) >= 2:
+            es = sorted(reached)
+            assert reached[es[-1]] <= reached[es[0]]
+
+    def test_report_renders(self, fig4) -> None:
+        report = fig4.report()
+        assert "Fig. 4(a)/(b)" in report
+        assert "Fig. 4(c)/(d)" in report
+
+
+class TestFig5Shape:
+    @pytest.fixture(scope="class")
+    def fig5(self, system: CalibratedSystem):
+        return run_fig5(system, epochs=20, k_values=(1, 2, 4, 8))
+
+    def test_measured_optimum_is_smallest_k(self, fig5) -> None:
+        # DESIGN.md shape criterion: iid data => K* = 1 on real traces.
+        assert fig5.k_star_measured == 1
+
+    def test_measured_energy_increases_with_k(self, fig5) -> None:
+        measured = [v for v in fig5.measured_energy.values() if v is not None]
+        assert len(measured) >= 3
+        assert measured == sorted(measured)
+
+    def test_theory_tracks_measured_trend(self, fig5) -> None:
+        pairs = [
+            (t, m)
+            for t, m in zip(
+                fig5.theory_energy.values(), fig5.measured_energy.values()
+            )
+            if t is not None and m is not None
+        ]
+        if len(pairs) >= 3:
+            theory = [p[0] for p in pairs]
+            measured = [p[1] for p in pairs]
+            corr = np.corrcoef(theory, measured)[0, 1]
+            assert corr > 0.8
+
+    def test_report_renders(self, fig5) -> None:
+        assert "Fig. 5" in fig5.report()
+
+
+class TestFig6Shape:
+    @pytest.fixture(scope="class")
+    def fig6(self, system: CalibratedSystem):
+        return run_fig6(system, participants=1, e_values=(1, 5, 10, 20, 40, 80))
+
+    def test_interior_measured_optimum(self, fig6) -> None:
+        # DESIGN.md shape criterion: an interior E* exists.
+        measured = {e: v for e, v in fig6.measured_energy.items() if v is not None}
+        assert len(measured) >= 3
+        assert fig6.e_star_measured not in (min(measured), max(measured)) or (
+            fig6.e_star_measured != min(fig6.measured_energy)
+        )
+
+    def test_substantial_savings_vs_baseline(self, fig6) -> None:
+        # Paper headline: 49.8 % saving vs the naive baseline.  At this
+        # tiny scale we accept anything above 25 %.
+        assert fig6.savings_measured is not None
+        assert fig6.savings_measured > 0.25
+
+    def test_theory_has_finite_argmin(self, fig6) -> None:
+        assert fig6.theory_argmin() is not None
+
+    def test_report_renders(self, fig6) -> None:
+        report = fig6.report()
+        assert "Fig. 6" in report
+        assert "49.8%" in report

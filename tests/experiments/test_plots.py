@@ -1,0 +1,104 @@
+"""Unit tests for the ASCII chart renderer."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.experiments.plots import Series, line_chart
+
+
+def _series(label: str = "s", n: int = 10) -> Series:
+    return Series(label, [(float(i), float(i * i)) for i in range(n)])
+
+
+class TestSeries:
+    def test_clean_drops_none_and_nonfinite(self) -> None:
+        series = Series(
+            "s", [(0.0, 1.0), (1.0, None), (2.0, math.nan), (3.0, math.inf), (4.0, 2.0)]
+        )
+        assert series.clean() == [(0.0, 1.0), (4.0, 2.0)]
+
+
+class TestLineChart:
+    def test_contains_title_labels_and_legend(self) -> None:
+        chart = line_chart(
+            [_series("alpha"), _series("beta")],
+            title="My Chart",
+            x_label="rounds",
+            y_label="joules",
+        )
+        assert "My Chart" in chart
+        assert "rounds" in chart
+        assert "joules" in chart
+        assert "* alpha" in chart
+        assert "o beta" in chart
+
+    def test_markers_present_per_series(self) -> None:
+        low = Series("a", [(float(i), float(i)) for i in range(10)])
+        high = Series("b", [(float(i), float(i + 20)) for i in range(10)])
+        chart = line_chart([low, high])
+        body = chart.split("\n      +")[0]
+        assert "*" in body
+        assert "o" in body
+
+    def test_extremes_on_axis_rows(self) -> None:
+        series = Series("s", [(0.0, 0.0), (10.0, 100.0)])
+        chart = line_chart([series], height=10)
+        lines = [l for l in chart.splitlines() if "|" in l]
+        # Max value appears on the top plot row, min on the bottom row.
+        assert "*" in lines[0]
+        assert "*" in lines[-1]
+
+    def test_y_tick_labels_cover_range(self) -> None:
+        series = Series("s", [(0.0, 0.0), (1.0, 50.0)])
+        chart = line_chart([series])
+        assert "50" in chart
+        assert " 0 |" in chart or "0 |" in chart
+
+    def test_log_x_axis_labels(self) -> None:
+        series = Series("s", [(1.0, 1.0), (10.0, 2.0), (100.0, 3.0)])
+        chart = line_chart([series], log_x=True)
+        assert "[log]" in chart
+        assert "100" in chart
+
+    def test_log_x_rejects_nonpositive(self) -> None:
+        series = Series("s", [(0.0, 1.0), (1.0, 2.0)])
+        with pytest.raises(ValueError, match="positive x"):
+            line_chart([series], log_x=True)
+
+    def test_constant_series_renders(self) -> None:
+        series = Series("s", [(0.0, 5.0), (1.0, 5.0), (2.0, 5.0)])
+        chart = line_chart([series])
+        assert "*" in chart
+
+    def test_single_point_renders(self) -> None:
+        chart = line_chart([Series("s", [(1.0, 2.0)])])
+        assert "*" in chart
+
+    def test_all_empty_raises(self) -> None:
+        with pytest.raises(ValueError, match="nothing to plot"):
+            line_chart([Series("s", [(1.0, None)])])
+
+    def test_too_small_canvas_rejected(self) -> None:
+        with pytest.raises(ValueError, match="at least"):
+            line_chart([_series()], width=5, height=2)
+
+    def test_deterministic(self) -> None:
+        a = line_chart([_series("a"), _series("b")])
+        b = line_chart([_series("a"), _series("b")])
+        assert a == b
+
+    def test_width_respected(self) -> None:
+        chart = line_chart([_series()], width=30)
+        plot_rows = [l for l in chart.splitlines() if "|" in l and "legend" not in l]
+        for row in plot_rows:
+            after_bar = row.split("|", 1)[1]
+            assert len(after_bar) <= 30
+
+    def test_interpolation_connects_points(self) -> None:
+        # Two distant points must be joined by '.' interpolation dots.
+        series = Series("s", [(0.0, 0.0), (10.0, 10.0)])
+        chart = line_chart([series], width=40, height=12)
+        assert "." in chart

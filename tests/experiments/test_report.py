@@ -1,0 +1,53 @@
+"""Unit tests for report rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.report import format_percent, render_series, render_table
+
+
+class TestRenderTable:
+    def test_basic_alignment(self) -> None:
+        text = render_table(["a", "bee"], [[1, 2.5], [10, 0.333333]])
+        lines = text.splitlines()
+        assert lines[0].startswith("a")
+        assert "bee" in lines[0]
+        assert set(lines[1]) <= {"-", " "}
+        assert len(lines) == 4
+
+    def test_title_prepended(self) -> None:
+        text = render_table(["x"], [[1]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_float_formatting(self) -> None:
+        text = render_table(["v"], [[0.333333333]])
+        assert "0.3333" in text
+
+    def test_rejects_ragged_rows(self) -> None:
+        with pytest.raises(ValueError, match="cells"):
+            render_table(["a", "b"], [[1]])
+
+    def test_rejects_empty_headers(self) -> None:
+        with pytest.raises(ValueError, match="headers"):
+            render_table([], [])
+
+    def test_empty_rows_ok(self) -> None:
+        text = render_table(["a"], [])
+        assert "a" in text
+
+
+class TestRenderSeries:
+    def test_two_columns(self) -> None:
+        text = render_series("K", "energy", [(1, 10.0), (2, 20.0)])
+        assert "K" in text and "energy" in text
+        assert "10" in text and "20" in text
+
+
+class TestFormatPercent:
+    def test_paper_headline(self) -> None:
+        assert format_percent(0.498) == "49.8%"
+
+    def test_rounding(self) -> None:
+        assert format_percent(0.12345) == "12.3%"
+        assert format_percent(1.0) == "100.0%"

@@ -1,0 +1,86 @@
+"""Unit tests for the CLI experiment runner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import runner
+from repro.experiments.runner import SCALES, build_parser, main
+
+
+class TestParser:
+    def test_parses_experiment_and_scale(self) -> None:
+        args = build_parser().parse_args(["fig5", "--scale", "test"])
+        assert args.experiment == "fig5"
+        assert args.scale == "test"
+
+    def test_default_scale_is_tiny(self) -> None:
+        args = build_parser().parse_args(["table1"])
+        assert args.scale == "tiny"
+
+    def test_rejects_unknown_experiment(self) -> None:
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig7"])
+
+    def test_rejects_unknown_scale(self) -> None:
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig5", "--scale", "huge"])
+
+    def test_all_is_accepted(self) -> None:
+        assert build_parser().parse_args(["all"]).experiment == "all"
+
+
+class TestScales:
+    def test_three_scales_registered(self) -> None:
+        assert set(SCALES) == {"tiny", "test", "paper"}
+
+    def test_scales_ordered_by_size(self) -> None:
+        assert (
+            SCALES["tiny"].n_train
+            < SCALES["test"].n_train
+            < SCALES["paper"].n_train
+        )
+
+
+class TestMain:
+    def test_table1_runs_and_prints(self, capsys: pytest.CaptureFixture) -> None:
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out
+        assert "c0" in out
+
+    def test_fig3_runs_and_prints(self, capsys: pytest.CaptureFixture) -> None:
+        assert main(["fig3"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 3" in out
+        assert "training" in out
+
+    def test_plan_runs_at_tiny_scale(self, capsys: pytest.CaptureFixture) -> None:
+        assert main(["plan", "--scale", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "EE-FEI plan" in out
+        assert "Calibrated constants" in out
+
+    def test_frontier_runs_at_tiny_scale(self, capsys: pytest.CaptureFixture) -> None:
+        assert main(["frontier", "--scale", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "Pareto frontier" in out
+        assert "deadline" in out
+
+    def test_sensitivity_runs_at_tiny_scale(
+        self, capsys: pytest.CaptureFixture
+    ) -> None:
+        assert main(["sensitivity", "--scale", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "regret" in out
+
+    def test_calibration_cached_across_invocations(
+        self, capsys: pytest.CaptureFixture
+    ) -> None:
+        # The previous test calibrated 'tiny'; a second plan run must
+        # reuse the cache (same object identity).
+        before = runner._CALIBRATION_CACHE.get("tiny")
+        assert main(["plan", "--scale", "tiny"]) == 0
+        after = runner._CALIBRATION_CACHE.get("tiny")
+        if before is not None:
+            assert after is before

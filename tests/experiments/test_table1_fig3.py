@@ -1,0 +1,65 @@
+"""Reproduction tests for Table I and Fig. 3 (fast, deterministic)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import constants
+from repro.experiments.fig3 import run_fig3
+from repro.experiments.table1 import run_table1
+from repro.hardware.power_model import RoundPhase
+
+
+class TestTable1:
+    def test_grid_matches_paper_shape(self) -> None:
+        result = run_table1()
+        assert set(result.durations) == set(result.paper_durations)
+        # Shape criterion from DESIGN.md: every simulated duration within
+        # 6 % of the paper's measurement.
+        assert result.max_relative_error() < 0.06
+
+    def test_fit_recovers_c0(self) -> None:
+        result = run_table1()
+        assert result.fit.c0 == pytest.approx(
+            constants.C0_JOULES_PER_SAMPLE_EPOCH, rel=0.01
+        )
+
+    def test_rows_ordering(self) -> None:
+        rows = run_table1().rows()
+        assert len(rows) == 12
+        assert rows[0][:2] == (10, 100)
+        assert rows[-1][:2] == (40, 2000)
+
+    def test_report_contains_fit_line(self) -> None:
+        report = run_table1().report()
+        assert "Table I" in report
+        assert "c0" in report and "c1" in report
+
+
+class TestFig3:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig3(epochs=10, n_rounds=2)
+
+    def test_all_phases_recovered(self, result) -> None:
+        for phase in RoundPhase:
+            assert result.measured_powers[phase] == pytest.approx(
+                result.expected_powers[phase], abs=0.05
+            )
+
+    def test_max_error_small(self, result) -> None:
+        assert result.max_power_error_w() < 0.05
+
+    def test_trace_samples_at_1khz(self, result) -> None:
+        assert result.trace.sample_rate == pytest.approx(1000.0, rel=0.01)
+
+    def test_power_pattern_repeats_per_round(self, result) -> None:
+        # Two rounds: the training plateau must appear twice.
+        plateaus = result.trace.detect_plateaus(tolerance_w=0.3)
+        training = [p for p in plateaus if abs(p[2] - 5.553) < 0.3]
+        assert len(training) == 2
+
+    def test_report_mentions_phases(self, result) -> None:
+        report = result.report()
+        for phase in RoundPhase:
+            assert phase.value in report

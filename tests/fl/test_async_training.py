@@ -1,0 +1,183 @@
+"""Unit + integration tests for asynchronous federated training."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import Dataset
+from repro.fl.async_training import (
+    AsyncConfig,
+    AsyncFederatedTrainer,
+    AsyncResult,
+)
+from repro.fl.model import LogisticRegressionConfig
+from repro.fl.partition import partition_iid
+from repro.fl.sgd import SGDConfig
+from repro.fl.training import build_clients
+
+_CONFIG = LogisticRegressionConfig(n_features=6, n_classes=3)
+
+
+def _task(n: int, seed: int = 0) -> Dataset:
+    projection = np.random.default_rng(77).normal(size=(6, 3))
+    rng = np.random.default_rng(seed)
+    features = rng.normal(size=(n, 6))
+    labels = np.argmax(features @ projection, axis=1)
+    return Dataset(features, labels, 3)
+
+
+def _trainer(
+    n_clients: int = 4,
+    duration_fn=None,
+    **config_kwargs,
+) -> AsyncFederatedTrainer:
+    train = _task(400)
+    test = _task(150, seed=5)
+    partitions = partition_iid(train, n_clients, np.random.default_rng(1))
+    clients = build_clients(partitions, _CONFIG)
+    defaults = dict(
+        max_updates=40,
+        local_epochs=2,
+        sgd=SGDConfig(learning_rate=0.5, decay=1.0),
+    )
+    defaults.update(config_kwargs)
+    return AsyncFederatedTrainer(
+        clients=clients,
+        config=AsyncConfig(**defaults),
+        train_eval=train,
+        test_eval=test,
+        duration_fn=duration_fn or (lambda cid: 1.0 + 0.1 * cid),
+    )
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_updates": 0},
+            {"local_epochs": 0},
+            {"mixing_alpha": 0.0},
+            {"mixing_alpha": 1.5},
+            {"staleness_beta": -0.1},
+            {"eval_every": 0},
+            {"target_accuracy": 0.0},
+        ],
+    )
+    def test_rejects_invalid(self, kwargs: dict) -> None:
+        defaults = dict(max_updates=10, local_epochs=1)
+        defaults.update(kwargs)
+        with pytest.raises(ValueError):
+            AsyncConfig(**defaults)
+
+
+class TestAsyncRun:
+    def test_runs_exactly_max_updates(self) -> None:
+        result = _trainer(max_updates=25).run()
+        assert result.updates == 25
+        assert len(result.records) == 25
+
+    def test_update_times_increase(self) -> None:
+        result = _trainer().run()
+        times = [r.time_s for r in result.records]
+        assert times == sorted(times)
+        assert result.wall_clock_s >= times[-1]
+
+    def test_learning_happens(self) -> None:
+        result = _trainer(max_updates=60).run()
+        first_eval = next(r.train_loss for r in result.records if r.train_loss)
+        assert result.final_loss < first_eval
+        assert result.final_accuracy > 0.6
+
+    def test_fast_clients_contribute_more(self) -> None:
+        # Client 0 is 4x faster than client 3.
+        result = _trainer(
+            duration_fn=lambda cid: 1.0 + 3.0 * (cid == 3), max_updates=60
+        ).run()
+        counts = np.bincount([r.client_id for r in result.records], minlength=4)
+        assert counts[0] > counts[3]
+
+    def test_staleness_observed_with_heterogeneous_speeds(self) -> None:
+        result = _trainer(
+            duration_fn=lambda cid: 1.0 + cid, max_updates=60
+        ).run()
+        assert max(r.staleness for r in result.records) >= 1
+
+    def test_staleness_discount_applied(self) -> None:
+        result = _trainer(
+            duration_fn=lambda cid: 1.0 + cid,
+            max_updates=60,
+            mixing_alpha=0.8,
+            staleness_beta=1.0,
+        ).run()
+        for record in result.records:
+            expected = 0.8 * (1.0 + record.staleness) ** -1.0
+            assert record.mixing_weight == pytest.approx(expected)
+
+    def test_beta_zero_means_no_discount(self) -> None:
+        result = _trainer(max_updates=20, staleness_beta=0.0).run()
+        assert all(r.mixing_weight == pytest.approx(0.6) for r in result.records)
+
+    def test_eval_every_thins_evaluations(self) -> None:
+        result = _trainer(max_updates=40, eval_every=10).run()
+        evaluated = [r for r in result.records if r.test_accuracy is not None]
+        assert 4 <= len(evaluated) <= 5
+
+    def test_target_accuracy_stops_early(self) -> None:
+        result = _trainer(max_updates=500, target_accuracy=0.55).run()
+        assert result.reached_target
+        assert result.updates < 500
+
+    def test_time_to_accuracy_query(self) -> None:
+        result = _trainer(max_updates=80).run()
+        t = result.time_to_accuracy(0.5)
+        if t is not None:
+            assert result.accuracy_at_time(t) >= 0.5
+        assert result.time_to_accuracy(1.01) is None
+
+    def test_deterministic(self) -> None:
+        a = _trainer(max_updates=30).run()
+        b = _trainer(max_updates=30).run()
+        assert a.final_loss == b.final_loss
+        assert [r.client_id for r in a.records] == [r.client_id for r in b.records]
+
+    def test_rejects_empty_clients(self) -> None:
+        with pytest.raises(ValueError, match="at least one client"):
+            AsyncFederatedTrainer(
+                clients=[],
+                config=AsyncConfig(max_updates=1, local_epochs=1),
+                train_eval=_task(10),
+                test_eval=_task(10),
+                duration_fn=lambda cid: 1.0,
+            )
+
+
+class TestPrototypeAsync:
+    def test_run_async_on_testbed(self) -> None:
+        from repro.data.synthetic_mnist import load_synthetic_mnist
+        from repro.hardware.prototype import HardwarePrototype, PrototypeConfig
+
+        train, test = load_synthetic_mnist(400, 100, seed=0)
+        prototype = HardwarePrototype(train, test, PrototypeConfig(n_servers=4))
+        result, energy = prototype.run_async(max_updates=20, epochs=5, eval_every=5)
+        assert result.updates == 20
+        assert energy > 0
+        assert result.wall_clock_s > 0
+
+    def test_async_beats_sync_wall_clock_on_jittery_fleet(self) -> None:
+        from repro.data.synthetic_mnist import load_synthetic_mnist
+        from repro.hardware.prototype import HardwarePrototype, PrototypeConfig
+        from repro.hardware.raspberry_pi import PiTimingConfig
+
+        train, test = load_synthetic_mnist(400, 100, seed=0)
+        config = PrototypeConfig(
+            n_servers=4, timing=PiTimingConfig(jitter_fraction=0.3), seed=0
+        )
+        prototype = HardwarePrototype(train, test, config)
+        async_result, _ = prototype.run_async(
+            max_updates=20, epochs=5, eval_every=20
+        )
+        sync_result = prototype.run(participants=4, epochs=5, n_rounds=5)
+        # Same 20 local jobs: async needs no round barrier (and no
+        # waiting phase), so it finishes sooner.
+        assert async_result.wall_clock_s < sync_result.wall_clock_s

@@ -1,0 +1,162 @@
+"""Unit tests for the edge-server client and the coordinator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import Dataset
+from repro.fl.client import EdgeServerClient, LocalUpdate
+from repro.fl.model import LogisticRegressionConfig, LogisticRegressionModel
+from repro.fl.server import Coordinator, aggregate_mean, aggregate_weighted
+from repro.fl.sgd import SGDConfig
+
+_CONFIG = LogisticRegressionConfig(n_features=4, n_classes=3)
+
+
+def _dataset(n: int = 30, seed: int = 0) -> Dataset:
+    rng = np.random.default_rng(seed)
+    return Dataset(rng.normal(size=(n, 4)), rng.integers(0, 3, size=n), 3)
+
+
+def _update(params: np.ndarray, n_samples: int = 10, cid: int = 0) -> LocalUpdate:
+    return LocalUpdate(
+        client_id=cid,
+        parameters=params,
+        n_samples=n_samples,
+        epochs=1,
+        gradient_steps=1,
+        final_local_loss=0.0,
+    )
+
+
+class TestClient:
+    def test_train_returns_update(self) -> None:
+        client = EdgeServerClient(0, _dataset(), _CONFIG)
+        update = client.train(np.zeros(_CONFIG.n_parameters), epochs=3, learning_rate=0.1)
+        assert update.client_id == 0
+        assert update.epochs == 3
+        assert update.gradient_steps == 3  # full batch: one step per epoch
+        assert update.n_samples == 30
+        assert update.parameters.shape == (_CONFIG.n_parameters,)
+
+    def test_training_reduces_local_loss(self) -> None:
+        client = EdgeServerClient(0, _dataset(100), _CONFIG)
+        start = np.zeros(_CONFIG.n_parameters)
+        update = client.train(start, epochs=20, learning_rate=0.5)
+        assert update.final_local_loss < client.local_loss(start)
+
+    def test_minibatch_steps_counted(self) -> None:
+        client = EdgeServerClient(0, _dataset(30), _CONFIG)
+        update = client.train(
+            np.zeros(_CONFIG.n_parameters),
+            epochs=2,
+            learning_rate=0.1,
+            sgd=SGDConfig(batch_size=10),
+        )
+        assert update.gradient_steps == 6  # 3 batches x 2 epochs
+
+    def test_does_not_mutate_global_parameters(self) -> None:
+        client = EdgeServerClient(0, _dataset(), _CONFIG)
+        global_params = np.zeros(_CONFIG.n_parameters)
+        client.train(global_params, epochs=1, learning_rate=0.1)
+        assert np.all(global_params == 0.0)
+
+    def test_local_gradient_matches_model(self) -> None:
+        dataset = _dataset(20, seed=3)
+        client = EdgeServerClient(0, dataset, _CONFIG)
+        params = np.random.default_rng(4).normal(size=_CONFIG.n_parameters)
+        model = LogisticRegressionModel(_CONFIG)
+        model.set_parameters(params)
+        expected = model.gradient_flat(dataset.features, dataset.labels)
+        np.testing.assert_allclose(client.local_gradient(params), expected)
+
+    def test_rejects_empty_dataset(self) -> None:
+        empty = Dataset(np.zeros((0, 4)), np.zeros(0, dtype=int), 3)
+        with pytest.raises(ValueError, match="empty dataset"):
+            EdgeServerClient(0, empty, _CONFIG)
+
+    def test_rejects_feature_mismatch(self) -> None:
+        with pytest.raises(ValueError, match="features"):
+            EdgeServerClient(
+                0, _dataset(), LogisticRegressionConfig(n_features=9, n_classes=3)
+            )
+
+    @pytest.mark.parametrize("epochs,lr", [(0, 0.1), (1, 0.0), (1, -1.0)])
+    def test_rejects_invalid_train_args(self, epochs: int, lr: float) -> None:
+        client = EdgeServerClient(0, _dataset(), _CONFIG)
+        with pytest.raises(ValueError):
+            client.train(np.zeros(_CONFIG.n_parameters), epochs=epochs, learning_rate=lr)
+
+
+class TestAggregation:
+    def test_mean_is_elementwise_average(self) -> None:
+        a = _update(np.full(_CONFIG.n_parameters, 1.0))
+        b = _update(np.full(_CONFIG.n_parameters, 3.0))
+        np.testing.assert_allclose(aggregate_mean([a, b]), 2.0)
+
+    def test_weighted_uses_sample_counts(self) -> None:
+        a = _update(np.full(_CONFIG.n_parameters, 0.0), n_samples=10)
+        b = _update(np.full(_CONFIG.n_parameters, 4.0), n_samples=30)
+        np.testing.assert_allclose(aggregate_weighted([a, b]), 3.0)
+
+    def test_mean_rejects_empty(self) -> None:
+        with pytest.raises(ValueError, match="empty"):
+            aggregate_mean([])
+
+    def test_weighted_rejects_empty(self) -> None:
+        with pytest.raises(ValueError, match="empty"):
+            aggregate_weighted([])
+
+    def test_single_update_is_identity(self) -> None:
+        params = np.arange(_CONFIG.n_parameters, dtype=float)
+        np.testing.assert_array_equal(aggregate_mean([_update(params)]), params)
+        np.testing.assert_array_equal(aggregate_weighted([_update(params)]), params)
+
+
+class TestCoordinator:
+    def test_initial_parameters_zero(self) -> None:
+        coord = Coordinator(_CONFIG)
+        assert np.all(coord.global_parameters == 0.0)
+        assert coord.rounds_completed == 0
+
+    def test_custom_initial_parameters(self) -> None:
+        init = np.ones(_CONFIG.n_parameters)
+        coord = Coordinator(_CONFIG, initial_parameters=init)
+        np.testing.assert_array_equal(coord.global_parameters, init)
+
+    def test_initial_parameters_copied(self) -> None:
+        init = np.ones(_CONFIG.n_parameters)
+        coord = Coordinator(_CONFIG, initial_parameters=init)
+        init[0] = 99.0
+        assert coord.global_parameters[0] == 1.0
+
+    def test_aggregate_advances_round(self) -> None:
+        coord = Coordinator(_CONFIG)
+        coord.aggregate([_update(np.ones(_CONFIG.n_parameters))])
+        assert coord.rounds_completed == 1
+        np.testing.assert_allclose(coord.global_parameters, 1.0)
+
+    def test_weighted_mode(self) -> None:
+        coord = Coordinator(_CONFIG, aggregation="weighted")
+        coord.aggregate(
+            [
+                _update(np.full(_CONFIG.n_parameters, 0.0), n_samples=10),
+                _update(np.full(_CONFIG.n_parameters, 4.0), n_samples=30),
+            ]
+        )
+        np.testing.assert_allclose(coord.global_parameters, 3.0)
+
+    def test_global_model_reflects_parameters(self) -> None:
+        coord = Coordinator(_CONFIG)
+        coord.aggregate([_update(np.full(_CONFIG.n_parameters, 0.5))])
+        model = coord.global_model()
+        np.testing.assert_allclose(model.get_parameters(), 0.5)
+
+    def test_rejects_unknown_aggregation(self) -> None:
+        with pytest.raises(ValueError, match="aggregation"):
+            Coordinator(_CONFIG, aggregation="median")
+
+    def test_rejects_bad_initial_shape(self) -> None:
+        with pytest.raises(ValueError, match="initial_parameters"):
+            Coordinator(_CONFIG, initial_parameters=np.zeros(3))

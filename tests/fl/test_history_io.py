@@ -1,0 +1,90 @@
+"""Unit tests for training-history JSON persistence."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.fl.history_io import (
+    history_from_json,
+    history_to_json,
+    load_history_json,
+    save_history_json,
+)
+from repro.fl.metrics import RoundRecord, TrainingHistory
+
+
+def _history(n: int = 5) -> TrainingHistory:
+    history = TrainingHistory()
+    for t in range(n):
+        history.append(
+            RoundRecord(
+                round_index=t,
+                train_loss=2.0 / (t + 1),
+                test_accuracy=0.5 + 0.05 * t,
+                participants=(0, 1, 2),
+                local_epochs=10,
+                learning_rate=0.01 * 0.99**t,
+                aggregated=(0, 2),
+            )
+        )
+    return history
+
+
+class TestRoundTrip:
+    def test_preserves_all_fields(self) -> None:
+        original = _history()
+        restored = history_from_json(history_to_json(original))
+        assert len(restored) == len(original)
+        for a, b in zip(original.records, restored.records):
+            assert a == b
+
+    def test_preserves_derived_queries(self) -> None:
+        original = _history(10)
+        restored = history_from_json(history_to_json(original))
+        np.testing.assert_allclose(restored.losses, original.losses)
+        assert restored.rounds_to_accuracy(0.7) == original.rounds_to_accuracy(0.7)
+
+    def test_file_roundtrip(self, tmp_path) -> None:
+        original = _history()
+        path = tmp_path / "history.json"
+        save_history_json(original, path)
+        restored = load_history_json(path)
+        assert restored.records == original.records
+
+    def test_empty_history_roundtrips(self) -> None:
+        restored = history_from_json(history_to_json(TrainingHistory()))
+        assert len(restored) == 0
+
+    def test_default_aggregated_backfilled(self) -> None:
+        # Documents without the aggregated key (older captures) fall back
+        # to participants.
+        history = TrainingHistory()
+        history.append(
+            RoundRecord(0, 1.0, 0.5, (0, 1), 5, 0.01)
+        )
+        text = history_to_json(history).replace('"aggregated": [0, 1],', "")
+        import json
+
+        document = json.loads(history_to_json(history))
+        del document["records"][0]["aggregated"]
+        restored = history_from_json(json.dumps(document))
+        assert restored[0].aggregated == (0, 1)
+
+
+class TestValidation:
+    def test_rejects_invalid_json(self) -> None:
+        with pytest.raises(ValueError, match="invalid JSON"):
+            history_from_json("{not json")
+
+    def test_rejects_wrong_schema(self) -> None:
+        with pytest.raises(ValueError, match="schema"):
+            history_from_json('{"schema": "other/9", "records": []}')
+
+    def test_rejects_malformed_record(self) -> None:
+        text = (
+            '{"schema": "repro.training-history/1", '
+            '"records": [{"round_index": 0}]}'
+        )
+        with pytest.raises(ValueError, match="malformed record"):
+            history_from_json(text)

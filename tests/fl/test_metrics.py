@@ -1,0 +1,94 @@
+"""Unit tests for the training history."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.fl.metrics import RoundRecord, TrainingHistory
+
+
+def _record(t: int, loss: float, acc: float, epochs: int = 10) -> RoundRecord:
+    return RoundRecord(
+        round_index=t,
+        train_loss=loss,
+        test_accuracy=acc,
+        participants=(0, 1),
+        local_epochs=epochs,
+        learning_rate=0.01,
+    )
+
+
+def _history(losses: list[float], accs: list[float], epochs: int = 10) -> TrainingHistory:
+    history = TrainingHistory()
+    for t, (loss, acc) in enumerate(zip(losses, accs)):
+        history.append(_record(t, loss, acc, epochs))
+    return history
+
+
+class TestAppend:
+    def test_records_in_order(self) -> None:
+        history = _history([2.0, 1.0], [0.3, 0.6])
+        assert len(history) == 2
+        assert history[0].train_loss == 2.0
+        assert history.records[1].test_accuracy == 0.6
+
+    def test_rejects_gap_in_rounds(self) -> None:
+        history = TrainingHistory()
+        history.append(_record(0, 1.0, 0.5))
+        with pytest.raises(ValueError, match="arrived after"):
+            history.append(_record(2, 0.9, 0.6))
+
+    def test_rejects_nonzero_first_round(self) -> None:
+        with pytest.raises(ValueError, match="first record"):
+            TrainingHistory().append(_record(3, 1.0, 0.5))
+
+
+class TestSeries:
+    def test_losses_and_accuracies_arrays(self) -> None:
+        history = _history([2.0, 1.5, 1.0], [0.2, 0.5, 0.8])
+        np.testing.assert_array_equal(history.losses, [2.0, 1.5, 1.0])
+        np.testing.assert_array_equal(history.accuracies, [0.2, 0.5, 0.8])
+
+    def test_final_and_best(self) -> None:
+        history = _history([2.0, 1.0, 1.2], [0.2, 0.9, 0.7])
+        assert history.final_loss() == 1.2
+        assert history.final_accuracy() == 0.7
+        assert history.best_accuracy() == 0.9
+
+    def test_empty_history_raises(self) -> None:
+        history = TrainingHistory()
+        with pytest.raises(ValueError, match="empty"):
+            history.final_loss()
+        with pytest.raises(ValueError, match="empty"):
+            history.final_accuracy()
+        with pytest.raises(ValueError, match="empty"):
+            history.best_accuracy()
+
+
+class TestTargets:
+    def test_rounds_to_accuracy_is_one_based(self) -> None:
+        history = _history([3, 2, 1], [0.3, 0.6, 0.9])
+        assert history.rounds_to_accuracy(0.6) == 2
+        assert history.rounds_to_accuracy(0.25) == 1
+
+    def test_rounds_to_accuracy_unreached(self) -> None:
+        history = _history([3, 2], [0.3, 0.6])
+        assert history.rounds_to_accuracy(0.99) is None
+
+    def test_rounds_to_loss(self) -> None:
+        history = _history([3, 2, 1], [0.3, 0.6, 0.9])
+        assert history.rounds_to_loss(2.0) == 2
+        assert history.rounds_to_loss(0.5) is None
+
+    def test_rounds_to_accuracy_first_crossing(self) -> None:
+        # Accuracy dips back below the target later; the first crossing
+        # is what counts (matching how the paper reads its curves).
+        history = _history([3, 2, 2, 1], [0.3, 0.8, 0.6, 0.9])
+        assert history.rounds_to_accuracy(0.75) == 2
+
+    def test_local_gradients_to_accuracy(self) -> None:
+        history = _history([3, 2, 1], [0.3, 0.6, 0.9], epochs=20)
+        # Reaches 0.6 at round 2 => 2 rounds x 20 epochs.
+        assert history.local_gradient_rounds_to_accuracy(0.6) == 40
+        assert history.local_gradient_rounds_to_accuracy(0.99) is None

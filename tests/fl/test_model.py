@@ -1,0 +1,191 @@
+"""Unit tests for the logistic-regression model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.fl.model import (
+    LogisticRegressionConfig,
+    LogisticRegressionModel,
+    softmax,
+)
+
+
+def _toy_batch(n: int = 20, seed: int = 0, config: LogisticRegressionConfig | None = None):
+    config = config or LogisticRegressionConfig(n_features=6, n_classes=3)
+    rng = np.random.default_rng(seed)
+    features = rng.normal(size=(n, config.n_features))
+    labels = rng.integers(0, config.n_classes, size=n)
+    return config, features, labels
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self) -> None:
+        logits = np.random.default_rng(0).normal(size=(5, 4))
+        probs = softmax(logits)
+        np.testing.assert_allclose(probs.sum(axis=1), 1.0)
+
+    def test_stable_for_large_logits(self) -> None:
+        probs = softmax(np.array([[1000.0, 0.0], [0.0, -1000.0]]))
+        assert np.all(np.isfinite(probs))
+        np.testing.assert_allclose(probs[0], [1.0, 0.0], atol=1e-12)
+
+    def test_shift_invariant(self) -> None:
+        logits = np.array([[1.0, 2.0, 3.0]])
+        np.testing.assert_allclose(softmax(logits), softmax(logits + 100.0))
+
+
+class TestConfig:
+    def test_n_parameters(self) -> None:
+        config = LogisticRegressionConfig(n_features=784, n_classes=10)
+        assert config.n_parameters == 784 * 10 + 10
+
+    def test_parameter_bytes(self) -> None:
+        config = LogisticRegressionConfig(n_features=784, n_classes=10)
+        assert config.parameter_bytes(4) == (784 * 10 + 10) * 4
+        assert config.parameter_bytes(8) == (784 * 10 + 10) * 8
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_features": 0},
+            {"n_classes": 1},
+            {"activation": "relu"},
+            {"l2": -1.0},
+        ],
+    )
+    def test_rejects_invalid(self, kwargs: dict) -> None:
+        with pytest.raises(ValueError):
+            LogisticRegressionConfig(**kwargs)
+
+
+class TestParameters:
+    def test_roundtrip(self) -> None:
+        config, _, _ = _toy_batch()
+        model = LogisticRegressionModel(config)
+        flat = np.arange(config.n_parameters, dtype=float)
+        model.set_parameters(flat)
+        np.testing.assert_array_equal(model.get_parameters(), flat)
+
+    def test_get_returns_copy(self) -> None:
+        config, _, _ = _toy_batch()
+        model = LogisticRegressionModel(config)
+        flat = model.get_parameters()
+        flat[0] = 99.0
+        assert model.get_parameters()[0] == 0.0
+
+    def test_set_rejects_wrong_shape(self) -> None:
+        config, _, _ = _toy_batch()
+        model = LogisticRegressionModel(config)
+        with pytest.raises(ValueError, match="flat vector"):
+            model.set_parameters(np.zeros(3))
+
+    def test_clone_is_independent(self) -> None:
+        config, _, _ = _toy_batch()
+        model = LogisticRegressionModel(config)
+        clone = model.clone()
+        clone.weights[0, 0] = 5.0
+        assert model.weights[0, 0] == 0.0
+
+    def test_random_init_requires_rng(self) -> None:
+        config, _, _ = _toy_batch()
+        with pytest.raises(ValueError, match="requires an rng"):
+            LogisticRegressionModel(config, init_scale=0.1)
+
+
+class TestGradient:
+    def test_gradient_matches_finite_differences(self) -> None:
+        config, features, labels = _toy_batch(n=12)
+        model = LogisticRegressionModel(config)
+        rng = np.random.default_rng(1)
+        model.set_parameters(rng.normal(0, 0.1, size=config.n_parameters))
+        analytic = model.gradient_flat(features, labels)
+        numeric = np.zeros_like(analytic)
+        base = model.get_parameters()
+        eps = 1e-6
+        for i in range(len(base)):
+            for sign in (+1, -1):
+                perturbed = base.copy()
+                perturbed[i] += sign * eps
+                model.set_parameters(perturbed)
+                numeric[i] += sign * model.loss(features, labels)
+        numeric /= 2 * eps
+        model.set_parameters(base)
+        np.testing.assert_allclose(analytic, numeric, atol=1e-5)
+
+    def test_gradient_with_l2_matches_finite_differences(self) -> None:
+        config = LogisticRegressionConfig(n_features=5, n_classes=3, l2=0.1)
+        rng = np.random.default_rng(2)
+        features = rng.normal(size=(10, 5))
+        labels = rng.integers(0, 3, size=10)
+        model = LogisticRegressionModel(config)
+        model.set_parameters(rng.normal(0, 0.1, size=config.n_parameters))
+        analytic = model.gradient_flat(features, labels)
+        base = model.get_parameters()
+        numeric = np.zeros_like(analytic)
+        eps = 1e-6
+        for i in range(len(base)):
+            plus, minus = base.copy(), base.copy()
+            plus[i] += eps
+            minus[i] -= eps
+            model.set_parameters(plus)
+            up = model.loss(features, labels)
+            model.set_parameters(minus)
+            down = model.loss(features, labels)
+            numeric[i] = (up - down) / (2 * eps)
+        np.testing.assert_allclose(analytic, numeric, atol=1e-5)
+
+    def test_sgd_step_decreases_loss(self) -> None:
+        config, features, labels = _toy_batch(n=50)
+        model = LogisticRegressionModel(config)
+        before = model.loss(features, labels)
+        model.sgd_step(features, labels, learning_rate=0.5)
+        assert model.loss(features, labels) < before
+
+
+class TestPredictions:
+    def test_zero_model_is_uniform(self) -> None:
+        config, features, _ = _toy_batch()
+        model = LogisticRegressionModel(config)
+        probs = model.predict_proba(features)
+        np.testing.assert_allclose(probs, 1.0 / config.n_classes)
+
+    def test_zero_model_loss_is_log_classes(self) -> None:
+        config, features, labels = _toy_batch()
+        model = LogisticRegressionModel(config)
+        assert model.loss(features, labels) == pytest.approx(
+            np.log(config.n_classes), rel=1e-6
+        )
+
+    def test_sigmoid_head_probabilities_normalised(self) -> None:
+        config = LogisticRegressionConfig(
+            n_features=6, n_classes=3, activation="sigmoid"
+        )
+        rng = np.random.default_rng(3)
+        model = LogisticRegressionModel(config)
+        model.set_parameters(rng.normal(size=config.n_parameters))
+        probs = model.predict_proba(rng.normal(size=(7, 6)))
+        np.testing.assert_allclose(probs.sum(axis=1), 1.0)
+
+    def test_sigmoid_training_learns(self) -> None:
+        config = LogisticRegressionConfig(
+            n_features=6, n_classes=3, activation="sigmoid"
+        )
+        rng = np.random.default_rng(4)
+        features = rng.normal(size=(200, 6))
+        labels = (features[:, 0] > 0).astype(int) + (features[:, 1] > 0).astype(int)
+        model = LogisticRegressionModel(config)
+        for _ in range(100):
+            model.sgd_step(features, labels, 0.5)
+        assert model.accuracy(features, labels) > 0.7
+
+    def test_accuracy_on_learnable_task(self) -> None:
+        config = LogisticRegressionConfig(n_features=4, n_classes=2)
+        rng = np.random.default_rng(5)
+        features = rng.normal(size=(300, 4))
+        labels = (features @ np.array([1.0, -2.0, 0.5, 0.0]) > 0).astype(int)
+        model = LogisticRegressionModel(config)
+        for _ in range(200):
+            model.sgd_step(features, labels, 0.5)
+        assert model.accuracy(features, labels) > 0.95

@@ -1,0 +1,132 @@
+"""Tests for over-selection (straggler mitigation) in the trainer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import Dataset
+from repro.fl.metrics import RoundRecord
+from repro.fl.model import LogisticRegressionConfig
+from repro.fl.partition import partition_iid
+from repro.fl.sgd import SGDConfig
+from repro.fl.training import FederatedConfig, FederatedTrainer, build_clients
+
+_CONFIG = LogisticRegressionConfig(n_features=6, n_classes=3)
+
+
+def _task(n: int, seed: int = 0) -> Dataset:
+    projection = np.random.default_rng(99).normal(size=(6, 3))
+    rng = np.random.default_rng(seed)
+    features = rng.normal(size=(n, 6))
+    labels = np.argmax(features @ projection, axis=1)
+    return Dataset(features, labels, 3)
+
+
+def _trainer(overselection: int, ranker=None, n_clients: int = 8):
+    train = _task(400)
+    partitions = partition_iid(train, n_clients, np.random.default_rng(1))
+    clients = build_clients(partitions, _CONFIG)
+    return FederatedTrainer(
+        clients=clients,
+        config=FederatedConfig(
+            n_rounds=5,
+            participants_per_round=3,
+            local_epochs=2,
+            overselection=overselection,
+            sgd=SGDConfig(learning_rate=0.5, decay=1.0),
+        ),
+        train_eval=train,
+        test_eval=train,
+        completion_ranker=ranker,
+    )
+
+
+class TestOverselection:
+    def test_selects_k_plus_m_aggregates_k(self) -> None:
+        trainer = _trainer(overselection=2)
+        trainer.run()
+        for record in trainer.history.records:
+            assert len(record.participants) == 5
+            assert len(record.aggregated) == 3
+            assert set(record.aggregated) <= set(record.participants)
+
+    def test_zero_overselection_aggregates_everyone(self) -> None:
+        trainer = _trainer(overselection=0)
+        trainer.run()
+        for record in trainer.history.records:
+            assert record.aggregated == record.participants
+
+    def test_ranker_determines_winners(self) -> None:
+        # A ranker that always puts the highest ids first.
+        def ranker(round_index: int, selected: list[int]) -> list[int]:
+            return sorted(selected, reverse=True)
+
+        trainer = _trainer(overselection=2, ranker=ranker)
+        trainer.run()
+        for record in trainer.history.records:
+            expected = tuple(sorted(sorted(record.participants, reverse=True)[:3]))
+            assert record.aggregated == expected
+
+    def test_stragglers_still_burn_gradient_steps(self) -> None:
+        plain = _trainer(overselection=0)
+        plain.run()
+        over = _trainer(overselection=2)
+        over.run()
+        # 5 rounds x (3 vs 5 clients) x 2 epochs.
+        assert plain.total_gradient_steps == 5 * 3 * 2
+        assert over.total_gradient_steps == 5 * 5 * 2
+
+    def test_training_still_converges(self) -> None:
+        trainer = _trainer(overselection=2)
+        history = trainer.run()
+        assert history.final_loss() < history.losses[0]
+
+    def test_rejects_overselection_beyond_population(self) -> None:
+        with pytest.raises(ValueError, match="exceeds"):
+            _trainer(overselection=10)
+
+    def test_rejects_negative_overselection(self) -> None:
+        with pytest.raises(ValueError, match="non-negative"):
+            FederatedConfig(
+                n_rounds=1,
+                participants_per_round=1,
+                local_epochs=1,
+                overselection=-1,
+            )
+
+    def test_record_rejects_foreign_aggregated_ids(self) -> None:
+        with pytest.raises(ValueError, match="subset"):
+            RoundRecord(
+                round_index=0,
+                train_loss=1.0,
+                test_accuracy=0.5,
+                participants=(0, 1),
+                local_epochs=1,
+                learning_rate=0.1,
+                aggregated=(2,),
+            )
+
+    def test_dropout_interacts_with_overselection(self) -> None:
+        train = _task(400)
+        partitions = partition_iid(train, 8, np.random.default_rng(1))
+        clients = build_clients(partitions, _CONFIG)
+        trainer = FederatedTrainer(
+            clients=clients,
+            config=FederatedConfig(
+                n_rounds=10,
+                participants_per_round=3,
+                local_epochs=1,
+                overselection=2,
+                dropout_probability=0.4,
+                seed=3,
+            ),
+            train_eval=train,
+            test_eval=train,
+        )
+        trainer.run()
+        # Aggregated counts can fall below K when dropouts eat into the
+        # over-provisioned pool, but never exceed K.
+        sizes = [len(r.aggregated) for r in trainer.history.records]
+        assert max(sizes) <= 3
+        assert min(sizes) >= 0

@@ -1,0 +1,85 @@
+"""Unit tests for client-sampling strategies."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.fl.sampling import FixedSampler, RoundRobinSampler, UniformSampler
+
+
+class TestUniform:
+    def test_selects_k_distinct_sorted(self) -> None:
+        sampler = UniformSampler(20, 5, np.random.default_rng(0))
+        for t in range(20):
+            chosen = sampler.select(t)
+            assert len(chosen) == 5
+            assert len(set(chosen.tolist())) == 5
+            assert np.all(np.diff(chosen) > 0)
+            assert chosen.min() >= 0 and chosen.max() < 20
+
+    def test_covers_all_clients_eventually(self) -> None:
+        sampler = UniformSampler(10, 3, np.random.default_rng(1))
+        seen: set[int] = set()
+        for t in range(100):
+            seen.update(sampler.select(t).tolist())
+        assert seen == set(range(10))
+
+    def test_k_equals_n_selects_everyone(self) -> None:
+        sampler = UniformSampler(6, 6, np.random.default_rng(2))
+        np.testing.assert_array_equal(sampler.select(0), np.arange(6))
+
+    @pytest.mark.parametrize("n,k", [(0, 1), (5, 0), (5, 6)])
+    def test_rejects_invalid_sizes(self, n: int, k: int) -> None:
+        with pytest.raises(ValueError):
+            UniformSampler(n, k, np.random.default_rng(0))
+
+
+class TestRoundRobin:
+    def test_rotates_fairly(self) -> None:
+        sampler = RoundRobinSampler(6, 2)
+        rounds = [sampler.select(t).tolist() for t in range(3)]
+        assert rounds == [[0, 1], [2, 3], [4, 5]]
+
+    def test_wraps_around(self) -> None:
+        sampler = RoundRobinSampler(5, 2)
+        assert sampler.select(2).tolist() == [0, 4]
+
+    def test_every_client_equally_often(self) -> None:
+        sampler = RoundRobinSampler(6, 3)
+        counts = np.zeros(6, dtype=int)
+        for t in range(12):
+            counts[sampler.select(t)] += 1
+        assert counts.min() == counts.max()
+
+    def test_rejects_negative_round(self) -> None:
+        with pytest.raises(ValueError, match="round_index"):
+            RoundRobinSampler(5, 2).select(-1)
+
+
+class TestFixed:
+    def test_always_same_subset(self) -> None:
+        sampler = FixedSampler(10, [7, 2, 4])
+        for t in range(5):
+            assert sampler.select(t).tolist() == [2, 4, 7]
+
+    def test_k_is_subset_size(self) -> None:
+        assert FixedSampler(10, [1, 2]).k == 2
+
+    def test_rejects_duplicates(self) -> None:
+        with pytest.raises(ValueError, match="duplicates"):
+            FixedSampler(10, [1, 1, 2])
+
+    def test_rejects_out_of_range(self) -> None:
+        with pytest.raises(ValueError, match="client_ids"):
+            FixedSampler(5, [4, 5])
+
+    def test_rejects_empty(self) -> None:
+        with pytest.raises(ValueError, match="non-empty"):
+            FixedSampler(5, [])
+
+    def test_returns_copy(self) -> None:
+        sampler = FixedSampler(5, [1, 2])
+        first = sampler.select(0)
+        first[0] = 4
+        assert sampler.select(1).tolist() == [1, 2]

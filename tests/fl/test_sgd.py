@@ -1,0 +1,69 @@
+"""Unit tests for the SGD configuration and schedule."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fl.sgd import LearningRateSchedule, SGDConfig
+
+
+class TestSGDConfig:
+    def test_defaults_match_paper(self) -> None:
+        config = SGDConfig()
+        assert config.learning_rate == 0.01
+        assert config.decay == 0.99
+        assert config.batch_size is None  # full batch, as in the paper
+
+    def test_rate_at_round(self) -> None:
+        config = SGDConfig(learning_rate=0.1, decay=0.5)
+        assert config.rate_at_round(0) == pytest.approx(0.1)
+        assert config.rate_at_round(1) == pytest.approx(0.05)
+        assert config.rate_at_round(3) == pytest.approx(0.0125)
+
+    def test_no_decay(self) -> None:
+        config = SGDConfig(learning_rate=0.1, decay=1.0)
+        assert config.rate_at_round(100) == pytest.approx(0.1)
+
+    def test_rejects_negative_round(self) -> None:
+        with pytest.raises(ValueError, match="round_index"):
+            SGDConfig().rate_at_round(-1)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"learning_rate": 0.0},
+            {"learning_rate": -0.1},
+            {"decay": 0.0},
+            {"decay": 1.0001},
+            {"batch_size": 0},
+        ],
+    )
+    def test_rejects_invalid(self, kwargs: dict) -> None:
+        with pytest.raises(ValueError):
+            SGDConfig(**kwargs)
+
+
+class TestSchedule:
+    def test_advance_applies_decay(self) -> None:
+        schedule = LearningRateSchedule(SGDConfig(learning_rate=1.0, decay=0.9))
+        assert schedule.current_rate == pytest.approx(1.0)
+        schedule.advance()
+        assert schedule.current_rate == pytest.approx(0.9)
+        schedule.advance()
+        assert schedule.current_rate == pytest.approx(0.81)
+        assert schedule.round_index == 2
+
+    def test_reset(self) -> None:
+        schedule = LearningRateSchedule(SGDConfig(learning_rate=1.0, decay=0.9))
+        schedule.advance()
+        schedule.advance()
+        schedule.reset()
+        assert schedule.round_index == 0
+        assert schedule.current_rate == pytest.approx(1.0)
+
+    def test_matches_config_rate(self) -> None:
+        config = SGDConfig(learning_rate=0.02, decay=0.95)
+        schedule = LearningRateSchedule(config)
+        for t in range(10):
+            assert schedule.current_rate == pytest.approx(config.rate_at_round(t))
+            schedule.advance()

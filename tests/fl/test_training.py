@@ -1,0 +1,173 @@
+"""Integration tests for the federated training loop."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import Dataset
+from repro.fl.model import LogisticRegressionConfig
+from repro.fl.partition import partition_iid
+from repro.fl.sampling import FixedSampler
+from repro.fl.sgd import SGDConfig
+from repro.fl.training import FederatedConfig, FederatedTrainer, build_clients
+
+_CONFIG = LogisticRegressionConfig(n_features=8, n_classes=3)
+
+
+def _linear_task(n: int, seed: int = 0) -> Dataset:
+    """A noisy linear 3-class task FedAvg can learn quickly.
+
+    The ground-truth projection is drawn from a *fixed* stream so train
+    and test sets (different ``seed``) share the same underlying task.
+    """
+    projection = np.random.default_rng(424242).normal(size=(8, 3))
+    rng = np.random.default_rng(seed)
+    features = rng.normal(size=(n, 8))
+    scores = features @ projection
+    labels = np.argmax(scores + rng.normal(0, 0.5, size=scores.shape), axis=1)
+    return Dataset(features, labels, 3)
+
+
+def _trainer(
+    n_samples: int = 300,
+    n_clients: int = 6,
+    **config_kwargs,
+) -> FederatedTrainer:
+    train = _linear_task(n_samples)
+    test = _linear_task(100, seed=99)
+    partitions = partition_iid(train, n_clients, np.random.default_rng(1))
+    clients = build_clients(partitions, _CONFIG)
+    defaults = dict(
+        n_rounds=20,
+        participants_per_round=3,
+        local_epochs=2,
+        sgd=SGDConfig(learning_rate=0.5, decay=1.0),
+    )
+    defaults.update(config_kwargs)
+    return FederatedTrainer(
+        clients=clients,
+        config=FederatedConfig(**defaults),
+        train_eval=train,
+        test_eval=test,
+    )
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_rounds": 0},
+            {"participants_per_round": 0},
+            {"local_epochs": 0},
+            {"dropout_probability": 1.0},
+            {"dropout_probability": -0.1},
+            {"target_accuracy": 0.0},
+            {"target_accuracy": 1.5},
+        ],
+    )
+    def test_rejects_invalid(self, kwargs: dict) -> None:
+        defaults = dict(n_rounds=5, participants_per_round=2, local_epochs=1)
+        defaults.update(kwargs)
+        with pytest.raises(ValueError):
+            FederatedConfig(**defaults)
+
+    def test_rejects_k_above_n(self) -> None:
+        with pytest.raises(ValueError, match="exceeds the number"):
+            _trainer(participants_per_round=100)
+
+
+class TestTrainingLoop:
+    def test_history_grows_per_round(self) -> None:
+        trainer = _trainer(n_rounds=5)
+        trainer.run()
+        assert len(trainer.history) == 5
+        assert trainer.coordinator.rounds_completed == 5
+
+    def test_learning_happens(self) -> None:
+        trainer = _trainer(n_rounds=25)
+        history = trainer.run()
+        assert history.final_loss() < history.losses[0]
+        assert history.final_accuracy() > 0.6
+
+    def test_gradient_step_accounting(self) -> None:
+        trainer = _trainer(n_rounds=4, participants_per_round=3, local_epochs=2)
+        trainer.run()
+        # Full batch: E steps per client per round.
+        assert trainer.total_gradient_steps == 4 * 3 * 2
+        assert trainer.total_uploads == 4 * 3
+
+    def test_early_stop_at_target(self) -> None:
+        trainer = _trainer(n_rounds=100, target_accuracy=0.5)
+        history = trainer.run()
+        assert len(history) < 100
+        assert history.final_accuracy() >= 0.5
+
+    def test_deterministic_given_seed(self) -> None:
+        losses_a = _trainer(seed=7, n_rounds=6).run().losses
+        losses_b = _trainer(seed=7, n_rounds=6).run().losses
+        np.testing.assert_array_equal(losses_a, losses_b)
+
+    def test_different_seeds_differ(self) -> None:
+        losses_a = _trainer(seed=1, n_rounds=6).run().losses
+        losses_b = _trainer(seed=2, n_rounds=6).run().losses
+        assert not np.array_equal(losses_a, losses_b)
+
+    def test_custom_sampler_used(self) -> None:
+        train = _linear_task(300)
+        partitions = partition_iid(train, 6, np.random.default_rng(1))
+        clients = build_clients(partitions, _CONFIG)
+        trainer = FederatedTrainer(
+            clients=clients,
+            config=FederatedConfig(
+                n_rounds=3, participants_per_round=2, local_epochs=1
+            ),
+            train_eval=train,
+            test_eval=train,
+            sampler=FixedSampler(6, [1, 4]),
+        )
+        trainer.run()
+        for record in trainer.history.records:
+            assert record.participants == (1, 4)
+
+    def test_learning_rate_decays_across_rounds(self) -> None:
+        trainer = _trainer(n_rounds=3, sgd=SGDConfig(learning_rate=0.1, decay=0.5))
+        trainer.run()
+        rates = [r.learning_rate for r in trainer.history.records]
+        assert rates == pytest.approx([0.1, 0.05, 0.025])
+
+    def test_k_equals_one_is_sequential_sgd(self) -> None:
+        trainer = _trainer(n_rounds=10, participants_per_round=1)
+        history = trainer.run()
+        assert history.final_loss() < history.losses[0]
+        for record in trainer.history.records:
+            assert len(record.participants) == 1
+
+
+class TestDropout:
+    def test_dropout_reduces_uploads(self) -> None:
+        full = _trainer(n_rounds=20, seed=3)
+        full.run()
+        lossy = _trainer(n_rounds=20, seed=3, dropout_probability=0.5)
+        lossy.run()
+        assert lossy.total_uploads < full.total_uploads
+        # Gradient *computation* still happens at dropped clients.
+        assert lossy.total_gradient_steps == full.total_gradient_steps
+
+    def test_all_dropped_round_keeps_model(self) -> None:
+        trainer = _trainer(n_rounds=1, participants_per_round=1)
+        trainer.config.__dict__  # frozen dataclass; rebuild with dropout ~ 1
+        trainer = _trainer(
+            n_rounds=3, participants_per_round=1, dropout_probability=0.999, seed=5
+        )
+        params_before = trainer.coordinator.global_parameters
+        trainer.run()
+        # With dropout ~ 1 nearly every round is wasted; rounds must still
+        # be counted and the model stays near its initial value.
+        assert len(trainer.history) == 3
+        assert trainer.coordinator.rounds_completed == 3
+
+    def test_training_survives_moderate_dropout(self) -> None:
+        trainer = _trainer(n_rounds=30, dropout_probability=0.3)
+        history = trainer.run()
+        assert history.final_accuracy() > 0.55

@@ -1,0 +1,145 @@
+"""Unit tests for the trace-analysis (inverse) pipeline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic_mnist import generate_synthetic_mnist
+from repro.hardware.analysis import analyze_trace
+from repro.hardware.power_meter import MeterConfig, PowerMeter
+from repro.hardware.power_model import RoundPhase, StepPowers
+from repro.hardware.prototype import HardwarePrototype, PrototypeConfig
+from repro.hardware.raspberry_pi import RaspberryPiEdgeServer
+from repro.net.messages import model_download_message, model_upload_message
+from repro.fl.model import LogisticRegressionConfig
+from repro.sim.processes import StepProcess
+
+
+def _metered_rounds(epochs: int, n_samples: int, n_rounds: int, noise: float = 0.0):
+    """Build a clean or noisy metered trace of known ground truth."""
+    device = RaspberryPiEdgeServer(server_id=0)
+    model = LogisticRegressionConfig()
+    download = model_download_message(model)
+    upload = model_upload_message(model)
+    process = StepProcess()
+    for _ in range(n_rounds):
+        timing = device.round_timing(epochs, n_samples, download, upload)
+        process.extend(device.round_power_process(timing))
+    meter = PowerMeter(
+        MeterConfig(power_noise_std_w=noise, voltage_noise_std_v=0.0),
+        rng=np.random.default_rng(0) if noise else None,
+    )
+    return device, meter.record(process)
+
+
+class TestSegmentation:
+    def test_recovers_round_count(self) -> None:
+        _, trace = _metered_rounds(epochs=10, n_samples=1000, n_rounds=3)
+        analysis = analyze_trace(trace)
+        assert analysis.n_rounds == 3
+
+    def test_each_round_has_four_phases(self) -> None:
+        _, trace = _metered_rounds(epochs=10, n_samples=1000, n_rounds=2)
+        analysis = analyze_trace(trace)
+        for round_ in analysis.rounds:
+            phases = [p.phase for p in round_.phases]
+            assert phases == [
+                RoundPhase.WAITING,
+                RoundPhase.DOWNLOADING,
+                RoundPhase.TRAINING,
+                RoundPhase.UPLOADING,
+            ]
+
+    def test_works_under_meter_noise(self) -> None:
+        _, trace = _metered_rounds(epochs=20, n_samples=1000, n_rounds=2, noise=0.02)
+        analysis = analyze_trace(trace)
+        assert analysis.n_rounds == 2
+
+    def test_rejects_flat_trace(self) -> None:
+        from repro.hardware.trace import PowerTrace
+
+        times = np.arange(100) / 1000.0
+        power = np.full(100, 5.0)
+        trace = PowerTrace(times, power, np.full(100, 5.1), power / 5.1)
+        analysis = analyze_trace(trace)
+        # A flat trace is one plateau: one "round" with a single phase.
+        assert analysis.n_rounds == 1
+
+
+class TestDurations:
+    def test_training_duration_matches_device_law(self) -> None:
+        device, trace = _metered_rounds(epochs=20, n_samples=1000, n_rounds=2)
+        analysis = analyze_trace(trace)
+        expected = device.training_duration(20, 1000)
+        assert analysis.mean_phase_duration(RoundPhase.TRAINING) == pytest.approx(
+            expected, rel=0.05
+        )
+
+    def test_waiting_duration_recovered(self) -> None:
+        _, trace = _metered_rounds(epochs=10, n_samples=500, n_rounds=2)
+        analysis = analyze_trace(trace)
+        assert analysis.mean_phase_duration(RoundPhase.WAITING) == pytest.approx(
+            1.0, rel=0.05
+        )
+
+    def test_round_energy_close_to_device_model(self) -> None:
+        device, trace = _metered_rounds(epochs=10, n_samples=1000, n_rounds=2)
+        analysis = analyze_trace(trace)
+        model = LogisticRegressionConfig()
+        expected = device.round_energy(
+            10,
+            1000,
+            model_download_message(model),
+            model_upload_message(model),
+        )
+        assert analysis.mean_round_energy() == pytest.approx(expected, rel=0.1)
+
+    def test_missing_phase_raises(self) -> None:
+        from repro.hardware.trace import PowerTrace
+
+        # Only a training-level plateau: waiting is absent.
+        times = np.arange(200) / 1000.0
+        power = np.full(200, 5.553)
+        trace = PowerTrace(times, power, np.full(200, 5.1), power / 5.1)
+        analysis = analyze_trace(trace)
+        with pytest.raises(ValueError, match="waiting"):
+            analysis.mean_phase_duration(RoundPhase.WAITING)
+
+
+class TestParameterInversion:
+    @pytest.mark.parametrize("epochs,n_samples", [(10, 1000), (40, 500), (20, 2000)])
+    def test_estimate_epochs(self, epochs: int, n_samples: int) -> None:
+        _, trace = _metered_rounds(epochs=epochs, n_samples=n_samples, n_rounds=2)
+        analysis = analyze_trace(trace)
+        assert analysis.estimate_epochs(n_samples) == pytest.approx(epochs, rel=0.08)
+
+    @pytest.mark.parametrize("epochs,n_samples", [(10, 1000), (40, 500)])
+    def test_estimate_samples(self, epochs: int, n_samples: int) -> None:
+        _, trace = _metered_rounds(epochs=epochs, n_samples=n_samples, n_rounds=2)
+        analysis = analyze_trace(trace)
+        assert analysis.estimate_samples(epochs) == pytest.approx(
+            n_samples, rel=0.08
+        )
+
+    def test_inversion_rejects_bad_args(self) -> None:
+        _, trace = _metered_rounds(epochs=10, n_samples=500, n_rounds=1)
+        analysis = analyze_trace(trace)
+        with pytest.raises(ValueError, match="n_samples"):
+            analysis.estimate_epochs(0)
+        with pytest.raises(ValueError, match="epochs"):
+            analysis.estimate_samples(0)
+
+
+class TestEndToEnd:
+    def test_prototype_trace_roundtrip(self) -> None:
+        """Meter the testbed, analyse the capture, recover E."""
+        train = generate_synthetic_mnist(800, seed=0)
+        test = generate_synthetic_mnist(200, seed=1)
+        prototype = HardwarePrototype(train, test, PrototypeConfig(n_servers=4))
+        epochs = 25
+        trace = prototype.record_power_trace(0, epochs=epochs, n_rounds=3)
+        analysis = analyze_trace(trace)
+        assert analysis.n_rounds == 3
+        n_k = prototype.samples_per_server
+        assert analysis.estimate_epochs(n_k) == pytest.approx(epochs, rel=0.1)

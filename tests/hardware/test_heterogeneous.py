@@ -1,0 +1,80 @@
+"""Tests for heterogeneous-hardware testbeds (eq. (12)'s expectations)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic_mnist import generate_synthetic_mnist
+from repro.hardware.prototype import HardwarePrototype, PrototypeConfig
+from repro.iot.network import IoTNetwork
+
+
+def _prototype(heterogeneity: float, n_servers: int = 6, **kwargs) -> HardwarePrototype:
+    train = generate_synthetic_mnist(600, seed=0)
+    test = generate_synthetic_mnist(150, seed=1)
+    config = PrototypeConfig(
+        n_servers=n_servers, heterogeneity=heterogeneity, seed=0, **kwargs
+    )
+    return HardwarePrototype(train, test, config)
+
+
+class TestHeterogeneousDevices:
+    def test_zero_heterogeneity_is_uniform(self) -> None:
+        proto = _prototype(0.0)
+        params = proto.heterogeneous_energy_params()
+        assert np.allclose(params.c0, params.c0[0])
+        assert np.allclose(params.e_upload, params.e_upload[0])
+
+    def test_nonzero_heterogeneity_varies_devices(self) -> None:
+        proto = _prototype(0.3)
+        params = proto.heterogeneous_energy_params()
+        assert params.c0.std() > 0
+        assert params.c1.std() > 0
+
+    def test_deterministic_given_seed(self) -> None:
+        a = _prototype(0.3).heterogeneous_energy_params()
+        b = _prototype(0.3).heterogeneous_energy_params()
+        np.testing.assert_allclose(a.c0, b.c0)
+
+    def test_mean_params_near_nominal(self) -> None:
+        # The spread is centred on the stock Raspberry Pi, so with a few
+        # devices the mean should stay within ~50% of the nominal c0.
+        proto = _prototype(0.2, n_servers=20)
+        mean = proto.heterogeneous_energy_params().mean()
+        assert mean.c0 == pytest.approx(7.79e-5, rel=0.5)
+
+    def test_rejects_excessive_heterogeneity(self) -> None:
+        with pytest.raises(ValueError, match="heterogeneity"):
+            _prototype(0.95)
+
+    def test_round_energy_differs_across_devices(self) -> None:
+        proto = _prototype(0.4)
+        result = proto.run(participants=proto.config.n_servers, epochs=5, n_rounds=1)
+        # With full participation and heterogeneous devices, the per-round
+        # energy is the sum of distinct per-device energies.
+        from repro.net.messages import model_download_message, model_upload_message
+
+        download = model_download_message(proto.config.model)
+        upload = model_upload_message(proto.config.model)
+        energies = [
+            d.round_energy(5, len(proto._partitions[d.server_id]), download, upload)
+            for d in proto.devices
+        ]
+        assert max(energies) > 1.2 * min(energies)
+        assert result.energy_per_round_j[0] == pytest.approx(sum(energies), rel=1e-6)
+
+    def test_rho_values_from_iot_network(self) -> None:
+        train = generate_synthetic_mnist(200, seed=0)
+        iot = IoTNetwork.homogeneous(4, devices_per_cluster=2, sample_bytes=100)
+        proto = HardwarePrototype(
+            train, train, PrototypeConfig(n_servers=4), iot_network=iot
+        )
+        params = proto.heterogeneous_energy_params()
+        assert np.all(params.rho > 0)
+        assert params.rho[0] == pytest.approx(iot.cluster(0).rho)
+
+    def test_explicit_rho_override(self) -> None:
+        proto = _prototype(0.0, n_servers=4)
+        params = proto.heterogeneous_energy_params(rho_values={1: 0.5, 3: 0.2})
+        assert params.rho.tolist() == [0.0, 0.5, 0.0, 0.2]

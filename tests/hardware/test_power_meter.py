@@ -1,0 +1,95 @@
+"""Unit tests for the simulated KM001C power meter."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hardware.power_meter import MeterConfig, PowerMeter
+from repro.sim.processes import StepProcess
+
+
+def _process(durations_powers: list[tuple[float, float]]) -> StepProcess:
+    process = StepProcess()
+    for duration, power in durations_powers:
+        process.append(duration, power)
+    return process
+
+
+class TestNoiselessMeter:
+    def _meter(self, rate: float = 1000.0) -> PowerMeter:
+        return PowerMeter(
+            MeterConfig(sample_rate_hz=rate, power_noise_std_w=0.0, voltage_noise_std_v=0.0)
+        )
+
+    def test_sample_count_matches_rate(self) -> None:
+        trace = self._meter(1000.0).record(_process([(2.0, 5.0)]))
+        assert len(trace) == 2001
+        assert trace.sample_rate == pytest.approx(1000.0)
+
+    def test_recovers_exact_energy_for_constant_power(self) -> None:
+        trace = self._meter().record(_process([(1.5, 4.0)]))
+        assert trace.energy() == pytest.approx(1.5 * 4.0, rel=1e-3)
+
+    def test_multistep_energy_close_to_exact(self) -> None:
+        process = _process([(1.0, 3.6), (0.5, 5.553), (0.2, 5.015)])
+        trace = self._meter().record(process)
+        assert trace.energy() == pytest.approx(process.integral(), rel=5e-3)
+
+    def test_current_is_power_over_voltage(self) -> None:
+        trace = self._meter().record(_process([(1.0, 5.1)]))
+        np.testing.assert_allclose(trace.current_a, trace.power_w / trace.voltage_v)
+
+    def test_short_process_still_two_samples(self) -> None:
+        trace = self._meter(10.0).record(_process([(0.01, 5.0)]))
+        assert len(trace) >= 2
+
+    def test_empty_process_rejected(self) -> None:
+        with pytest.raises(ValueError, match="empty"):
+            self._meter().record(StepProcess())
+
+
+class TestNoisyMeter:
+    def test_noise_requires_rng(self) -> None:
+        with pytest.raises(ValueError, match="rng"):
+            PowerMeter(MeterConfig(power_noise_std_w=0.1))
+
+    def test_noise_perturbs_readings(self) -> None:
+        meter = PowerMeter(
+            MeterConfig(power_noise_std_w=0.1), rng=np.random.default_rng(0)
+        )
+        trace = meter.record(_process([(1.0, 5.0)]))
+        assert trace.power_w.std() > 0.01
+        assert trace.power_w.mean() == pytest.approx(5.0, abs=0.05)
+
+    def test_power_never_negative(self) -> None:
+        meter = PowerMeter(
+            MeterConfig(power_noise_std_w=5.0), rng=np.random.default_rng(1)
+        )
+        trace = meter.record(_process([(1.0, 0.5)]))
+        assert trace.power_w.min() >= 0.0
+
+    def test_energy_unbiased_under_noise(self) -> None:
+        meter = PowerMeter(
+            MeterConfig(power_noise_std_w=0.05), rng=np.random.default_rng(2)
+        )
+        trace = meter.record(_process([(2.0, 5.553)]))
+        assert trace.energy() == pytest.approx(2.0 * 5.553, rel=0.01)
+
+
+class TestMeterConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"sample_rate_hz": 0.0},
+            {"nominal_voltage_v": 0.0},
+            {"power_noise_std_w": -0.1},
+            {"voltage_noise_std_v": -0.1},
+        ],
+    )
+    def test_rejects_invalid(self, kwargs: dict) -> None:
+        with pytest.raises(ValueError):
+            MeterConfig(**kwargs)
+
+    def test_default_rate_is_paper_rate(self) -> None:
+        assert MeterConfig().sample_rate_hz == 1000.0

@@ -1,0 +1,119 @@
+"""Unit tests for the power-state model and power traces."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import constants
+from repro.hardware.power_model import RoundPhase, StepPowers
+from repro.hardware.trace import PowerTrace
+
+
+class TestStepPowers:
+    def test_defaults_are_paper_values(self) -> None:
+        powers = StepPowers()
+        assert powers.power_for(RoundPhase.WAITING) == constants.POWER_WAITING_W
+        assert powers.power_for(RoundPhase.DOWNLOADING) == constants.POWER_DOWNLOADING_W
+        assert powers.power_for(RoundPhase.TRAINING) == constants.POWER_TRAINING_W
+        assert powers.power_for(RoundPhase.UPLOADING) == constants.POWER_UPLOADING_W
+
+    def test_scaled_device(self) -> None:
+        hungry = StepPowers().scaled(2.0)
+        assert hungry.training_w == pytest.approx(2 * constants.POWER_TRAINING_W)
+        assert hungry.waiting_w == pytest.approx(2 * constants.POWER_WAITING_W)
+
+    def test_scaled_rejects_nonpositive(self) -> None:
+        with pytest.raises(ValueError, match="factor"):
+            StepPowers().scaled(0.0)
+
+    def test_rejects_nonpositive_power(self) -> None:
+        with pytest.raises(ValueError, match="waiting_w"):
+            StepPowers(waiting_w=0.0)
+
+
+def _trace(n: int = 100, power: float = 5.0, rate: float = 1000.0) -> PowerTrace:
+    times = np.arange(n) / rate
+    powers = np.full(n, power)
+    voltage = np.full(n, 5.1)
+    return PowerTrace(times, powers, voltage, powers / voltage)
+
+
+class TestPowerTrace:
+    def test_basic_statistics(self) -> None:
+        trace = _trace(n=1001, power=5.0)
+        assert len(trace) == 1001
+        assert trace.duration == pytest.approx(1.0)
+        assert trace.sample_rate == pytest.approx(1000.0)
+        assert trace.mean_power() == pytest.approx(5.0)
+        assert trace.peak_power() == pytest.approx(5.0)
+
+    def test_energy_is_power_times_time(self) -> None:
+        trace = _trace(n=2001, power=3.6)
+        assert trace.energy() == pytest.approx(3.6 * 2.0)
+
+    def test_between_slices(self) -> None:
+        trace = _trace(n=1001)
+        sub = trace.between(0.25, 0.75)
+        assert sub.times[0] >= 0.25
+        assert sub.times[-1] <= 0.75
+        assert sub.duration == pytest.approx(0.5, abs=2e-3)
+
+    def test_between_rejects_thin_slice(self) -> None:
+        trace = _trace(n=100)
+        with pytest.raises(ValueError, match="fewer than two"):
+            trace.between(0.0001, 0.00015)
+
+    def test_between_rejects_inverted(self) -> None:
+        with pytest.raises(ValueError, match="end > start"):
+            _trace().between(0.5, 0.2)
+
+    def test_concatenation(self) -> None:
+        first = _trace(n=100)
+        second = PowerTrace(
+            first.times + 1.0, first.power_w, first.voltage_v, first.current_a
+        )
+        joined = first.concatenated_with(second)
+        assert len(joined) == 200
+        assert joined.duration > first.duration
+
+    def test_concatenation_rejects_overlap(self) -> None:
+        trace = _trace(n=100)
+        with pytest.raises(ValueError, match="strictly after"):
+            trace.concatenated_with(trace)
+
+    def test_validation(self) -> None:
+        with pytest.raises(ValueError, match="at least two"):
+            PowerTrace(np.array([0.0]), np.array([1.0]), np.array([5.0]), np.array([0.2]))
+        with pytest.raises(ValueError, match="strictly increasing"):
+            PowerTrace(
+                np.array([0.0, 0.0]),
+                np.ones(2),
+                np.full(2, 5.0),
+                np.full(2, 0.2),
+            )
+        with pytest.raises(ValueError, match="power_w"):
+            PowerTrace(np.array([0.0, 1.0]), np.ones(3), np.full(2, 5.0), np.full(2, 0.2))
+
+
+class TestPlateauDetection:
+    def test_detects_two_plateaus(self) -> None:
+        times = np.arange(200) / 100.0
+        power = np.where(times < 1.0, 3.6, 5.5)
+        trace = PowerTrace(times, power, np.full(200, 5.1), power / 5.1)
+        plateaus = trace.detect_plateaus(tolerance_w=0.5)
+        assert len(plateaus) == 2
+        assert plateaus[0][2] == pytest.approx(3.6)
+        assert plateaus[1][2] == pytest.approx(5.5)
+
+    def test_tolerance_merges_noise(self) -> None:
+        rng = np.random.default_rng(0)
+        times = np.arange(500) / 100.0
+        power = 4.0 + rng.normal(0, 0.01, 500)
+        trace = PowerTrace(times, power, np.full(500, 5.1), power / 5.1)
+        plateaus = trace.detect_plateaus(tolerance_w=0.3)
+        assert len(plateaus) == 1
+
+    def test_rejects_nonpositive_tolerance(self) -> None:
+        with pytest.raises(ValueError, match="tolerance"):
+            _trace().detect_plateaus(0.0)

@@ -1,0 +1,163 @@
+"""Unit tests for the Raspberry Pi device model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import constants
+from repro.fl.model import LogisticRegressionConfig
+from repro.hardware.power_model import StepPowers
+from repro.hardware.raspberry_pi import PiTimingConfig, RaspberryPiEdgeServer
+from repro.net.messages import model_download_message, model_upload_message
+
+_MODEL = LogisticRegressionConfig()
+_DOWNLOAD = model_download_message(_MODEL)
+_UPLOAD = model_upload_message(_MODEL)
+
+
+@pytest.fixture()
+def device() -> RaspberryPiEdgeServer:
+    return RaspberryPiEdgeServer(server_id=0)
+
+
+class TestTrainingDuration:
+    def test_matches_paper_law(self, device: RaspberryPiEdgeServer) -> None:
+        expected = 10 * (
+            constants.TAU0_SECONDS_PER_SAMPLE_EPOCH * 1000
+            + constants.TAU1_SECONDS_PER_EPOCH
+        )
+        assert device.training_duration(10, 1000) == pytest.approx(expected)
+
+    def test_reproduces_table1_within_6_percent(
+        self, device: RaspberryPiEdgeServer
+    ) -> None:
+        for (epochs, n), measured in constants.TABLE_I_DURATIONS.items():
+            simulated = device.training_duration(epochs, n)
+            assert simulated == pytest.approx(measured, rel=0.06), (epochs, n)
+
+    def test_linear_in_epochs(self, device: RaspberryPiEdgeServer) -> None:
+        single = device.training_duration(1, 500)
+        assert device.training_duration(7, 500) == pytest.approx(7 * single)
+
+    def test_duration_table_grid(self, device: RaspberryPiEdgeServer) -> None:
+        table = device.duration_table([10, 20], [100, 200])
+        assert set(table) == {(10, 100), (10, 200), (20, 100), (20, 200)}
+
+    def test_rejects_invalid(self, device: RaspberryPiEdgeServer) -> None:
+        with pytest.raises(ValueError):
+            device.training_duration(0, 100)
+        with pytest.raises(ValueError):
+            device.training_duration(1, 0)
+
+
+class TestRoundTiming:
+    def test_phases_present(self, device: RaspberryPiEdgeServer) -> None:
+        timing = device.round_timing(10, 1000, _DOWNLOAD, _UPLOAD)
+        assert timing.waiting_s == 1.0
+        assert timing.downloading_s > 0
+        assert timing.training_s == pytest.approx(device.training_duration(10, 1000))
+        assert timing.uploading_s > 0
+        assert timing.total_s == pytest.approx(
+            timing.waiting_s
+            + timing.downloading_s
+            + timing.training_s
+            + timing.uploading_s
+        )
+
+    def test_jitter_requires_rng(self) -> None:
+        with pytest.raises(ValueError, match="jitter requires"):
+            RaspberryPiEdgeServer(0, timing=PiTimingConfig(jitter_fraction=0.1))
+
+    def test_jitter_varies_durations(self) -> None:
+        device = RaspberryPiEdgeServer(
+            0,
+            timing=PiTimingConfig(jitter_fraction=0.1),
+            rng=np.random.default_rng(0),
+        )
+        durations = {
+            device.round_timing(10, 1000, _DOWNLOAD, _UPLOAD).training_s
+            for _ in range(5)
+        }
+        assert len(durations) > 1
+
+    def test_no_jitter_is_deterministic(self, device: RaspberryPiEdgeServer) -> None:
+        a = device.round_timing(10, 1000, _DOWNLOAD, _UPLOAD)
+        b = device.round_timing(10, 1000, _DOWNLOAD, _UPLOAD)
+        assert a == b
+
+    def test_timing_config_validation(self) -> None:
+        with pytest.raises(ValueError):
+            PiTimingConfig(tau0=0.0)
+        with pytest.raises(ValueError):
+            PiTimingConfig(waiting_s=-1.0)
+        with pytest.raises(ValueError):
+            PiTimingConfig(jitter_fraction=0.6)
+
+
+class TestPowerProcess:
+    def test_four_plateaus_in_order(self, device: RaspberryPiEdgeServer) -> None:
+        timing = device.round_timing(10, 1000, _DOWNLOAD, _UPLOAD)
+        process = device.round_power_process(timing)
+        labels = [s.label for s in process.segments]
+        assert labels == ["waiting", "downloading", "training", "uploading"]
+        values = [s.value for s in process.segments]
+        assert values == [
+            constants.POWER_WAITING_W,
+            constants.POWER_DOWNLOADING_W,
+            constants.POWER_TRAINING_W,
+            constants.POWER_UPLOADING_W,
+        ]
+
+    def test_zero_waiting_omits_segment(self) -> None:
+        device = RaspberryPiEdgeServer(0, timing=PiTimingConfig(waiting_s=0.0))
+        timing = device.round_timing(10, 1000, _DOWNLOAD, _UPLOAD)
+        process = device.round_power_process(timing)
+        assert [s.label for s in process.segments] == [
+            "downloading",
+            "training",
+            "uploading",
+        ]
+
+    def test_process_integral_equals_round_energy_with_waiting(
+        self, device: RaspberryPiEdgeServer
+    ) -> None:
+        timing = device.round_timing(10, 1000, _DOWNLOAD, _UPLOAD)
+        process = device.round_power_process(timing)
+        assert process.integral() == pytest.approx(
+            device.round_energy(10, 1000, _DOWNLOAD, _UPLOAD, include_waiting=True)
+        )
+
+
+class TestEnergy:
+    def test_training_energy_matches_eq5(self, device: RaspberryPiEdgeServer) -> None:
+        # duration x training power == c0 E n + c1 E by construction.
+        energy = device.training_energy(10, 1000)
+        expected = 10 * (
+            constants.C0_JOULES_PER_SAMPLE_EPOCH * 1000
+            + constants.C1_JOULES_PER_EPOCH
+        )
+        assert energy == pytest.approx(expected)
+
+    def test_round_energy_excludes_waiting_by_default(
+        self, device: RaspberryPiEdgeServer
+    ) -> None:
+        without = device.round_energy(10, 1000, _DOWNLOAD, _UPLOAD)
+        with_waiting = device.round_energy(
+            10, 1000, _DOWNLOAD, _UPLOAD, include_waiting=True
+        )
+        assert with_waiting - without == pytest.approx(
+            1.0 * constants.POWER_WAITING_W
+        )
+
+    def test_upload_energy_constant(self, device: RaspberryPiEdgeServer) -> None:
+        e_u = device.upload_energy(_UPLOAD)
+        assert e_u > 0
+        assert device.upload_energy(_UPLOAD) == pytest.approx(e_u)
+
+    def test_heterogeneous_powers_scale_energy(self) -> None:
+        hungry = RaspberryPiEdgeServer(0, powers=StepPowers().scaled(2.0))
+        normal = RaspberryPiEdgeServer(1)
+        assert hungry.training_energy(5, 500) == pytest.approx(
+            2 * normal.training_energy(5, 500)
+        )

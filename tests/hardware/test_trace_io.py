@@ -1,0 +1,83 @@
+"""Unit tests for power-trace CSV persistence."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hardware.trace import PowerTrace
+from repro.hardware.trace_io import (
+    load_trace_csv,
+    save_trace_csv,
+    trace_from_csv,
+    trace_to_csv,
+)
+
+
+def _trace(n: int = 50) -> PowerTrace:
+    times = np.arange(n) / 1000.0
+    power = 5.0 + 0.1 * np.sin(times * 50)
+    voltage = np.full(n, 5.1)
+    return PowerTrace(times, power, voltage, power / voltage)
+
+
+class TestRoundTrip:
+    def test_text_roundtrip_preserves_data(self) -> None:
+        original = _trace()
+        restored = trace_from_csv(trace_to_csv(original))
+        np.testing.assert_allclose(restored.times, original.times)
+        np.testing.assert_allclose(restored.power_w, original.power_w, rtol=1e-8)
+        np.testing.assert_allclose(restored.voltage_v, original.voltage_v, rtol=1e-8)
+        np.testing.assert_allclose(restored.current_a, original.current_a, rtol=1e-8)
+
+    def test_energy_preserved(self) -> None:
+        original = _trace(500)
+        restored = trace_from_csv(trace_to_csv(original))
+        assert restored.energy() == pytest.approx(original.energy(), rel=1e-8)
+
+    def test_file_roundtrip(self, tmp_path) -> None:
+        original = _trace()
+        path = tmp_path / "trace.csv"
+        save_trace_csv(original, path)
+        restored = load_trace_csv(path)
+        np.testing.assert_allclose(restored.power_w, original.power_w, rtol=1e-8)
+
+    def test_csv_has_header(self) -> None:
+        text = trace_to_csv(_trace(5))
+        assert text.splitlines()[0] == "time_s,voltage_v,current_a,power_w"
+
+
+class TestParsing:
+    def test_rejects_empty(self) -> None:
+        with pytest.raises(ValueError, match="empty CSV"):
+            trace_from_csv("")
+
+    def test_rejects_wrong_header(self) -> None:
+        with pytest.raises(ValueError, match="unexpected CSV header"):
+            trace_from_csv("a,b,c,d\n1,2,3,4\n")
+
+    def test_rejects_wrong_column_count(self) -> None:
+        text = "time_s,voltage_v,current_a,power_w\n0.0,5.1,1.0\n"
+        with pytest.raises(ValueError, match="4 columns"):
+            trace_from_csv(text)
+
+    def test_rejects_non_numeric(self) -> None:
+        text = "time_s,voltage_v,current_a,power_w\n0.0,5.1,x,5.0\n0.001,5.1,1.0,5.0\n"
+        with pytest.raises(ValueError, match="line 2"):
+            trace_from_csv(text)
+
+    def test_skips_blank_lines(self) -> None:
+        text = (
+            "time_s,voltage_v,current_a,power_w\n"
+            "0.0,5.1,1.0,5.0\n\n0.001,5.1,1.0,5.0\n"
+        )
+        assert len(trace_from_csv(text)) == 2
+
+    def test_trace_validation_still_applies(self) -> None:
+        # Non-increasing times must be rejected by the PowerTrace check.
+        text = (
+            "time_s,voltage_v,current_a,power_w\n"
+            "0.0,5.1,1.0,5.0\n0.0,5.1,1.0,5.0\n"
+        )
+        with pytest.raises(ValueError, match="strictly increasing"):
+            trace_from_csv(text)

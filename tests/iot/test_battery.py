@@ -1,0 +1,145 @@
+"""Unit tests for the battery / network-lifetime model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.iot.battery import Battery, BatteryConfig, FleetLifetimeModel
+
+
+class TestBatteryConfig:
+    def test_usable_energy(self) -> None:
+        config = BatteryConfig(capacity_j=1000.0, usable_fraction=0.8)
+        assert config.usable_j == pytest.approx(800.0)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"capacity_j": 0.0},
+            {"self_discharge_per_day": -0.1},
+            {"self_discharge_per_day": 1.0},
+            {"usable_fraction": 0.0},
+            {"usable_fraction": 1.5},
+        ],
+    )
+    def test_rejects_invalid(self, kwargs: dict) -> None:
+        with pytest.raises(ValueError):
+            BatteryConfig(**kwargs)
+
+
+class TestBattery:
+    def test_draw_decrements(self) -> None:
+        battery = Battery(BatteryConfig(capacity_j=100.0, usable_fraction=1.0))
+        assert battery.draw(30.0)
+        assert battery.remaining_j == pytest.approx(70.0)
+        assert battery.state_of_charge == pytest.approx(0.7)
+        assert not battery.depleted
+
+    def test_overdraw_browns_out(self) -> None:
+        battery = Battery(BatteryConfig(capacity_j=100.0, usable_fraction=1.0))
+        assert not battery.draw(150.0)
+        assert battery.depleted
+        assert battery.remaining_j == 0.0
+
+    def test_draw_rejects_negative(self) -> None:
+        with pytest.raises(ValueError, match="non-negative"):
+            Battery().draw(-1.0)
+
+    def test_age_applies_self_discharge(self) -> None:
+        config = BatteryConfig(
+            capacity_j=1000.0, self_discharge_per_day=0.01, usable_fraction=1.0
+        )
+        battery = Battery(config)
+        battery.age(10.0)
+        assert battery.remaining_j == pytest.approx(900.0)
+
+    def test_age_floors_at_zero(self) -> None:
+        config = BatteryConfig(
+            capacity_j=100.0, self_discharge_per_day=0.5, usable_fraction=1.0
+        )
+        battery = Battery(config)
+        battery.age(100.0)
+        assert battery.remaining_j == 0.0
+
+    def test_age_rejects_negative(self) -> None:
+        with pytest.raises(ValueError, match="days"):
+            Battery().age(-1.0)
+
+
+class TestFleetLifetime:
+    def _model(self) -> FleetLifetimeModel:
+        return FleetLifetimeModel(
+            n_devices=10,
+            per_task_cluster_energy_j=100.0,
+            battery=BatteryConfig(capacity_j=1000.0, usable_fraction=1.0,
+                                  self_discharge_per_day=0.0),
+        )
+
+    def test_per_device_energy_split(self) -> None:
+        assert self._model().per_task_device_energy_j == pytest.approx(10.0)
+
+    def test_tasks_until_depletion(self) -> None:
+        assert self._model().tasks_until_depletion() == 100
+
+    def test_halving_energy_doubles_tasks(self) -> None:
+        # The operational meaning of the paper's 49.8% saving.
+        expensive = self._model()
+        cheap = FleetLifetimeModel(
+            n_devices=10,
+            per_task_cluster_energy_j=50.0,
+            battery=expensive.battery,
+        )
+        assert cheap.tasks_until_depletion() == 2 * expensive.tasks_until_depletion()
+
+    def test_lifetime_days(self) -> None:
+        model = self._model()
+        # 2 tasks/day x 10 J/device = 20 J/day; 1000 J => 50 days.
+        assert model.lifetime_days(tasks_per_day=2.0) == pytest.approx(50.0)
+
+    def test_lifetime_includes_self_discharge(self) -> None:
+        leaky = FleetLifetimeModel(
+            n_devices=10,
+            per_task_cluster_energy_j=100.0,
+            battery=BatteryConfig(
+                capacity_j=1000.0, usable_fraction=1.0, self_discharge_per_day=0.01
+            ),
+        )
+        # 20 J/day load + 10 J/day leak => 1000/30 days.
+        assert leaky.lifetime_days(2.0) == pytest.approx(1000.0 / 30.0)
+
+    def test_simulation_matches_analytic_mean(self) -> None:
+        model = self._model()
+        soc = model.simulate_fleet(50, np.random.default_rng(0), load_spread=0.05)
+        assert soc.shape == (10,)
+        # 50 tasks x 10 J = 500 J of 1000 J => ~0.5 remaining.
+        assert soc.mean() == pytest.approx(0.5, abs=0.05)
+
+    def test_simulation_zero_tasks(self) -> None:
+        soc = self._model().simulate_fleet(0, np.random.default_rng(0))
+        np.testing.assert_allclose(soc, 1.0)
+
+    def test_dead_devices_clip_at_zero(self) -> None:
+        model = self._model()
+        soc = model.simulate_fleet(200, np.random.default_rng(1), load_spread=0.3)
+        assert soc.min() >= 0.0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_devices": 0, "per_task_cluster_energy_j": 1.0},
+            {"n_devices": 1, "per_task_cluster_energy_j": 0.0},
+        ],
+    )
+    def test_rejects_invalid(self, kwargs: dict) -> None:
+        with pytest.raises(ValueError):
+            FleetLifetimeModel(**kwargs)
+
+    def test_rejects_bad_simulation_args(self) -> None:
+        model = self._model()
+        with pytest.raises(ValueError, match="n_tasks"):
+            model.simulate_fleet(-1, np.random.default_rng(0))
+        with pytest.raises(ValueError, match="load_spread"):
+            model.simulate_fleet(1, np.random.default_rng(0), load_spread=1.0)
+        with pytest.raises(ValueError, match="tasks_per_day"):
+            model.lifetime_days(0.0)

@@ -1,0 +1,158 @@
+"""Unit tests for the IoT network substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.constants import NBIOT_ENERGY_PER_BYTE_J
+from repro.iot.collision import SlottedAlohaModel
+from repro.iot.device import NBIOT_PROFILE, IoTDevice, RadioProfile
+from repro.iot.network import IoTCluster, IoTNetwork
+
+
+class TestDevice:
+    def test_nbiot_energy_per_sample(self) -> None:
+        device = IoTDevice(device_id=0, sample_bytes=785)
+        # §IV-A: NB-IoT costs 7.74 mWs per byte.
+        assert device.energy_per_sample == pytest.approx(785 * NBIOT_ENERGY_PER_BYTE_J)
+
+    def test_upload_energy_linear(self) -> None:
+        device = IoTDevice(device_id=0, sample_bytes=100)
+        assert device.upload_energy(10) == pytest.approx(10 * device.energy_per_sample)
+        assert device.upload_energy(0) == 0.0
+
+    def test_upload_energy_inflated_by_collisions(self) -> None:
+        device = IoTDevice(device_id=0)
+        assert device.upload_energy(10, success_probability=0.5) == pytest.approx(
+            2 * device.upload_energy(10)
+        )
+
+    def test_time_per_sample(self) -> None:
+        device = IoTDevice(device_id=0, sample_bytes=100)
+        assert device.time_per_sample == pytest.approx(800 / NBIOT_PROFILE.rate_bps)
+
+    def test_rejects_invalid(self) -> None:
+        with pytest.raises(ValueError, match="sample_bytes"):
+            IoTDevice(device_id=0, sample_bytes=0)
+        with pytest.raises(ValueError, match="n_samples"):
+            IoTDevice(device_id=0).upload_energy(-1)
+        with pytest.raises(ValueError, match="success_probability"):
+            IoTDevice(device_id=0).upload_energy(1, success_probability=0.0)
+
+    def test_radio_profile_validation(self) -> None:
+        with pytest.raises(ValueError, match="energy_per_byte"):
+            RadioProfile("bad", 0.0, 1000.0, True)
+        with pytest.raises(ValueError, match="rate_bps"):
+            RadioProfile("bad", 1e-3, 0.0, True)
+
+
+class TestSlottedAloha:
+    def test_success_probability_closed_form(self) -> None:
+        model = SlottedAlohaModel(n_devices=10, transmit_probability=0.1)
+        assert model.success_probability == pytest.approx(0.9**9)
+
+    def test_single_device_always_succeeds(self) -> None:
+        model = SlottedAlohaModel(n_devices=1, transmit_probability=0.5)
+        assert model.success_probability == 1.0
+        assert model.energy_inflation_factor() == 1.0
+
+    def test_more_devices_lower_success(self) -> None:
+        probabilities = [
+            SlottedAlohaModel(m, 0.1).success_probability for m in (2, 5, 20, 100)
+        ]
+        assert probabilities == sorted(probabilities, reverse=True)
+
+    def test_simulated_attempts_match_expectation(self) -> None:
+        model = SlottedAlohaModel(n_devices=20, transmit_probability=0.05)
+        attempts = model.simulate_deliveries(5000, np.random.default_rng(0))
+        assert attempts.min() >= 1
+        assert np.mean(attempts) == pytest.approx(
+            model.expected_attempts_per_packet, rel=0.05
+        )
+
+    def test_throughput_maximised_at_one_over_m(self) -> None:
+        m = 25
+        best = SlottedAlohaModel(m, 1.0 / m).throughput()
+        for q in (0.2 / m, 0.5 / m, 2.0 / m, 5.0 / m):
+            assert SlottedAlohaModel(m, q).throughput() <= best + 1e-12
+
+    def test_rejects_invalid(self) -> None:
+        with pytest.raises(ValueError, match="n_devices"):
+            SlottedAlohaModel(0, 0.1)
+        with pytest.raises(ValueError, match="transmit_probability"):
+            SlottedAlohaModel(5, 0.0)
+        with pytest.raises(ValueError, match="n_packets"):
+            SlottedAlohaModel(5, 0.1).simulate_deliveries(-1, np.random.default_rng(0))
+
+
+class TestCluster:
+    def _cluster(self, contention: SlottedAlohaModel | None = None) -> IoTCluster:
+        devices = [IoTDevice(device_id=i, sample_bytes=100) for i in range(4)]
+        return IoTCluster(edge_server_id=0, devices=devices, contention=contention)
+
+    def test_rho_without_contention(self) -> None:
+        cluster = self._cluster()
+        assert cluster.rho == pytest.approx(100 * NBIOT_ENERGY_PER_BYTE_J)
+
+    def test_rho_inflated_by_contention(self) -> None:
+        contention = SlottedAlohaModel(n_devices=4, transmit_probability=0.2)
+        cluster = self._cluster(contention)
+        assert cluster.rho == pytest.approx(
+            100 * NBIOT_ENERGY_PER_BYTE_J / contention.success_probability
+        )
+
+    def test_collection_energy_matches_eq4(self) -> None:
+        cluster = self._cluster()
+        assert cluster.collection_energy(50) == pytest.approx(cluster.rho * 50)
+
+    def test_collect_simulation_statistics(self) -> None:
+        contention = SlottedAlohaModel(n_devices=4, transmit_probability=0.1)
+        cluster = self._cluster(contention)
+        report = cluster.collect(2000, np.random.default_rng(1))
+        assert report.n_samples == 2000
+        assert report.attempts >= 2000
+        # Sampled energy should approach the expected rho * n.
+        assert report.energy_j == pytest.approx(cluster.collection_energy(2000), rel=0.1)
+
+    def test_collect_zero_samples(self) -> None:
+        report = self._cluster().collect(0, np.random.default_rng(0))
+        assert report.energy_j == 0.0
+        assert report.attempts == 0
+
+    def test_rejects_empty_cluster(self) -> None:
+        with pytest.raises(ValueError, match="at least one device"):
+            IoTCluster(0, [])
+
+
+class TestNetwork:
+    def test_homogeneous_builder(self) -> None:
+        network = IoTNetwork.homogeneous(5, devices_per_cluster=3)
+        assert network.n_clusters == 5
+        assert len(network.cluster(2).devices) == 3
+
+    def test_rho_values_and_mean(self) -> None:
+        network = IoTNetwork.homogeneous(4, 2, sample_bytes=100)
+        rhos = network.rho_values()
+        assert set(rhos) == {0, 1, 2, 3}
+        assert network.mean_rho() == pytest.approx(100 * NBIOT_ENERGY_PER_BYTE_J)
+
+    def test_collect_round(self) -> None:
+        network = IoTNetwork.homogeneous(3, 2, sample_bytes=100)
+        reports = network.collect_round({0: 5, 2: 7}, np.random.default_rng(0))
+        assert set(reports) == {0, 2}
+        assert reports[2].n_samples == 7
+
+    def test_unknown_cluster_raises(self) -> None:
+        network = IoTNetwork.homogeneous(2, 1)
+        with pytest.raises(KeyError, match="no cluster"):
+            network.cluster(5)
+
+    def test_duplicate_ids_rejected(self) -> None:
+        devices = [IoTDevice(device_id=0)]
+        with pytest.raises(ValueError, match="duplicate"):
+            IoTNetwork([IoTCluster(1, devices), IoTCluster(1, devices)])
+
+    def test_empty_network_rejected(self) -> None:
+        with pytest.raises(ValueError, match="at least one cluster"):
+            IoTNetwork([])

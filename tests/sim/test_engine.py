@@ -1,0 +1,122 @@
+"""Unit tests for the discrete-event engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.engine import Simulator
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self) -> None:
+        sim = Simulator()
+        order: list[str] = []
+        sim.schedule(3.0, lambda s: order.append("c"))
+        sim.schedule(1.0, lambda s: order.append("a"))
+        sim.schedule(2.0, lambda s: order.append("b"))
+        sim.run()
+        assert order == ["a", "b", "c"]
+        assert sim.now == 3.0
+        assert sim.events_processed == 3
+
+    def test_ties_broken_by_priority_then_insertion(self) -> None:
+        sim = Simulator()
+        order: list[str] = []
+        sim.schedule(1.0, lambda s: order.append("late"), priority=5)
+        sim.schedule(1.0, lambda s: order.append("early"), priority=0)
+        sim.schedule(1.0, lambda s: order.append("early2"), priority=0)
+        sim.run()
+        assert order == ["early", "early2", "late"]
+
+    def test_actions_can_schedule_more_events(self) -> None:
+        sim = Simulator()
+        ticks: list[float] = []
+
+        def tick(s: Simulator) -> None:
+            ticks.append(s.now)
+            if len(ticks) < 4:
+                s.schedule(1.0, tick)
+
+        sim.schedule(0.0, tick)
+        sim.run()
+        assert ticks == [0.0, 1.0, 2.0, 3.0]
+
+    def test_schedule_at_absolute_time(self) -> None:
+        sim = Simulator()
+        hit: list[float] = []
+        sim.schedule(1.0, lambda s: s.schedule_at(5.0, lambda s2: hit.append(s2.now)))
+        sim.run()
+        assert hit == [5.0]
+
+    def test_schedule_in_past_raises(self) -> None:
+        sim = Simulator()
+        sim.schedule(2.0, lambda s: None)
+        sim.run()
+        with pytest.raises(ValueError, match="past"):
+            sim.schedule_at(1.0, lambda s: None)
+
+    def test_negative_delay_raises(self) -> None:
+        with pytest.raises(ValueError, match="non-negative"):
+            Simulator().schedule(-1.0, lambda s: None)
+
+
+class TestRunControl:
+    def test_run_until_stops_clock(self) -> None:
+        sim = Simulator()
+        hits: list[float] = []
+        for t in (1.0, 2.0, 3.0):
+            sim.schedule(t, lambda s: hits.append(s.now))
+        sim.run(until=2.5)
+        assert hits == [1.0, 2.0]
+        assert sim.now == 2.5
+        assert sim.pending == 1
+
+    def test_run_until_advances_idle_clock(self) -> None:
+        sim = Simulator()
+        sim.run(until=10.0)
+        assert sim.now == 10.0
+
+    def test_max_events(self) -> None:
+        sim = Simulator()
+        for t in range(5):
+            sim.schedule(float(t), lambda s: None)
+        sim.run(max_events=2)
+        assert sim.events_processed == 2
+        assert sim.pending == 3
+
+    def test_step_returns_false_when_empty(self) -> None:
+        assert not Simulator().step()
+
+
+class TestCancel:
+    def test_cancelled_event_skipped(self) -> None:
+        sim = Simulator()
+        hits: list[str] = []
+        event = sim.schedule(1.0, lambda s: hits.append("cancelled"))
+        sim.schedule(2.0, lambda s: hits.append("kept"))
+        sim.cancel(event)
+        sim.run()
+        assert hits == ["kept"]
+
+    def test_cancel_after_run_is_noop(self) -> None:
+        sim = Simulator()
+        event = sim.schedule(1.0, lambda s: None)
+        sim.run()
+        sim.cancel(event)  # must not raise
+
+
+class TestTrace:
+    def test_labelled_events_traced(self) -> None:
+        sim = Simulator()
+        sim.schedule(1.0, lambda s: None, label="round-start")
+        sim.schedule(2.0, lambda s: None)  # unlabelled: not traced
+        sim.schedule(3.0, lambda s: None, label="round-end")
+        sim.run()
+        assert sim.trace == [(1.0, "round-start"), (3.0, "round-end")]
+
+    def test_trace_returns_copy(self) -> None:
+        sim = Simulator()
+        sim.schedule(1.0, lambda s: None, label="x")
+        sim.run()
+        sim.trace.append((9.0, "bogus"))
+        assert len(sim.trace) == 1

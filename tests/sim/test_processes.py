@@ -1,0 +1,115 @@
+"""Unit tests for step processes (piecewise-constant power signals)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sim.processes import Segment, StepProcess
+
+
+def _two_step() -> StepProcess:
+    process = StepProcess()
+    process.append(1.0, 3.6, "waiting")
+    process.append(0.5, 5.553, "training")
+    return process
+
+
+class TestSegment:
+    def test_duration(self) -> None:
+        assert Segment(1.0, 3.0, 5.0).duration == 2.0
+
+    def test_rejects_empty_interval(self) -> None:
+        with pytest.raises(ValueError, match="positive duration"):
+            Segment(1.0, 1.0, 5.0)
+
+
+class TestAppend:
+    def test_segments_contiguous(self) -> None:
+        process = _two_step()
+        assert process.segments[0].end == process.segments[1].start
+        assert process.duration == pytest.approx(1.5)
+        assert process.end_time == pytest.approx(1.5)
+
+    def test_custom_start_time(self) -> None:
+        process = StepProcess(start_time=10.0)
+        process.append(1.0, 2.0)
+        assert process.segments[0].start == 10.0
+        assert process.end_time == 11.0
+
+    def test_rejects_nonpositive_duration(self) -> None:
+        with pytest.raises(ValueError, match="positive"):
+            StepProcess().append(0.0, 1.0)
+
+    def test_extend_concatenates(self) -> None:
+        a = _two_step()
+        b = StepProcess()
+        b.append(2.0, 4.0, "other")
+        a.extend(b)
+        assert a.duration == pytest.approx(3.5)
+        assert a.segments[-1].label == "other"
+
+
+class TestEvaluation:
+    def test_value_at_interior(self) -> None:
+        process = _two_step()
+        assert process.value_at(0.5) == 3.6
+        assert process.value_at(1.2) == 5.553
+
+    def test_right_open_boundary(self) -> None:
+        process = _two_step()
+        assert process.value_at(1.0) == 5.553  # second segment starts at 1.0
+
+    def test_end_time_returns_last_value(self) -> None:
+        assert _two_step().value_at(1.5) == 5.553
+
+    def test_out_of_span_raises(self) -> None:
+        process = _two_step()
+        with pytest.raises(ValueError, match="outside"):
+            process.value_at(-0.1)
+        with pytest.raises(ValueError, match="outside"):
+            process.value_at(1.6)
+
+    def test_empty_process_raises(self) -> None:
+        with pytest.raises(ValueError, match="no segments"):
+            StepProcess().value_at(0.0)
+
+    def test_vectorised_matches_scalar(self) -> None:
+        process = _two_step()
+        times = np.linspace(0.0, 1.5, 31)
+        vectorised = process.values_at(times)
+        scalar = np.array([process.value_at(float(t)) for t in times])
+        np.testing.assert_array_equal(vectorised, scalar)
+
+    def test_vectorised_out_of_span_raises(self) -> None:
+        with pytest.raises(ValueError, match="outside"):
+            _two_step().values_at(np.array([0.5, 2.0]))
+
+
+class TestIntegral:
+    def test_full_span(self) -> None:
+        assert _two_step().integral() == pytest.approx(1.0 * 3.6 + 0.5 * 5.553)
+
+    def test_partial_span(self) -> None:
+        process = _two_step()
+        assert process.integral(0.5, 1.25) == pytest.approx(0.5 * 3.6 + 0.25 * 5.553)
+
+    def test_outside_span_contributes_nothing(self) -> None:
+        process = _two_step()
+        assert process.integral(-5.0, 20.0) == pytest.approx(process.integral())
+
+    def test_empty_process_is_zero(self) -> None:
+        assert StepProcess().integral() == 0.0
+
+    def test_inverted_range_raises(self) -> None:
+        with pytest.raises(ValueError, match="empty integration"):
+            _two_step().integral(1.0, 0.5)
+
+
+class TestLabelledSpans:
+    def test_spans_accumulate_per_label(self) -> None:
+        process = _two_step()
+        process.append(0.5, 3.6, "waiting")
+        spans = process.labelled_spans()
+        assert spans["waiting"] == pytest.approx(1.5)
+        assert spans["training"] == pytest.approx(0.5)

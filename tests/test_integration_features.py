@@ -1,0 +1,136 @@
+"""Feature-interaction integration tests.
+
+Each production feature (FedProx, over-selection, compression, dropout,
+heterogeneous hardware, non-iid data) is unit-tested in isolation; these
+tests run them *together* on the testbed, as a deployment would, and
+check the composite system still behaves sanely.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic_mnist import load_synthetic_mnist
+from repro.fl.compression import ErrorFeedback, TopKCompressor, UniformQuantizer
+from repro.fl.model import LogisticRegressionConfig
+from repro.fl.partition import partition_dirichlet
+from repro.fl.sgd import SGDConfig
+from repro.fl.training import FederatedConfig, FederatedTrainer, build_clients
+from repro.hardware.prototype import HardwarePrototype, PrototypeConfig
+from repro.hardware.raspberry_pi import PiTimingConfig
+
+
+@pytest.fixture(scope="module")
+def data():
+    return load_synthetic_mnist(n_train=800, n_test=200, seed=0)
+
+
+class TestKitchenSinkTrainer:
+    def test_all_features_together(self, data) -> None:
+        """FedProx + over-selection + compression + dropout, non-iid data."""
+        train, test = data
+        rng = np.random.default_rng(0)
+        partitions = partition_dirichlet(train, 8, alpha=0.3, rng=rng)
+        model = LogisticRegressionConfig(l2=1e-3)
+        clients = build_clients(partitions, model)
+        trainer = FederatedTrainer(
+            clients=clients,
+            config=FederatedConfig(
+                n_rounds=40,
+                participants_per_round=3,
+                local_epochs=5,
+                sgd=SGDConfig(learning_rate=0.05, decay=0.995),
+                dropout_probability=0.1,
+                proximal_mu=0.1,
+                overselection=2,
+                seed=1,
+            ),
+            train_eval=train,
+            test_eval=test,
+            update_compressor=UniformQuantizer(8),
+        )
+        history = trainer.run()
+        assert history.final_loss() < history.losses[0]
+        assert history.final_accuracy() > 0.5
+        for record in history.records:
+            assert len(record.participants) == 5
+            assert len(record.aggregated) <= 3
+        assert trainer.total_upload_bytes > 0
+
+
+class TestKitchenSinkPrototype:
+    def test_jittery_heterogeneous_compressed_overselected(self, data) -> None:
+        train, test = data
+        config = PrototypeConfig(
+            n_servers=8,
+            timing=PiTimingConfig(jitter_fraction=0.2),
+            heterogeneity=0.25,
+            seed=0,
+        )
+        prototype = HardwarePrototype(train, test, config)
+        result = prototype.run(
+            participants=3,
+            epochs=10,
+            n_rounds=20,
+            overselection=2,
+            update_compressor=ErrorFeedback(TopKCompressor(0.2)),
+        )
+        assert result.rounds == 20
+        assert result.total_energy_j > 0
+        assert result.wall_clock_s > 0
+        assert result.history.final_loss() < result.history.losses[0]
+        # Over-selected energy exceeds a plain run of the same shape.
+        plain = prototype.run(participants=3, epochs=10, n_rounds=20)
+        assert result.total_energy_j > plain.total_energy_j * 0.9
+
+    def test_deterministic_composite_run(self, data) -> None:
+        train, test = data
+        config = PrototypeConfig(
+            n_servers=6, heterogeneity=0.2, seed=7
+        )
+
+        def run():
+            prototype = HardwarePrototype(train, test, config)
+            return prototype.run(
+                participants=2,
+                epochs=5,
+                n_rounds=8,
+                update_compressor=UniformQuantizer(8),
+            )
+
+        a, b = run(), run()
+        np.testing.assert_allclose(a.energy_per_round_j, b.energy_per_round_j)
+        np.testing.assert_array_equal(a.history.losses, b.history.losses)
+
+
+class TestPlannerOnComposite:
+    def test_plan_from_heterogeneous_compressed_system(self, data) -> None:
+        """Calibrate-and-plan still works when the system uses extensions."""
+        from repro.core.calibration import GapObservation, fit_convergence_constants
+        from repro.core.planner import EnergyPlanner
+
+        train, test = data
+        config = PrototypeConfig(n_servers=8, heterogeneity=0.2, seed=0)
+        prototype = HardwarePrototype(train, test, config)
+        target = 0.72
+        observations = []
+        for k, e in ((2, 5), (8, 5), (2, 20), (8, 20), (1, 60)):
+            run = prototype.run(
+                participants=k,
+                epochs=e,
+                n_rounds=100,
+                target_accuracy=target,
+                update_compressor=UniformQuantizer(8),
+            )
+            if run.reached_target:
+                observations.append(GapObservation(run.rounds, e, k, gap=0.5))
+        if len(observations) < 3:
+            pytest.skip("too few pilots converged at this tiny scale")
+        bound = fit_convergence_constants(observations)
+        energy = prototype.heterogeneous_energy_params().mean()
+        planner = EnergyPlanner(bound=bound, energy=energy, n_servers=8)
+        plan = planner.plan(epsilon=0.5)
+        assert 1 <= plan.participants <= 8
+        assert plan.epochs >= 1
+        assert plan.predicted_energy > 0

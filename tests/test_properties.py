@@ -1,0 +1,324 @@
+"""Property-based tests (hypothesis) on core invariants.
+
+These cover the algebraic heart of the paper: the convergence bound, the
+biconvex objective, the closed-form optima, and the optimality of the
+ACS + integer-refinement pipeline against exhaustive search, across
+randomly drawn problem instances.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.acs import ACSSolver
+from repro.core.baselines import grid_search
+from repro.core.calibration import GapObservation, fit_convergence_constants
+from repro.core.closed_form import e_star_unclipped, k_star, k_star_unclipped
+from repro.core.convergence import ConvergenceBound
+from repro.core.energy_model import EnergyParams, total_energy
+from repro.core.objective import EnergyObjective
+from repro.data.dataset import Dataset
+from repro.fl.model import softmax
+from repro.fl.partition import partition_dirichlet, partition_iid
+from repro.iot.collision import SlottedAlohaModel
+from repro.sim.processes import StepProcess
+
+# ----------------------------------------------------------------------
+# Strategies.
+# ----------------------------------------------------------------------
+
+bounds = st.builds(
+    ConvergenceBound,
+    a0=st.floats(0.1, 100.0),
+    a1=st.floats(0.0, 0.5),
+    a2=st.floats(0.0, 1e-3),
+)
+
+energies = st.builds(
+    EnergyParams,
+    rho=st.floats(0.0, 0.01),
+    c0=st.floats(1e-6, 1e-3),
+    c1=st.floats(1e-5, 1e-2),
+    e_upload=st.floats(0.0, 5.0),
+    n_samples=st.integers(10, 5000),
+)
+
+
+@st.composite
+def objectives(draw) -> EnergyObjective:
+    bound = draw(bounds)
+    energy = draw(energies)
+    n_servers = draw(st.integers(2, 30))
+    # Choose epsilon above the (E=1, K=N) floor so the problem is feasible.
+    floor = bound.asymptotic_gap(1, n_servers)
+    epsilon = floor + draw(st.floats(0.01, 1.0))
+    return EnergyObjective(
+        bound=bound, energy=energy, epsilon=epsilon, n_servers=n_servers
+    )
+
+
+# ----------------------------------------------------------------------
+# Convergence bound.
+# ----------------------------------------------------------------------
+
+
+class TestBoundProperties:
+    @given(bounds, st.integers(1, 200), st.integers(1, 50), st.integers(1, 40))
+    def test_gap_positive_and_monotone_in_rounds(self, bound, t, e, k) -> None:
+        gap = bound.loss_gap(t, e, k)
+        assert gap > 0
+        assert bound.loss_gap(t + 1, e, k) <= gap
+
+    @given(bounds, st.integers(1, 50), st.integers(1, 40), st.floats(0.001, 2.0))
+    def test_required_rounds_inverts_gap(self, bound, e, k, margin) -> None:
+        epsilon = bound.asymptotic_gap(e, k) + margin
+        t_star = bound.required_rounds(epsilon, e, k)
+        assert t_star > 0
+        assert bound.loss_gap(t_star, e, k) == pytest.approx(epsilon, rel=1e-9)
+
+    @given(bounds, st.integers(1, 50), st.integers(2, 40), st.floats(0.001, 2.0))
+    def test_more_participants_never_hurt(self, bound, e, k, margin) -> None:
+        epsilon = bound.asymptotic_gap(e, k - 1) + margin
+        fewer = bound.required_rounds(epsilon, e, k - 1)
+        more = bound.required_rounds(epsilon, e, k)
+        assert more <= fewer * (1 + 1e-12)
+
+
+# ----------------------------------------------------------------------
+# Objective: biconvexity and optima.
+# ----------------------------------------------------------------------
+
+
+class TestObjectiveProperties:
+    @given(objectives(), st.data())
+    @settings(max_examples=60)
+    def test_midpoint_convex_in_k(self, objective, data) -> None:
+        epochs = data.draw(st.floats(1.0, 20.0))
+        try:
+            lo, hi = objective.k_domain(epochs)
+        except ValueError:
+            assume(False)
+        assume(hi > lo * 1.001)
+        k1 = data.draw(st.floats(lo, hi))
+        k2 = data.draw(st.floats(lo, hi))
+        mid = 0.5 * (k1 + k2)
+        lhs = objective.value(mid, epochs)
+        rhs = 0.5 * (objective.value(k1, epochs) + objective.value(k2, epochs))
+        assert lhs <= rhs * (1 + 1e-9)
+
+    @given(objectives(), st.data())
+    @settings(max_examples=60)
+    def test_midpoint_convex_in_e(self, objective, data) -> None:
+        participants = data.draw(
+            st.integers(1, objective.n_servers).map(float)
+        )
+        try:
+            lo, hi = objective.e_domain(participants)
+        except ValueError:
+            assume(False)
+        hi = min(hi, 500.0)
+        assume(hi > lo * 1.001)
+        e1 = data.draw(st.floats(lo, hi))
+        e2 = data.draw(st.floats(lo, hi))
+        mid = 0.5 * (e1 + e2)
+        lhs = objective.value(participants, mid)
+        rhs = 0.5 * (
+            objective.value(participants, e1) + objective.value(participants, e2)
+        )
+        assert lhs <= rhs * (1 + 1e-9)
+
+    @given(objectives(), st.data())
+    @settings(max_examples=60)
+    def test_k_star_no_worse_than_random_feasible_k(self, objective, data) -> None:
+        epochs = data.draw(st.floats(1.0, 10.0))
+        try:
+            lo, hi = objective.k_domain(epochs)
+        except ValueError:
+            assume(False)
+        star = k_star(objective, epochs)
+        other = data.draw(st.floats(lo, hi))
+        assert objective.value(star, epochs) <= objective.value(other, epochs) * (
+            1 + 1e-9
+        )
+
+    @given(objectives())
+    @settings(max_examples=60)
+    def test_stationary_k_is_twice_feasibility_edge(self, objective) -> None:
+        # K*_unclipped = 2 A1 / (eps - A2(E-1)) is exactly twice the
+        # feasibility threshold A1 / (eps - A2(E-1)): the optimum sits at
+        # twice the minimum viable participation.
+        assume(objective.bound.a1 > 0)
+        edge = objective.bound.min_feasible_participants(objective.epsilon, 1.0)
+        star = k_star_unclipped(objective, 1.0)
+        assert star == pytest.approx(2 * edge, rel=1e-12)
+
+
+# ----------------------------------------------------------------------
+# ACS + integer refinement vs exhaustive search.
+# ----------------------------------------------------------------------
+
+
+class TestACSOptimality:
+    @given(objectives())
+    @settings(max_examples=25, deadline=None)
+    def test_acs_matches_grid_search(self, objective) -> None:
+        try:
+            result = ACSSolver(objective).solve()
+        except ValueError:
+            assume(False)
+        best = grid_search(objective, max_epochs=800)
+        assert result.energy_int is not None
+        # ACS + plateau rounding must find the exhaustive-search optimum
+        # whenever the optimum's E fits in the grid bound.
+        if best.epochs < 800:
+            assert result.energy_int <= best.energy * (1 + 1e-9)
+
+    @given(objectives())
+    @settings(max_examples=25, deadline=None)
+    def test_integer_plan_feasible_and_consistent(self, objective) -> None:
+        try:
+            result = ACSSolver(objective).solve()
+        except ValueError:
+            assume(False)
+        k, e, t = result.participants_int, result.epochs_int, result.rounds_int
+        assert objective.is_feasible(k, e)
+        assert t == objective.bound.required_rounds_int(objective.epsilon, e, k)
+        assert result.energy_int == pytest.approx(
+            t * k * objective.energy.round_energy(e)
+        )
+
+
+# ----------------------------------------------------------------------
+# Calibration round trip.
+# ----------------------------------------------------------------------
+
+
+class TestCalibrationProperties:
+    @given(
+        st.floats(0.5, 50.0),
+        st.floats(0.01, 0.5),
+        st.floats(1e-5, 1e-3),
+    )
+    @settings(max_examples=40)
+    def test_fit_recovers_exact_constants(self, a0, a1, a2) -> None:
+        truth = ConvergenceBound(a0=a0, a1=a1, a2=a2)
+        observations = [
+            GapObservation(t, e, k, truth.loss_gap(t, e, k))
+            for t in (3, 17, 71)
+            for e in (1, 8, 33)
+            for k in (1, 4, 16)
+        ]
+        fitted = fit_convergence_constants(observations)
+        assert fitted.a0 == pytest.approx(a0, rel=1e-4)
+        assert fitted.a1 == pytest.approx(a1, rel=1e-4)
+        assert fitted.a2 == pytest.approx(a2, rel=1e-3)
+
+
+# ----------------------------------------------------------------------
+# Energy model.
+# ----------------------------------------------------------------------
+
+
+class TestEnergyProperties:
+    @given(energies, st.integers(1, 100), st.integers(1, 30), st.integers(1, 500))
+    def test_total_energy_additive_in_rounds(self, params, e, k, t) -> None:
+        one_round = total_energy(params, e, k, 1)
+        assert total_energy(params, e, k, t) == pytest.approx(t * one_round)
+
+    @given(energies, st.integers(1, 100), st.integers(1, 30))
+    def test_round_energy_decomposes(self, params, e, k) -> None:
+        per_server = params.round_energy(e)
+        assert per_server == pytest.approx(
+            params.rho * params.n_samples
+            + params.c0 * e * params.n_samples
+            + params.c1 * e
+            + params.e_upload
+        )
+
+
+# ----------------------------------------------------------------------
+# Substrate invariants.
+# ----------------------------------------------------------------------
+
+
+class TestSubstrateProperties:
+    @given(st.integers(2, 40), st.integers(1, 10), st.integers(0, 2**31 - 1))
+    @settings(max_examples=30)
+    def test_iid_partition_is_exact_cover(self, n_per, n_parts, seed) -> None:
+        n = n_per * n_parts
+        rng = np.random.default_rng(seed)
+        dataset = Dataset(
+            np.arange(n, dtype=float).reshape(n, 1),
+            np.zeros(n, dtype=np.int64),
+            2,
+        )
+        parts = partition_iid(dataset, n_parts, rng)
+        values = sorted(
+            float(v) for part in parts for v in part.features.ravel()
+        )
+        assert values == [float(i) for i in range(n)]
+
+    @given(
+        st.integers(2, 8),
+        st.floats(0.05, 10.0),
+        st.integers(0, 2**31 - 1),
+    )
+    @settings(max_examples=30)
+    def test_dirichlet_partition_nonempty_cover(self, n_parts, alpha, seed) -> None:
+        rng = np.random.default_rng(seed)
+        n = 40 * n_parts
+        dataset = Dataset(
+            np.arange(n, dtype=float).reshape(n, 1),
+            np.tile(np.arange(4), n // 4).astype(np.int64),
+            4,
+        )
+        parts = partition_dirichlet(dataset, n_parts, alpha, rng)
+        assert all(len(p) > 0 for p in parts)
+        assert sum(len(p) for p in parts) == n
+
+    @given(
+        st.lists(
+            st.tuples(st.floats(0.01, 10.0), st.floats(0.1, 10.0)),
+            min_size=1,
+            max_size=10,
+        )
+    )
+    def test_step_process_integral_additivity(self, segments) -> None:
+        process = StepProcess()
+        for duration, value in segments:
+            process.append(duration, value)
+        mid = process.start_time + process.duration / 2
+        left = process.integral(process.start_time, mid)
+        right = process.integral(mid, process.end_time)
+        assert left + right == pytest.approx(process.integral(), rel=1e-9)
+
+    @given(st.integers(1, 200), st.floats(0.001, 0.5))
+    def test_aloha_success_probability_in_unit_interval(self, m, q) -> None:
+        model = SlottedAlohaModel(m, q)
+        assert 0.0 < model.success_probability <= 1.0
+        assert model.energy_inflation_factor() >= 1.0
+
+    def test_aloha_underflow_raises_cleanly(self) -> None:
+        # A hopelessly congested cell: success probability underflows and
+        # the inflation factor refuses to return inf.
+        model = SlottedAlohaModel(n_devices=100_000, transmit_probability=0.99)
+        assert model.success_probability == 0.0
+        with pytest.raises(ValueError, match="too congested"):
+            model.energy_inflation_factor()
+
+    @given(
+        st.integers(1, 20),
+        st.integers(2, 10),
+        st.integers(0, 2**31 - 1),
+    )
+    @settings(max_examples=30)
+    def test_softmax_is_distribution(self, rows, classes, seed) -> None:
+        logits = np.random.default_rng(seed).normal(0, 10, size=(rows, classes))
+        probs = softmax(logits)
+        assert np.all(probs >= 0)
+        np.testing.assert_allclose(probs.sum(axis=1), 1.0, rtol=1e-9)

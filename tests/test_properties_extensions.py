@@ -1,0 +1,182 @@
+"""Property-based tests for the extension modules.
+
+Covers compression (mass/error invariants), the deadline planner
+(feasibility and optimality), the bound zoo (inversion), and the battery
+model (conservation).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.acs import ACSSolver
+from repro.core.bounds_zoo import KMRBoundModel, KStepBoundModel, StichBoundModel
+from repro.core.convergence import ConvergenceBound
+from repro.core.deadline import solve_with_deadline
+from repro.core.energy_model import EnergyParams
+from repro.core.objective import EnergyObjective
+from repro.fl.compression import (
+    ErrorFeedback,
+    TopKCompressor,
+    UniformQuantizer,
+)
+from repro.iot.battery import BatteryConfig, FleetLifetimeModel
+
+
+@st.composite
+def objectives(draw) -> EnergyObjective:
+    bound = ConvergenceBound(
+        a0=draw(st.floats(0.1, 50.0)),
+        a1=draw(st.floats(0.0, 0.4)),
+        a2=draw(st.floats(0.0, 5e-4)),
+    )
+    energy = EnergyParams(
+        rho=draw(st.floats(0.0, 0.01)),
+        e_upload=draw(st.floats(0.0, 5.0)),
+        n_samples=draw(st.integers(10, 5000)),
+    )
+    n_servers = draw(st.integers(2, 25))
+    epsilon = bound.asymptotic_gap(1, n_servers) + draw(st.floats(0.01, 0.8))
+    return EnergyObjective(
+        bound=bound, energy=energy, epsilon=epsilon, n_servers=n_servers
+    )
+
+
+class TestCompressionProperties:
+    @given(
+        st.lists(st.floats(-100.0, 100.0), min_size=2, max_size=200),
+        st.floats(0.01, 1.0),
+    )
+    def test_topk_preserves_kept_values_zeroes_rest(self, values, fraction) -> None:
+        update = np.array(values)
+        result = TopKCompressor(fraction).compress(update)
+        # Every output entry is either the input entry or exactly zero.
+        same = result.dense == update
+        zero = result.dense == 0.0
+        assert np.all(same | zero)
+
+    @given(
+        st.lists(st.floats(-50.0, 50.0), min_size=2, max_size=100),
+        st.floats(0.01, 1.0),
+    )
+    def test_topk_error_never_exceeds_dropped_mass(self, values, fraction) -> None:
+        update = np.array(values)
+        result = TopKCompressor(fraction).compress(update)
+        # The reconstruction error is exactly the dropped coordinates.
+        error = update - result.dense
+        assert np.linalg.norm(error) <= np.linalg.norm(update) + 1e-12
+
+    @given(
+        st.lists(
+            st.floats(-10.0, 10.0).filter(lambda v: abs(v) > 1e-6),
+            min_size=2,
+            max_size=100,
+        ),
+        st.integers(2, 12),
+    )
+    def test_quantizer_error_bound(self, values, bits) -> None:
+        update = np.array(values)
+        result = UniformQuantizer(bits).compress(update)
+        scale = np.abs(update).max()
+        levels = 2 ** (bits - 1) - 1
+        assert np.abs(result.dense - update).max() <= scale / levels * 0.5 + 1e-9
+
+    @given(
+        st.lists(
+            st.lists(st.floats(-5.0, 5.0), min_size=10, max_size=10),
+            min_size=1,
+            max_size=20,
+        ),
+        st.floats(0.05, 0.9),
+    )
+    @settings(max_examples=40)
+    def test_error_feedback_conserves_mass(self, rounds, fraction) -> None:
+        wrapper = ErrorFeedback(TopKCompressor(fraction))
+        total_in = np.zeros(10)
+        total_out = np.zeros(10)
+        for values in rounds:
+            update = np.array(values)
+            total_in += update
+            total_out += wrapper.compress(3, update).dense
+        # input mass = transmitted mass + pending residual, exactly.
+        residual = total_in - total_out
+        assert np.linalg.norm(residual) == pytest.approx(
+            wrapper.residual_norm(3), abs=1e-9
+        )
+
+
+class TestDeadlineProperties:
+    @given(objectives(), st.integers(1, 500))
+    @settings(max_examples=30, deadline=None)
+    def test_plan_respects_deadline_and_feasibility(self, objective, deadline) -> None:
+        try:
+            plan = solve_with_deadline(objective, deadline)
+        except ValueError:
+            assume(False)
+        assert plan.rounds <= max(
+            deadline, plan.rounds if not plan.binding else deadline
+        )
+        if plan.binding:
+            assert plan.rounds <= deadline
+        assert objective.is_feasible(plan.participants, plan.epochs)
+        assert plan.energy == pytest.approx(
+            objective.value_integer(plan.participants, plan.epochs)
+        )
+
+    @given(objectives())
+    @settings(max_examples=30, deadline=None)
+    def test_deadline_never_beats_unconstrained(self, objective) -> None:
+        try:
+            unconstrained = ACSSolver(objective).solve()
+            plan = solve_with_deadline(objective, deadline=5)
+        except ValueError:
+            assume(False)
+        assert plan.energy >= unconstrained.energy_int - 1e-9
+
+
+class TestBoundZooProperties:
+    @given(
+        st.sampled_from([KMRBoundModel, StichBoundModel, KStepBoundModel]),
+        st.floats(0.01, 20.0),
+        st.floats(0.0, 0.3),
+        st.integers(1, 60),
+        st.integers(1, 30),
+        st.floats(0.01, 1.0),
+    )
+    @settings(max_examples=60)
+    def test_bisection_inversion(self, family, theta0, theta1, e, k, margin) -> None:
+        theta = np.array([theta0, theta1, 0.0][: family.n_parameters()])
+        model = family(theta)
+        floor = model.asymptotic_gap(e, k)
+        epsilon = floor + margin
+        t_star = model.required_rounds(epsilon, e, k)
+        assert model.loss_gap(t_star, e, k) == pytest.approx(epsilon, rel=1e-5)
+        # One fewer round misses the target (up to bisection tolerance).
+        if t_star > 1e-6:
+            assert model.loss_gap(t_star * 0.99, e, k) >= epsilon * (1 - 1e-6)
+
+
+class TestBatteryProperties:
+    @given(
+        st.integers(1, 50),
+        st.floats(0.1, 1000.0),
+        st.floats(100.0, 1e6),
+    )
+    def test_tasks_until_depletion_consistent(self, n_devices, per_task, capacity) -> None:
+        model = FleetLifetimeModel(
+            n_devices=n_devices,
+            per_task_cluster_energy_j=per_task,
+            battery=BatteryConfig(
+                capacity_j=capacity, usable_fraction=1.0, self_discharge_per_day=0.0
+            ),
+        )
+        tasks = model.tasks_until_depletion()
+        # tasks * per-device-drain fits in the budget; tasks+1 does not.
+        drain = model.per_task_device_energy_j
+        assert tasks * drain <= capacity + 1e-6
+        assert (tasks + 1) * drain > capacity - 1e-6

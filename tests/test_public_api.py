@@ -1,0 +1,86 @@
+"""Meta-tests on the public API surface.
+
+Guards the contract a downstream user relies on: every name in each
+package's ``__all__`` is importable, every public callable/class is
+documented, and the top-level package re-exports the advertised
+entry points.
+"""
+
+from __future__ import annotations
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+_PACKAGES = [
+    "repro",
+    "repro.core",
+    "repro.data",
+    "repro.fl",
+    "repro.hardware",
+    "repro.iot",
+    "repro.net",
+    "repro.sim",
+    "repro.experiments",
+]
+
+
+@pytest.mark.parametrize("package_name", _PACKAGES)
+def test_all_names_resolve(package_name: str) -> None:
+    module = importlib.import_module(package_name)
+    assert hasattr(module, "__all__"), f"{package_name} has no __all__"
+    for name in module.__all__:
+        assert hasattr(module, name), f"{package_name}.{name} missing"
+
+
+@pytest.mark.parametrize("package_name", _PACKAGES)
+def test_no_duplicate_all_entries(package_name: str) -> None:
+    module = importlib.import_module(package_name)
+    assert len(module.__all__) == len(set(module.__all__))
+
+
+def _public_objects():
+    for package_name in _PACKAGES:
+        package = importlib.import_module(package_name)
+        for name in package.__all__:
+            obj = getattr(package, name)
+            if inspect.isclass(obj) or inspect.isfunction(obj):
+                yield f"{package_name}.{name}", obj
+
+
+@pytest.mark.parametrize("qualified,obj", list(_public_objects()))
+def test_public_objects_documented(qualified: str, obj) -> None:
+    assert inspect.getdoc(obj), f"{qualified} has no docstring"
+
+
+def test_every_module_has_docstring() -> None:
+    undocumented = []
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        module = importlib.import_module(info.name)
+        if not module.__doc__:
+            undocumented.append(info.name)
+    assert not undocumented, f"modules without docstrings: {undocumented}"
+
+
+def test_top_level_exports() -> None:
+    # The README quickstart relies on these names.
+    from repro import (  # noqa: F401
+        ACSSolver,
+        ConvergenceBound,
+        EnergyObjective,
+        EnergyParams,
+        EnergyPlan,
+        EnergyPlanner,
+    )
+
+    assert repro.__version__
+
+
+def test_version_is_semver_like() -> None:
+    parts = repro.__version__.split(".")
+    assert len(parts) == 3
+    assert all(part.isdigit() for part in parts)
