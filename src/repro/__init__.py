@@ -12,6 +12,8 @@ Public API highlights:
 * :mod:`repro.hardware` — simulated Raspberry-Pi prototype + power meter.
 * :mod:`repro.iot` / :mod:`repro.net` — uplink and coordination channels.
 * :mod:`repro.experiments` — regenerates every table/figure of §VI.
+* :mod:`repro.obs` — structured events, metrics, tracing, profiling;
+  attach an :class:`~repro.obs.Observer` to any execution layer.
 """
 
 from repro.core import (
@@ -22,6 +24,7 @@ from repro.core import (
     EnergyPlan,
     EnergyPlanner,
 )
+from repro.obs import NullObserver, Observer
 
 __version__ = "1.0.0"
 
@@ -32,5 +35,7 @@ __all__ = [
     "EnergyParams",
     "EnergyPlan",
     "EnergyPlanner",
+    "NullObserver",
+    "Observer",
     "__version__",
 ]

@@ -19,9 +19,14 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.core.closed_form import e_star, k_star
 from repro.core.objective import EnergyObjective
+from repro.obs.observer import active_or_none
+
+if TYPE_CHECKING:
+    from repro.obs.observer import Observer
 
 __all__ = ["ACSIterate", "ACSResult", "ACSSolver"]
 
@@ -75,6 +80,9 @@ class ACSSolver:
             between successive sweeps (Algorithm 1's input).
         max_iterations: hard cap on sweeps (the paper's algorithm loops
             unboundedly; biconvexity makes a small cap sufficient).
+        observer: optional telemetry sink; each sweep emits an
+            ``acs.iteration`` event with the current objective value and
+            updates the ``acs.objective`` gauge.
     """
 
     def __init__(
@@ -82,6 +90,7 @@ class ACSSolver:
         objective: EnergyObjective,
         residual: float = 1e-9,
         max_iterations: int = 200,
+        observer: "Observer | None" = None,
     ) -> None:
         if residual <= 0:
             raise ValueError(f"residual must be positive; got {residual}")
@@ -90,6 +99,7 @@ class ACSSolver:
         self.objective = objective
         self.residual = residual
         self.max_iterations = max_iterations
+        self._observer = active_or_none(observer)
 
     def _initial_point(
         self, k0: float | None, e0: float | None
@@ -124,10 +134,16 @@ class ACSSolver:
         Raises ``ValueError`` if the problem is infeasible (no ``(K, E)``
         with ``K <= N`` can reach the target accuracy).
         """
+        obs = self._observer
         k, e = self._initial_point(k0, e0)
         value = self.objective.value(k, e)
         iterates: list[ACSIterate] = [ACSIterate(0, k, e, value)]
         converged = False
+        if obs is not None:
+            obs.emit(
+                "acs.iteration", iteration=0, participants=k, epochs=e,
+                objective=value,
+            )
 
         for iteration in range(1, self.max_iterations + 1):
             # Step 1: exact minimisation in K at fixed E (eq. (15)).
@@ -136,6 +152,13 @@ class ACSSolver:
             e = e_star(self.objective, k)
             new_value = self.objective.value(k, e)
             iterates.append(ACSIterate(iteration, k, e, new_value))
+            if obs is not None:
+                obs.counter("acs.iterations").inc()
+                obs.gauge("acs.objective").set(new_value)
+                obs.emit(
+                    "acs.iteration", iteration=iteration, participants=k,
+                    epochs=e, objective=new_value,
+                )
             if abs(value - new_value) <= self.residual:
                 converged = True
                 value = new_value
@@ -143,6 +166,11 @@ class ACSSolver:
             value = new_value
 
         result_int = self._round_solution(k, e) if round_to_integers else None
+        if obs is not None:
+            obs.emit(
+                "acs.solve", converged=converged, iterations=len(iterates) - 1,
+                participants=k, epochs=e, objective=value,
+            )
         return ACSResult(
             participants=k,
             epochs=e,

@@ -155,6 +155,7 @@ def calibrate_system(
     iot_network: IoTNetwork | None = None,
     include_iot_energy: bool = False,
     noise_std: float = 0.25,
+    observer=None,
 ) -> CalibratedSystem:
     """Run the full calibration pipeline at ``scale``.
 
@@ -166,6 +167,9 @@ def calibrate_system(
         include_iot_energy: whether the *prototype* should also charge
             IoT collection energy per round.
         noise_std: synthetic-MNIST pixel-noise level.
+        observer: optional :class:`repro.obs.Observer` attached to the
+            built prototype — pilot runs and every later experiment on
+            the returned system then emit full telemetry.
     """
     train, test = load_synthetic_mnist(
         n_train=scale.n_train,
@@ -180,7 +184,9 @@ def calibrate_system(
         include_iot=include_iot_energy,
         seed=scale.seed,
     )
-    prototype = HardwarePrototype(train, test, config, iot_network=iot_network)
+    prototype = HardwarePrototype(
+        train, test, config, iot_network=iot_network, observer=observer
+    )
 
     # --- (c0, c1): regenerate the Table-I grid on device 0 and fit. ---
     device = prototype.devices[0]

@@ -13,6 +13,13 @@ Usage (also available as ``python -m repro``)::
 The ``--scale`` flag selects dataset/testbed size: ``tiny`` for smoke
 runs (seconds), ``test`` for the benchmark scale (minutes), ``paper``
 for the full 60 000-sample setup (hours on one core).
+
+``--telemetry out.jsonl`` attaches a :class:`repro.obs.Observer` to the
+whole pipeline (calibration pilots included): the run's structured
+events are dumped to ``out.jsonl`` — with a trailing ``metrics.snapshot``
+line carrying the metrics registry and span forest — and the metrics
+table is printed to stderr.  ``--profile`` additionally enables the
+hot-path timers.
 """
 
 from __future__ import annotations
@@ -30,6 +37,7 @@ from repro.experiments.fig5 import run_fig5
 from repro.experiments.fig6 import run_fig6
 from repro.experiments.report import render_table
 from repro.experiments.table1 import run_table1
+from repro.obs import Observer
 
 __all__ = ["main", "SCALES"]
 
@@ -50,12 +58,19 @@ SCALES: dict[str, ExperimentScale] = {
 
 _CALIBRATION_CACHE: dict[str, CalibratedSystem] = {}
 
+# Observer used by _system for the *next* calibration; set by main().
+# Experiments sharing an already-calibrated system keep that system's
+# observer — calibration happens once per scale per process.
+_ACTIVE_OBSERVER: Observer | None = None
+
 
 def _system(scale: ExperimentScale) -> CalibratedSystem:
     """Calibrate once per scale per process (fig4/5/6 share the system)."""
     if scale.name not in _CALIBRATION_CACHE:
         print(f"[calibrating at scale {scale.name!r} ...]", file=sys.stderr)
-        _CALIBRATION_CACHE[scale.name] = calibrate_system(scale)
+        _CALIBRATION_CACHE[scale.name] = calibrate_system(
+            scale, observer=_ACTIVE_OBSERVER
+        )
     return _CALIBRATION_CACHE[scale.name]
 
 
@@ -188,23 +203,68 @@ def build_parser() -> argparse.ArgumentParser:
         default="tiny",
         help="dataset/testbed size (default: tiny)",
     )
+    parser.add_argument(
+        "--telemetry",
+        metavar="PATH",
+        default=None,
+        help=(
+            "dump structured telemetry (JSONL events + metrics snapshot) "
+            "of the whole run to PATH"
+        ),
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="with --telemetry: also enable hot-path timers",
+    )
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
+    global _ACTIVE_OBSERVER
     args = build_parser().parse_args(argv)
     scale = SCALES[args.scale]
+    observer = (
+        Observer(profile_hot_paths=args.profile) if args.telemetry else None
+    )
+    _ACTIVE_OBSERVER = observer
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
-    for name in names:
-        started = time.perf_counter()
-        report = EXPERIMENTS[name](scale)
-        elapsed = time.perf_counter() - started
-        print("=" * 64)
-        print(f"{name} (scale {scale.name!r}, {elapsed:.1f}s)")
-        print("=" * 64)
-        print(report)
-        print()
+    try:
+        for name in names:
+            started = time.perf_counter()
+            if observer is not None:
+                observer.emit(
+                    "experiment.start", experiment=name, scale=scale.name
+                )
+                with observer.span("experiment", experiment=name):
+                    report = EXPERIMENTS[name](scale)
+            else:
+                report = EXPERIMENTS[name](scale)
+            elapsed = time.perf_counter() - started
+            if observer is not None:
+                observer.emit(
+                    "experiment.end",
+                    experiment=name,
+                    scale=scale.name,
+                    duration_s=elapsed,
+                )
+                observer.histogram("experiment.duration_s").observe(elapsed)
+            print("=" * 64)
+            print(f"{name} (scale {scale.name!r}, {elapsed:.1f}s)")
+            print("=" * 64)
+            print(report)
+            print()
+    finally:
+        _ACTIVE_OBSERVER = None
+        if observer is not None:
+            observer.dump_jsonl(args.telemetry)
+            print(
+                f"[telemetry: {len(observer.events)} events -> "
+                f"{args.telemetry}]",
+                file=sys.stderr,
+            )
+            print(observer.metrics.render_text(), file=sys.stderr)
     return 0
 
 

@@ -11,7 +11,7 @@ from __future__ import annotations
 import json
 from pathlib import Path
 
-from repro.fl.metrics import RoundRecord, TrainingHistory
+from repro.fl.metrics import TrainingHistory
 
 __all__ = [
     "history_to_json",
@@ -27,18 +27,9 @@ def history_to_json(history: TrainingHistory, indent: int | None = None) -> str:
     """Serialise a history to a JSON string."""
     document = {
         "schema": _SCHEMA,
-        "records": [
-            {
-                "round_index": record.round_index,
-                "train_loss": record.train_loss,
-                "test_accuracy": record.test_accuracy,
-                "participants": list(record.participants),
-                "local_epochs": record.local_epochs,
-                "learning_rate": record.learning_rate,
-                "aggregated": list(record.aggregated),
-            }
-            for record in history.records
-        ],
+        # One serialisation shape for everything: RoundRecord.to_dict()
+        # also backs the telemetry round.end events.
+        "records": history.to_records(),
     }
     return json.dumps(document, indent=indent)
 
@@ -54,22 +45,7 @@ def history_from_json(text: str) -> TrainingHistory:
             f"unexpected document schema {document.get('schema')!r}; "
             f"expected {_SCHEMA!r}"
         )
-    history = TrainingHistory()
-    for entry in document.get("records", []):
-        try:
-            record = RoundRecord(
-                round_index=int(entry["round_index"]),
-                train_loss=float(entry["train_loss"]),
-                test_accuracy=float(entry["test_accuracy"]),
-                participants=tuple(int(p) for p in entry["participants"]),
-                local_epochs=int(entry["local_epochs"]),
-                learning_rate=float(entry["learning_rate"]),
-                aggregated=tuple(int(p) for p in entry.get("aggregated", [])),
-            )
-        except (KeyError, TypeError) as error:
-            raise ValueError(f"malformed record {entry!r}: {error}") from None
-        history.append(record)
-    return history
+    return TrainingHistory.from_records(document.get("records", []))
 
 
 def save_history_json(history: TrainingHistory, path: str | Path) -> None:

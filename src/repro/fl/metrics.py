@@ -48,6 +48,35 @@ class RoundRecord:
         if not set(self.aggregated) <= set(self.participants):
             raise ValueError("aggregated ids must be a subset of participants")
 
+    def to_dict(self) -> dict:
+        """Plain-type dict form — the one serialisation shape shared by
+        :mod:`repro.fl.history_io` and the telemetry event log."""
+        return {
+            "round_index": int(self.round_index),
+            "train_loss": float(self.train_loss),
+            "test_accuracy": float(self.test_accuracy),
+            "participants": [int(p) for p in self.participants],
+            "local_epochs": int(self.local_epochs),
+            "learning_rate": float(self.learning_rate),
+            "aggregated": [int(p) for p in self.aggregated],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RoundRecord":
+        """Inverse of :meth:`to_dict`; raises ``ValueError`` when malformed."""
+        try:
+            return cls(
+                round_index=int(data["round_index"]),
+                train_loss=float(data["train_loss"]),
+                test_accuracy=float(data["test_accuracy"]),
+                participants=tuple(int(p) for p in data["participants"]),
+                local_epochs=int(data["local_epochs"]),
+                learning_rate=float(data["learning_rate"]),
+                aggregated=tuple(int(p) for p in data.get("aggregated", [])),
+            )
+        except (KeyError, TypeError) as error:
+            raise ValueError(f"malformed record {data!r}: {error}") from None
+
 
 class TrainingHistory:
     """Accumulates :class:`RoundRecord` objects and answers Fig.-4 queries."""
@@ -119,6 +148,47 @@ class TrainingHistory:
         """Smallest ``T`` such that train loss first drops to ``target``."""
         hits = np.flatnonzero(self.losses <= target)
         return int(hits[0]) + 1 if hits.size else None
+
+    def to_records(self) -> list[dict]:
+        """All rounds as plain dicts (see :meth:`RoundRecord.to_dict`)."""
+        return [record.to_dict() for record in self._records]
+
+    @classmethod
+    def from_records(cls, records: list[dict]) -> "TrainingHistory":
+        """Rebuild a history from :meth:`to_records` output."""
+        history = cls()
+        for entry in records:
+            history.append(RoundRecord.from_dict(entry))
+        return history
+
+    def summary(self) -> dict:
+        """Headline aggregates as a plain dict (metrics-snapshot shape).
+
+        Returns ``{"rounds": 0}`` with ``None`` statistics for an empty
+        history instead of raising, so telemetry dumps of aborted runs
+        stay well-formed.
+        """
+        if not self._records:
+            return {
+                "rounds": 0,
+                "final_loss": None,
+                "final_accuracy": None,
+                "best_accuracy": None,
+                "total_local_epochs": 0,
+                "total_selections": 0,
+            }
+        return {
+            "rounds": len(self._records),
+            "final_loss": self.final_loss(),
+            "final_accuracy": self.final_accuracy(),
+            "best_accuracy": self.best_accuracy(),
+            "total_local_epochs": int(
+                sum(r.local_epochs for r in self._records)
+            ),
+            "total_selections": int(
+                sum(len(r.participants) for r in self._records)
+            ),
+        }
 
     def local_gradient_rounds_to_accuracy(self, target: float) -> int | None:
         """Total local gradient epochs (``sum of E over rounds``) at target.

@@ -10,10 +10,17 @@ for the heterogeneous-size extension.
 
 from __future__ import annotations
 
+import time
+from typing import TYPE_CHECKING
+
 import numpy as np
 
 from repro.fl.client import LocalUpdate
 from repro.fl.model import LogisticRegressionConfig, LogisticRegressionModel
+from repro.obs.observer import active_or_none
+
+if TYPE_CHECKING:
+    from repro.obs.observer import Observer
 
 __all__ = ["Coordinator", "aggregate_mean", "aggregate_weighted"]
 
@@ -55,7 +62,9 @@ class Coordinator:
         model_config: LogisticRegressionConfig,
         aggregation: str = "mean",
         initial_parameters: np.ndarray | None = None,
+        observer: Observer | None = None,
     ) -> None:
+        self._observer = active_or_none(observer)
         if aggregation not in ("mean", "weighted"):
             raise ValueError(
                 f"aggregation must be 'mean' or 'weighted'; got {aggregation!r}"
@@ -93,9 +102,21 @@ class Coordinator:
 
         Returns the new global parameter vector ``omega_{t+1}``.
         """
+        started = time.perf_counter()
         if self.aggregation == "mean":
             self._parameters = aggregate_mean(updates)
         else:
             self._parameters = aggregate_weighted(updates)
         self.rounds_completed += 1
+        if self._observer is not None:
+            self._observer.counter("fl.aggregations").inc()
+            self._observer.profiler.observe(
+                "profile.aggregate_s", time.perf_counter() - started
+            )
+            self._observer.emit(
+                "server.aggregate",
+                round=self.rounds_completed - 1,
+                n_updates=len(updates),
+                aggregation=self.aggregation,
+            )
         return self.global_parameters

@@ -18,20 +18,31 @@ aggregates over the surviving subset.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable
+import time
+from contextlib import nullcontext
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 
 from repro.data.dataset import Dataset
 from repro.fl.client import EdgeServerClient, LocalUpdate
+from repro.fl.compression import ErrorFeedback
 from repro.fl.metrics import RoundRecord, TrainingHistory
 from repro.fl.model import LogisticRegressionConfig
 from repro.fl.sampling import ClientSampler, UniformSampler
 from repro.fl.server import Coordinator
 from repro.fl.sgd import LearningRateSchedule, SGDConfig
+from repro.obs.observer import active_or_none
+
+if TYPE_CHECKING:
+    from repro.fl.compression import Compressor
+    from repro.obs.observer import Observer
 
 __all__ = ["FederatedConfig", "FederatedTrainer", "build_clients"]
+
+# Reusable do-nothing context manager for un-observed hot paths.
+_NOOP_CONTEXT = nullcontext()
 
 
 @dataclass(frozen=True)
@@ -127,8 +138,9 @@ class FederatedTrainer:
         test_eval: Dataset,
         sampler: ClientSampler | None = None,
         coordinator: Coordinator | None = None,
-        completion_ranker: "Callable[[int, list[int]], list[int]] | None" = None,
-        update_compressor: "Compressor | ErrorFeedback | None" = None,
+        completion_ranker: Callable[[int, list[int]], list[int]] | None = None,
+        update_compressor: Compressor | ErrorFeedback | None = None,
+        observer: Observer | None = None,
     ) -> None:
         if not clients:
             raise ValueError("need at least one client")
@@ -155,7 +167,10 @@ class FederatedTrainer:
                 f"sampler selects {self.sampler.k} clients but the config "
                 f"needs K + overselection = {selected_per_round}"
             )
-        self.coordinator = coordinator or Coordinator(model_config)
+        self._observer = active_or_none(observer)
+        self.coordinator = coordinator or Coordinator(
+            model_config, observer=observer
+        )
         self.completion_ranker = completion_ranker
         self.update_compressor = update_compressor
         self.history = TrainingHistory()
@@ -181,10 +196,6 @@ class FederatedTrainer:
         compressor the full-precision parameters are counted at dense
         float32 size.
         """
-        from dataclasses import replace
-
-        from repro.fl.compression import ErrorFeedback
-
         if self.update_compressor is None:
             self.total_upload_bytes += update.parameters.size * 4
             return update
@@ -198,63 +209,118 @@ class FederatedTrainer:
 
     def run_round(self) -> RoundRecord:
         """Execute one global coordination round and record its outcome."""
+        obs = self._observer
+        round_started = time.perf_counter()
         round_index = self.coordinator.rounds_completed
         learning_rate = self._schedule.current_rate
         selected = self.sampler.select(round_index)
         global_params = self.coordinator.global_parameters
-
-        updates: dict[int, LocalUpdate] = {}
-        for client_id in selected:
-            update = self.clients[int(client_id)].train(
-                global_params,
-                epochs=self.config.local_epochs,
+        if obs is not None:
+            obs.emit(
+                "round.start",
+                round=round_index,
                 learning_rate=learning_rate,
-                sgd=self.config.sgd,
-                proximal_mu=self.config.proximal_mu,
+                selected=[int(c) for c in selected],
             )
-            self.total_gradient_steps += update.gradient_steps
-            dropped = (
-                self.config.dropout_probability > 0
-                and self._rng.random() < self.config.dropout_probability
+            round_span = obs.tracer.span("round", round=round_index)
+            round_span.__enter__()
+
+        try:
+            updates: dict[int, LocalUpdate] = {}
+            for client_id in selected:
+                train_started = time.perf_counter()
+                with (
+                    obs.profiler.timer("profile.client_train_s")
+                    if obs is not None
+                    else _NOOP_CONTEXT
+                ):
+                    update = self.clients[int(client_id)].train(
+                        global_params,
+                        epochs=self.config.local_epochs,
+                        learning_rate=learning_rate,
+                        sgd=self.config.sgd,
+                        proximal_mu=self.config.proximal_mu,
+                    )
+                self.total_gradient_steps += update.gradient_steps
+                dropped = (
+                    self.config.dropout_probability > 0
+                    and self._rng.random() < self.config.dropout_probability
+                )
+                if obs is not None:
+                    obs.counter("fl.gradient_steps").inc(update.gradient_steps)
+                    obs.emit(
+                        "client.train",
+                        round=round_index,
+                        client=int(client_id),
+                        gradient_steps=update.gradient_steps,
+                        epochs=update.epochs,
+                        final_local_loss=update.final_local_loss,
+                        duration_s=time.perf_counter() - train_started,
+                        dropped=dropped,
+                    )
+                if not dropped:
+                    bytes_before = self.total_upload_bytes
+                    update = self._apply_compression(
+                        int(client_id), update, global_params
+                    )
+                    updates[int(client_id)] = update
+                    self.total_uploads += 1
+                    if obs is not None:
+                        upload_bytes = self.total_upload_bytes - bytes_before
+                        obs.counter("fl.uploads").inc()
+                        obs.counter("fl.upload_bytes").inc(upload_bytes)
+                        obs.emit(
+                            "client.upload",
+                            round=round_index,
+                            client=int(client_id),
+                            upload_bytes=upload_bytes,
+                        )
+
+            # Over-selection: keep only the first K arrivals among survivors.
+            if self.completion_ranker is not None:
+                arrival_order = self.completion_ranker(
+                    round_index, [int(c) for c in selected]
+                )
+            else:
+                arrival_order = [int(c) for c in selected]
+            kept_ids = [
+                cid for cid in arrival_order if cid in updates
+            ][: self.config.participants_per_round]
+            kept_updates = [updates[cid] for cid in kept_ids]
+
+            if kept_updates:
+                self.coordinator.aggregate(kept_updates)
+            else:
+                # Every selected client dropped: the round is wasted and the
+                # global model is unchanged, but the round still counts.
+                self.coordinator.rounds_completed += 1
+            self._schedule.advance()
+
+            model = self.coordinator.global_model()
+            record = RoundRecord(
+                round_index=round_index,
+                train_loss=model.loss(
+                    self.train_eval.features, self.train_eval.labels
+                ),
+                test_accuracy=model.accuracy(
+                    self.test_eval.features, self.test_eval.labels
+                ),
+                participants=tuple(int(c) for c in selected),
+                local_epochs=self.config.local_epochs,
+                learning_rate=learning_rate,
+                aggregated=tuple(sorted(kept_ids)),
             )
-            if not dropped:
-                update = self._apply_compression(int(client_id), update, global_params)
-                updates[int(client_id)] = update
-                self.total_uploads += 1
-
-        # Over-selection: keep only the first K arrivals among survivors.
-        if self.completion_ranker is not None:
-            arrival_order = self.completion_ranker(
-                round_index, [int(c) for c in selected]
-            )
-        else:
-            arrival_order = [int(c) for c in selected]
-        kept_ids = [
-            cid for cid in arrival_order if cid in updates
-        ][: self.config.participants_per_round]
-        kept_updates = [updates[cid] for cid in kept_ids]
-
-        if kept_updates:
-            self.coordinator.aggregate(kept_updates)
-        else:
-            # Every selected client dropped: the round is wasted and the
-            # global model is unchanged, but the round still counts.
-            self.coordinator.rounds_completed += 1
-        self._schedule.advance()
-
-        model = self.coordinator.global_model()
-        record = RoundRecord(
-            round_index=round_index,
-            train_loss=model.loss(self.train_eval.features, self.train_eval.labels),
-            test_accuracy=model.accuracy(
-                self.test_eval.features, self.test_eval.labels
-            ),
-            participants=tuple(int(c) for c in selected),
-            local_epochs=self.config.local_epochs,
-            learning_rate=learning_rate,
-            aggregated=tuple(sorted(kept_ids)),
-        )
-        self.history.append(record)
+            self.history.append(record)
+        finally:
+            if obs is not None:
+                round_span.__exit__(None, None, None)
+        if obs is not None:
+            duration_s = time.perf_counter() - round_started
+            obs.counter("fl.rounds").inc()
+            obs.histogram("round.duration_s").observe(duration_s)
+            # The round.end payload is exactly RoundRecord.to_dict(), so
+            # the event log and history_io share one serialisation shape.
+            obs.emit("round.end", duration_s=duration_s, **record.to_dict())
         return record
 
     def run(self) -> TrainingHistory:

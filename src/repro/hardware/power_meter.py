@@ -10,12 +10,17 @@ time series the physical instrument logs.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.core.constants import POWER_SAMPLE_RATE_HZ
 from repro.hardware.trace import PowerTrace
+from repro.obs.observer import active_or_none
 from repro.sim.processes import StepProcess
+
+if TYPE_CHECKING:
+    from repro.obs.observer import Observer
 
 __all__ = ["MeterConfig", "PowerMeter"]
 
@@ -50,10 +55,20 @@ class MeterConfig:
 
 
 class PowerMeter:
-    """Samples a power :class:`StepProcess` into a :class:`PowerTrace`."""
+    """Samples a power :class:`StepProcess` into a :class:`PowerTrace`.
+
+    With an ``observer`` attached, every recording increments the
+    ``meter.samples`` counter and books the *ground-truth* per-phase
+    energy of the metered process (exact segment integrals, before
+    measurement noise) into ``meter.energy_joules{phase=...}`` — the
+    meter-side twin of the model-side ``energy.joules`` counters.
+    """
 
     def __init__(
-        self, config: MeterConfig | None = None, rng: np.random.Generator | None = None
+        self,
+        config: MeterConfig | None = None,
+        rng: np.random.Generator | None = None,
+        observer: "Observer | None" = None,
     ) -> None:
         self.config = config or MeterConfig()
         noisy = (
@@ -62,6 +77,7 @@ class PowerMeter:
         if noisy and rng is None:
             raise ValueError("a noisy meter requires an rng")
         self._rng = rng
+        self._observer = active_or_none(observer)
 
     def record(self, process: StepProcess) -> PowerTrace:
         """Sample the full span of ``process`` at the configured rate.
@@ -92,6 +108,24 @@ class PowerMeter:
                 )
         power = np.maximum(power, 0.0)
         current = power / voltage
+        if self._observer is not None:
+            self._observer.counter("meter.samples").inc(times.size)
+            phase_energy: dict[str, float] = {}
+            for segment in process.segments:
+                key = segment.label or "unlabelled"
+                phase_energy[key] = (
+                    phase_energy.get(key, 0.0) + segment.duration * segment.value
+                )
+            for phase, joules in phase_energy.items():
+                self._observer.counter("meter.energy_joules", phase=phase).inc(
+                    joules
+                )
+            self._observer.emit(
+                "meter.record",
+                duration_s=process.duration,
+                n_samples=int(times.size),
+                sample_rate_hz=self.config.sample_rate_hz,
+            )
         return PowerTrace(
             times=times, power_w=power, voltage_v=voltage, current_a=current
         )

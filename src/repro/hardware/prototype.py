@@ -41,8 +41,14 @@ from repro.net.messages import (
     model_download_message,
     model_upload_message,
 )
+from repro.obs.observer import active_or_none
 from repro.sim.engine import Simulator
 from repro.sim.processes import StepProcess
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.obs.observer import Observer
 
 __all__ = ["PrototypeConfig", "PrototypeResult", "HardwarePrototype"]
 
@@ -121,6 +127,11 @@ class HardwarePrototype:
         iot_network: optional IoT substrate; required when
             ``config.include_iot`` is set, providing the per-server
             ``rho_k`` constants for the data-collection energy.
+        observer: optional telemetry sink, threaded through every layer
+            the testbed drives: the FL trainer (round/client events), the
+            DES engine (``sim.event`` records on the simulated clock),
+            and the energy accounting (``energy.joules{phase=...}``
+            counters split download/train/upload/wait/collect).
     """
 
     def __init__(
@@ -130,8 +141,10 @@ class HardwarePrototype:
         config: PrototypeConfig | None = None,
         iot_network: IoTNetwork | None = None,
         partitions: list[Dataset] | None = None,
+        observer: "Observer | None" = None,
     ) -> None:
         self.config = config or PrototypeConfig()
+        self._observer = active_or_none(observer)
         if self.config.include_iot and iot_network is None:
             raise ValueError("include_iot=True requires an iot_network")
         self.train = train
@@ -257,6 +270,7 @@ class HardwarePrototype:
             test_eval=self.test,
             completion_ranker=completion_ranker,
             update_compressor=update_compressor,
+            observer=self._observer,
         )
 
     def _round_energy(
@@ -267,16 +281,26 @@ class HardwarePrototype:
         upload: ModelMessage | None = None,
     ) -> float:
         device = self.devices[server_id]
-        energy = device.round_energy(
-            epochs,
-            n_samples,
-            self._download,
-            upload or self._upload,
-            include_waiting=self.config.include_waiting,
+        timing = device.round_timing(
+            epochs, n_samples, self._download, upload or self._upload
         )
+        phases = device.phase_energies(
+            timing, include_waiting=self.config.include_waiting
+        )
+        energy = sum(phases.values())
+        if self._observer is not None:
+            for phase, joules in phases.items():
+                self._observer.counter("energy.joules", phase=phase).inc(joules)
         if self.config.include_iot:
             assert self.iot_network is not None
-            energy += self.iot_network.cluster(server_id).collection_energy(n_samples)
+            collected = self.iot_network.cluster(server_id).collection_energy(
+                n_samples
+            )
+            energy += collected
+            if self._observer is not None:
+                self._observer.counter("energy.joules", phase="collect").inc(
+                    collected
+                )
         return energy
 
     def run(
@@ -335,7 +359,7 @@ class HardwarePrototype:
             completion_ranker=ranker if overselection > 0 else None,
             update_compressor=update_compressor,
         )
-        simulator = Simulator()
+        simulator = Simulator(observer=self._observer)
         energy_per_round: list[float] = []
         iot_energy = 0.0
         state = {"stop": False}
@@ -363,6 +387,18 @@ class HardwarePrototype:
                     ).total_s
                 round_duration = max(round_duration, duration)
             energy_per_round.append(round_energy)
+            if self._observer is not None:
+                self._observer.histogram("sim.round_duration_s").observe(
+                    round_duration
+                )
+                self._observer.emit(
+                    "prototype.round",
+                    sim_time=sim.now,
+                    round=record.round_index,
+                    energy_j=round_energy,
+                    duration_s=round_duration,
+                    participants=len(record.participants),
+                )
             done = len(energy_per_round) >= n_rounds or (
                 target_accuracy is not None
                 and record.test_accuracy >= target_accuracy
@@ -479,6 +515,8 @@ class HardwarePrototype:
             timing = device.round_timing(epochs, n_k, self._download, self._upload)
             process.extend(device.round_power_process(timing))
         meter = meter or PowerMeter(
-            MeterConfig(), rng=np.random.default_rng(self.config.seed)
+            MeterConfig(),
+            rng=np.random.default_rng(self.config.seed),
+            observer=self._observer,
         )
         return meter.record(process)

@@ -159,6 +159,34 @@ class RaspberryPiEdgeServer:
                 process.append(duration, self.powers.power_for(phase), phase.value)
         return process
 
+    def phase_energies(
+        self, timing: RoundTiming, include_waiting: bool = False
+    ) -> dict[str, float]:
+        """Per-phase energy of one already-drawn round timing, in joules.
+
+        Keyed by :class:`RoundPhase` value (``"downloading"``,
+        ``"training"``, ``"uploading"``, and ``"waiting"`` when
+        included).  Taking a :class:`RoundTiming` rather than drawing one
+        keeps the energy attribution consistent with whatever jittered
+        durations the caller already committed to — and feeds the
+        ``energy.joules{phase=...}`` telemetry counters without extra rng
+        draws.
+        """
+        energies = {
+            RoundPhase.DOWNLOADING.value: (
+                timing.downloading_s * self.powers.downloading_w
+            ),
+            RoundPhase.TRAINING.value: timing.training_s * self.powers.training_w,
+            RoundPhase.UPLOADING.value: (
+                timing.uploading_s * self.powers.uploading_w
+            ),
+        }
+        if include_waiting:
+            energies[RoundPhase.WAITING.value] = (
+                timing.waiting_s * self.powers.waiting_w
+            )
+        return energies
+
     def round_energy(
         self,
         epochs: int,
@@ -175,14 +203,7 @@ class RaspberryPiEdgeServer:
         device's idle baseline and is excluded from ``e_k^P``/``e_k^U``.
         """
         timing = self.round_timing(epochs, n_samples, download, upload)
-        energy = (
-            timing.downloading_s * self.powers.downloading_w
-            + timing.training_s * self.powers.training_w
-            + timing.uploading_s * self.powers.uploading_w
-        )
-        if include_waiting:
-            energy += timing.waiting_s * self.powers.waiting_w
-        return energy
+        return sum(self.phase_energies(timing, include_waiting).values())
 
     def training_energy(self, epochs: int, n_samples: int) -> float:
         """Energy of step (3) alone: duration x training power = eq. (5)."""

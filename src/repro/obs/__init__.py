@@ -1,0 +1,57 @@
+"""Observability: structured events, metrics, tracing, and profiling.
+
+The paper's argument is built on *measurement* — POWER-Z traces at 1 kHz
+feeding the ``(c0, c1)`` fit, per-round energy and timing behind every
+figure.  This package gives the reproduction the same visibility at
+runtime:
+
+* :mod:`repro.obs.events` — an append-only structured event log
+  (``round.start``, ``client.train``, ``sim.event``, ...) with both
+  monotonic wall time and simulation time, exportable as JSONL;
+* :mod:`repro.obs.metrics` — process-local counters, gauges, and
+  fixed-bucket histograms (``fl.gradient_steps``,
+  ``energy.joules{phase=train}``, ...) with a ``snapshot()`` dict and a
+  text renderer;
+* :mod:`repro.obs.tracing` — a lightweight span API producing a
+  parent/child tree with durations;
+* :mod:`repro.obs.profiling` — opt-in hot-path timers that aggregate
+  ``perf_counter`` deltas into histogram metrics;
+* :mod:`repro.obs.observer` — the :class:`Observer` facade bundling all
+  four, plus the :data:`NULL_OBSERVER` no-op backend.
+
+Every instrumented component (:class:`~repro.fl.training.FederatedTrainer`,
+:class:`~repro.sim.engine.Simulator`, :class:`~repro.core.acs.ACSSolver`,
+:class:`~repro.hardware.prototype.HardwarePrototype`, ...) takes an
+optional ``observer`` and behaves identically — at negligible overhead —
+when none is attached.
+"""
+
+from repro.obs.events import EventLog, ObsEvent
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    DEFAULT_DURATION_BUCKETS_S,
+)
+from repro.obs.observer import NULL_OBSERVER, NullObserver, Observer, active_or_none
+from repro.obs.profiling import HotPathProfiler
+from repro.obs.tracing import NullTracer, Span, Tracer
+
+__all__ = [
+    "Counter",
+    "DEFAULT_DURATION_BUCKETS_S",
+    "EventLog",
+    "Gauge",
+    "Histogram",
+    "HotPathProfiler",
+    "MetricsRegistry",
+    "NULL_OBSERVER",
+    "NullObserver",
+    "NullTracer",
+    "ObsEvent",
+    "Observer",
+    "Span",
+    "Tracer",
+    "active_or_none",
+]

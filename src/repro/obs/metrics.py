@@ -1,0 +1,275 @@
+"""Process-local metrics: counters, gauges, and fixed-bucket histograms.
+
+The registry is the numeric side of the observability substrate: where
+the event log answers "what happened, in what order", the metrics answer
+"how much, in total".  Instruments are identified by a name plus a label
+set, Prometheus-style — ``energy.joules{phase=train}`` and
+``energy.joules{phase=upload}`` are distinct counters that can be summed
+over the ``phase`` label to reconcile against a run's total energy.
+
+Everything is plain Python (single process, single thread, no sockets):
+``snapshot()`` returns a JSON-ready dict and ``render_text()`` an aligned
+table for terminals.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Iterator
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_DURATION_BUCKETS_S",
+]
+
+# Upper bucket bounds for duration histograms: 10 us to 10 min, roughly
+# logarithmic.  Values above the last bound land in the +inf overflow.
+DEFAULT_DURATION_BUCKETS_S: tuple[float, ...] = (
+    1e-5,
+    1e-4,
+    1e-3,
+    1e-2,
+    1e-1,
+    1.0,
+    10.0,
+    60.0,
+    600.0,
+)
+
+_LabelKey = tuple[tuple[str, str], ...]
+
+
+def _label_key(labels: dict[str, Any]) -> _LabelKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def render_metric_name(name: str, labels: dict[str, Any] | _LabelKey) -> str:
+    """Canonical ``name{k=v,...}`` rendering (plain ``name`` if unlabelled)."""
+    items = _label_key(labels) if isinstance(labels, dict) else labels
+    if not items:
+        return name
+    inner = ",".join(f"{k}={v}" for k, v in items)
+    return f"{name}{{{inner}}}"
+
+
+class _Instrument:
+    """Common identity of all instrument kinds."""
+
+    kind = "instrument"
+
+    def __init__(self, name: str, labels: _LabelKey) -> None:
+        self.name = name
+        self.labels = labels
+
+    @property
+    def full_name(self) -> str:
+        return render_metric_name(self.name, self.labels)
+
+
+class Counter(_Instrument):
+    """Monotonically increasing total (events, bytes, joules, ...)."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, labels: _LabelKey) -> None:
+        super().__init__(name, labels)
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counters only go up; got increment {amount}")
+        self.value += amount
+
+
+class Gauge(_Instrument):
+    """Last-write-wins instantaneous value (queue depth, objective, ...)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, labels: _LabelKey) -> None:
+        super().__init__(name, labels)
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+
+class Histogram(_Instrument):
+    """Fixed-bucket histogram with exact count/sum/min/max side-cars.
+
+    ``buckets`` are strictly increasing finite *upper* bounds; one
+    implicit overflow bucket catches everything above the last bound.
+    Bucket membership is ``value <= bound`` (inclusive upper edges), so
+    an observation exactly on an edge lands in that edge's bucket.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self, name: str, labels: _LabelKey, buckets: tuple[float, ...]
+    ) -> None:
+        super().__init__(name, labels)
+        if not buckets:
+            raise ValueError("histogram needs at least one bucket bound")
+        if any(b2 <= b1 for b1, b2 in zip(buckets, buckets[1:])):
+            raise ValueError(f"bucket bounds must strictly increase; got {buckets}")
+        self.buckets = tuple(float(b) for b in buckets)
+        self.counts = [0] * (len(buckets) + 1)
+        self.count = 0
+        self.sum = 0.0
+        self.min: float | None = None
+        self.max: float | None = None
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.counts[bisect.bisect_left(self.buckets, value)] += 1
+        self.count += 1
+        self.sum += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+
+    @property
+    def mean(self) -> float:
+        if self.count == 0:
+            raise ValueError("histogram has no observations")
+        return self.sum / self.count
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "type": "histogram",
+            "buckets": list(self.buckets),
+            "counts": list(self.counts),
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+        }
+
+
+class MetricsRegistry:
+    """Get-or-create store of metric instruments keyed by (name, labels)."""
+
+    def __init__(self) -> None:
+        self._instruments: dict[tuple[str, _LabelKey], _Instrument] = {}
+
+    def _get_or_create(
+        self, cls: type, name: str, labels: dict[str, Any], *args: Any
+    ) -> Any:
+        if not name:
+            raise ValueError("metric name must be a non-empty string")
+        key = (name, _label_key(labels))
+        instrument = self._instruments.get(key)
+        if instrument is None:
+            instrument = cls(name, key[1], *args)
+            self._instruments[key] = instrument
+        elif not isinstance(instrument, cls):
+            raise ValueError(
+                f"metric {render_metric_name(name, labels)!r} already "
+                f"registered as a {instrument.kind}, not a {cls.kind}"
+            )
+        return instrument
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        return self._get_or_create(Counter, name, labels)
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        return self._get_or_create(Gauge, name, labels)
+
+    def histogram(
+        self,
+        name: str,
+        buckets: tuple[float, ...] | None = None,
+        **labels: Any,
+    ) -> Histogram:
+        histogram = self._get_or_create(
+            Histogram, name, labels, tuple(buckets or DEFAULT_DURATION_BUCKETS_S)
+        )
+        if buckets is not None and histogram.buckets != tuple(
+            float(b) for b in buckets
+        ):
+            raise ValueError(
+                f"histogram {render_metric_name(name, labels)!r} already "
+                f"registered with buckets {histogram.buckets}"
+            )
+        return histogram
+
+    # ------------------------------------------------------------------
+    # Queries.
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def __iter__(self) -> Iterator[_Instrument]:
+        return iter(
+            sorted(self._instruments.values(), key=lambda i: (i.name, i.labels))
+        )
+
+    def value(self, name: str, **labels: Any) -> float:
+        """Current value of a counter/gauge; ``KeyError`` when absent."""
+        instrument = self._instruments[(name, _label_key(labels))]
+        if isinstance(instrument, Histogram):
+            raise ValueError(
+                f"{instrument.full_name!r} is a histogram; read .sum/.count"
+            )
+        return instrument.value  # type: ignore[union-attr]
+
+    def sum_values(self, name: str) -> float:
+        """Sum of a counter/gauge family across all its label sets.
+
+        E.g. ``sum_values("energy.joules")`` totals the per-phase energy
+        counters, which must reconcile with a run's total energy.
+        """
+        total = 0.0
+        found = False
+        for (metric_name, _), instrument in self._instruments.items():
+            if metric_name != name or isinstance(instrument, Histogram):
+                continue
+            total += instrument.value  # type: ignore[union-attr]
+            found = True
+        if not found:
+            raise KeyError(f"no counter/gauge named {name!r}")
+        return total
+
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-ready ``{rendered_name: value-or-histogram-dict}`` mapping."""
+        result: dict[str, Any] = {}
+        for instrument in self:
+            if isinstance(instrument, Histogram):
+                result[instrument.full_name] = instrument.to_dict()
+            else:
+                result[instrument.full_name] = instrument.value  # type: ignore[union-attr]
+        return result
+
+    def render_text(self) -> str:
+        """Aligned text table of every instrument (terminal-friendly)."""
+        rows: list[tuple[str, str, str]] = []
+        for instrument in self:
+            if isinstance(instrument, Histogram):
+                if instrument.count:
+                    summary = (
+                        f"count={instrument.count} sum={instrument.sum:.6g} "
+                        f"mean={instrument.mean:.6g} min={instrument.min:.6g} "
+                        f"max={instrument.max:.6g}"
+                    )
+                else:
+                    summary = "count=0"
+            else:
+                summary = f"{instrument.value:.6g}"
+            rows.append((instrument.full_name, instrument.kind, summary))
+        if not rows:
+            return "(no metrics recorded)"
+        name_width = max(len(r[0]) for r in rows)
+        kind_width = max(len(r[1]) for r in rows)
+        return "\n".join(
+            f"{name:<{name_width}}  {kind:<{kind_width}}  {summary}"
+            for name, kind, summary in rows
+        )

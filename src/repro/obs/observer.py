@@ -1,0 +1,189 @@
+"""The :class:`Observer` facade: one handle bundling all four substrates.
+
+Instrumented components accept ``observer: Observer | None = None`` and
+do nothing when it is ``None`` (or a :class:`NullObserver`).  The
+convention for call sites::
+
+    self._observer = active_or_none(observer)
+    ...
+    if self._observer is not None:
+        self._observer.emit("round.start", round=t)
+
+so that disabled observability costs exactly one ``is not None`` check
+per instrumentation point — no event dict construction, no metric
+lookups, no clock reads.
+
+:data:`NULL_OBSERVER` is the module-level no-op backend: it satisfies
+the full :class:`Observer` API (so code holding an observer
+unconditionally still works) while recording nothing.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+from typing import Any, Callable
+
+from repro.obs.events import EventLog, ObsEvent
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.profiling import HotPathProfiler
+from repro.obs.tracing import NullTracer, Tracer
+
+__all__ = ["Observer", "NullObserver", "NULL_OBSERVER", "active_or_none"]
+
+
+class Observer:
+    """Bundle of event log + metrics registry + tracer + profiler.
+
+    Args:
+        profile_hot_paths: enable the per-iteration hot-path timers
+            (off by default — events/metrics/spans are cheap, inner-loop
+            clock reads are not).
+        clock: shared monotonic time source for events, spans, and
+            profiler timers (injectable for deterministic tests).
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        profile_hot_paths: bool = False,
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        self.events = EventLog(clock=clock)
+        self.metrics = MetricsRegistry()
+        self.tracer = Tracer(clock=clock)
+        self.profiler = HotPathProfiler(
+            self.metrics, enabled=profile_hot_paths, clock=clock
+        )
+
+    # ------------------------------------------------------------------
+    # Convenience pass-throughs (the facade most call sites use).
+    # ------------------------------------------------------------------
+    def emit(
+        self, category: str, sim_time: float | None = None, **fields: Any
+    ) -> ObsEvent | None:
+        return self.events.emit(category, sim_time=sim_time, **fields)
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        return self.metrics.counter(name, **labels)
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        return self.metrics.gauge(name, **labels)
+
+    def histogram(
+        self, name: str, buckets: tuple[float, ...] | None = None, **labels: Any
+    ) -> Histogram:
+        return self.metrics.histogram(name, buckets=buckets, **labels)
+
+    def span(self, name: str, **attributes: Any):
+        return self.tracer.span(name, **attributes)
+
+    # ------------------------------------------------------------------
+    # Export.
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict[str, Any]:
+        """Combined JSON-ready view: metrics snapshot + trace forest."""
+        return {
+            "metrics": self.metrics.snapshot(),
+            "n_events": len(self.events),
+            "spans": self.tracer.to_dicts(),
+        }
+
+    def dump_jsonl(self, path: str | Path) -> None:
+        """Write the full telemetry of a run to one JSONL file.
+
+        Every event becomes one line; a final ``metrics.snapshot`` line
+        carries the metrics registry (and span forest), so the file is
+        self-contained.  :meth:`repro.obs.events.EventLog.load_jsonl`
+        reads the same file back — the snapshot line is an ordinary
+        event whose fields hold the snapshot.
+        """
+        self.emit("metrics.snapshot", **self.snapshot())
+        self.events.save_jsonl(path)
+
+    def render_text(self) -> str:
+        """Metrics table + span tree, for terminals."""
+        return (
+            f"events: {len(self.events)}\n"
+            f"--- metrics ---\n{self.metrics.render_text()}\n"
+            f"--- spans ---\n{self.tracer.render_text()}"
+        )
+
+
+class _NullEventLog(EventLog):
+    """Event log that drops everything."""
+
+    def emit(
+        self, category: str, sim_time: float | None = None, **fields: Any
+    ) -> None:  # type: ignore[override]
+        return None
+
+
+class _NullInstrument(Counter, Gauge):  # type: ignore[misc]
+    """A metric accepting every write and retaining nothing."""
+
+    def __init__(self) -> None:
+        Counter.__init__(self, "null", ())
+
+    def inc(self, amount: float = 1.0) -> None:
+        return None
+
+    def dec(self, amount: float = 1.0) -> None:
+        return None
+
+    def set(self, value: float) -> None:
+        return None
+
+    def observe(self, value: float) -> None:
+        return None
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class _NullRegistry(MetricsRegistry):
+    """Registry handing out the shared write-only null instrument."""
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        return _NULL_INSTRUMENT
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        return _NULL_INSTRUMENT
+
+    def histogram(
+        self, name: str, buckets: tuple[float, ...] | None = None, **labels: Any
+    ) -> Histogram:
+        return _NULL_INSTRUMENT  # type: ignore[return-value]
+
+
+class NullObserver(Observer):
+    """No-op backend: full API, zero recording, negligible overhead."""
+
+    enabled = False
+
+    def __init__(self) -> None:
+        self.events = _NullEventLog()
+        self.metrics = _NullRegistry()
+        self.tracer = NullTracer()
+        self.profiler = HotPathProfiler(self.metrics, enabled=False)
+
+    def emit(
+        self, category: str, sim_time: float | None = None, **fields: Any
+    ) -> None:  # type: ignore[override]
+        return None
+
+
+NULL_OBSERVER = NullObserver()
+
+
+def active_or_none(observer: Observer | None) -> Observer | None:
+    """Normalise an optional observer for instrumented components.
+
+    Returns ``None`` for both ``None`` and disabled (null) observers, so
+    call sites guard every instrumentation point with a single
+    ``is not None`` check.
+    """
+    if observer is None or not observer.enabled:
+        return None
+    return observer

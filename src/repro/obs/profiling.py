@@ -1,0 +1,101 @@
+"""Opt-in hot-path timers feeding histogram metrics.
+
+The tracer is the right tool for coarse regions (a round, an experiment)
+but too heavy for inner loops: wrapping every SGD epoch or DES heap pop
+in a span would allocate a tree node per iteration.  The profiler instead
+aggregates ``perf_counter`` deltas straight into a fixed-bucket
+:class:`~repro.obs.metrics.Histogram` — constant memory regardless of
+iteration count.
+
+Profiling is *opt-in on top of observability*: an attached observer
+records events and metrics, but hot-path timers only fire when the
+profiler is explicitly enabled, so the default observer adds no
+per-iteration clock reads.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable
+
+from repro.obs.metrics import Histogram, MetricsRegistry
+
+__all__ = ["HotPathProfiler", "BoundTimer"]
+
+
+class _NoopTimer:
+    """Shared do-nothing context manager for disabled profilers."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopTimer":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        return None
+
+
+_NOOP_TIMER = _NoopTimer()
+
+
+class BoundTimer:
+    """A timer pre-bound to one histogram — for use inside hot loops.
+
+    Resolving the histogram (dict lookup + label normalisation) happens
+    once at bind time; each ``with`` entry then costs two clock reads and
+    one ``observe``.  Not re-entrant: one instance times one region at a
+    time (bind separate timers for nested regions).
+    """
+
+    __slots__ = ("_histogram", "_clock", "_started")
+
+    def __init__(self, histogram: Histogram, clock: Callable[[], float]) -> None:
+        self._histogram = histogram
+        self._clock = clock
+        self._started = 0.0
+
+    def __enter__(self) -> "BoundTimer":
+        self._started = self._clock()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._histogram.observe(self._clock() - self._started)
+
+
+class HotPathProfiler:
+    """Aggregates timed regions into histogram metrics.
+
+    Args:
+        metrics: registry receiving the duration histograms.
+        enabled: when ``False`` every timer is a shared no-op.
+        clock: monotonic time source (injectable for tests).
+    """
+
+    def __init__(
+        self,
+        metrics: MetricsRegistry,
+        enabled: bool = True,
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        self.metrics = metrics
+        self.enabled = enabled
+        self._clock = clock
+
+    def timer(self, name: str, **labels: Any) -> BoundTimer | _NoopTimer:
+        """One-shot timed region: ``with profiler.timer("fl.client_train_s"):``."""
+        if not self.enabled:
+            return _NOOP_TIMER
+        return BoundTimer(self.metrics.histogram(name, **labels), self._clock)
+
+    def bind(self, name: str, **labels: Any) -> BoundTimer | _NoopTimer:
+        """Pre-resolve a timer for repeated use inside a hot loop.
+
+        Returns the shared no-op when disabled, so call sites need no
+        enabled-check of their own.
+        """
+        return self.timer(name, **labels)
+
+    def observe(self, name: str, duration_s: float, **labels: Any) -> None:
+        """Record an externally-measured duration (no clock reads here)."""
+        if self.enabled:
+            self.metrics.histogram(name, **labels).observe(duration_s)

@@ -16,7 +16,12 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Callable
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.obs.observer import active_or_none
+
+if TYPE_CHECKING:
+    from repro.obs.observer import Observer
 
 __all__ = ["Event", "Simulator"]
 
@@ -33,14 +38,23 @@ class Event:
 
 
 class Simulator:
-    """Deterministic event-driven simulator with a floating-point clock."""
+    """Deterministic event-driven simulator with a floating-point clock.
 
-    def __init__(self) -> None:
+    Args:
+        observer: optional telemetry sink.  When attached, every executed
+            event increments the ``sim.events_processed`` counter and
+            every *labelled* event is bridged into the structured event
+            log as a ``sim.event`` record carrying the simulation time —
+            the same information as :attr:`trace`, in the shared format.
+    """
+
+    def __init__(self, observer: "Observer | None" = None) -> None:
         self._queue: list[Event] = []
         self._sequence = itertools.count()
         self._now = 0.0
         self._processed = 0
         self._trace: list[tuple[float, str]] = []
+        self._observer = active_or_none(observer)
 
     @property
     def now(self) -> float:
@@ -104,36 +118,68 @@ class Simulator:
         """Cancel a pending event (no-op if it already ran)."""
         event.action = _cancelled
 
+    def _drain_cancelled_head(self) -> None:
+        """Discard cancelled events sitting at the front of the queue.
+
+        Keeps head peeks (``run``'s ``until`` check) accurate: a cancelled
+        event's stale timestamp must not decide whether the next *real*
+        event is within the time bound.
+        """
+        while self._queue and self._queue[0].action is _cancelled:
+            heapq.heappop(self._queue)
+
     def step(self) -> bool:
-        """Execute the next event.  Returns False when the queue is empty."""
-        while self._queue:
-            event = heapq.heappop(self._queue)
-            if event.action is _cancelled:
-                continue
-            self._now = event.time
+        """Execute the next event.  Returns False when the queue is empty.
+
+        Cancelled events are silently discarded and never count as
+        executed work (``events_processed`` only counts real actions).
+        """
+        self._drain_cancelled_head()
+        if not self._queue:
+            return False
+        event = heapq.heappop(self._queue)
+        self._now = event.time
+        if event.label:
+            self._trace.append((event.time, event.label))
+        event.action(self)
+        self._processed += 1
+        if self._observer is not None:
+            self._observer.counter("sim.events_processed").inc()
             if event.label:
-                self._trace.append((event.time, event.label))
-            event.action(self)
-            self._processed += 1
-            return True
-        return False
+                self._observer.emit(
+                    "sim.event",
+                    sim_time=event.time,
+                    label=event.label,
+                    priority=event.priority,
+                )
+        return True
 
     def run(self, until: float | None = None, max_events: int | None = None) -> None:
         """Run events in order, optionally bounded by time or event count.
 
         With ``until`` set, the clock is advanced to exactly ``until`` even
         when the queue empties earlier, and events after ``until`` remain
-        queued.
+        queued.  ``max_events`` bounds *executed* events: the accounting is
+        unified on :attr:`events_processed`, so cancelled events drained
+        along the way never consume budget (and instrumentation wrapping
+        :meth:`step` cannot drift from the budget check).
         """
-        executed = 0
+        if max_events is not None and max_events < 0:
+            raise ValueError(f"max_events must be non-negative; got {max_events}")
+        started_at = self._processed
         while self._queue:
-            if max_events is not None and executed >= max_events:
+            if (
+                max_events is not None
+                and self._processed - started_at >= max_events
+            ):
                 return
+            self._drain_cancelled_head()
+            if not self._queue:
+                break
             if until is not None and self._queue[0].time > until:
                 break
             if not self.step():
                 break
-            executed += 1
         if until is not None and until > self._now:
             self._now = until
 

@@ -84,3 +84,31 @@ class TestMain:
         after = runner._CALIBRATION_CACHE.get("tiny")
         if before is not None:
             assert after is before
+
+
+@pytest.mark.telemetry_smoke
+class TestTelemetry:
+    def test_telemetry_flag_writes_jsonl(
+        self, tmp_path, capsys: pytest.CaptureFixture
+    ) -> None:
+        from repro.obs import EventLog
+
+        out = tmp_path / "telemetry.jsonl"
+        assert main(["fig3", "--telemetry", str(out)]) == 0
+        captured = capsys.readouterr()
+        assert "Fig. 3" in captured.out
+        assert "telemetry:" in captured.err
+        assert "experiment.duration_s" in captured.err
+
+        log = EventLog.load_jsonl(out)
+        categories = log.categories()
+        assert categories["experiment.start"] == 1
+        assert categories["experiment.end"] == 1
+        assert log[-1].category == "metrics.snapshot"
+        end = log.filter("experiment.end")[0]
+        assert end.fields["experiment"] == "fig3"
+        assert end.fields["duration_s"] > 0
+
+    def test_no_telemetry_leaves_observer_unset(self) -> None:
+        assert main(["table1"]) == 0
+        assert runner._ACTIVE_OBSERVER is None

@@ -92,3 +92,67 @@ class TestTargets:
         # Reaches 0.6 at round 2 => 2 rounds x 20 epochs.
         assert history.local_gradient_rounds_to_accuracy(0.6) == 40
         assert history.local_gradient_rounds_to_accuracy(0.99) is None
+
+
+class TestPlainDictSerialisation:
+    def test_to_dict_emits_plain_types(self) -> None:
+        record = _record(0, 1.5, 0.25)
+        data = record.to_dict()
+        assert data == {
+            "round_index": 0,
+            "train_loss": 1.5,
+            "test_accuracy": 0.25,
+            "participants": [0, 1],
+            "local_epochs": 10,
+            "learning_rate": 0.01,
+            "aggregated": [0, 1],
+        }
+        assert all(
+            type(v) in (int, float, list) for v in data.values()
+        )
+
+    def test_record_round_trip(self) -> None:
+        record = RoundRecord(
+            round_index=2,
+            train_loss=0.5,
+            test_accuracy=0.8,
+            participants=(0, 1, 2),
+            local_epochs=5,
+            learning_rate=0.02,
+            aggregated=(1, 2),
+        )
+        assert RoundRecord.from_dict(record.to_dict()) == record
+
+    def test_from_dict_rejects_malformed(self) -> None:
+        with pytest.raises(ValueError, match="malformed record"):
+            RoundRecord.from_dict({"round_index": 0})
+
+    def test_history_round_trip(self) -> None:
+        history = _history([1.0, 0.5, 0.2], [0.3, 0.6, 0.9])
+        restored = TrainingHistory.from_records(history.to_records())
+        assert restored.records == history.records
+
+    def test_to_records_length_and_order(self) -> None:
+        history = _history([1.0, 0.5], [0.3, 0.6])
+        records = history.to_records()
+        assert [r["round_index"] for r in records] == [0, 1]
+
+
+class TestSummary:
+    def test_summary_aggregates(self) -> None:
+        history = _history([1.0, 0.5, 0.7], [0.3, 0.9, 0.6], epochs=4)
+        summary = history.summary()
+        assert summary == {
+            "rounds": 3,
+            "final_loss": 0.7,
+            "final_accuracy": 0.6,
+            "best_accuracy": 0.9,
+            "total_local_epochs": 12,
+            "total_selections": 6,
+        }
+
+    def test_empty_summary_is_well_formed(self) -> None:
+        summary = TrainingHistory().summary()
+        assert summary["rounds"] == 0
+        assert summary["final_loss"] is None
+        assert summary["total_local_epochs"] == 0

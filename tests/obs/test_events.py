@@ -1,0 +1,135 @@
+"""Unit tests for the structured event log."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.obs.events import EventLog, ObsEvent
+
+
+class TestEmit:
+    def test_events_keep_emission_order_and_sequence(self) -> None:
+        log = EventLog()
+        log.emit("round.start", round=0)
+        log.emit("client.train", client=3)
+        log.emit("round.end", round=0)
+        assert [e.category for e in log] == [
+            "round.start",
+            "client.train",
+            "round.end",
+        ]
+        assert [e.sequence for e in log] == [0, 1, 2]
+
+    def test_wall_time_is_monotonic(self) -> None:
+        ticks = iter([0.0, 1.0, 2.5, 2.5])
+        log = EventLog(clock=lambda: next(ticks))
+        first = log.emit("a")
+        second = log.emit("b")
+        third = log.emit("c")
+        assert first.wall_time_s == 1.0  # relative to the log's epoch
+        assert second.wall_time_s == 2.5
+        assert third.wall_time_s == 2.5
+
+    def test_sim_time_recorded_separately(self) -> None:
+        log = EventLog()
+        event = log.emit("sim.event", sim_time=42.5, label="round-start")
+        assert event.sim_time_s == 42.5
+        assert log.emit("round.start").sim_time_s is None
+
+    def test_fields_captured(self) -> None:
+        log = EventLog()
+        event = log.emit("client.train", client=3, gradient_steps=20)
+        assert event.fields == {"client": 3, "gradient_steps": 20}
+
+    def test_empty_category_rejected(self) -> None:
+        with pytest.raises(ValueError, match="non-empty"):
+            EventLog().emit("")
+
+
+class TestQueries:
+    def test_categories_counts(self) -> None:
+        log = EventLog()
+        log.emit("round.start")
+        log.emit("client.train")
+        log.emit("client.train")
+        assert log.categories() == {"round.start": 1, "client.train": 2}
+
+    def test_filter_matches_exact_and_children(self) -> None:
+        log = EventLog()
+        log.emit("client.train")
+        log.emit("client.upload")
+        log.emit("client")
+        log.emit("clients.other")
+        assert [e.category for e in log.filter("client")] == [
+            "client.train",
+            "client.upload",
+            "client",
+        ]
+
+    def test_len_and_indexing(self) -> None:
+        log = EventLog()
+        log.emit("a")
+        log.emit("b")
+        assert len(log) == 2
+        assert log[1].category == "b"
+
+
+class TestJsonlRoundTrip:
+    def test_round_trip_preserves_everything(self) -> None:
+        log = EventLog()
+        log.emit("round.start", round=0, selected=[1, 2])
+        log.emit("sim.event", sim_time=3.25, label="round-start")
+        restored = EventLog.from_jsonl(log.to_jsonl())
+        assert len(restored) == len(log)
+        for original, loaded in zip(log, restored):
+            assert loaded.sequence == original.sequence
+            assert loaded.category == original.category
+            assert loaded.wall_time_s == original.wall_time_s
+            assert loaded.sim_time_s == original.sim_time_s
+        assert restored[0].fields == {"round": 0, "selected": [1, 2]}
+
+    def test_numpy_fields_serialise(self) -> None:
+        log = EventLog()
+        log.emit(
+            "round.end",
+            loss=np.float64(0.25),
+            participants=np.array([1, 2]),
+            round=np.int64(3),
+        )
+        restored = EventLog.from_jsonl(log.to_jsonl())
+        assert restored[0].fields == {
+            "loss": 0.25,
+            "participants": [1, 2],
+            "round": 3,
+        }
+
+    def test_save_and_load_file(self, tmp_path) -> None:
+        log = EventLog()
+        log.emit("a", x=1)
+        log.emit("b", y="text")
+        path = tmp_path / "events.jsonl"
+        log.save_jsonl(path)
+        assert len(path.read_text().strip().splitlines()) == 2
+        restored = EventLog.load_jsonl(path)
+        assert [e.category for e in restored] == ["a", "b"]
+
+    def test_empty_log_round_trips(self, tmp_path) -> None:
+        path = tmp_path / "empty.jsonl"
+        EventLog().save_jsonl(path)
+        assert len(EventLog.load_jsonl(path)) == 0
+
+    def test_emission_continues_after_load(self) -> None:
+        log = EventLog()
+        log.emit("a")
+        log.emit("b")
+        restored = EventLog.from_jsonl(log.to_jsonl())
+        assert restored.emit("c").sequence == 2
+
+    def test_invalid_json_rejected(self) -> None:
+        with pytest.raises(ValueError, match="invalid JSON"):
+            EventLog.from_jsonl("not json")
+
+    def test_malformed_record_rejected(self) -> None:
+        with pytest.raises(ValueError, match="malformed event"):
+            ObsEvent.from_dict({"category": "x"})

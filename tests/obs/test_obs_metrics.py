@@ -1,0 +1,128 @@
+"""Unit tests for counters, gauges, histograms, and the registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_DURATION_BUCKETS_S,
+    Histogram,
+    MetricsRegistry,
+    render_metric_name,
+)
+
+
+class TestCounter:
+    def test_accumulates(self) -> None:
+        registry = MetricsRegistry()
+        counter = registry.counter("fl.gradient_steps")
+        counter.inc()
+        counter.inc(4)
+        assert registry.value("fl.gradient_steps") == 5.0
+
+    def test_get_or_create_returns_same_instrument(self) -> None:
+        registry = MetricsRegistry()
+        assert registry.counter("x") is registry.counter("x")
+
+    def test_labels_separate_instruments(self) -> None:
+        registry = MetricsRegistry()
+        registry.counter("energy.joules", phase="train").inc(2.0)
+        registry.counter("energy.joules", phase="upload").inc(0.5)
+        assert registry.value("energy.joules", phase="train") == 2.0
+        assert registry.value("energy.joules", phase="upload") == 0.5
+        assert registry.sum_values("energy.joules") == 2.5
+
+    def test_negative_increment_rejected(self) -> None:
+        with pytest.raises(ValueError, match="only go up"):
+            MetricsRegistry().counter("x").inc(-1)
+
+    def test_kind_conflict_rejected(self) -> None:
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("x")
+
+
+class TestGauge:
+    def test_set_and_adjust(self) -> None:
+        registry = MetricsRegistry()
+        gauge = registry.gauge("acs.objective")
+        gauge.set(10.0)
+        gauge.inc(2.0)
+        gauge.dec(0.5)
+        assert registry.value("acs.objective") == 11.5
+
+
+class TestHistogram:
+    def test_bucket_edges_inclusive_upper(self) -> None:
+        histogram = Histogram("h", (), buckets=(1.0, 2.0, 4.0))
+        for value in (0.5, 1.0, 1.5, 2.0, 3.0, 4.0, 99.0):
+            histogram.observe(value)
+        # value <= bound lands in that bound's bucket.
+        assert histogram.counts == [2, 2, 2, 1]
+        assert histogram.count == 7
+        assert histogram.min == 0.5
+        assert histogram.max == 99.0
+        assert histogram.sum == pytest.approx(111.0)
+        assert histogram.mean == pytest.approx(111.0 / 7)
+
+    def test_default_buckets_used(self) -> None:
+        registry = MetricsRegistry()
+        histogram = registry.histogram("round.duration_s")
+        assert histogram.buckets == DEFAULT_DURATION_BUCKETS_S
+
+    def test_conflicting_buckets_rejected(self) -> None:
+        registry = MetricsRegistry()
+        registry.histogram("h", buckets=(1.0, 2.0))
+        with pytest.raises(ValueError, match="already registered with buckets"):
+            registry.histogram("h", buckets=(1.0, 3.0))
+
+    def test_non_increasing_buckets_rejected(self) -> None:
+        with pytest.raises(ValueError, match="strictly increase"):
+            Histogram("h", (), buckets=(1.0, 1.0))
+
+    def test_empty_mean_raises(self) -> None:
+        with pytest.raises(ValueError, match="no observations"):
+            _ = Histogram("h", (), buckets=(1.0,)).mean
+
+
+class TestRegistryViews:
+    def test_snapshot_shape(self) -> None:
+        registry = MetricsRegistry()
+        registry.counter("fl.rounds").inc(3)
+        registry.gauge("acs.objective").set(1.5)
+        registry.histogram("round.duration_s", buckets=(1.0, 10.0)).observe(0.5)
+        snapshot = registry.snapshot()
+        assert snapshot["fl.rounds"] == 3.0
+        assert snapshot["acs.objective"] == 1.5
+        histogram = snapshot["round.duration_s"]
+        assert histogram["type"] == "histogram"
+        assert histogram["counts"] == [1, 0, 0]
+        assert histogram["count"] == 1
+
+    def test_snapshot_is_sorted_and_label_rendered(self) -> None:
+        registry = MetricsRegistry()
+        registry.counter("b").inc()
+        registry.counter("a", phase="z", device="0").inc()
+        keys = list(registry.snapshot())
+        assert keys == ["a{device=0,phase=z}", "b"]
+
+    def test_render_text_contains_every_metric(self) -> None:
+        registry = MetricsRegistry()
+        registry.counter("fl.rounds").inc(2)
+        registry.histogram("d_s", buckets=(1.0,)).observe(0.5)
+        text = registry.render_text()
+        assert "fl.rounds" in text
+        assert "counter" in text
+        assert "histogram" in text
+
+    def test_render_text_empty(self) -> None:
+        assert "no metrics" in MetricsRegistry().render_text()
+
+    def test_sum_values_missing_raises(self) -> None:
+        with pytest.raises(KeyError):
+            MetricsRegistry().sum_values("nope")
+
+    def test_render_metric_name(self) -> None:
+        assert render_metric_name("x", {}) == "x"
+        assert render_metric_name("x", {"b": 1, "a": 2}) == "x{a=2,b=1}"

@@ -1,0 +1,66 @@
+"""Unit tests for the hot-path profiler."""
+
+from __future__ import annotations
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.profiling import HotPathProfiler, _NOOP_TIMER
+
+
+def _ticking_clock(step: float = 1.0):
+    state = {"now": 0.0}
+
+    def clock() -> float:
+        state["now"] += step
+        return state["now"]
+
+    return clock
+
+
+class TestEnabledProfiler:
+    def test_timer_observes_clock_delta(self) -> None:
+        registry = MetricsRegistry()
+        profiler = HotPathProfiler(registry, clock=_ticking_clock(0.5))
+        with profiler.timer("profile.step_s"):
+            pass
+        histogram = registry.histogram("profile.step_s")
+        assert histogram.count == 1
+        assert histogram.sum == 0.5
+
+    def test_bound_timer_reusable_in_loop(self) -> None:
+        registry = MetricsRegistry()
+        profiler = HotPathProfiler(registry, clock=_ticking_clock(1.0))
+        timer = profiler.bind("profile.epoch_s")
+        for _ in range(3):
+            with timer:
+                pass
+        histogram = registry.histogram("profile.epoch_s")
+        assert histogram.count == 3
+        assert histogram.sum == 3.0
+
+    def test_labels_route_to_separate_histograms(self) -> None:
+        registry = MetricsRegistry()
+        profiler = HotPathProfiler(registry, clock=_ticking_clock(1.0))
+        with profiler.timer("profile.phase_s", phase="train"):
+            pass
+        with profiler.timer("profile.phase_s", phase="upload"):
+            pass
+        assert registry.histogram("profile.phase_s", phase="train").count == 1
+        assert registry.histogram("profile.phase_s", phase="upload").count == 1
+
+    def test_observe_records_external_duration(self) -> None:
+        registry = MetricsRegistry()
+        profiler = HotPathProfiler(registry)
+        profiler.observe("profile.aggregate_s", 0.125)
+        assert registry.histogram("profile.aggregate_s").sum == 0.125
+
+
+class TestDisabledProfiler:
+    def test_disabled_timer_is_shared_noop(self) -> None:
+        registry = MetricsRegistry()
+        profiler = HotPathProfiler(registry, enabled=False)
+        assert profiler.timer("profile.step_s") is _NOOP_TIMER
+        assert profiler.bind("profile.step_s") is _NOOP_TIMER
+        with profiler.timer("profile.step_s"):
+            pass
+        profiler.observe("profile.step_s", 1.0)
+        assert len(registry) == 0

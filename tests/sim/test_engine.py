@@ -87,6 +87,53 @@ class TestRunControl:
     def test_step_returns_false_when_empty(self) -> None:
         assert not Simulator().step()
 
+    def test_max_events_ignores_cancelled_events(self) -> None:
+        # Regression: the run() budget is unified on events_processed, so
+        # cancelled events drained on the way never consume budget.
+        sim = Simulator()
+        hits: list[float] = []
+        cancelled = [
+            sim.schedule(0.5, lambda s: None),
+            sim.schedule(1.5, lambda s: None),
+        ]
+        for t in (1.0, 2.0, 3.0):
+            sim.schedule(t, lambda s: hits.append(s.now))
+        for event in cancelled:
+            sim.cancel(event)
+        sim.run(max_events=2)
+        assert hits == [1.0, 2.0]
+        assert sim.events_processed == 2
+        sim.run(max_events=1)
+        assert hits == [1.0, 2.0, 3.0]
+        assert sim.events_processed == 3
+
+    def test_max_events_budget_is_per_call(self) -> None:
+        sim = Simulator()
+        for t in range(4):
+            sim.schedule(float(t), lambda s: None)
+        sim.run(max_events=2)
+        assert sim.events_processed == 2
+        # A fresh call gets a fresh budget measured from the current count.
+        sim.run(max_events=2)
+        assert sim.events_processed == 4
+
+    def test_negative_max_events_rejected(self) -> None:
+        with pytest.raises(ValueError, match="non-negative"):
+            Simulator().run(max_events=-1)
+
+    def test_until_ignores_cancelled_head(self) -> None:
+        # A cancelled event with an early timestamp must not let a
+        # later-than-until real event slip through the time bound.
+        sim = Simulator()
+        hits: list[float] = []
+        early = sim.schedule(1.0, lambda s: hits.append(s.now))
+        sim.schedule(5.0, lambda s: hits.append(s.now))
+        sim.cancel(early)
+        sim.run(until=2.0)
+        assert hits == []
+        assert sim.now == 2.0
+        assert sim.pending == 1
+
 
 class TestCancel:
     def test_cancelled_event_skipped(self) -> None:
