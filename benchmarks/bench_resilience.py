@@ -1,0 +1,132 @@
+"""Resilience benchmark: round throughput and wasted energy vs fault rate.
+
+Runs the simulated testbed under a sweep of fault intensities (fractions
+of the fleet crashing, straggling, and on bursty links) with the
+resilience policies enabled, and writes ``BENCH_resilience.json`` with
+per-intensity round throughput (simulated rounds per simulated minute),
+wasted-energy fraction, retries, and degraded-round counts.
+
+Not a pytest benchmark (no ``test_`` prefix — the fixed-rate sweep is a
+tracking artifact, not an assertion):
+
+Run:  python benchmarks/bench_resilience.py [output.json]
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+from repro.data.synthetic_mnist import load_synthetic_mnist
+from repro.faults import ResilienceConfig, RetryPolicy, make_demo_plan
+from repro.fl.sgd import SGDConfig
+from repro.hardware.prototype import HardwarePrototype, PrototypeConfig
+from repro.obs import Observer
+
+N_SERVERS = 16
+PARTICIPANTS = 4
+EPOCHS = 10
+ROUNDS = 30
+SEED = 0
+
+# Fault intensity sweep: one knob scales every fault class together.
+FAULT_RATES = (0.0, 0.1, 0.2, 0.3)
+
+RESILIENCE = ResilienceConfig(
+    retry=RetryPolicy(max_retries=3),
+    upload_timeout_s=30.0,
+    min_quorum=max(1, PARTICIPANTS // 2),
+)
+
+
+def run_at_rate(rate: float) -> dict:
+    """One fixed-fault-rate testbed run, reduced to headline numbers."""
+    train, test = load_synthetic_mnist(n_train=1600, n_test=400, seed=0)
+    observer = Observer()
+    prototype = HardwarePrototype(
+        train,
+        test,
+        PrototypeConfig(
+            n_servers=N_SERVERS,
+            sgd=SGDConfig(learning_rate=0.05, decay=0.995),
+            seed=SEED,
+        ),
+        observer=observer,
+    )
+    plan = (
+        make_demo_plan(
+            N_SERVERS,
+            seed=SEED,
+            crash_fraction=rate,
+            straggler_fraction=rate,
+            loss_fraction=rate,
+            loss_bad=0.9,
+        )
+        if rate > 0
+        else None
+    )
+    result = prototype.run(
+        participants=PARTICIPANTS,
+        epochs=EPOCHS,
+        n_rounds=ROUNDS,
+        fault_plan=plan,
+        resilience=RESILIENCE if plan is not None else None,
+    )
+
+    def metric(name: str) -> float:
+        try:
+            return observer.metrics.sum_values(name)
+        except KeyError:
+            return 0.0
+
+    return {
+        "fault_rate": rate,
+        "declared_faults": len(plan) if plan is not None else 0,
+        "rounds": result.rounds,
+        "wall_clock_s": result.wall_clock_s,
+        "rounds_per_minute": 60.0 * result.rounds / result.wall_clock_s,
+        "total_energy_j": result.total_energy_j,
+        "wasted_energy_j": result.wasted_energy_j,
+        "wasted_fraction": result.wasted_fraction,
+        "degraded_rounds": result.degraded_rounds,
+        "retries": metric("fl.retries"),
+        "failed_uploads": metric("fl.failed_uploads"),
+        "final_accuracy": result.history.final_accuracy(),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Run the sweep and write the JSON artifact; returns an exit code."""
+    args = sys.argv[1:] if argv is None else argv
+    out_path = Path(args[0]) if args else Path("BENCH_resilience.json")
+    rows = []
+    for rate in FAULT_RATES:
+        row = run_at_rate(rate)
+        rows.append(row)
+        print(
+            f"rate={rate:.1f}: {row['rounds_per_minute']:.2f} rounds/min, "
+            f"wasted {100 * row['wasted_fraction']:.1f}%, "
+            f"{row['degraded_rounds']} degraded, "
+            f"{int(row['retries'])} retries",
+        )
+    payload = {
+        "benchmark": "resilience",
+        "config": {
+            "n_servers": N_SERVERS,
+            "participants": PARTICIPANTS,
+            "epochs": EPOCHS,
+            "rounds": ROUNDS,
+            "seed": SEED,
+            "min_quorum": RESILIENCE.min_quorum,
+            "max_retries": RESILIENCE.retry.max_retries,
+        },
+        "results": rows,
+    }
+    out_path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {out_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

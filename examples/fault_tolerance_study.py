@@ -1,0 +1,132 @@
+"""Graceful degradation under faults: the cost of surviving failures.
+
+The paper's 20-Pi prototype is failure-free — its 49.8 % energy saving
+assumes every selected server trains, uploads once, and is aggregated.
+This study injects a controlled fault mix (crashes, stragglers, bursty
+WiFi links) into the simulated testbed at increasing intensity and
+measures what resilience costs: extra rounds to the target accuracy,
+retry/backoff energy, futile work of failed clients, and how often the
+round quorum is missed (degraded rounds that carry the model forward).
+
+Run:  python examples/fault_tolerance_study.py
+"""
+
+from __future__ import annotations
+
+from repro.data.synthetic_mnist import generate_synthetic_mnist
+from repro.faults import FaultPlan, ResilienceConfig, RetryPolicy, make_demo_plan
+from repro.fl.sgd import SGDConfig
+from repro.hardware.prototype import HardwarePrototype, PrototypeConfig
+from repro.experiments.report import render_table
+from repro.obs import Observer
+
+# ----------------------------------------------------------------------
+# 1. The testbed: 16 simulated Pis on synthetic MNIST, the tiny scale.
+# ----------------------------------------------------------------------
+N_SERVERS = 16
+TARGET_ACCURACY = 0.85
+PARTICIPANTS = 4
+EPOCHS = 20
+MAX_ROUNDS = 80
+
+train = generate_synthetic_mnist(1600, seed=0)
+test = generate_synthetic_mnist(400, seed=1)
+
+
+def build_prototype(observer: Observer | None = None) -> HardwarePrototype:
+    config = PrototypeConfig(
+        n_servers=N_SERVERS,
+        sgd=SGDConfig(learning_rate=0.05, decay=0.995),
+        seed=0,
+    )
+    return HardwarePrototype(train, test, config, observer=observer)
+
+
+# ----------------------------------------------------------------------
+# 2. Fault intensities: fractions of the fleet crashing / slowed /
+#    on bursty links.  "none" is the paper's failure-free assumption.
+# ----------------------------------------------------------------------
+INTENSITIES: dict[str, FaultPlan | None] = {
+    "none": None,
+    "mild": make_demo_plan(
+        N_SERVERS, seed=7, crash_fraction=0.1, straggler_fraction=0.1,
+        loss_fraction=0.15, loss_bad=0.7,
+    ),
+    "moderate": make_demo_plan(
+        N_SERVERS, seed=7, crash_fraction=0.2, straggler_fraction=0.2,
+        loss_fraction=0.25, loss_bad=0.85,
+    ),
+    "harsh": make_demo_plan(
+        N_SERVERS, seed=7, crash_fraction=0.3, straggler_fraction=0.25,
+        loss_fraction=0.35, loss_bad=0.95,
+    ),
+}
+
+RESILIENCE = ResilienceConfig(
+    retry=RetryPolicy(max_retries=3, base_backoff_s=0.1, max_backoff_s=2.0),
+    upload_timeout_s=30.0,
+    min_quorum=max(1, PARTICIPANTS // 2),
+)
+
+rows = []
+baseline_energy = None
+for label, plan in INTENSITIES.items():
+    observer = Observer()
+    prototype = build_prototype(observer)
+    result = prototype.run(
+        participants=PARTICIPANTS,
+        epochs=EPOCHS,
+        n_rounds=MAX_ROUNDS,
+        target_accuracy=TARGET_ACCURACY,
+        fault_plan=plan,
+        resilience=RESILIENCE if plan is not None else None,
+    )
+    if baseline_energy is None:
+        baseline_energy = result.total_energy_j
+    reached = result.history.rounds_to_accuracy(TARGET_ACCURACY)
+    try:
+        retries = observer.metrics.sum_values("fl.retries")
+    except KeyError:  # no upload ever needed a retry at this intensity
+        retries = 0.0
+    rows.append(
+        [
+            label,
+            len(plan) if plan is not None else 0,
+            reached if reached is not None else f">{result.rounds}",
+            result.degraded_rounds,
+            int(retries),
+            f"{result.total_energy_j:.2f}",
+            f"{100 * result.wasted_fraction:.1f}%",
+            f"{100 * (result.total_energy_j / baseline_energy - 1):+.1f}%",
+            f"{result.history.final_accuracy():.3f}",
+        ]
+    )
+
+print(
+    render_table(
+        [
+            "intensity",
+            "faults",
+            "T@target",
+            "degraded",
+            "retries",
+            "energy (J)",
+            "wasted %",
+            "vs none",
+            "final acc",
+        ],
+        rows,
+        title=(
+            f"Degradation study: {N_SERVERS} servers, K={PARTICIPANTS}, "
+            f"E={EPOCHS}, target {TARGET_ACCURACY:.0%}, "
+            f"quorum {RESILIENCE.min_quorum}"
+        ),
+    )
+)
+print()
+print(
+    "Reading: the paper's 49.8 % saving is measured in the 'none' row's\n"
+    "failure-free world.  Each step up in fault intensity buys the same\n"
+    "target accuracy at a growing energy premium — the 'vs none' column\n"
+    "is the resilience tax on the energy objective."
+)

@@ -63,6 +63,11 @@ _CALIBRATION_CACHE: dict[str, CalibratedSystem] = {}
 # observer — calibration happens once per scale per process.
 _ACTIVE_OBSERVER: Observer | None = None
 
+# Fault-plan path / quorum override for the resilience experiment; set
+# by main() from --fault-plan / --quorum.
+_FAULT_PLAN_PATH: str | None = None
+_QUORUM: int | None = None
+
 
 def _system(scale: ExperimentScale) -> CalibratedSystem:
     """Calibrate once per scale per process (fig4/5/6 share the system)."""
@@ -155,6 +160,84 @@ def _run_frontier(scale: ExperimentScale) -> str:
     )
 
 
+def _run_resilience(scale: ExperimentScale) -> str:
+    """Degradation study: the same testbed with and without faults.
+
+    Runs the calibrated prototype twice — failure-free, then under the
+    fault plan from ``--fault-plan`` (default: a representative mixed
+    plan of crashes, stragglers and bursty links) with the resilience
+    policies enabled — and reports the cost of surviving: extra rounds,
+    wasted joules, degraded rounds.
+    """
+    from repro.faults import (
+        FaultPlan,
+        ResilienceConfig,
+        RetryPolicy,
+        make_demo_plan,
+    )
+
+    system = _system(scale)
+    prototype = system.prototype
+    n = prototype.config.n_servers
+    participants = max(2, n // 4)
+    plan = (
+        FaultPlan.load(_FAULT_PLAN_PATH)
+        if _FAULT_PLAN_PATH is not None
+        else make_demo_plan(n, seed=prototype.config.seed)
+    )
+    quorum = _QUORUM if _QUORUM is not None else max(1, participants // 2)
+    resilience = ResilienceConfig(
+        retry=RetryPolicy(max_retries=3),
+        upload_timeout_s=30.0,
+        min_quorum=quorum,
+    )
+    kwargs = dict(
+        participants=participants,
+        epochs=20,
+        n_rounds=scale.max_rounds,
+        target_accuracy=scale.target_accuracy,
+    )
+    baseline = prototype.run(**kwargs)
+    faulted = prototype.run(**kwargs, fault_plan=plan, resilience=resilience)
+    rows = []
+    for label, result in (("failure-free", baseline), ("faulted", faulted)):
+        reached = result.history.rounds_to_accuracy(scale.target_accuracy)
+        rows.append(
+            [
+                label,
+                result.rounds,
+                reached if reached is not None else "-",
+                result.degraded_rounds,
+                f"{result.total_energy_j:.2f}",
+                f"{result.wasted_energy_j:.2f}",
+                f"{100 * result.wasted_fraction:.1f}%",
+                f"{result.history.final_accuracy():.3f}",
+            ]
+        )
+    table = render_table(
+        [
+            "run",
+            "rounds",
+            "T@target",
+            "degraded",
+            "energy (J)",
+            "wasted (J)",
+            "wasted %",
+            "final acc",
+        ],
+        rows,
+        title=(
+            f"Resilience under faults ({len(plan)} declared, "
+            f"quorum {quorum}, target {scale.target_accuracy:.0%})"
+        ),
+    )
+    overhead = faulted.total_energy_j / baseline.total_energy_j - 1.0
+    return (
+        f"{table}\n"
+        f"energy overhead of surviving the plan: {100 * overhead:+.1f}%"
+    )
+
+
 def _run_plan(scale: ExperimentScale) -> str:
     system = _system(scale)
     plan = system.planner().plan(system.epsilon)
@@ -182,6 +265,7 @@ EXPERIMENTS: dict[str, Callable[[ExperimentScale], str]] = {
     "fig5": _run_fig5,
     "fig6": _run_fig6,
     "plan": _run_plan,
+    "resilience": _run_resilience,
     "sensitivity": _run_sensitivity,
     "frontier": _run_frontier,
 }
@@ -217,18 +301,44 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="with --telemetry: also enable hot-path timers",
     )
+    parser.add_argument(
+        "--fault-plan",
+        metavar="PATH",
+        default=None,
+        help=(
+            "JSON fault plan (see repro.faults.FaultPlan.save) for the "
+            "'resilience' experiment; default: a generated mixed plan of "
+            "crashes, stragglers and bursty links"
+        ),
+    )
+    parser.add_argument(
+        "--quorum",
+        type=int,
+        default=None,
+        metavar="Q",
+        help=(
+            "minimum survivor updates per round for the 'resilience' "
+            "experiment (default: half the participants); rounds below "
+            "the quorum degrade gracefully"
+        ),
+    )
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
-    global _ACTIVE_OBSERVER
+    global _ACTIVE_OBSERVER, _FAULT_PLAN_PATH, _QUORUM
     args = build_parser().parse_args(argv)
     scale = SCALES[args.scale]
     observer = (
         Observer(profile_hot_paths=args.profile) if args.telemetry else None
     )
     _ACTIVE_OBSERVER = observer
+    _FAULT_PLAN_PATH = args.fault_plan
+    if args.quorum is not None and args.quorum < 1:
+        print(f"--quorum must be >= 1; got {args.quorum}", file=sys.stderr)
+        return 2
+    _QUORUM = args.quorum
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     try:
         for name in names:
@@ -257,6 +367,8 @@ def main(argv: list[str] | None = None) -> int:
             print()
     finally:
         _ACTIVE_OBSERVER = None
+        _FAULT_PLAN_PATH = None
+        _QUORUM = None
         if observer is not None:
             observer.dump_jsonl(args.telemetry)
             print(

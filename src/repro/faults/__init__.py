@@ -1,0 +1,62 @@
+"""Fault injection and resilience for the federated round pipeline.
+
+The paper's prototype assumes a reliable WiFi link and always-on edge
+servers; this package is the controlled departure from that assumption,
+in two halves:
+
+* **Fault models** (:mod:`repro.faults.models`,
+  :mod:`repro.faults.injector`): a declarative, JSON-serialisable
+  :class:`FaultPlan` (crashes, stragglers, Gilbert–Elliott burst loss,
+  battery depletion, corrupted uploads) executed deterministically by a
+  seeded :class:`FaultInjector`.
+* **Resilience policies** (:mod:`repro.faults.policies`): retry with
+  capped exponential backoff and deterministic jitter, per-upload
+  timeouts, round deadlines with partial aggregation, minimum quorum
+  with graceful degradation, and crash resampling — consumed by
+  :class:`repro.fl.training.FederatedTrainer` via a
+  :class:`ResilienceConfig`.
+
+Every injected fault and every recovery action is observable (the
+``fault.injected``, ``fl.retries``, ``fl.rounds_degraded`` and
+``energy.wasted_j`` instruments), and the hardware substrate prices
+failures in joules at the measured upload/waiting powers so the energy
+objective reflects what failures actually cost.
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.models import (
+    BatteryFault,
+    BurstLossFault,
+    CorruptionFault,
+    CrashFault,
+    FaultPlan,
+    GilbertElliottModel,
+    StragglerFault,
+    make_demo_plan,
+    substream,
+)
+from repro.faults.policies import (
+    ResilienceConfig,
+    RetryPolicy,
+    RoundResilienceReport,
+    UploadOutcome,
+    simulate_upload,
+)
+
+__all__ = [
+    "BatteryFault",
+    "BurstLossFault",
+    "CorruptionFault",
+    "CrashFault",
+    "FaultInjector",
+    "FaultPlan",
+    "GilbertElliottModel",
+    "ResilienceConfig",
+    "RetryPolicy",
+    "RoundResilienceReport",
+    "StragglerFault",
+    "UploadOutcome",
+    "make_demo_plan",
+    "simulate_upload",
+    "substream",
+]

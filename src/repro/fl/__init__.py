@@ -39,7 +39,12 @@ from repro.fl.sampling import (
     RoundRobinSampler,
     UniformSampler,
 )
-from repro.fl.server import Coordinator, aggregate_mean, aggregate_weighted
+from repro.fl.server import (
+    Coordinator,
+    NonFiniteUpdateError,
+    aggregate_mean,
+    aggregate_weighted,
+)
 from repro.fl.sgd import LearningRateSchedule, SGDConfig
 from repro.fl.training import FederatedConfig, FederatedTrainer, build_clients
 
@@ -75,6 +80,7 @@ __all__ = [
     "RoundRobinSampler",
     "UniformSampler",
     "Coordinator",
+    "NonFiniteUpdateError",
     "aggregate_mean",
     "aggregate_weighted",
     "LearningRateSchedule",

@@ -32,6 +32,12 @@ class RoundRecord:
             ``participants`` in plain FedAvg; a strict subset under
             over-selection (stragglers trained but were not waited for)
             or dropout (their upload was lost).
+        degraded: the round was skipped gracefully — too few survivor
+            updates reached the coordinator (quorum not met, or every
+            upload lost), so the previous global model was carried
+            forward unchanged.  ``aggregated`` is empty for a degraded
+            round (the empty-to-``participants`` backfill applies only
+            to healthy rounds).
     """
 
     round_index: int
@@ -41,10 +47,13 @@ class RoundRecord:
     local_epochs: int
     learning_rate: float
     aggregated: tuple[int, ...] = ()
+    degraded: bool = False
 
     def __post_init__(self) -> None:
-        if not self.aggregated:
+        if not self.aggregated and not self.degraded:
             object.__setattr__(self, "aggregated", self.participants)
+        if self.degraded and self.aggregated:
+            raise ValueError("a degraded round cannot have aggregated ids")
         if not set(self.aggregated) <= set(self.participants):
             raise ValueError("aggregated ids must be a subset of participants")
 
@@ -59,6 +68,7 @@ class RoundRecord:
             "local_epochs": int(self.local_epochs),
             "learning_rate": float(self.learning_rate),
             "aggregated": [int(p) for p in self.aggregated],
+            "degraded": bool(self.degraded),
         }
 
     @classmethod
@@ -73,6 +83,7 @@ class RoundRecord:
                 local_epochs=int(data["local_epochs"]),
                 learning_rate=float(data["learning_rate"]),
                 aggregated=tuple(int(p) for p in data.get("aggregated", [])),
+                degraded=bool(data.get("degraded", False)),
             )
         except (KeyError, TypeError) as error:
             raise ValueError(f"malformed record {data!r}: {error}") from None
@@ -144,6 +155,10 @@ class TrainingHistory:
         hits = np.flatnonzero(self.accuracies >= target)
         return int(hits[0]) + 1 if hits.size else None
 
+    def degraded_round_count(self) -> int:
+        """Number of degraded rounds (quorum missed, model carried over)."""
+        return sum(1 for r in self._records if r.degraded)
+
     def rounds_to_loss(self, target: float) -> int | None:
         """Smallest ``T`` such that train loss first drops to ``target``."""
         hits = np.flatnonzero(self.losses <= target)
@@ -176,6 +191,7 @@ class TrainingHistory:
                 "best_accuracy": None,
                 "total_local_epochs": 0,
                 "total_selections": 0,
+                "degraded_rounds": 0,
             }
         return {
             "rounds": len(self._records),
@@ -188,6 +204,7 @@ class TrainingHistory:
             "total_selections": int(
                 sum(len(r.participants) for r in self._records)
             ),
+            "degraded_rounds": self.degraded_round_count(),
         }
 
     def local_gradient_rounds_to_accuracy(self, target: float) -> int | None:

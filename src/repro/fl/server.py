@@ -22,7 +22,28 @@ from repro.obs.observer import active_or_none
 if TYPE_CHECKING:
     from repro.obs.observer import Observer
 
-__all__ = ["Coordinator", "aggregate_mean", "aggregate_weighted"]
+__all__ = [
+    "Coordinator",
+    "NonFiniteUpdateError",
+    "aggregate_mean",
+    "aggregate_weighted",
+]
+
+
+class NonFiniteUpdateError(ValueError):
+    """An uploaded update contained NaN/Inf parameters.
+
+    Raised by :meth:`Coordinator.aggregate` before the poisoned vector
+    can enter the global average.  Carries the offending client ids so
+    the resilience layer can drop exactly those updates and retry the
+    aggregation over the finite survivors.
+    """
+
+    def __init__(self, client_ids: list[int]) -> None:
+        super().__init__(
+            f"non-finite parameters in updates from clients {client_ids}"
+        )
+        self.client_ids = tuple(client_ids)
 
 
 def aggregate_mean(updates: list[LocalUpdate]) -> np.ndarray:
@@ -97,12 +118,49 @@ class Coordinator:
         model.set_parameters(self._parameters)
         return model
 
+    def skip_round(self) -> np.ndarray:
+        """Advance to round ``t + 1`` without touching the global model.
+
+        The graceful-degradation path: when a round fails (every upload
+        lost, or fewer survivors than the quorum), the coordinator
+        carries the last good model forward instead of aggregating.
+        Returns the (unchanged) global parameter vector.
+        """
+        self.rounds_completed += 1
+        if self._observer is not None:
+            self._observer.counter("fl.rounds_skipped").inc()
+            self._observer.emit(
+                "server.skip_round", round=self.rounds_completed - 1
+            )
+        return self.global_parameters
+
     def aggregate(self, updates: list[LocalUpdate]) -> np.ndarray:
         """Apply the aggregation rule and advance to round ``t + 1``.
 
         Returns the new global parameter vector ``omega_{t+1}``.
+
+        Raises:
+            NonFiniteUpdateError: when any update carries NaN/Inf
+                parameters — a corrupted upload must never poison the
+                global model.
         """
         started = time.perf_counter()
+        poisoned = [
+            int(u.client_id)
+            for u in updates
+            if not np.all(np.isfinite(u.parameters))
+        ]
+        if poisoned:
+            if self._observer is not None:
+                self._observer.counter("fl.nonfinite_rejected").inc(
+                    len(poisoned)
+                )
+                self._observer.emit(
+                    "server.reject_nonfinite",
+                    round=self.rounds_completed,
+                    clients=poisoned,
+                )
+            raise NonFiniteUpdateError(poisoned)
         if self.aggregation == "mean":
             self._parameters = aggregate_mean(updates)
         else:

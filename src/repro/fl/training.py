@@ -14,10 +14,23 @@ schedule.  Each global round executes the paper's four steps:
 The loop optionally injects client *dropouts* (stragglers that fail to
 upload), an extension used by the failure-injection tests: FedAvg then
 aggregates over the surviving subset.
+
+Beyond the simple Bernoulli dropout, the loop integrates the full fault
+subsystem (:mod:`repro.faults`): a :class:`~repro.faults.FaultInjector`
+decides crashes, slowdowns, burst loss, battery deaths and corrupted
+payloads, while a :class:`~repro.faults.ResilienceConfig` governs how
+the round survives them — upload retries with capped backoff, per-upload
+timeouts, a round deadline with partial aggregation, a minimum quorum
+with graceful degradation (the last good model is carried forward via
+:meth:`~repro.fl.server.Coordinator.skip_round`), and deterministic
+resampling of crashed clients.  All randomness runs on independent
+named streams (sampling, dropout, faults), so enabling one failure mode
+never perturbs another's draws.
 """
 
 from __future__ import annotations
 
+import sys
 import time
 from contextlib import nullcontext
 from dataclasses import dataclass, field, replace
@@ -26,6 +39,12 @@ from typing import TYPE_CHECKING, Callable
 import numpy as np
 
 from repro.data.dataset import Dataset
+from repro.faults.models import substream
+from repro.faults.policies import (
+    ResilienceConfig,
+    RoundResilienceReport,
+    simulate_upload,
+)
 from repro.fl.client import EdgeServerClient, LocalUpdate
 from repro.fl.compression import ErrorFeedback
 from repro.fl.metrics import RoundRecord, TrainingHistory
@@ -33,9 +52,11 @@ from repro.fl.model import LogisticRegressionConfig
 from repro.fl.sampling import ClientSampler, UniformSampler
 from repro.fl.server import Coordinator
 from repro.fl.sgd import LearningRateSchedule, SGDConfig
+from repro.net.channel import ChannelConfig, WirelessChannel
 from repro.obs.observer import active_or_none
 
 if TYPE_CHECKING:
+    from repro.faults.injector import FaultInjector
     from repro.fl.compression import Compressor
     from repro.obs.observer import Observer
 
@@ -141,6 +162,10 @@ class FederatedTrainer:
         completion_ranker: Callable[[int, list[int]], list[int]] | None = None,
         update_compressor: Compressor | ErrorFeedback | None = None,
         observer: Observer | None = None,
+        fault_injector: FaultInjector | None = None,
+        resilience: ResilienceConfig | None = None,
+        upload_channel: WirelessChannel | None = None,
+        client_time_fn: Callable[[int, int], float] | None = None,
     ) -> None:
         if not clients:
             raise ValueError("need at least one client")
@@ -158,7 +183,13 @@ class FederatedTrainer:
         self.config = config
         self.train_eval = train_eval
         self.test_eval = test_eval
+        # Independent named RNG streams: the sampler owns `self._rng`
+        # exclusively; dropout and the fault machinery draw from their
+        # own streams, so turning either on cannot change which clients
+        # later rounds sample (the stream-coupling bug this fixes).
         self._rng = np.random.default_rng(config.seed)
+        self._dropout_rng = substream(config.seed, "dropout")
+        self._resilience_rng = substream(config.seed, "resilience")
         self.sampler = sampler or UniformSampler(
             len(clients), selected_per_round, self._rng
         )
@@ -167,17 +198,32 @@ class FederatedTrainer:
                 f"sampler selects {self.sampler.k} clients but the config "
                 f"needs K + overselection = {selected_per_round}"
             )
+        if fault_injector is not None and fault_injector.n_clients != len(clients):
+            raise ValueError(
+                f"fault injector covers {fault_injector.n_clients} clients "
+                f"but the trainer has {len(clients)}"
+            )
         self._observer = active_or_none(observer)
         self.coordinator = coordinator or Coordinator(
             model_config, observer=observer
         )
         self.completion_ranker = completion_ranker
         self.update_compressor = update_compressor
+        self.fault_injector = fault_injector
+        self.resilience = resilience
+        self.upload_channel = upload_channel or WirelessChannel(ChannelConfig())
+        self.client_time_fn = client_time_fn
+        self.resilience_log: list[RoundResilienceReport] = []
         self.history = TrainingHistory()
         self._schedule = LearningRateSchedule(config.sgd)
         self.total_gradient_steps = 0
         self.total_uploads = 0
         self.total_upload_bytes = 0
+
+    @property
+    def last_resilience_report(self) -> RoundResilienceReport | None:
+        """The most recent round's fault/retry report (``None`` if none)."""
+        return self.resilience_log[-1] if self.resilience_log else None
 
     @property
     def n_clients(self) -> int:
@@ -207,34 +253,127 @@ class FederatedTrainer:
         self.total_upload_bytes += compressed.payload_bytes
         return replace(update, parameters=global_params + compressed.dense)
 
+    def _select_participants(
+        self, selected: list[int], round_index: int
+    ) -> tuple[list[int], list[int], list[int]]:
+        """Apply crash faults to the sampled set, resampling replacements.
+
+        Returns ``(participants, crashed, replacements)``: the clients
+        that will actually train this round, the sampled clients that
+        were down, and the deterministically resampled substitutes
+        (drawn from the trainer's dedicated resilience stream, never the
+        sampler's).
+        """
+        injector = self.fault_injector
+        if injector is None:
+            return list(selected), [], []
+        alive = [c for c in selected if not injector.crashed(c, round_index)]
+        crashed = [c for c in selected if c not in alive]
+        replacements: list[int] = []
+        resample = (
+            self.resilience.resample_crashed if self.resilience is not None else True
+        )
+        if crashed and resample:
+            pool = [
+                c
+                for c in range(self.n_clients)
+                if c not in selected and injector.available(c, round_index)
+            ]
+            n_replace = min(len(crashed), len(pool))
+            if n_replace > 0:
+                chosen = self._resilience_rng.choice(
+                    pool, size=n_replace, replace=False
+                )
+                replacements = sorted(int(c) for c in chosen)
+        return alive + replacements, crashed, replacements
+
+    def _nominal_compute_s(self, client_id: int, round_index: int) -> float:
+        """Simulated local-job duration used for round-deadline checks."""
+        if self.client_time_fn is not None:
+            return float(self.client_time_fn(client_id, round_index))
+        nominal = (
+            self.resilience.nominal_train_s if self.resilience is not None else 1.0
+        )
+        return nominal * self.config.local_epochs
+
+    def _simulate_resilient_upload(
+        self, client_id: int, round_index: int, upload_bytes: int
+    ):
+        """Run one upload through the timeout/retry state machine.
+
+        Attempt losses come from the client's Gilbert–Elliott burst
+        channel when the fault plan declares one (drawn from that
+        client's dedicated stream), else from the upload channel's
+        Bernoulli loss; backoff jitter draws from the trainer's
+        resilience stream.
+        """
+        assert self.resilience is not None
+        injector = self.fault_injector
+        attempt_lost = None
+        tally = {"lost": 0}
+        if injector is not None:
+            loss_model = injector.upload_loss_model(client_id, round_index)
+            if loss_model is not None:
+                channel_rng = injector.channel_rng(client_id)
+
+                def attempt_lost() -> bool:
+                    lost = loss_model.attempt_lost(channel_rng)
+                    if lost:
+                        tally["lost"] += 1
+                    return lost
+
+        outcome = simulate_upload(
+            self.upload_channel,
+            upload_bytes,
+            self.resilience.retry,
+            self._resilience_rng,
+            timeout_s=self.resilience.upload_timeout_s,
+            attempt_lost=attempt_lost,
+        )
+        if injector is not None and tally["lost"] > 0:
+            injector.record_burst_loss(client_id, round_index, tally["lost"])
+        return outcome
+
     def run_round(self) -> RoundRecord:
         """Execute one global coordination round and record its outcome."""
         obs = self._observer
+        injector = self.fault_injector
+        resilience = self.resilience
+        resilient = injector is not None or resilience is not None
         round_started = time.perf_counter()
         round_index = self.coordinator.rounds_completed
         learning_rate = self._schedule.current_rate
-        selected = self.sampler.select(round_index)
+        selected = [int(c) for c in self.sampler.select(round_index)]
+        participants, crashed, replacements = self._select_participants(
+            selected, round_index
+        )
         global_params = self.coordinator.global_parameters
         if obs is not None:
             obs.emit(
                 "round.start",
                 round=round_index,
                 learning_rate=learning_rate,
-                selected=[int(c) for c in selected],
+                selected=list(participants),
             )
             round_span = obs.tracer.span("round", round=round_index)
             round_span.__enter__()
 
         try:
             updates: dict[int, LocalUpdate] = {}
-            for client_id in selected:
+            slowdowns: dict[int, float] = {}
+            upload_attempts: dict[int, int] = {}
+            backoff_log: dict[int, float] = {}
+            failed: list[int] = []
+            corrupted_ids: list[int] = []
+            late: list[int] = []
+            for client_id in participants:
                 train_started = time.perf_counter()
                 with (
                     obs.profiler.timer("profile.client_train_s")
                     if obs is not None
                     else _NOOP_CONTEXT
                 ):
-                    update = self.clients[int(client_id)].train(
+                    update = self.clients[client_id].train(
                         global_params,
                         epochs=self.config.local_epochs,
                         learning_rate=learning_rate,
@@ -242,9 +381,15 @@ class FederatedTrainer:
                         proximal_mu=self.config.proximal_mu,
                     )
                 self.total_gradient_steps += update.gradient_steps
+                slowdown = 1.0
+                if injector is not None:
+                    injector.note_participation(client_id, round_index)
+                    slowdown = injector.slowdown(client_id, round_index)
+                    if slowdown > 1.0:
+                        slowdowns[client_id] = slowdown
                 dropped = (
                     self.config.dropout_probability > 0
-                    and self._rng.random() < self.config.dropout_probability
+                    and self._dropout_rng.random() < self.config.dropout_probability
                 )
                 if obs is not None:
                     obs.counter("fl.gradient_steps").inc(update.gradient_steps)
@@ -258,42 +403,124 @@ class FederatedTrainer:
                         duration_s=time.perf_counter() - train_started,
                         dropped=dropped,
                     )
-                if not dropped:
-                    bytes_before = self.total_upload_bytes
-                    update = self._apply_compression(
-                        int(client_id), update, global_params
+                if dropped:
+                    continue
+                bytes_before = self.total_upload_bytes
+                update = self._apply_compression(
+                    client_id, update, global_params
+                )
+                upload_bytes = self.total_upload_bytes - bytes_before
+                if injector is not None:
+                    corruption = injector.corrupts(client_id, round_index)
+                    if corruption is not None:
+                        update = replace(
+                            update,
+                            parameters=injector.corrupt_payload(
+                                update.parameters, corruption
+                            ),
+                        )
+                        corrupted_ids.append(client_id)
+                if resilience is not None:
+                    outcome = self._simulate_resilient_upload(
+                        client_id, round_index, upload_bytes
                     )
-                    updates[int(client_id)] = update
-                    self.total_uploads += 1
-                    if obs is not None:
-                        upload_bytes = self.total_upload_bytes - bytes_before
-                        obs.counter("fl.uploads").inc()
-                        obs.counter("fl.upload_bytes").inc(upload_bytes)
+                    upload_attempts[client_id] = outcome.attempts
+                    if outcome.backoff_s > 0:
+                        backoff_log[client_id] = outcome.backoff_s
+                    if obs is not None and outcome.retries > 0:
+                        obs.counter("fl.retries").inc(outcome.retries)
                         obs.emit(
-                            "client.upload",
+                            "client.upload_retry",
                             round=round_index,
                             client=int(client_id),
-                            upload_bytes=upload_bytes,
+                            attempts=outcome.attempts,
+                            backoff_s=outcome.backoff_s,
+                            delivered=outcome.delivered,
                         )
+                    if not outcome.delivered:
+                        failed.append(client_id)
+                        if obs is not None:
+                            obs.counter("fl.failed_uploads").inc()
+                            obs.emit(
+                                "client.upload_failed",
+                                round=round_index,
+                                client=int(client_id),
+                                attempts=outcome.attempts,
+                                timed_out=outcome.timed_out,
+                            )
+                        continue
+                    if resilience.round_deadline_s is not None:
+                        arrival_s = (
+                            self._nominal_compute_s(client_id, round_index)
+                            * slowdown
+                            + outcome.total_s
+                        )
+                        if arrival_s > resilience.round_deadline_s:
+                            late.append(client_id)
+                            if obs is not None:
+                                obs.counter("fl.late_uploads").inc()
+                                obs.emit(
+                                    "client.late",
+                                    round=round_index,
+                                    client=int(client_id),
+                                    arrival_s=arrival_s,
+                                    deadline_s=resilience.round_deadline_s,
+                                )
+                            continue
+                updates[client_id] = update
+                self.total_uploads += 1
+                if obs is not None:
+                    obs.counter("fl.uploads").inc()
+                    obs.counter("fl.upload_bytes").inc(upload_bytes)
+                    obs.emit(
+                        "client.upload",
+                        round=round_index,
+                        client=int(client_id),
+                        upload_bytes=upload_bytes,
+                    )
 
             # Over-selection: keep only the first K arrivals among survivors.
             if self.completion_ranker is not None:
                 arrival_order = self.completion_ranker(
-                    round_index, [int(c) for c in selected]
+                    round_index, list(participants)
                 )
             else:
-                arrival_order = [int(c) for c in selected]
+                arrival_order = list(participants)
             kept_ids = [
                 cid for cid in arrival_order if cid in updates
             ][: self.config.participants_per_round]
+            if resilience is not None and resilience.reject_nonfinite:
+                finite_ids = []
+                for cid in kept_ids:
+                    if np.all(np.isfinite(updates[cid].parameters)):
+                        finite_ids.append(cid)
+                    elif obs is not None:
+                        obs.counter("fl.nonfinite_rejected").inc()
+                        obs.emit(
+                            "client.reject_nonfinite",
+                            round=round_index,
+                            client=int(cid),
+                        )
+                kept_ids = finite_ids
             kept_updates = [updates[cid] for cid in kept_ids]
 
-            if kept_updates:
-                self.coordinator.aggregate(kept_updates)
+            quorum = resilience.min_quorum if resilience is not None else 1
+            degraded = len(kept_updates) < max(1, quorum)
+            if degraded:
+                # Graceful degradation: too few survivors — carry the
+                # last good model forward and mark the round degraded.
+                self.coordinator.skip_round()
+                kept_ids = []
+                if obs is not None:
+                    obs.counter("fl.rounds_degraded").inc()
+                    obs.emit(
+                        "round.degraded",
+                        round=round_index,
+                        survivors=len(kept_updates),
+                        quorum=quorum,
+                    )
             else:
-                # Every selected client dropped: the round is wasted and the
-                # global model is unchanged, but the round still counts.
-                self.coordinator.rounds_completed += 1
+                self.coordinator.aggregate(kept_updates)
             self._schedule.advance()
 
             model = self.coordinator.global_model()
@@ -305,13 +532,39 @@ class FederatedTrainer:
                 test_accuracy=model.accuracy(
                     self.test_eval.features, self.test_eval.labels
                 ),
-                participants=tuple(int(c) for c in selected),
+                participants=tuple(participants),
                 local_epochs=self.config.local_epochs,
                 learning_rate=learning_rate,
                 aggregated=tuple(sorted(kept_ids)),
+                degraded=degraded,
             )
             self.history.append(record)
-        finally:
+            if resilient:
+                report = RoundResilienceReport(
+                    round_index=round_index,
+                    selected=tuple(selected),
+                    crashed=tuple(crashed),
+                    replacements=tuple(replacements),
+                    slowdowns=slowdowns,
+                    upload_attempts=upload_attempts,
+                    backoff_s=backoff_log,
+                    failed_uploads=tuple(failed),
+                    corrupted=tuple(corrupted_ids),
+                    late=tuple(late),
+                    degraded=degraded,
+                    quorum=quorum,
+                    n_aggregated=len(kept_ids),
+                )
+                self.resilience_log.append(report)
+                if obs is not None:
+                    obs.emit("round.resilience", **report.to_dict())
+        except BaseException:
+            # Close the span with the real exception info so the trace
+            # records the failure (contextmanager __exit__ re-raises).
+            if obs is not None:
+                round_span.__exit__(*sys.exc_info())
+            raise
+        else:
             if obs is not None:
                 round_span.__exit__(None, None, None)
         if obs is not None:

@@ -25,6 +25,9 @@ import numpy as np
 
 from repro.core.energy_model import HeterogeneousEnergyParams
 from repro.data.dataset import Dataset
+from repro.faults.injector import FaultInjector
+from repro.faults.models import FaultPlan
+from repro.faults.policies import ResilienceConfig
 from repro.fl.model import LogisticRegressionConfig
 from repro.fl.partition import partition_iid
 from repro.fl.sgd import SGDConfig
@@ -99,6 +102,11 @@ class PrototypeResult:
             round budget.
         participants: the ``K`` used.
         epochs: the ``E`` used.
+        wasted_energy_j: joules burned on failures — retry
+            transmissions, backoff waits, and the full active energy of
+            clients whose round was futile (0 in a failure-free run).
+        degraded_rounds: rounds where the quorum was missed and the
+            previous global model was carried forward.
     """
 
     history: TrainingHistory
@@ -110,10 +118,19 @@ class PrototypeResult:
     reached_target: bool
     participants: int
     epochs: int
+    wasted_energy_j: float = 0.0
+    degraded_rounds: int = 0
 
     @property
     def mean_round_energy_j(self) -> float:
         return float(self.energy_per_round_j.mean())
+
+    @property
+    def wasted_fraction(self) -> float:
+        """Share of the total energy burned on failures."""
+        if self.total_energy_j <= 0:
+            return 0.0
+        return self.wasted_energy_j / self.total_energy_j
 
 
 class HardwarePrototype:
@@ -250,6 +267,8 @@ class HardwarePrototype:
         overselection: int = 0,
         completion_ranker=None,
         update_compressor=None,
+        fault_injector: FaultInjector | None = None,
+        resilience: ResilienceConfig | None = None,
     ) -> FederatedTrainer:
         clients = build_clients(
             self._partitions, self.config.model, seed=self.config.seed
@@ -263,6 +282,15 @@ class HardwarePrototype:
             overselection=overselection,
             seed=self.config.seed,
         )
+        client_time_fn = None
+        if resilience is not None:
+            # Deadline checks use the measured timing law (jitter-free,
+            # so the check itself consumes no device randomness).
+            def client_time_fn(client_id: int, round_index: int) -> float:
+                return self.devices[client_id].training_duration(
+                    epochs, len(self._partitions[client_id])
+                )
+
         return FederatedTrainer(
             clients=clients,
             config=fed_config,
@@ -271,6 +299,10 @@ class HardwarePrototype:
             completion_ranker=completion_ranker,
             update_compressor=update_compressor,
             observer=self._observer,
+            fault_injector=fault_injector,
+            resilience=resilience,
+            upload_channel=WirelessChannel(self.config.channel),
+            client_time_fn=client_time_fn,
         )
 
     def _round_energy(
@@ -303,6 +335,26 @@ class HardwarePrototype:
                 )
         return energy
 
+    def _nominal_round_energy(
+        self, server_id: int, epochs: int, upload: ModelMessage
+    ) -> float:
+        """Jitter-free active energy of one round at one device.
+
+        Used to price the *futile* work of clients whose round failed
+        (upload lost, deadline missed, payload rejected) into the
+        ``energy.wasted_j`` counter without consuming any device
+        randomness or double-counting telemetry.
+        """
+        device = self.devices[server_id]
+        n_k = len(self._partitions[server_id])
+        return (
+            device.training_duration(epochs, n_k) * device.powers.training_w
+            + device.channel.attempt_duration(self._download.total_bytes)
+            * device.powers.downloading_w
+            + device.channel.attempt_duration(upload.total_bytes)
+            * device.powers.uploading_w
+        )
+
     def run(
         self,
         participants: int,
@@ -311,6 +363,8 @@ class HardwarePrototype:
         target_accuracy: float | None = None,
         overselection: int = 0,
         update_compressor=None,
+        fault_plan: FaultPlan | None = None,
+        resilience: ResilienceConfig | None = None,
     ) -> PrototypeResult:
         """Train with ``(K, E)`` and measure the energy spent.
 
@@ -325,6 +379,17 @@ class HardwarePrototype:
         or :class:`~repro.fl.compression.ErrorFeedback`) compresses each
         uploaded update; the upload message — and hence the upload time
         and energy ``e_k^U`` — shrinks to the compressed size.
+
+        ``fault_plan`` attaches a deterministic
+        :class:`~repro.faults.FaultInjector` (crashes, stragglers,
+        burst loss, battery depletion, corrupted uploads) and
+        ``resilience`` the recovery policies the trainer applies.  The
+        energy accounting then prices failure cost at the measured step
+        powers: every retry transmission burns upload power, every
+        backoff waits at waiting power, and the full active energy of a
+        client whose round was futile (upload failed, deadline missed,
+        update rejected) is charged to the ``energy.wasted_j`` counter
+        on top of appearing in the round totals.
         """
         upload_message = self._upload
         if update_compressor is not None:
@@ -350,6 +415,13 @@ class HardwarePrototype:
             round_timings[round_index] = timings
             return sorted(selected, key=lambda cid: timings[cid])
 
+        injector = (
+            FaultInjector(
+                fault_plan, self.config.n_servers, observer=self._observer
+            )
+            if fault_plan is not None
+            else None
+        )
         trainer = self._make_trainer(
             participants,
             epochs,
@@ -358,9 +430,12 @@ class HardwarePrototype:
             overselection=overselection,
             completion_ranker=ranker if overselection > 0 else None,
             update_compressor=update_compressor,
+            fault_injector=injector,
+            resilience=resilience,
         )
         simulator = Simulator(observer=self._observer)
         energy_per_round: list[float] = []
+        wasted_energy = {"total": 0.0}
         iot_energy = 0.0
         state = {"stop": False}
 
@@ -369,11 +444,63 @@ class HardwarePrototype:
             round_energy = 0.0
             round_duration = 0.0
             timings = round_timings.get(record.round_index)
+            per_client_energy: dict[int, float] = {}
             for server_id in record.participants:
                 n_k = len(self._partitions[server_id])
-                round_energy += self._round_energy(
+                client_energy = self._round_energy(
                     server_id, epochs, n_k, upload=upload_message
                 )
+                per_client_energy[server_id] = client_energy
+                round_energy += client_energy
+            report = trainer.last_resilience_report
+            if report is not None and report.round_index != record.round_index:
+                report = None
+            retry_overhead: dict[int, float] = {}
+            round_wasted = 0.0
+            if report is not None:
+                # Price the failure cost at the measured step powers:
+                # retry transmissions at 5.015 W upload power, backoff
+                # waits at 3.600 W waiting power, futile rounds in full.
+                for server_id, attempts in report.upload_attempts.items():
+                    device = self.devices[server_id]
+                    attempt_s = device.channel.attempt_duration(
+                        upload_message.total_bytes
+                    )
+                    backoff_s = report.backoff_s.get(server_id, 0.0)
+                    retry_j = (
+                        max(0, attempts - 1)
+                        * attempt_s
+                        * device.powers.uploading_w
+                    )
+                    wait_j = backoff_s * device.powers.waiting_w
+                    if retry_j or wait_j:
+                        round_energy += retry_j + wait_j
+                        round_wasted += retry_j + wait_j
+                        per_client_energy[server_id] = (
+                            per_client_energy.get(server_id, 0.0)
+                            + retry_j
+                            + wait_j
+                        )
+                        retry_overhead[server_id] = (
+                            max(0, attempts - 1) * attempt_s + backoff_s
+                        )
+                futile = set(report.failed_uploads) | set(report.late)
+                futile |= set(report.corrupted)
+                for server_id in futile:
+                    round_wasted += self._nominal_round_energy(
+                        server_id, epochs, upload_message
+                    )
+                wasted_energy["total"] += round_wasted
+                if self._observer is not None and round_wasted > 0:
+                    self._observer.counter("energy.wasted_j").inc(round_wasted)
+            if injector is not None:
+                # Drain the declared batteries by the energy actually
+                # measured this round (depleted devices crash from the
+                # next round onward).
+                for server_id, client_energy in per_client_energy.items():
+                    injector.note_participation(
+                        server_id, record.round_index, energy_j=client_energy
+                    )
             awaited = record.aggregated or record.participants
             for server_id in awaited:
                 if timings is not None:
@@ -385,7 +512,20 @@ class HardwarePrototype:
                         self._download,
                         upload_message,
                     ).total_s
+                duration += retry_overhead.get(server_id, 0.0)
                 round_duration = max(round_duration, duration)
+            if (
+                resilience is not None
+                and resilience.round_deadline_s is not None
+            ):
+                # The coordinator moves on at the deadline.
+                round_duration = min(
+                    round_duration, resilience.round_deadline_s
+                )
+            if round_duration <= 0.0:
+                # A fully-crashed (empty) round still takes the
+                # coordinator's waiting period of wall-clock time.
+                round_duration = self.config.timing.waiting_s or 1.0
             energy_per_round.append(round_energy)
             if self._observer is not None:
                 self._observer.histogram("sim.round_duration_s").observe(
@@ -398,6 +538,8 @@ class HardwarePrototype:
                     energy_j=round_energy,
                     duration_s=round_duration,
                     participants=len(record.participants),
+                    wasted_j=round_wasted,
+                    degraded=record.degraded,
                 )
             done = len(energy_per_round) >= n_rounds or (
                 target_accuracy is not None
@@ -438,6 +580,8 @@ class HardwarePrototype:
             reached_target=reached,
             participants=participants,
             epochs=epochs,
+            wasted_energy_j=wasted_energy["total"],
+            degraded_rounds=history.degraded_round_count(),
         )
 
     def run_async(

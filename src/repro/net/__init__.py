@@ -1,6 +1,11 @@
 """Edge-server <-> coordinator communication substrate."""
 
-from repro.net.channel import ChannelConfig, TransferResult, WirelessChannel
+from repro.net.channel import (
+    ChannelConfig,
+    TransferResult,
+    TransferTimeout,
+    WirelessChannel,
+)
 from repro.net.messages import (
     ModelMessage,
     model_download_message,
@@ -11,6 +16,7 @@ from repro.net.router import Router
 __all__ = [
     "ChannelConfig",
     "TransferResult",
+    "TransferTimeout",
     "WirelessChannel",
     "ModelMessage",
     "model_download_message",

@@ -1,0 +1,164 @@
+"""Unit tests for the runtime fault injector."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.faults.injector import FaultInjector
+from repro.faults.models import (
+    BatteryFault,
+    BurstLossFault,
+    CorruptionFault,
+    CrashFault,
+    FaultPlan,
+    StragglerFault,
+)
+from repro.obs import Observer
+
+
+def _injector(*faults, n_clients: int = 8, seed: int = 0, observer=None):
+    return FaultInjector(
+        FaultPlan(seed=seed, faults=tuple(faults)), n_clients, observer=observer
+    )
+
+
+class TestValidation:
+    def test_rejects_plan_exceeding_population(self) -> None:
+        with pytest.raises(ValueError, match="population"):
+            _injector(CrashFault(client_id=9, start_round=0), n_clients=8)
+
+    def test_rejects_duplicate_burst_fault(self) -> None:
+        with pytest.raises(ValueError, match="more than one burst-loss"):
+            _injector(
+                BurstLossFault(client_id=1),
+                BurstLossFault(client_id=1, loss_bad=0.5),
+            )
+
+    def test_rejects_duplicate_battery_fault(self) -> None:
+        with pytest.raises(ValueError, match="more than one battery"):
+            _injector(
+                BatteryFault(client_id=1, capacity_j=5.0),
+                BatteryFault(client_id=1, capacity_j=9.0),
+            )
+
+
+class TestAvailability:
+    def test_crash_window(self) -> None:
+        injector = _injector(CrashFault(client_id=2, start_round=1, end_round=3))
+        assert injector.available(2, 0)
+        assert not injector.available(2, 1)
+        assert not injector.available(2, 2)
+        assert injector.available(2, 3)
+        # Unaffected clients are always available.
+        assert injector.available(0, 1)
+
+    def test_crashed_emits_counter(self) -> None:
+        observer = Observer()
+        injector = _injector(
+            CrashFault(client_id=2, start_round=0), observer=observer
+        )
+        assert injector.crashed(2, 0)
+        assert not injector.crashed(3, 0)
+        assert observer.counter("fault.injected", kind="crash").value == 1
+
+
+class TestStragglers:
+    def test_slowdown_takes_max_over_active_faults(self) -> None:
+        injector = _injector(
+            StragglerFault(client_id=1, start_round=0, slowdown=2.0),
+            StragglerFault(client_id=1, start_round=0, slowdown=5.0),
+        )
+        assert injector.slowdown(1, 0) == 5.0
+        assert injector.slowdown(0, 0) == 1.0
+
+
+class TestCorruption:
+    def test_always_corrupts_at_probability_one(self) -> None:
+        injector = _injector(CorruptionFault(client_id=0, probability=1.0))
+        fault = injector.corrupts(0, 0)
+        assert fault is not None
+        corrupted = injector.corrupt_payload(np.ones(4), fault)
+        assert np.isnan(corrupted).all()
+
+    def test_inf_mode(self) -> None:
+        injector = _injector(CorruptionFault(client_id=0, mode="inf"))
+        fault = injector.corrupts(0, 0)
+        corrupted = injector.corrupt_payload(np.ones(4), fault)
+        assert np.isinf(corrupted).all()
+
+    def test_draw_is_call_order_independent(self) -> None:
+        # The per-(client, round) substream makes the corruption decision
+        # a pure function of (plan seed, client, round): consuming other
+        # rounds first must not change any answer.
+        make = lambda: _injector(  # noqa: E731
+            CorruptionFault(client_id=0, probability=0.5), seed=42
+        )
+        forward = [make().corrupts(0, t) is not None for t in range(10)]
+        backward_injector = make()
+        backward = [
+            backward_injector.corrupts(0, t) is not None
+            for t in reversed(range(10))
+        ]
+        assert forward == list(reversed(backward))
+
+    def test_payload_corruption_does_not_mutate_input(self) -> None:
+        injector = _injector(CorruptionFault(client_id=0))
+        original = np.ones(4)
+        injector.corrupt_payload(original, injector.corrupts(0, 0))
+        np.testing.assert_array_equal(original, np.ones(4))
+
+
+class TestBurstChannels:
+    def test_loss_model_only_within_window(self) -> None:
+        injector = _injector(
+            BurstLossFault(client_id=3, start_round=2, end_round=4)
+        )
+        assert injector.upload_loss_model(3, 1) is None
+        assert injector.upload_loss_model(3, 2) is not None
+        assert injector.upload_loss_model(3, 4) is None
+        assert injector.upload_loss_model(0, 2) is None
+
+    def test_channel_rng_requires_declared_fault(self) -> None:
+        injector = _injector(BurstLossFault(client_id=3))
+        injector.channel_rng(3)
+        with pytest.raises(KeyError):
+            injector.channel_rng(0)
+
+
+class TestBatteries:
+    def test_depletion_kills_from_next_round(self) -> None:
+        injector = _injector(
+            BatteryFault(client_id=1, capacity_j=10.0, per_round_j=6.0)
+        )
+        assert injector.available(1, 0)
+        injector.note_participation(1, 0)  # 6 J spent, 4 J left
+        assert injector.available(1, 1)
+        injector.note_participation(1, 1)  # brown-out
+        assert not injector.available(1, 2)
+        assert injector.battery(1).depleted
+
+    def test_measured_energy_overrides_nominal(self) -> None:
+        injector = _injector(
+            BatteryFault(client_id=1, capacity_j=10.0, per_round_j=1.0)
+        )
+        injector.note_participation(1, 0, energy_j=10.0)
+        assert not injector.available(1, 1)
+
+    def test_initial_fraction(self) -> None:
+        injector = _injector(
+            BatteryFault(
+                client_id=1, capacity_j=10.0, initial_fraction=0.5, per_round_j=1.0
+            )
+        )
+        assert injector.battery(1).state_of_charge == pytest.approx(0.5)
+
+    def test_depletion_emits_event(self) -> None:
+        observer = Observer()
+        injector = _injector(
+            BatteryFault(client_id=1, capacity_j=1.0, per_round_j=2.0),
+            observer=observer,
+        )
+        injector.note_participation(1, 0)
+        kinds = [e.fields["kind"] for e in observer.events]
+        assert "battery_depleted" in kinds

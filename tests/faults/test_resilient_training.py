@@ -1,0 +1,323 @@
+"""Resilient-round semantics: survivor aggregation, quorum, determinism."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.dataset import Dataset
+from repro.faults.injector import FaultInjector
+from repro.faults.models import (
+    BurstLossFault,
+    CorruptionFault,
+    CrashFault,
+    FaultPlan,
+    StragglerFault,
+    make_demo_plan,
+)
+from repro.faults.policies import ResilienceConfig, RetryPolicy
+from repro.fl.client import LocalUpdate
+from repro.fl.model import LogisticRegressionConfig
+from repro.fl.partition import partition_iid
+from repro.fl.sampling import FixedSampler
+from repro.fl.server import Coordinator, NonFiniteUpdateError
+from repro.fl.sgd import SGDConfig
+from repro.fl.training import FederatedConfig, FederatedTrainer, build_clients
+from repro.obs import Observer
+
+_CONFIG = LogisticRegressionConfig(n_features=8, n_classes=3)
+_N_CLIENTS = 8
+
+
+def _linear_task(n: int, seed: int = 0) -> Dataset:
+    projection = np.random.default_rng(424242).normal(size=(8, 3))
+    rng = np.random.default_rng(seed)
+    features = rng.normal(size=(n, 8))
+    scores = features @ projection
+    labels = np.argmax(scores + rng.normal(0, 0.5, size=scores.shape), axis=1)
+    return Dataset(features, labels, 3)
+
+
+_TRAIN = _linear_task(240)
+_TEST = _linear_task(80, seed=99)
+_PARTITIONS = partition_iid(_TRAIN, _N_CLIENTS, np.random.default_rng(1))
+
+
+def _trainer(
+    plan: FaultPlan | None = None,
+    resilience: ResilienceConfig | None = None,
+    sampler=None,
+    observer=None,
+    **config_kwargs,
+) -> FederatedTrainer:
+    clients = build_clients(_PARTITIONS, _CONFIG)
+    defaults = dict(
+        n_rounds=10,
+        participants_per_round=4,
+        local_epochs=2,
+        sgd=SGDConfig(learning_rate=0.5, decay=1.0),
+    )
+    defaults.update(config_kwargs)
+    injector = (
+        FaultInjector(plan, _N_CLIENTS, observer=observer)
+        if plan is not None
+        else None
+    )
+    return FederatedTrainer(
+        clients=clients,
+        config=FederatedConfig(**defaults),
+        train_eval=_TRAIN,
+        test_eval=_TEST,
+        sampler=sampler,
+        observer=observer,
+        fault_injector=injector,
+        resilience=resilience,
+    )
+
+
+class TestSurvivorAggregationProperty:
+    """Aggregation under failures == FedAvg over exactly the survivors."""
+
+    @settings(max_examples=10, deadline=None)
+    @given(plan_seed=st.integers(min_value=0, max_value=10_000))
+    def test_faulted_round_equals_fedavg_over_survivors(
+        self, plan_seed: int
+    ) -> None:
+        plan = make_demo_plan(
+            _N_CLIENTS,
+            seed=plan_seed,
+            crash_fraction=0.25,
+            loss_fraction=0.3,
+            loss_bad=0.95,
+        )
+        faulted = _trainer(
+            plan=plan,
+            resilience=ResilienceConfig(
+                retry=RetryPolicy(max_retries=1), min_quorum=1
+            ),
+        )
+        record = faulted.run_round()
+        survivors = record.aggregated
+        if not survivors:
+            assert record.degraded
+            return
+        # Reference run: no faults, FixedSampler selecting exactly the
+        # survivor subset.  Fresh clients share the per-client RNG
+        # streams with the faulted run, so local training is identical.
+        reference = _trainer(
+            sampler=FixedSampler(_N_CLIENTS, list(survivors)),
+            participants_per_round=len(survivors),
+        )
+        reference.run_round()
+        np.testing.assert_array_equal(
+            faulted.coordinator.global_parameters,
+            reference.coordinator.global_parameters,
+        )
+
+    def test_crashed_client_excluded_and_replaced(self) -> None:
+        plan = FaultPlan(
+            seed=3, faults=(CrashFault(client_id=0, start_round=0),)
+        )
+        trainer = _trainer(
+            plan=plan,
+            resilience=ResilienceConfig(),
+            sampler=FixedSampler(_N_CLIENTS, [0, 1, 2, 3]),
+        )
+        record = trainer.run_round()
+        report = trainer.last_resilience_report
+        assert report.crashed == (0,)
+        assert len(report.replacements) == 1
+        assert 0 not in record.participants
+        assert set(record.aggregated) == set(record.participants)
+
+    def test_resampling_disabled_shrinks_the_round(self) -> None:
+        plan = FaultPlan(
+            seed=3, faults=(CrashFault(client_id=0, start_round=0),)
+        )
+        trainer = _trainer(
+            plan=plan,
+            resilience=ResilienceConfig(resample_crashed=False),
+            sampler=FixedSampler(_N_CLIENTS, [0, 1, 2, 3]),
+        )
+        record = trainer.run_round()
+        assert trainer.last_resilience_report.replacements == ()
+        assert set(record.participants) == {1, 2, 3}
+
+
+class TestDeterminism:
+    def test_same_plan_and_seed_reproduce_identical_histories(self) -> None:
+        def run() -> FederatedTrainer:
+            plan = make_demo_plan(_N_CLIENTS, seed=11, loss_bad=0.95)
+            trainer = _trainer(
+                plan=plan,
+                resilience=ResilienceConfig(
+                    retry=RetryPolicy(max_retries=2),
+                    upload_timeout_s=5.0,
+                    round_deadline_s=60.0,
+                    min_quorum=2,
+                ),
+                n_rounds=6,
+            )
+            trainer.run()
+            return trainer
+
+        first, second = run(), run()
+        assert first.history.to_records() == second.history.to_records()
+        assert [r.to_dict() for r in first.resilience_log] == [
+            r.to_dict() for r in second.resilience_log
+        ]
+
+    def test_different_plan_seed_changes_the_run(self) -> None:
+        def run(plan_seed: int) -> list[dict]:
+            plan = make_demo_plan(_N_CLIENTS, seed=plan_seed, loss_bad=0.95)
+            trainer = _trainer(
+                plan=plan, resilience=ResilienceConfig(), n_rounds=6
+            )
+            trainer.run()
+            return [r.to_dict() for r in trainer.resilience_log]
+
+        assert run(11) != run(12)
+
+
+class TestQuorumDegradation:
+    def _all_crash_plan(self, start_round: int = 1) -> FaultPlan:
+        return FaultPlan(
+            seed=0,
+            faults=tuple(
+                CrashFault(client_id=c, start_round=start_round)
+                for c in range(_N_CLIENTS)
+            ),
+        )
+
+    def test_quorum_miss_degrades_and_carries_model_forward(self) -> None:
+        observer = Observer()
+        trainer = _trainer(
+            plan=self._all_crash_plan(start_round=1),
+            resilience=ResilienceConfig(min_quorum=2),
+            n_rounds=3,
+            observer=observer,
+        )
+        history = trainer.run()
+        assert not history[0].degraded
+        good_params = trainer.coordinator.global_parameters
+        assert history[1].degraded and history[2].degraded
+        assert history[1].aggregated == ()
+        # The degraded rounds carried the last good model forward.
+        np.testing.assert_array_equal(
+            trainer.coordinator.global_parameters, good_params
+        )
+        assert history.degraded_round_count() == 2
+        assert observer.counter("fl.rounds_degraded").value == 2
+        assert observer.metrics.value("fl.rounds_skipped") == 2
+
+    def test_quorum_met_by_survivors_is_not_degraded(self) -> None:
+        plan = FaultPlan(
+            seed=0, faults=(CrashFault(client_id=0, start_round=0),)
+        )
+        trainer = _trainer(
+            plan=plan,
+            resilience=ResilienceConfig(min_quorum=3, resample_crashed=False),
+            sampler=FixedSampler(_N_CLIENTS, [0, 1, 2, 3]),
+        )
+        record = trainer.run_round()
+        assert not record.degraded
+        assert len(record.aggregated) == 3
+
+    def test_rounds_still_count_under_degradation(self) -> None:
+        trainer = _trainer(
+            plan=self._all_crash_plan(start_round=0),
+            resilience=ResilienceConfig(min_quorum=1),
+            n_rounds=3,
+        )
+        history = trainer.run()
+        assert len(history) == 3
+        assert trainer.coordinator.rounds_completed == 3
+        assert all(r.degraded for r in history)
+
+
+class TestNonFiniteRejection:
+    def _poisoned_updates(self) -> list[LocalUpdate]:
+        good = LocalUpdate(
+            client_id=0,
+            parameters=np.ones(_CONFIG.n_parameters),
+            n_samples=10,
+            epochs=1,
+            gradient_steps=1,
+            final_local_loss=0.5,
+        )
+        bad = LocalUpdate(
+            client_id=1,
+            parameters=np.full(_CONFIG.n_parameters, np.nan),
+            n_samples=10,
+            epochs=1,
+            gradient_steps=1,
+            final_local_loss=0.5,
+        )
+        return [good, bad]
+
+    def test_coordinator_guard_raises_typed_error(self) -> None:
+        coordinator = Coordinator(_CONFIG)
+        with pytest.raises(NonFiniteUpdateError) as excinfo:
+            coordinator.aggregate(self._poisoned_updates())
+        assert excinfo.value.client_ids == (1,)
+        # The poisoned batch must not have touched the global model.
+        assert np.all(np.isfinite(coordinator.global_parameters))
+        assert coordinator.rounds_completed == 0
+
+    def test_trainer_filters_corrupted_uploads_before_aggregation(self) -> None:
+        observer = Observer()
+        plan = FaultPlan(
+            seed=0,
+            faults=(CorruptionFault(client_id=1, probability=1.0),),
+        )
+        trainer = _trainer(
+            plan=plan,
+            resilience=ResilienceConfig(),
+            sampler=FixedSampler(_N_CLIENTS, [0, 1, 2, 3]),
+            observer=observer,
+        )
+        record = trainer.run_round()
+        assert 1 in record.participants
+        assert 1 not in record.aggregated
+        assert trainer.last_resilience_report.corrupted == (1,)
+        assert observer.counter("fl.nonfinite_rejected").value == 1
+        assert np.all(np.isfinite(trainer.coordinator.global_parameters))
+
+
+class TestIndependentStreams:
+    def test_straggler_faults_do_not_change_aggregation(self) -> None:
+        # Stragglers only slow clients down; with no deadline the round
+        # outcome must be bit-identical to the fault-free run (their
+        # draws come from dedicated streams, not the sampler's).
+        plan = FaultPlan(
+            seed=5,
+            faults=tuple(
+                StragglerFault(client_id=c, start_round=0, slowdown=4.0)
+                for c in range(_N_CLIENTS)
+            ),
+        )
+        faulted = _trainer(plan=plan, n_rounds=4)
+        plain = _trainer(n_rounds=4)
+        assert faulted.run().to_records() == plain.run().to_records()
+
+    def test_burst_loss_does_not_perturb_sampling(self) -> None:
+        # Burst-loss channels draw from per-client streams; which clients
+        # the sampler picks each round must not depend on the plan.
+        plan = FaultPlan(
+            seed=5,
+            faults=tuple(
+                BurstLossFault(client_id=c, loss_bad=0.9)
+                for c in range(_N_CLIENTS)
+            ),
+        )
+        faulted = _trainer(
+            plan=plan, resilience=ResilienceConfig(), n_rounds=4
+        )
+        plain = _trainer(n_rounds=4)
+        faulted.run()
+        plain.run()
+        assert [r.participants for r in faulted.history.records] == [
+            r.participants for r in plain.history.records
+        ]

@@ -106,9 +106,10 @@ class TestPlainDictSerialisation:
             "local_epochs": 10,
             "learning_rate": 0.01,
             "aggregated": [0, 1],
+            "degraded": False,
         }
         assert all(
-            type(v) in (int, float, list) for v in data.values()
+            type(v) in (int, float, list, bool) for v in data.values()
         )
 
     def test_record_round_trip(self) -> None:
@@ -149,6 +150,7 @@ class TestSummary:
             "best_accuracy": 0.9,
             "total_local_epochs": 12,
             "total_selections": 6,
+            "degraded_rounds": 0,
         }
 
     def test_empty_summary_is_well_formed(self) -> None:

@@ -171,3 +171,15 @@ class TestDropout:
         trainer = _trainer(n_rounds=30, dropout_probability=0.3)
         history = trainer.run()
         assert history.final_accuracy() > 0.55
+
+    def test_sampling_invariant_to_dropout_setting(self) -> None:
+        # Regression: dropout used to draw from the sampler's RNG, so
+        # enabling it changed which clients later rounds selected.  The
+        # dropout stream is now independent — the selection sequence must
+        # be identical whatever the dropout probability.
+        runs = {}
+        for p in (0.0, 0.5, 0.9):
+            trainer = _trainer(n_rounds=12, seed=7, dropout_probability=p)
+            trainer.run()
+            runs[p] = [r.participants for r in trainer.history.records]
+        assert runs[0.0] == runs[0.5] == runs[0.9]

@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 
 from repro.fl.model import LogisticRegressionConfig
-from repro.net.channel import ChannelConfig, WirelessChannel
+from repro.net.channel import ChannelConfig, TransferTimeout, WirelessChannel
 from repro.net.messages import (
     ModelMessage,
     model_download_message,
@@ -100,6 +100,79 @@ class TestChannel:
     def test_rejects_negative_bytes(self) -> None:
         with pytest.raises(ValueError, match="n_bytes"):
             WirelessChannel(ChannelConfig()).attempt_duration(-1)
+
+
+class _AlwaysLost:
+    def attempt_lost(self, rng: np.random.Generator) -> bool:
+        return True
+
+
+class _NeverLost:
+    def attempt_lost(self, rng: np.random.Generator) -> bool:
+        return False
+
+
+class TestBoundedRetries:
+    def test_max_attempts_raises_typed_timeout(self) -> None:
+        channel = WirelessChannel(
+            ChannelConfig(rate_bps=1e6, latency_s=0.0, max_attempts=3),
+            rng=np.random.default_rng(0),
+            loss_model=_AlwaysLost(),
+        )
+        with pytest.raises(TransferTimeout) as excinfo:
+            channel.transfer(12_500)
+        error = excinfo.value
+        assert error.n_bytes == 12_500
+        assert error.attempts == 3
+        assert error.elapsed_s == pytest.approx(3 * 0.1)
+
+    def test_attempts_never_exceed_cap(self) -> None:
+        channel = WirelessChannel(
+            ChannelConfig(rate_bps=1e6, loss_probability=0.8, max_attempts=5),
+            rng=np.random.default_rng(0),
+        )
+        for _ in range(200):
+            try:
+                result = channel.transfer(100)
+            except TransferTimeout as error:
+                assert error.attempts == 5
+            else:
+                assert result.attempts <= 5
+
+    def test_loss_model_overrides_bernoulli_loss(self) -> None:
+        # Config says 90 % loss, but the attached model never loses.
+        channel = WirelessChannel(
+            ChannelConfig(rate_bps=1e6, loss_probability=0.9),
+            rng=np.random.default_rng(0),
+            loss_model=_NeverLost(),
+        )
+        assert all(channel.transfer(100).attempts == 1 for _ in range(50))
+
+    def test_expected_duration_truncated_geometric(self) -> None:
+        p, m = 0.5, 4
+        bounded = WirelessChannel(
+            ChannelConfig(rate_bps=1e6, loss_probability=p, max_attempts=m),
+            rng=np.random.default_rng(0),
+        )
+        unbounded = WirelessChannel(
+            ChannelConfig(rate_bps=1e6, loss_probability=p),
+            rng=np.random.default_rng(0),
+        )
+        single = bounded.attempt_duration(1000)
+        # E[attempts] = (1 - p^m) / (1 - p) < 1 / (1 - p).
+        assert bounded.expected_duration(1000) == pytest.approx(
+            single * (1 - p**m) / (1 - p)
+        )
+        assert bounded.expected_duration(1000) < unbounded.expected_duration(1000)
+
+    def test_lossless_bounded_channel_is_single_attempt(self) -> None:
+        channel = WirelessChannel(ChannelConfig(rate_bps=1e6, max_attempts=2))
+        assert channel.expected_duration(1000) == channel.attempt_duration(1000)
+        assert channel.transfer(1000).attempts == 1
+
+    def test_rejects_bad_max_attempts(self) -> None:
+        with pytest.raises(ValueError, match="max_attempts"):
+            ChannelConfig(max_attempts=0)
 
 
 class TestRouter:

@@ -20,6 +20,7 @@ _PACKAGES = [
     "repro",
     "repro.core",
     "repro.data",
+    "repro.faults",
     "repro.fl",
     "repro.hardware",
     "repro.iot",
