@@ -21,6 +21,8 @@ import math
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
+import numpy as np
+
 from repro.core.closed_form import e_star, k_star
 from repro.core.objective import EnergyObjective
 from repro.obs.observer import active_or_none
@@ -100,6 +102,9 @@ class ACSSolver:
         self.residual = residual
         self.max_iterations = max_iterations
         self._observer = active_or_none(observer)
+        # Integer-plan energies already evaluated by the plateau walks;
+        # distinct (K, E) pairs recur heavily across the K scan.
+        self._energy_cache: dict[tuple[int, int], float] = {}
 
     def _initial_point(
         self, k0: float | None, e0: float | None
@@ -232,6 +237,59 @@ class ACSSolver:
             return None
         return candidate
 
+    def _plateau_epochs_batch(
+        self, k: int, rounds: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorized :meth:`_min_epochs_for_rounds` over many round counts.
+
+        Returns ``(epochs, valid)`` arrays aligned with ``rounds``:
+        ``epochs[i]`` is the plateau-minimal integer E for ``rounds[i]``
+        wherever ``valid[i]``, matching the scalar method element for
+        element (the arithmetic mirrors it term by term, including the
+        cancellation-stable small quadratic root).
+        """
+        objective = self.objective
+        bound = objective.bound
+        eps = objective.epsilon
+        a0, a1, a2 = bound.a0, bound.a1, bound.a2
+        m = np.asarray(rounds, dtype=float)
+        c4 = eps * k - a1 + a2 * k
+        if c4 <= 0 or not 1 <= k <= objective.n_servers:
+            return np.zeros(m.shape), np.zeros(m.shape, dtype=bool)
+        a_coef = m * a2 * k
+        b_coef = m * c4
+        c_coef = a0 * k
+        quadratic = a_coef != 0.0
+        ok = np.ones(m.shape, dtype=bool)
+        with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+            linear_root = c_coef / (m * (eps * k - a1))
+            disc = b_coef**2 - 4.0 * a_coef * c_coef
+            sqrt_disc = np.sqrt(np.maximum(disc, 0.0))
+            quad_low = 2.0 * c_coef / (b_coef + sqrt_disc)
+            quad_high = (b_coef + sqrt_disc) / (2.0 * a_coef)
+            root_low = np.where(quadratic, quad_low, linear_root)
+            candidate = np.maximum(1.0, np.ceil(root_low))
+            ok &= np.where(quadratic, disc >= 0, True)
+            ok &= np.where(quadratic, candidate <= quad_high, True)
+            # Feasibility of (k, candidate) — the scalar is_feasible check.
+            ok &= eps > a1 / k + a2 * (candidate - 1.0)
+            # T*(candidate) must actually fit within the plateau's rounds.
+            denominator = (eps * k - a1 - a2 * k * (candidate - 1.0)) * candidate
+            required = a0 * k / denominator
+            ok &= ~(required > m + 1e-9)
+        return candidate, ok
+
+    # Plateau indices evaluated per vectorized batch of the walk below.
+    _PLATEAU_CHUNK = 4096
+
+    def _cached_integer_energy(self, k: int, epochs: int) -> float:
+        key = (k, epochs)
+        energy = self._energy_cache.get(key)
+        if energy is None:
+            energy = self.objective.value_integer(k, epochs)
+            self._energy_cache[key] = energy
+        return energy
+
     def _best_epochs_for_participants(
         self, k: int, max_plateaus: int = 200_000, patience: int = 1024
     ) -> tuple[int, float] | None:
@@ -245,27 +303,42 @@ class ACSSolver:
         keep descending), so the walk is exhaustive up to that end point;
         ``patience`` only guards the pathological case where the end
         plateau exceeds ``max_plateaus``.
+
+        Plateau boundaries are computed in vectorized chunks
+        (:meth:`_plateau_epochs_batch`) and consecutive equal plateau-Es
+        are dropped before evaluation — the same dedupe the scalar loop
+        performed one ``m`` at a time.
         """
         best: tuple[int, float] | None = None
         worse_streak = 0
         previous_epochs: int | None = None
-        for m in range(1, max_plateaus + 1):
-            epochs = self._min_epochs_for_rounds(k, m)
-            if epochs is None:
+        start = 1
+        while start <= max_plateaus:
+            stop = min(start + self._PLATEAU_CHUNK, max_plateaus + 1)
+            candidates, valid = self._plateau_epochs_batch(
+                k, np.arange(start, stop, dtype=float)
+            )
+            start = stop
+            if not valid.any():
                 continue
-            if epochs == previous_epochs:
-                # Same plateau-E as the previous m: strictly more rounds
-                # at the same per-round cost, never an improvement.
-                continue
-            previous_epochs = epochs
-            energy = self.objective.value_integer(k, epochs)
-            if best is None or energy < best[1]:
-                best = (epochs, energy)
-                worse_streak = 0
-            else:
-                worse_streak += 1
-            if epochs == 1 or worse_streak >= patience:
-                break
+            plateau_epochs = candidates[valid].astype(int)
+            # Consecutive m with the same plateau-E: strictly more rounds
+            # at the same per-round cost, never an improvement.
+            keep = np.ones(plateau_epochs.shape, dtype=bool)
+            keep[1:] = plateau_epochs[1:] != plateau_epochs[:-1]
+            if previous_epochs is not None and plateau_epochs[0] == previous_epochs:
+                keep[0] = False
+            previous_epochs = int(plateau_epochs[-1])
+            for epochs in plateau_epochs[keep]:
+                epochs = int(epochs)
+                energy = self._cached_integer_energy(k, epochs)
+                if best is None or energy < best[1]:
+                    best = (epochs, energy)
+                    worse_streak = 0
+                else:
+                    worse_streak += 1
+                if epochs == 1 or worse_streak >= patience:
+                    return best
         return best
 
     def _seed_epochs(self, k: int, e_continuous: float) -> int:

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from functools import lru_cache
 
 import numpy as np
 
@@ -24,6 +25,39 @@ from repro.core.convergence import ConvergenceBound
 from repro.core.energy_model import EnergyParams
 
 __all__ = ["EnergyObjective"]
+
+
+@lru_cache(maxsize=128)
+def _integer_grid(
+    objective: "EnergyObjective",
+    k_key: tuple[float, ...],
+    e_key: tuple[float, ...],
+) -> np.ndarray:
+    """Memoized vectorized ``value_integer`` over a broadcast (K, E) grid.
+
+    Every arithmetic step mirrors the scalar
+    :meth:`EnergyObjective.value_integer` /
+    :meth:`ConvergenceBound.is_feasible` expressions term for term
+    (including association order), so each element equals the scalar
+    result exactly.  Infeasible points hold NaN.  The returned array is
+    read-only because it is shared by every caller with the same grid
+    (``EnergyObjective`` is a hashable frozen dataclass, so the cache
+    keys on the calibrated constants themselves).
+    """
+    k, e = np.broadcast_arrays(
+        np.array(k_key, dtype=float), np.array(e_key, dtype=float)
+    )
+    a0, a1, a2 = objective.bound.a0, objective.bound.a1, objective.bound.a2
+    eps = objective.epsilon
+    with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+        gap = a1 / k + a2 * (e - 1)
+        feasible = (k >= 1) & (k <= objective.n_servers) & (e >= 1) & (eps > gap)
+        denominator = (eps * k - a1 - a2 * k * (e - 1)) * e
+        rounds = np.maximum(1.0, np.ceil(a0 * k / denominator))
+        values = rounds * k * (objective.energy.b0 * e + objective.energy.b1)
+    values = np.where(feasible, values, np.nan)
+    values.setflags(write=False)
+    return values
 
 # Relative margin used to keep continuous search iterates strictly inside
 # the open feasible region (13c), where the objective diverges at the edge.
@@ -85,6 +119,24 @@ class EnergyObjective:
     def rounds(self, participants: float, epochs: float) -> float:
         """The continuous ``T*(K, E)`` used inside the objective."""
         return self.bound.required_rounds(self.epsilon, epochs, participants)
+
+    def value_integer_grid(
+        self,
+        participants: np.ndarray | float,
+        epochs: np.ndarray | float,
+    ) -> np.ndarray:
+        """Vectorized :meth:`value_integer` over a broadcast (K, E) grid.
+
+        Accepts scalars or broadcastable arrays; returns a *read-only*
+        array holding the integer-round energy at each point and NaN
+        where the point is infeasible.  Elementwise identical to calling
+        :meth:`is_feasible` / :meth:`value_integer` pointwise, but one
+        numpy pass over the whole sweep, memoized per (constants, grid)
+        — the K- and E-sweeps of Figs. 5-6 hit the cache on re-renders.
+        """
+        k = np.atleast_1d(np.asarray(participants, dtype=float))
+        e = np.atleast_1d(np.asarray(epochs, dtype=float))
+        return _integer_grid(self, tuple(k.tolist()), tuple(e.tolist()))
 
     # ------------------------------------------------------------------
     # Analytic curvature (Lemmas 1 and 2).

@@ -94,12 +94,21 @@ class Dataset:
         The paper uses full-batch SGD (one batch per epoch); pass
         ``batch_size >= len(self)`` for that behaviour.  When ``rng`` is
         given, samples are shuffled before batching.
+
+        Batches are index-based: a shuffled epoch gathers only one
+        permutation vector and slices it per batch (never materialising
+        a shuffled copy of the feature matrix), and the unshuffled path
+        yields zero-copy views.  Batch *contents* for a given ``rng``
+        are identical to gathering from a shuffled copy.
         """
         if batch_size < 1:
             raise ValueError(f"batch_size must be positive; got {batch_size}")
-        order = (
-            rng.permutation(len(self)) if rng is not None else np.arange(len(self))
-        )
+        if rng is None:
+            for start in range(0, len(self), batch_size):
+                stop = start + batch_size
+                yield self.features[start:stop], self.labels[start:stop]
+            return
+        order = rng.permutation(len(self))
         for start in range(0, len(self), batch_size):
             idx = order[start : start + batch_size]
             yield self.features[idx], self.labels[idx]

@@ -156,6 +156,7 @@ def calibrate_system(
     include_iot_energy: bool = False,
     noise_std: float = 0.25,
     observer=None,
+    backend: str = "sequential",
 ) -> CalibratedSystem:
     """Run the full calibration pipeline at ``scale``.
 
@@ -170,6 +171,9 @@ def calibrate_system(
         observer: optional :class:`repro.obs.Observer` attached to the
             built prototype — pilot runs and every later experiment on
             the returned system then emit full telemetry.
+        backend: execution engine for all FL training on the built
+            prototype (pilot runs included); see
+            :class:`repro.fl.training.FederatedConfig`.
     """
     train, test = load_synthetic_mnist(
         n_train=scale.n_train,
@@ -183,6 +187,7 @@ def calibrate_system(
         sgd=scale.sgd_config(),
         include_iot=include_iot_energy,
         seed=scale.seed,
+        backend=backend,
     )
     prototype = HardwarePrototype(
         train, test, config, iot_network=iot_network, observer=observer

@@ -13,6 +13,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.core.closed_form import k_star
 from repro.experiments.calibrate import CalibratedSystem
 from repro.experiments.plots import Series, line_chart
@@ -114,14 +116,14 @@ def run_fig5(
     max_rounds = max_rounds or scale.max_rounds
     objective = system.objective()
 
-    theory: dict[int, float | None] = {}
+    # One vectorized pass over the whole K sweep (NaN marks infeasible).
+    theory_grid = objective.value_integer_grid(np.array(k_values), epochs)
+    theory: dict[int, float | None] = {
+        k: None if math.isnan(value) else float(value)
+        for k, value in zip(k_values, theory_grid)
+    }
     measured: dict[int, float | None] = {}
     for k in k_values:
-        theory[k] = (
-            objective.value_integer(k, epochs)
-            if objective.is_feasible(k, epochs)
-            else None
-        )
         run = system.prototype.run(
             participants=k,
             epochs=epochs,

@@ -12,6 +12,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.core.closed_form import e_star
 from repro.experiments.calibrate import CalibratedSystem
 from repro.experiments.plots import Series, line_chart
@@ -129,14 +131,14 @@ def run_fig6(
     max_rounds = max_rounds or scale.max_rounds
     objective = system.objective()
 
-    theory: dict[int, float | None] = {}
+    # One vectorized pass over the whole E sweep (NaN marks infeasible).
+    theory_grid = objective.value_integer_grid(participants, np.array(e_values))
+    theory: dict[int, float | None] = {
+        e: None if math.isnan(value) else float(value)
+        for e, value in zip(e_values, theory_grid)
+    }
     measured: dict[int, float | None] = {}
     for e in e_values:
-        theory[e] = (
-            objective.value_integer(participants, e)
-            if objective.is_feasible(participants, e)
-            else None
-        )
         run = system.prototype.run(
             participants=participants,
             epochs=e,

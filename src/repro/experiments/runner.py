@@ -68,15 +68,19 @@ _ACTIVE_OBSERVER: Observer | None = None
 _FAULT_PLAN_PATH: str | None = None
 _QUORUM: int | None = None
 
+# Execution backend for all FL training; set by main() from --backend.
+_BACKEND: str = "sequential"
+
 
 def _system(scale: ExperimentScale) -> CalibratedSystem:
     """Calibrate once per scale per process (fig4/5/6 share the system)."""
-    if scale.name not in _CALIBRATION_CACHE:
+    key = f"{scale.name}/{_BACKEND}"
+    if key not in _CALIBRATION_CACHE:
         print(f"[calibrating at scale {scale.name!r} ...]", file=sys.stderr)
-        _CALIBRATION_CACHE[scale.name] = calibrate_system(
-            scale, observer=_ACTIVE_OBSERVER
+        _CALIBRATION_CACHE[key] = calibrate_system(
+            scale, observer=_ACTIVE_OBSERVER, backend=_BACKEND
         )
-    return _CALIBRATION_CACHE[scale.name]
+    return _CALIBRATION_CACHE[key]
 
 
 def _run_table1(scale: ExperimentScale) -> str:
@@ -312,6 +316,17 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--backend",
+        choices=("sequential", "batched", "pool"),
+        default="sequential",
+        help=(
+            "execution engine for FL training: 'sequential' (reference), "
+            "'batched' (vectorized full-batch cohort training), or 'pool' "
+            "(process pool over shared-memory datasets); results are "
+            "equivalent across backends"
+        ),
+    )
+    parser.add_argument(
         "--quorum",
         type=int,
         default=None,
@@ -327,7 +342,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
-    global _ACTIVE_OBSERVER, _FAULT_PLAN_PATH, _QUORUM
+    global _ACTIVE_OBSERVER, _FAULT_PLAN_PATH, _QUORUM, _BACKEND
     args = build_parser().parse_args(argv)
     scale = SCALES[args.scale]
     observer = (
@@ -335,6 +350,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     _ACTIVE_OBSERVER = observer
     _FAULT_PLAN_PATH = args.fault_plan
+    _BACKEND = args.backend
     if args.quorum is not None and args.quorum < 1:
         print(f"--quorum must be >= 1; got {args.quorum}", file=sys.stderr)
         return 2
@@ -369,6 +385,7 @@ def main(argv: list[str] | None = None) -> int:
         _ACTIVE_OBSERVER = None
         _FAULT_PLAN_PATH = None
         _QUORUM = None
+        _BACKEND = "sequential"
         if observer is not None:
             observer.dump_jsonl(args.telemetry)
             print(

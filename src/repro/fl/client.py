@@ -32,7 +32,11 @@ class LocalUpdate:
         epochs: number of local epochs ``E`` that were run.
         gradient_steps: total number of SGD steps taken (``E`` times the
             number of mini-batches per epoch).
-        final_local_loss: local loss after training, for diagnostics.
+        final_local_loss: local loss observed at the end of training, for
+            diagnostics.  On the full-batch path this is the loss the
+            final gradient step descended (i.e. evaluated at the
+            penultimate parameters), reusing the forward pass that step
+            already computed instead of running an extra one.
     """
 
     client_id: int
@@ -96,6 +100,7 @@ class EdgeServerClient:
         learning_rate: float,
         sgd: SGDConfig | None = None,
         proximal_mu: float = 0.0,
+        rng: np.random.Generator | None = None,
     ) -> LocalUpdate:
         """Run ``epochs`` rounds of local SGD starting from the global model.
 
@@ -112,6 +117,12 @@ class EdgeServerClient:
                 local training to the global model — the standard
                 client-drift mitigation for non-iid data (extension; the
                 paper uses plain FedAvg, ``mu = 0``).
+            rng: optional randomness source for mini-batch shuffling.
+                The execution engines pass a per-(client, round) named
+                substream here so sequential and pooled execution consume
+                identical shuffles; when ``None`` the client's own
+                stateful generator is used.  Unused on the full-batch
+                path.
 
         Returns:
             The :class:`LocalUpdate` to be uploaded.
@@ -124,33 +135,52 @@ class EdgeServerClient:
             raise ValueError(f"proximal_mu must be non-negative; got {proximal_mu}")
         batch_size = sgd.batch_size if sgd is not None else None
         global_parameters = np.asarray(global_parameters, dtype=float)
-        self._model.set_parameters(global_parameters)
         steps = 0
 
-        def step(features: np.ndarray, labels: np.ndarray) -> None:
-            if proximal_mu == 0.0:
-                self._model.sgd_step(features, labels, learning_rate)
-                return
-            params = self._model.get_parameters()
-            gradient = self._model.gradient_flat(features, labels)
-            gradient = gradient + proximal_mu * (params - global_parameters)
-            self._model.set_parameters(params - learning_rate * gradient)
-
-        for _ in range(epochs):
-            if batch_size is None:
-                step(self.dataset.features, self.dataset.labels)
+        if batch_size is None:
+            # Full-batch gradient descent (the paper's setting).  Each
+            # epoch shares one forward pass between the loss and the
+            # gradient, and parameter vectors flow out-of-place through
+            # the ``copy=False`` view fast path.
+            features, labels = self.dataset.features, self.dataset.labels
+            params = global_parameters
+            last_loss = 0.0
+            for _ in range(epochs):
+                self._model.set_parameters(params, copy=False)
+                last_loss, gradient = self._model.forward_backward(features, labels)
+                if proximal_mu:
+                    gradient = gradient + proximal_mu * (params - global_parameters)
+                params = params - learning_rate * gradient
                 steps += 1
-            else:
-                for feats, labels in self.dataset.batches(batch_size, self._rng):
+            self._model.set_parameters(params, copy=False)
+            final_loss = last_loss
+        else:
+            self._model.set_parameters(global_parameters)
+            batch_rng = rng if rng is not None else self._rng
+
+            def step(features: np.ndarray, labels: np.ndarray) -> None:
+                if proximal_mu == 0.0:
+                    self._model.sgd_step(features, labels, learning_rate)
+                    return
+                params = self._model.get_parameters()
+                gradient = self._model.gradient_flat(features, labels)
+                gradient = gradient + proximal_mu * (params - global_parameters)
+                self._model.set_parameters(
+                    params - learning_rate * gradient, copy=False
+                )
+
+            for _ in range(epochs):
+                for feats, labels in self.dataset.batches(batch_size, batch_rng):
                     step(feats, labels)
                     steps += 1
+            final_loss = self._model.loss(
+                self.dataset.features, self.dataset.labels
+            )
         return LocalUpdate(
             client_id=self.client_id,
             parameters=self._model.get_parameters(),
             n_samples=self.n_samples,
             epochs=epochs,
             gradient_steps=steps,
-            final_local_loss=self._model.loss(
-                self.dataset.features, self.dataset.labels
-            ),
+            final_local_loss=final_loss,
         )

@@ -1,0 +1,454 @@
+"""Pluggable execution engines for one round of local training.
+
+The federated trainer's hot loop — "train the round's ``K`` selected
+clients from the current global model" — is isolated behind a small
+engine interface so the *how* can vary without touching FedAvg
+semantics:
+
+* :class:`SequentialEngine` — the reference path: one
+  :meth:`EdgeServerClient.train` call per participant, in order.
+* :class:`BatchedEngine` — stacks the cohort's full-batch gradient
+  descent into ``(G, n, d)`` / ``(G, d, C)`` tensors and replaces ``K``
+  per-client forward/gradient passes per epoch with batched matmul
+  kernels.  Only valid for the paper's setting (logistic regression,
+  ``batch_size=None``); anything else falls back to sequential
+  per-client training.  Per-client order of operations matches the
+  sequential path (batched ``matmul`` is per-slice gemm), so results
+  agree to ``atol=1e-10``.
+* :class:`PoolEngine` — a ``multiprocessing`` pool for the mini-batch
+  and MLP paths.  Client datasets ship once via shared memory
+  (:mod:`repro.perf.shared_data`); each task rebuilds the exact
+  sequential client code path in the worker, with mini-batch shuffles
+  drawn from a per-``(client, round)`` named substream so results are
+  bit-identical regardless of worker count and identical to sequential
+  execution.
+
+All engines return updates in participant order, which the trainer
+relies on for dropout draws, compression, and upload simulation.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from repro.faults.models import substream
+from repro.fl.client import EdgeServerClient, LocalUpdate
+from repro.fl.model import LogisticRegressionConfig, _sigmoid
+from repro.perf.cache import StackCache
+from repro.perf.shared_data import SharedDatasetStore, attach_datasets
+
+if TYPE_CHECKING:
+    from repro.fl.training import FederatedConfig
+    from repro.obs.observer import Observer
+
+__all__ = [
+    "BACKENDS",
+    "ClientTrainResult",
+    "ExecutionEngine",
+    "SequentialEngine",
+    "BatchedEngine",
+    "PoolEngine",
+    "create_engine",
+]
+
+BACKENDS = ("sequential", "batched", "pool")
+
+
+@dataclass(frozen=True)
+class ClientTrainResult:
+    """One client's training outcome plus its measured duration."""
+
+    update: LocalUpdate
+    duration_s: float
+
+
+class ExecutionEngine:
+    """Interface every backend implements."""
+
+    name = "abstract"
+
+    def train_round(
+        self,
+        participants: Sequence[int],
+        global_parameters: np.ndarray,
+        round_index: int,
+        learning_rate: float,
+    ) -> list[ClientTrainResult]:
+        """Train every participant from ``global_parameters``, in order."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release engine resources (pools, shared memory).  Idempotent."""
+
+
+def _batch_rng(
+    config: "FederatedConfig", client_id: int, round_index: int
+) -> np.random.Generator | None:
+    """Mini-batch shuffle stream shared by the sequential and pool paths.
+
+    Keyed by ``(seed, client, round)`` so any execution order — or
+    process — consumes the identical shuffle.  ``None`` on the
+    full-batch path, where no shuffle randomness is drawn at all.
+    """
+    if config.sgd.batch_size is None:
+        return None
+    return substream(config.seed, "batches", client_id, round_index)
+
+
+class SequentialEngine(ExecutionEngine):
+    """Reference backend: per-client training in participant order."""
+
+    name = "sequential"
+
+    def __init__(
+        self,
+        clients: list[EdgeServerClient],
+        config: "FederatedConfig",
+        observer: "Observer | None" = None,
+    ) -> None:
+        self._clients = clients
+        self._config = config
+        self._observer = observer
+
+    def train_round(
+        self,
+        participants: Sequence[int],
+        global_parameters: np.ndarray,
+        round_index: int,
+        learning_rate: float,
+    ) -> list[ClientTrainResult]:
+        config = self._config
+        results: list[ClientTrainResult] = []
+        for client_id in participants:
+            started = time.perf_counter()
+            update = self._clients[client_id].train(
+                global_parameters,
+                epochs=config.local_epochs,
+                learning_rate=learning_rate,
+                sgd=config.sgd,
+                proximal_mu=config.proximal_mu,
+                rng=_batch_rng(config, client_id, round_index),
+            )
+            results.append(
+                ClientTrainResult(update, time.perf_counter() - started)
+            )
+        return results
+
+
+class BatchedEngine(ExecutionEngine):
+    """Vectorized full-batch GD over the whole cohort at once.
+
+    Participants are grouped by local dataset size ``n_k`` (the iid
+    partition differs by at most one sample, so there are at most two
+    groups and no padding); each group trains as one stack of batched
+    matmuls.  The per-cohort feature stack is memoized in a small FIFO
+    cache because samplers revisit cohorts.
+    """
+
+    name = "batched"
+
+    def __init__(
+        self,
+        clients: list[EdgeServerClient],
+        config: "FederatedConfig",
+        observer: "Observer | None" = None,
+    ) -> None:
+        self._clients = clients
+        self._config = config
+        self._observer = observer
+        model_config = clients[0].model_config
+        self._supported = (
+            isinstance(model_config, LogisticRegressionConfig)
+            and config.sgd.batch_size is None
+        )
+        self._model_config = model_config
+        self._fallback = SequentialEngine(clients, config, observer)
+        self._stack_cache = StackCache(capacity=32)
+
+    def _stacked(
+        self, group: tuple[int, ...]
+    ) -> tuple[np.ndarray, np.ndarray]:
+        cached = self._stack_cache.lookup(group)
+        if cached is not None:
+            if self._observer is not None:
+                self._observer.counter("engine.cache_hits", cache="stack").inc()
+            return cached
+        features = np.stack(
+            [self._clients[c].dataset.features for c in group]
+        )
+        labels = np.stack([self._clients[c].dataset.labels for c in group])
+        self._stack_cache.store(group, (features, labels))
+        return features, labels
+
+    def _train_group(
+        self,
+        group: tuple[int, ...],
+        global_parameters: np.ndarray,
+        learning_rate: float,
+    ) -> list[LocalUpdate]:
+        config = self._config
+        model_config = self._model_config
+        d, n_classes = model_config.n_features, model_config.n_classes
+        mu = config.proximal_mu
+        l2 = model_config.l2
+        epochs = config.local_epochs
+        features, labels = self._stacked(group)
+        n_group, n = labels.shape
+        rows = np.arange(n)
+        group_index = np.arange(n_group)[:, None]
+
+        weights_global = global_parameters[: d * n_classes].reshape(d, n_classes)
+        bias_global = global_parameters[d * n_classes :]
+        # Start every client from broadcast *views* of the global model;
+        # each epoch rebinds out-of-place, never writing through.
+        weights = np.broadcast_to(weights_global, (n_group, d, n_classes))
+        bias = np.broadcast_to(bias_global, (n_group, n_classes))
+        losses = np.zeros(n_group)
+        features_t = features.transpose(0, 2, 1)
+
+        for _ in range(epochs):
+            logits = features @ weights
+            logits += bias[:, None, :]
+            if model_config.activation == "softmax":
+                shifted = logits - logits.max(axis=-1, keepdims=True)
+                exp = np.exp(shifted, out=shifted)
+                probs = np.divide(
+                    exp, exp.sum(axis=-1, keepdims=True), out=exp
+                )
+                picked = probs[group_index, rows, labels]
+            else:
+                probs = _sigmoid(logits)
+                total = probs.sum(axis=-1, keepdims=True)
+                picked = (probs / np.maximum(total, 1e-12))[
+                    group_index, rows, labels
+                ]
+            losses = -np.mean(np.log(np.maximum(picked, 1e-12)), axis=1)
+            if l2:
+                losses = losses + 0.5 * l2 * np.sum(weights**2, axis=(1, 2))
+            probs[group_index, rows, labels] -= 1.0
+            grad_w = features_t @ probs
+            grad_w /= n
+            grad_b = probs.sum(axis=1)
+            grad_b /= n
+            if l2:
+                grad_w += l2 * weights
+            if mu:
+                grad_w += mu * (weights - weights_global)
+                grad_b += mu * (bias - bias_global)
+            # In-place scale then subtract: same values as
+            # ``weights - lr * grad`` with half the large temporaries.
+            grad_w *= learning_rate
+            grad_b *= learning_rate
+            weights = weights - grad_w
+            bias = bias - grad_b
+
+        return [
+            LocalUpdate(
+                client_id=client_id,
+                parameters=np.concatenate(
+                    [weights[g].ravel(), bias[g]]
+                ),
+                n_samples=n,
+                epochs=epochs,
+                gradient_steps=epochs,
+                final_local_loss=float(losses[g]),
+            )
+            for g, client_id in enumerate(group)
+        ]
+
+    def train_round(
+        self,
+        participants: Sequence[int],
+        global_parameters: np.ndarray,
+        round_index: int,
+        learning_rate: float,
+    ) -> list[ClientTrainResult]:
+        if not self._supported:
+            return self._fallback.train_round(
+                participants, global_parameters, round_index, learning_rate
+            )
+        started = time.perf_counter()
+        groups: dict[int, list[int]] = {}
+        for client_id in participants:
+            groups.setdefault(self._clients[client_id].n_samples, []).append(
+                client_id
+            )
+        updates: dict[int, LocalUpdate] = {}
+        for group in groups.values():
+            # Canonical (sorted) order: each lane is independent, so the
+            # stack order is free — sorting makes the cohort's feature
+            # stack cacheable across rounds that reshuffle the same set.
+            for update in self._train_group(
+                tuple(sorted(group)), global_parameters, learning_rate
+            ):
+                updates[update.client_id] = update
+        elapsed = time.perf_counter() - started
+        if self._observer is not None:
+            self._observer.counter("engine.batched_rounds").inc()
+        per_client = elapsed / max(1, len(participants))
+        return [
+            ClientTrainResult(updates[client_id], per_client)
+            for client_id in participants
+        ]
+
+
+# ----------------------------------------------------------------------
+# Pool backend: worker-side state and task function.  Module-level so
+# they are picklable under both fork and spawn start methods.
+# ----------------------------------------------------------------------
+_POOL_STATE: dict = {}
+
+
+def _pool_initializer(spec, model_config, seed) -> None:
+    datasets, handles = attach_datasets(spec)
+    _POOL_STATE["datasets"] = datasets
+    _POOL_STATE["handles"] = handles  # keep the shm buffers alive
+    _POOL_STATE["model_config"] = model_config
+    _POOL_STATE["seed"] = seed
+    _POOL_STATE["clients"] = {}
+
+
+def _pool_train(task):
+    client_id, params, epochs, learning_rate, sgd, mu, round_index = task
+    started = time.perf_counter()
+    client = _POOL_STATE["clients"].get(client_id)
+    if client is None:
+        client = EdgeServerClient(
+            client_id,
+            _POOL_STATE["datasets"][client_id],
+            _POOL_STATE["model_config"],
+        )
+        _POOL_STATE["clients"][client_id] = client
+    rng = None
+    if sgd is not None and sgd.batch_size is not None:
+        rng = substream(_POOL_STATE["seed"], "batches", client_id, round_index)
+    update = client.train(
+        params,
+        epochs=epochs,
+        learning_rate=learning_rate,
+        sgd=sgd,
+        proximal_mu=mu,
+        rng=rng,
+    )
+    return update, time.perf_counter() - started
+
+
+def _shutdown_pool(pool, store: SharedDatasetStore) -> None:
+    try:
+        pool.terminate()
+        pool.join()
+    finally:
+        store.close()
+
+
+class PoolEngine(ExecutionEngine):
+    """Process-pool backend over shared-memory client datasets.
+
+    Workers run the *same* :meth:`EdgeServerClient.train` code path as
+    the sequential engine (with the same per-``(client, round)``
+    mini-batch substreams), and ``Pool.map`` preserves task order, so
+    results are deterministic and identical to sequential execution for
+    any worker count.  The pool and the shared blocks are created
+    lazily on the first round and released by :meth:`close` (or at
+    garbage collection via a finalizer).
+    """
+
+    name = "pool"
+
+    def __init__(
+        self,
+        clients: list[EdgeServerClient],
+        config: "FederatedConfig",
+        observer: "Observer | None" = None,
+    ) -> None:
+        self._clients = clients
+        self._config = config
+        self._observer = observer
+        self._pool = None
+        self._store: SharedDatasetStore | None = None
+        self._finalizer = None
+
+    def _ensure_pool(self) -> None:
+        if self._pool is not None:
+            return
+        import weakref
+
+        self._store = SharedDatasetStore(
+            [client.dataset for client in self._clients]
+        )
+        method = (
+            "fork"
+            if "fork" in multiprocessing.get_all_start_methods()
+            else "spawn"
+        )
+        context = multiprocessing.get_context(method)
+        self._pool = context.Pool(
+            processes=self._config.pool_workers,
+            initializer=_pool_initializer,
+            initargs=(
+                self._store.spec,
+                self._clients[0].model_config,
+                self._config.seed,
+            ),
+        )
+        self._finalizer = weakref.finalize(
+            self, _shutdown_pool, self._pool, self._store
+        )
+
+    def train_round(
+        self,
+        participants: Sequence[int],
+        global_parameters: np.ndarray,
+        round_index: int,
+        learning_rate: float,
+    ) -> list[ClientTrainResult]:
+        self._ensure_pool()
+        config = self._config
+        tasks = [
+            (
+                client_id,
+                global_parameters,
+                config.local_epochs,
+                learning_rate,
+                config.sgd,
+                config.proximal_mu,
+                round_index,
+            )
+            for client_id in participants
+        ]
+        results = self._pool.map(_pool_train, tasks)
+        if self._observer is not None:
+            self._observer.counter("engine.pool_tasks").inc(len(tasks))
+        return [
+            ClientTrainResult(update, duration)
+            for update, duration in results
+        ]
+
+    def close(self) -> None:
+        if self._finalizer is not None:
+            self._finalizer()  # runs _shutdown_pool at most once
+            self._pool = None
+            self._store = None
+
+
+def create_engine(
+    backend: str,
+    clients: list[EdgeServerClient],
+    config: "FederatedConfig",
+    observer: "Observer | None" = None,
+) -> ExecutionEngine:
+    """Instantiate the execution backend named by ``backend``."""
+    if backend == "sequential":
+        return SequentialEngine(clients, config, observer)
+    if backend == "batched":
+        return BatchedEngine(clients, config, observer)
+    if backend == "pool":
+        return PoolEngine(clients, config, observer)
+    raise ValueError(
+        f"backend must be one of {BACKENDS}; got {backend!r}"
+    )

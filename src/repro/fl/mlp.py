@@ -97,7 +97,15 @@ class MLPModel:
             [self.w1.ravel(), self.b1, self.w2.ravel(), self.b2]
         )
 
-    def set_parameters(self, flat: np.ndarray) -> None:
+    def set_parameters(self, flat: np.ndarray, copy: bool = True) -> None:
+        """Load parameters from a flat vector.
+
+        ``copy=False`` installs views into ``flat`` (the hot-loop fast
+        path, same contract as
+        :meth:`repro.fl.model.LogisticRegressionModel.set_parameters`):
+        the caller must not mutate ``flat``, and the model only rebinds
+        its parameter arrays.
+        """
         flat = np.asarray(flat, dtype=float)
         if flat.shape != (self.config.n_parameters,):
             raise ValueError(
@@ -105,17 +113,18 @@ class MLPModel:
             )
         c = self.config
         cursor = 0
-        self.w1 = flat[cursor : cursor + c.n_features * c.n_hidden].reshape(
-            c.n_features, c.n_hidden
-        ).copy()
-        cursor += c.n_features * c.n_hidden
-        self.b1 = flat[cursor : cursor + c.n_hidden].copy()
-        cursor += c.n_hidden
-        self.w2 = flat[cursor : cursor + c.n_hidden * c.n_classes].reshape(
-            c.n_hidden, c.n_classes
-        ).copy()
-        cursor += c.n_hidden * c.n_classes
-        self.b2 = flat[cursor:].copy()
+        pieces = []
+        for shape in (
+            (c.n_features, c.n_hidden),
+            (c.n_hidden,),
+            (c.n_hidden, c.n_classes),
+            (c.n_classes,),
+        ):
+            size = int(np.prod(shape))
+            piece = flat[cursor : cursor + size].reshape(shape)
+            pieces.append(piece.copy() if copy else piece)
+            cursor += size
+        self.w1, self.b1, self.w2, self.b2 = pieces
 
     def clone(self) -> "MLPModel":
         other = MLPModel(self.config)
@@ -167,6 +176,40 @@ class MLPModel:
             [grad_w1.ravel(), grad_b1, grad_w2.ravel(), grad_b2]
         )
 
+    def forward_backward(
+        self, features: np.ndarray, labels: np.ndarray
+    ) -> tuple[float, np.ndarray]:
+        """Loss and flat gradient sharing one forward pass.
+
+        Same contract as
+        :meth:`repro.fl.model.LogisticRegressionModel.forward_backward`:
+        both values are evaluated at the current parameters.
+        """
+        n = features.shape[0]
+        hidden, logits = self._forward(features)
+        probs = softmax(logits)
+        picked = probs[np.arange(n), labels]
+        loss = float(-np.mean(np.log(np.maximum(picked, 1e-12))))
+        if self.config.l2:
+            loss += 0.5 * self.config.l2 * float(
+                np.sum(self.w1**2) + np.sum(self.w2**2)
+            )
+        delta_out = probs
+        delta_out[np.arange(n), labels] -= 1.0
+        delta_out /= n
+        grad_w2 = hidden.T @ delta_out
+        grad_b2 = delta_out.sum(axis=0)
+        delta_hidden = (delta_out @ self.w2.T) * (hidden > 0)
+        grad_w1 = features.T @ delta_hidden
+        grad_b1 = delta_hidden.sum(axis=0)
+        if self.config.l2:
+            grad_w1 += self.config.l2 * self.w1
+            grad_w2 += self.config.l2 * self.w2
+        gradient = np.concatenate(
+            [grad_w1.ravel(), grad_b1, grad_w2.ravel(), grad_b2]
+        )
+        return loss, gradient
+
     def accuracy(self, features: np.ndarray, labels: np.ndarray) -> float:
         return float(np.mean(self.predict(features) == labels))
 
@@ -174,4 +217,6 @@ class MLPModel:
         self, features: np.ndarray, labels: np.ndarray, learning_rate: float
     ) -> None:
         gradient = self.gradient_flat(features, labels)
-        self.set_parameters(self.get_parameters() - learning_rate * gradient)
+        self.set_parameters(
+            self.get_parameters() - learning_rate * gradient, copy=False
+        )

@@ -127,8 +127,15 @@ class LogisticRegressionModel:
         """Return a flat copy of all parameters (weights then biases)."""
         return np.concatenate([self.weights.ravel(), self.bias])
 
-    def set_parameters(self, flat: np.ndarray) -> None:
-        """Load parameters from a flat vector produced by :meth:`get_parameters`."""
+    def set_parameters(self, flat: np.ndarray, copy: bool = True) -> None:
+        """Load parameters from a flat vector produced by :meth:`get_parameters`.
+
+        ``copy=False`` installs *views* into ``flat`` instead of copying —
+        the fast path used by the training and evaluation hot loops, where
+        a fresh parameter vector is produced every step anyway.  The
+        caller must not mutate ``flat`` afterwards, and the model itself
+        only rebinds (never writes through) view-backed parameters.
+        """
         flat = np.asarray(flat, dtype=float)
         if flat.shape != (self.config.n_parameters,):
             raise ValueError(
@@ -136,8 +143,13 @@ class LogisticRegressionModel:
                 f"got shape {flat.shape}"
             )
         n_w = self.config.n_features * self.config.n_classes
-        self.weights = flat[:n_w].reshape(self.config.n_features, self.config.n_classes).copy()
-        self.bias = flat[n_w:].copy()
+        weights = flat[:n_w].reshape(self.config.n_features, self.config.n_classes)
+        bias = flat[n_w:]
+        if copy:
+            weights = weights.copy()
+            bias = bias.copy()
+        self.weights = weights
+        self.bias = bias
 
     def clone(self) -> "LogisticRegressionModel":
         """Return a deep copy of this model."""
@@ -203,6 +215,35 @@ class LogisticRegressionModel:
         grad_w, grad_b = self.gradient(features, labels)
         return np.concatenate([grad_w.ravel(), grad_b])
 
+    def forward_backward(
+        self, features: np.ndarray, labels: np.ndarray
+    ) -> tuple[float, np.ndarray]:
+        """Loss and flat gradient from one shared forward pass.
+
+        A full-batch gradient step needs the class probabilities anyway;
+        computing the loss from the same forward halves the forward-pass
+        count of the training hot loop.  Returns ``(loss, gradient)``
+        where both are evaluated at the *current* parameters (the loss is
+        the one this gradient step descends).
+        """
+        n = features.shape[0]
+        if self.config.activation == "softmax":
+            probs = softmax(self.logits(features))
+            picked = probs[np.arange(n), labels]
+        else:
+            probs = _sigmoid(self.logits(features))
+            total = probs.sum(axis=-1, keepdims=True)
+            picked = (probs / np.maximum(total, 1e-12))[np.arange(n), labels]
+        loss = float(-np.mean(np.log(np.maximum(picked, 1e-12))))
+        if self.config.l2:
+            loss += 0.5 * self.config.l2 * float(np.sum(self.weights**2))
+        probs[np.arange(n), labels] -= 1.0
+        grad_w = features.T @ probs / n
+        grad_b = probs.sum(axis=0) / n
+        if self.config.l2:
+            grad_w = grad_w + self.config.l2 * self.weights
+        return loss, np.concatenate([grad_w.ravel(), grad_b])
+
     def accuracy(self, features: np.ndarray, labels: np.ndarray) -> float:
         """Fraction of correctly classified samples."""
         return float(np.mean(self.predict(features) == labels))
@@ -210,7 +251,12 @@ class LogisticRegressionModel:
     def sgd_step(
         self, features: np.ndarray, labels: np.ndarray, learning_rate: float
     ) -> None:
-        """Apply one gradient-descent step in place."""
+        """Apply one gradient-descent step.
+
+        Rebinds (rather than writes through) the parameter arrays, so a
+        model loaded via ``set_parameters(..., copy=False)`` never
+        mutates the caller's vector.
+        """
         grad_w, grad_b = self.gradient(features, labels)
-        self.weights -= learning_rate * grad_w
-        self.bias -= learning_rate * grad_b
+        self.weights = self.weights - learning_rate * grad_w
+        self.bias = self.bias - learning_rate * grad_b

@@ -106,16 +106,25 @@ class Coordinator:
                 )
             self._parameters = initial_parameters.copy()
         self.rounds_completed = 0
+        # Bumped only when aggregation actually changes the model (a
+        # skipped round carries the parameters forward unchanged), so
+        # evaluation caches can key on it.
+        self.parameters_version = 0
 
     @property
     def global_parameters(self) -> np.ndarray:
         """Copy of the current global parameter vector ``omega_t``."""
         return self._parameters.copy()
 
-    def global_model(self) -> LogisticRegressionModel:
-        """Materialise the global parameters as a model for evaluation."""
+    def global_model(self, copy: bool = True) -> LogisticRegressionModel:
+        """Materialise the global parameters as a model for evaluation.
+
+        ``copy=False`` loads the coordinator's vector as a read-only
+        view — safe for immediate evaluation, but the returned model
+        must not be trained or kept across an aggregation.
+        """
         model = self.model_config.build()
-        model.set_parameters(self._parameters)
+        model.set_parameters(self._parameters, copy=copy)
         return model
 
     def skip_round(self) -> np.ndarray:
@@ -166,6 +175,7 @@ class Coordinator:
         else:
             self._parameters = aggregate_weighted(updates)
         self.rounds_completed += 1
+        self.parameters_version += 1
         if self._observer is not None:
             self._observer.counter("fl.aggregations").inc()
             self._observer.profiler.observe(

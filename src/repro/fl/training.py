@@ -32,7 +32,6 @@ from __future__ import annotations
 
 import sys
 import time
-from contextlib import nullcontext
 from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Callable
 
@@ -47,6 +46,7 @@ from repro.faults.policies import (
 )
 from repro.fl.client import EdgeServerClient, LocalUpdate
 from repro.fl.compression import ErrorFeedback
+from repro.fl.engine import BACKENDS, create_engine
 from repro.fl.metrics import RoundRecord, TrainingHistory
 from repro.fl.model import LogisticRegressionConfig
 from repro.fl.sampling import ClientSampler, UniformSampler
@@ -54,6 +54,7 @@ from repro.fl.server import Coordinator
 from repro.fl.sgd import LearningRateSchedule, SGDConfig
 from repro.net.channel import ChannelConfig, WirelessChannel
 from repro.obs.observer import active_or_none
+from repro.perf.cache import EvalCache
 
 if TYPE_CHECKING:
     from repro.faults.injector import FaultInjector
@@ -61,9 +62,6 @@ if TYPE_CHECKING:
     from repro.obs.observer import Observer
 
 __all__ = ["FederatedConfig", "FederatedTrainer", "build_clients"]
-
-# Reusable do-nothing context manager for un-observed hot paths.
-_NOOP_CONTEXT = nullcontext()
 
 
 @dataclass(frozen=True)
@@ -91,6 +89,14 @@ class FederatedConfig:
             Over-selected stragglers still burn energy — the trade-off
             the extension benchmarks quantify.
         seed: seed for sampling and dropout randomness.
+        backend: execution engine for the round's local training —
+            ``"sequential"`` (reference), ``"batched"`` (vectorized
+            full-batch cohort training; equivalent to sequential to
+            ``atol=1e-10``), or ``"pool"`` (process pool over
+            shared-memory datasets; bit-identical to sequential).  See
+            :mod:`repro.fl.engine`.
+        pool_workers: worker-process count for the ``"pool"`` backend
+            (ignored by the other backends).
     """
 
     n_rounds: int
@@ -102,6 +108,8 @@ class FederatedConfig:
     proximal_mu: float = 0.0
     overselection: int = 0
     seed: int = 0
+    backend: str = "sequential"
+    pool_workers: int = 2
 
     def __post_init__(self) -> None:
         if self.n_rounds < 1:
@@ -128,6 +136,14 @@ class FederatedConfig:
         if self.proximal_mu < 0:
             raise ValueError(
                 f"proximal_mu must be non-negative; got {self.proximal_mu}"
+            )
+        if self.backend not in BACKENDS:
+            raise ValueError(
+                f"backend must be one of {BACKENDS}; got {self.backend!r}"
+            )
+        if self.pool_workers < 1:
+            raise ValueError(
+                f"pool_workers must be >= 1; got {self.pool_workers}"
             )
 
 
@@ -216,6 +232,10 @@ class FederatedTrainer:
         self.resilience_log: list[RoundResilienceReport] = []
         self.history = TrainingHistory()
         self._schedule = LearningRateSchedule(config.sgd)
+        self._engine = create_engine(
+            config.backend, clients, config, self._observer
+        )
+        self._eval_cache = EvalCache()
         self.total_gradient_steps = 0
         self.total_uploads = 0
         self.total_upload_bytes = 0
@@ -366,19 +386,14 @@ class FederatedTrainer:
             failed: list[int] = []
             corrupted_ids: list[int] = []
             late: list[int] = []
-            for client_id in participants:
-                train_started = time.perf_counter()
-                with (
-                    obs.profiler.timer("profile.client_train_s")
-                    if obs is not None
-                    else _NOOP_CONTEXT
-                ):
-                    update = self.clients[client_id].train(
-                        global_params,
-                        epochs=self.config.local_epochs,
-                        learning_rate=learning_rate,
-                        sgd=self.config.sgd,
-                        proximal_mu=self.config.proximal_mu,
+            results = self._engine.train_round(
+                participants, global_params, round_index, learning_rate
+            )
+            for client_id, result in zip(participants, results):
+                update = result.update
+                if obs is not None:
+                    obs.profiler.observe(
+                        "profile.client_train_s", result.duration_s
                     )
                 self.total_gradient_steps += update.gradient_steps
                 slowdown = 1.0
@@ -400,7 +415,7 @@ class FederatedTrainer:
                         gradient_steps=update.gradient_steps,
                         epochs=update.epochs,
                         final_local_loss=update.final_local_loss,
-                        duration_s=time.perf_counter() - train_started,
+                        duration_s=result.duration_s,
                         dropped=dropped,
                     )
                 if dropped:
@@ -523,15 +538,29 @@ class FederatedTrainer:
                 self.coordinator.aggregate(kept_updates)
             self._schedule.advance()
 
-            model = self.coordinator.global_model()
+            # Evaluation is cached on the coordinator's parameter
+            # version: a degraded round carries the model forward
+            # unchanged, so the previous round's numbers are exact.
+            version = self.coordinator.parameters_version
+            evaluation = self._eval_cache.lookup(version)
+            if evaluation is None:
+                model = self.coordinator.global_model(copy=False)
+                evaluation = (
+                    model.loss(
+                        self.train_eval.features, self.train_eval.labels
+                    ),
+                    model.accuracy(
+                        self.test_eval.features, self.test_eval.labels
+                    ),
+                )
+                self._eval_cache.store(version, evaluation)
+            elif obs is not None:
+                obs.counter("engine.cache_hits", cache="eval").inc()
+            train_loss, test_accuracy = evaluation
             record = RoundRecord(
                 round_index=round_index,
-                train_loss=model.loss(
-                    self.train_eval.features, self.train_eval.labels
-                ),
-                test_accuracy=model.accuracy(
-                    self.test_eval.features, self.test_eval.labels
-                ),
+                train_loss=train_loss,
+                test_accuracy=test_accuracy,
                 participants=tuple(participants),
                 local_epochs=self.config.local_epochs,
                 learning_rate=learning_rate,
@@ -586,3 +615,12 @@ class FederatedTrainer:
             ):
                 break
         return self.history
+
+    def close(self) -> None:
+        """Release execution-engine resources (worker pools, shared memory).
+
+        Idempotent and a no-op for the in-process backends; required for
+        deterministic teardown of the ``"pool"`` backend (a GC finalizer
+        covers the case where it is never called).
+        """
+        self._engine.close()

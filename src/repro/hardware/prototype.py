@@ -75,6 +75,7 @@ class PrototypeConfig:
     include_iot: bool = False
     heterogeneity: float = 0.0
     seed: int = 0
+    backend: str = "sequential"
 
     def __post_init__(self) -> None:
         if self.n_servers < 1:
@@ -281,6 +282,7 @@ class HardwarePrototype:
             target_accuracy=target_accuracy,
             overselection=overselection,
             seed=self.config.seed,
+            backend=self.config.backend,
         )
         client_time_fn = None
         if resilience is not None:
@@ -554,7 +556,10 @@ class HardwarePrototype:
                 sim.schedule(round_duration, run_round, label="round-start")
 
         simulator.schedule(0.0, run_round, label="round-start")
-        simulator.run()
+        try:
+            simulator.run()
+        finally:
+            trainer.close()
 
         if self.config.include_iot:
             assert self.iot_network is not None

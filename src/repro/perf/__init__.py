@@ -1,0 +1,29 @@
+"""Performance substrate: caches and shared-memory plumbing.
+
+Helpers behind the pluggable execution engine
+(:mod:`repro.fl.engine`) and the vectorized sweep evaluation in
+:mod:`repro.core.objective`:
+
+* :class:`EvalCache` — version-keyed memoization of the coordinator's
+  round evaluation (skipped/degraded rounds reuse the previous result);
+* :class:`StackCache` — bounded FIFO cache of stacked per-cohort
+  tensors for the batched backend;
+* :class:`SharedDatasetStore` / :func:`attach_datasets` — one-time
+  shipping of all client datasets to pool workers via
+  ``multiprocessing.shared_memory``.
+"""
+
+from repro.perf.cache import EvalCache, StackCache
+from repro.perf.shared_data import (
+    SharedDatasetSpec,
+    SharedDatasetStore,
+    attach_datasets,
+)
+
+__all__ = [
+    "EvalCache",
+    "StackCache",
+    "SharedDatasetSpec",
+    "SharedDatasetStore",
+    "attach_datasets",
+]

@@ -1,0 +1,87 @@
+"""Version-keyed memoization helpers for the execution engine.
+
+Two hot paths repeat work on unchanged inputs:
+
+* the coordinator's train/test evaluation re-runs every round even when
+  a degraded round carried the previous global model forward unchanged
+  (:class:`EvalCache`);
+* the batched backend re-stacks the same clients' feature tensors when
+  the sampler re-selects the same cohort (:class:`StackCache`).
+
+Both caches are deliberately tiny and explicit — no weak references, no
+global registries — so cache behaviour stays auditable in tests via the
+``engine.cache_hits{cache=...}`` counters their callers maintain.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = ["EvalCache", "StackCache"]
+
+
+class EvalCache:
+    """Memoizes one evaluation result keyed by a version counter.
+
+    The coordinator bumps ``parameters_version`` only when aggregation
+    actually changes the global model; a skipped/degraded round leaves
+    it untouched, so the previous round's ``(train_loss, test_accuracy)``
+    is still exact and the full-dataset forward passes can be skipped.
+    """
+
+    def __init__(self) -> None:
+        self._version: int | None = None
+        self._value: Any = None
+        self.hits = 0
+        self.misses = 0
+
+    def lookup(self, version: int) -> Any | None:
+        """Return the cached value for ``version``, or ``None``."""
+        if self._version == version:
+            self.hits += 1
+            return self._value
+        self.misses += 1
+        return None
+
+    def store(self, version: int, value: Any) -> None:
+        self._version = version
+        self._value = value
+
+    def clear(self) -> None:
+        self._version = None
+        self._value = None
+
+
+class StackCache:
+    """Bounded FIFO cache of stacked per-cohort tensors.
+
+    Keys are tuples of client ids; values are whatever the batched
+    backend stacked for that cohort.  Eviction is insertion-ordered: the
+    sampler cycles through a small set of cohorts in practice, so FIFO
+    with a small capacity captures nearly all repeats without ever
+    holding more than ``capacity`` stacked tensors alive.
+    """
+
+    def __init__(self, capacity: int = 32) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1; got {capacity}")
+        self.capacity = capacity
+        self._entries: dict[tuple[int, ...], Any] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def lookup(self, key: tuple[int, ...]) -> Any | None:
+        value = self._entries.get(key)
+        if value is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return value
+
+    def store(self, key: tuple[int, ...], value: Any) -> None:
+        if key not in self._entries and len(self._entries) >= self.capacity:
+            self._entries.pop(next(iter(self._entries)))
+        self._entries[key] = value
+
+    def __len__(self) -> int:
+        return len(self._entries)

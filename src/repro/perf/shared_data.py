@@ -1,0 +1,156 @@
+"""Shared-memory shipping of client datasets for the pool engine.
+
+The process-pool execution backend must hand every worker the full set
+of client datasets exactly once.  Pickling the feature matrices per task
+would copy megabytes per round; instead the parent packs all client
+shards into two ``multiprocessing.shared_memory`` blocks (features and
+labels, each one contiguous concatenation over clients) and ships only a
+tiny :class:`SharedDatasetSpec` of names and offsets.  Workers attach
+zero-copy numpy views over the blocks and rebuild per-client
+:class:`~repro.data.dataset.Dataset` objects from row slices.
+
+Ownership: the parent-side :class:`SharedDatasetStore` is the only
+unlinker.  Workers attach read-only and immediately de-register their
+handle from the ``resource_tracker`` (Python 3.11 has no ``track=False``
+attach), otherwise each worker's tracker would try to unlink the block a
+second time at exit and log spurious warnings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from multiprocessing import resource_tracker, shared_memory
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+
+__all__ = ["SharedDatasetSpec", "SharedDatasetStore", "attach_datasets"]
+
+
+@dataclass(frozen=True)
+class SharedDatasetSpec:
+    """Everything a worker needs to rebuild the client datasets.
+
+    Attributes:
+        features_name / labels_name: shared-memory block names.
+        features_dtype / labels_dtype: numpy dtype strings.
+        n_features: feature dimensionality (columns of the block).
+        n_classes: carried into every rebuilt :class:`Dataset`.
+        row_offsets: per-client ``(start_row, n_rows)`` into the blocks.
+    """
+
+    features_name: str
+    labels_name: str
+    features_dtype: str
+    labels_dtype: str
+    n_features: int
+    n_classes: int
+    row_offsets: tuple[tuple[int, int], ...]
+
+    @property
+    def total_rows(self) -> int:
+        return sum(n for _, n in self.row_offsets)
+
+
+class SharedDatasetStore:
+    """Parent-side owner of the packed shared-memory dataset blocks."""
+
+    def __init__(self, datasets: list[Dataset]) -> None:
+        if not datasets:
+            raise ValueError("need at least one dataset to share")
+        n_classes = datasets[0].n_classes
+        n_features = datasets[0].n_features
+        for d in datasets:
+            if d.n_classes != n_classes or d.n_features != n_features:
+                raise ValueError(
+                    "all shared datasets must agree on n_features/n_classes"
+                )
+        features = np.ascontiguousarray(
+            np.concatenate([d.features for d in datasets]), dtype=np.float64
+        )
+        labels = np.ascontiguousarray(
+            np.concatenate([d.labels for d in datasets]), dtype=np.int64
+        )
+        offsets: list[tuple[int, int]] = []
+        start = 0
+        for d in datasets:
+            offsets.append((start, len(d)))
+            start += len(d)
+
+        self._features_shm = shared_memory.SharedMemory(
+            create=True, size=features.nbytes
+        )
+        self._labels_shm = shared_memory.SharedMemory(
+            create=True, size=labels.nbytes
+        )
+        np.ndarray(
+            features.shape, dtype=features.dtype, buffer=self._features_shm.buf
+        )[:] = features
+        np.ndarray(
+            labels.shape, dtype=labels.dtype, buffer=self._labels_shm.buf
+        )[:] = labels
+        self.spec = SharedDatasetSpec(
+            features_name=self._features_shm.name,
+            labels_name=self._labels_shm.name,
+            features_dtype=features.dtype.str,
+            labels_dtype=labels.dtype.str,
+            n_features=n_features,
+            n_classes=n_classes,
+            row_offsets=tuple(offsets),
+        )
+        self._closed = False
+
+    def close(self) -> None:
+        """Release and unlink both blocks (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for shm in (self._features_shm, self._labels_shm):
+            try:
+                shm.close()
+                shm.unlink()
+            except FileNotFoundError:
+                pass
+
+
+def attach_datasets(
+    spec: SharedDatasetSpec,
+) -> tuple[list[Dataset], tuple[shared_memory.SharedMemory, ...]]:
+    """Worker-side attach: rebuild per-client datasets as zero-copy views.
+
+    Returns ``(datasets, handles)``; the caller must keep ``handles``
+    alive as long as the datasets are used (the views borrow their
+    buffers).  The handles are never registered with the resource
+    tracker, so only the parent-side owner unlinks the blocks.
+    """
+    # Attach without resource-tracker registration (Python 3.11 has no
+    # ``track=False``): forked workers share the parent's tracker
+    # process, so attach-side register/unregister pairs race each other
+    # and the tracker logs spurious KeyErrors at exit.  Only the parent
+    # (creator) tracks and unlinks the blocks.
+    register = resource_tracker.register
+    resource_tracker.register = lambda *args, **kwargs: None
+    try:
+        features_shm = shared_memory.SharedMemory(name=spec.features_name)
+        labels_shm = shared_memory.SharedMemory(name=spec.labels_name)
+    finally:
+        resource_tracker.register = register
+    total = spec.total_rows
+    all_features = np.ndarray(
+        (total, spec.n_features),
+        dtype=np.dtype(spec.features_dtype),
+        buffer=features_shm.buf,
+    )
+    all_labels = np.ndarray(
+        (total,), dtype=np.dtype(spec.labels_dtype), buffer=labels_shm.buf
+    )
+    datasets = [
+        Dataset(
+            all_features[start : start + n_rows],
+            all_labels[start : start + n_rows],
+            spec.n_classes,
+        )
+        for start, n_rows in spec.row_offsets
+    ]
+    return datasets, (features_shm, labels_shm)
