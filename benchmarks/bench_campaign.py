@@ -1,0 +1,200 @@
+"""Campaign-orchestration benchmark: checkpoint overhead, resume, report.
+
+Runs one fixed-budget ``(K, E)`` grid campaign (8 units at demo scale)
+through :class:`repro.campaign.CampaignRunner` and times the properties
+the subsystem exists for:
+
+* **orchestration overhead** — campaign wall-clock vs a bare loop over
+  the same units calling ``run_unit`` directly (no store, no manifest,
+  no checksums).  Checkpointing must cost a bounded fraction of the
+  training it protects.
+* **resume no-op** — a second runner pass over the completed store must
+  skip every unit by content key in a small fraction of the initial
+  run's time (this is what makes kill-and-resume cheap).
+* **report from artifacts** — regenerating the Fig. 5/6 energy grid
+  from the store must likewise be a small fraction of the initial run
+  (reports never re-train).
+* **pooled backend** — the same campaign with ``backend_override="pool"``,
+  recorded for tracking.  At this benchmark's demo scale the per-round
+  kernels are tiny, so the process pool's IPC can outweigh its
+  parallelism; the speedup is reported, not guarded (bench_engine.py
+  owns the backend-speed guarantees at the scale where they hold).
+
+Writes ``BENCH_campaign.json`` and exits non-zero if orchestration
+overhead, resume, or report regress past their thresholds.
+
+Not a pytest benchmark (no ``test_`` prefix — the timings are a
+tracking artifact, not an assertion):
+
+Run:  python benchmarks/bench_campaign.py [output.json]
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.campaign import (
+    ArtifactStore,
+    CampaignReport,
+    CampaignRunner,
+    CampaignSpec,
+    RunSpec,
+)
+
+N_SERVERS = 8
+N_TRAIN = 800
+N_TEST = 200
+MAX_ROUNDS = 10
+K_VALUES = (1, 2, 4, 8)
+E_VALUES = (1, 4)
+SEED = 0
+
+# Guard thresholds (generous: CI boxes are noisy).
+MAX_OVERHEAD_FRACTION = 0.50  # store+manifest cost vs bare training
+MAX_RESUME_FRACTION = 0.20  # resume-noop time vs initial run
+MAX_REPORT_FRACTION = 0.20  # report time vs initial run
+
+
+def _make_campaign() -> CampaignSpec:
+    base = RunSpec(
+        name="bench",
+        n_train=N_TRAIN,
+        n_test=N_TEST,
+        n_servers=N_SERVERS,
+        max_rounds=MAX_ROUNDS,
+        train_to_target=False,
+        seed=SEED,
+    )
+    return CampaignSpec(
+        name="bench", base=base, participants=K_VALUES, epochs=E_VALUES
+    )
+
+
+def _timed_campaign(
+    campaign: CampaignSpec, root: Path, backend: str | None = None
+) -> tuple[float, CampaignRunner]:
+    runner = CampaignRunner(
+        campaign, ArtifactStore(root), backend_override=backend
+    )
+    started = time.perf_counter()
+    summary = runner.run()
+    elapsed = time.perf_counter() - started
+    assert summary.executed == len(campaign), "benchmark campaign incomplete"
+    return elapsed, runner
+
+
+def _timed_bare_loop(campaign: CampaignSpec, root: Path) -> float:
+    """The same units, no store: isolates the orchestration overhead."""
+    runner = CampaignRunner(campaign, ArtifactStore(root))
+    started = time.perf_counter()
+    for unit in runner.units:
+        runner.run_unit(unit)
+    return time.perf_counter() - started
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = sys.argv[1:] if argv is None else argv
+    out_path = Path(args[0]) if args else Path("BENCH_campaign.json")
+    campaign = _make_campaign()
+    workdir = Path(tempfile.mkdtemp(prefix="bench_campaign_"))
+    try:
+        # Warm the dataset/import caches so the first timed pass is fair.
+        warm = CampaignRunner(campaign, ArtifactStore(workdir / "warm"))
+        warm.run_unit(warm.units[0])
+
+        campaign_s, _ = _timed_campaign(campaign, workdir / "sequential")
+        bare_s = _timed_bare_loop(campaign, workdir / "bare")
+        overhead = campaign_s / bare_s - 1.0
+        print(
+            f"campaign ({len(campaign)} units): {campaign_s:.3f}s; "
+            f"bare unit loop: {bare_s:.3f}s; "
+            f"orchestration overhead {100 * overhead:+.1f}%"
+        )
+
+        store = ArtifactStore(workdir / "sequential")
+        started = time.perf_counter()
+        resumed = CampaignRunner(campaign, store).run()
+        resume_s = time.perf_counter() - started
+        assert resumed.executed == 0 and resumed.skipped == len(campaign)
+        print(
+            f"resume no-op: {resume_s:.3f}s "
+            f"({100 * resume_s / campaign_s:.1f}% of initial run)"
+        )
+
+        started = time.perf_counter()
+        report = CampaignReport.from_store(store)
+        grid = report.energy_grid()
+        report.render()
+        report_s = time.perf_counter() - started
+        assert len(grid) == len(campaign)
+        print(
+            f"report from artifacts: {report_s:.3f}s "
+            f"({100 * report_s / campaign_s:.1f}% of initial run)"
+        )
+
+        pool_s, _ = _timed_campaign(campaign, workdir / "pool", backend="pool")
+        pool_speedup = campaign_s / pool_s
+        print(f"pooled backend: {pool_s:.3f}s ({pool_speedup:.2f}x, tracked)")
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+    payload = {
+        "benchmark": "campaign",
+        "config": {
+            "n_servers": N_SERVERS,
+            "n_train": N_TRAIN,
+            "n_test": N_TEST,
+            "max_rounds": MAX_ROUNDS,
+            "grid_k": list(K_VALUES),
+            "grid_e": list(E_VALUES),
+            "units": len(campaign),
+            "seed": SEED,
+        },
+        "seconds": {
+            "campaign_sequential": campaign_s,
+            "bare_unit_loop": bare_s,
+            "resume_noop": resume_s,
+            "report_from_artifacts": report_s,
+            "campaign_pooled": pool_s,
+        },
+        "orchestration_overhead_fraction": overhead,
+        "resume_fraction_of_run": resume_s / campaign_s,
+        "report_fraction_of_run": report_s / campaign_s,
+        "pool_speedup": pool_speedup,
+        "thresholds": {
+            "max_overhead_fraction": MAX_OVERHEAD_FRACTION,
+            "max_resume_fraction": MAX_RESUME_FRACTION,
+            "max_report_fraction": MAX_REPORT_FRACTION,
+        },
+    }
+    out_path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {out_path}")
+
+    failures = []
+    if overhead > MAX_OVERHEAD_FRACTION:
+        failures.append(
+            f"orchestration overhead {100 * overhead:.1f}% exceeds "
+            f"{100 * MAX_OVERHEAD_FRACTION:.0f}%"
+        )
+    if resume_s / campaign_s > MAX_RESUME_FRACTION:
+        failures.append(
+            f"resume no-op took {100 * resume_s / campaign_s:.1f}% of the "
+            f"initial run (max {100 * MAX_RESUME_FRACTION:.0f}%)"
+        )
+    if report_s / campaign_s > MAX_REPORT_FRACTION:
+        failures.append(
+            f"report took {100 * report_s / campaign_s:.1f}% of the "
+            f"initial run (max {100 * MAX_REPORT_FRACTION:.0f}%)"
+        )
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

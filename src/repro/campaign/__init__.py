@@ -1,0 +1,55 @@
+"""Campaign orchestration: declare, execute, interrupt, resume sweeps.
+
+The paper's evaluation *is* a campaign — a grid over ``(K, E)``, seeds,
+and failure scenarios, trained to a fixed accuracy and priced in joules.
+This package makes that a first-class object instead of a pile of
+per-figure scripts:
+
+* :class:`~repro.campaign.spec.RunSpec` — the unified public run
+  configuration (supersedes the ``ExperimentScale`` +
+  ``FederatedConfig`` + ``ResilienceConfig`` trio; those remain as thin
+  projections of it).
+* :class:`~repro.campaign.spec.CampaignSpec` — a named, JSON-serialisable
+  grid over K/E/seed/backend/fault-plan/resilience axes that expands
+  into deterministic :class:`RunSpec` units with content-hashed keys.
+* :class:`~repro.campaign.runner.CampaignRunner` — executes units on
+  fresh testbeds (any :mod:`repro.fl.engine` backend), checkpointing
+  each into an :class:`~repro.campaign.store.ArtifactStore`; interrupted
+  campaigns resume bit-identically by skipping completed keys.
+* :class:`~repro.campaign.report.CampaignReport` — regenerates the
+  Fig. 5/6 energy grids and the best-``(K, E)`` headline from stored
+  artifacts alone, without re-running any training.
+
+CLI: ``python -m repro campaign {init,run,status,report}``.
+"""
+
+from repro.campaign.report import CampaignReport, load_rows
+from repro.campaign.runner import (
+    CampaignRunner,
+    CampaignRunSummary,
+    UnitOutcome,
+)
+from repro.campaign.spec import (
+    CampaignSpec,
+    FaultAxis,
+    ResilienceAxis,
+    RunSpec,
+    make_demo_campaign,
+)
+from repro.campaign.store import ArtifactStore, StoreError, UnitArtifact
+
+__all__ = [
+    "ArtifactStore",
+    "CampaignReport",
+    "CampaignRunSummary",
+    "CampaignRunner",
+    "CampaignSpec",
+    "FaultAxis",
+    "ResilienceAxis",
+    "RunSpec",
+    "StoreError",
+    "UnitArtifact",
+    "UnitOutcome",
+    "load_rows",
+    "make_demo_campaign",
+]

@@ -1,0 +1,363 @@
+"""Campaign execution: run every unit once, checkpoint, resume.
+
+:class:`CampaignRunner` turns a :class:`~repro.campaign.spec.CampaignSpec`
+into completed artifacts.  The execution contract that makes campaigns
+interruptible is *unit independence*: every unit is executed on a
+freshly built :class:`~repro.hardware.prototype.HardwarePrototype`
+(fresh devices, fresh clients, fresh RNG streams derived only from the
+unit's own seed), so a unit's results depend on nothing but its
+:class:`~repro.campaign.spec.RunSpec`.  Datasets — which are immutable —
+are the only state shared across units, cached per
+``(n_train, n_test, seed, noise_std)`` signature to avoid regenerating
+the same synthetic MNIST for every grid cell.
+
+Consequences:
+
+* killing a campaign after N units and resuming it produces artifacts
+  bit-identical to an uninterrupted run (the resume test in
+  ``tests/campaign/`` byte-compares the histories);
+* units may use any execution backend (``sequential`` / ``batched`` /
+  ``pool``) without affecting which units run or their keys;
+* completed units are skipped by content key, never re-trained — the
+  report stage (:mod:`repro.campaign.report`) regenerates every table
+  from the store alone.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, replace
+
+from repro.campaign.spec import CampaignSpec, RunSpec
+from repro.campaign.store import ArtifactStore
+from repro.data.dataset import Dataset
+from repro.data.synthetic_mnist import load_synthetic_mnist
+from repro.faults.models import FaultPlan
+from repro.faults.policies import ResilienceConfig
+from repro.hardware.prototype import (
+    HardwarePrototype,
+    PrototypeConfig,
+    PrototypeResult,
+)
+from repro.obs.observer import Observer, active_or_none
+
+__all__ = ["CampaignRunner", "UnitOutcome", "CampaignRunSummary"]
+
+
+@dataclass(frozen=True)
+class UnitOutcome:
+    """What happened to one unit during a runner pass.
+
+    Attributes:
+        key: the unit's content key.
+        name: the unit's human-readable name.
+        skipped: the unit was already complete in the store.
+        duration_s: real (not simulated) execution time; 0 when skipped.
+    """
+
+    key: str
+    name: str
+    skipped: bool
+    duration_s: float = 0.0
+
+
+@dataclass(frozen=True)
+class CampaignRunSummary:
+    """Aggregate of one :meth:`CampaignRunner.run` pass.
+
+    Attributes:
+        outcomes: per-unit outcomes in execution order.
+        interrupted: the pass stopped early (unit cap reached or
+            ``KeyboardInterrupt``); completed units are checkpointed
+            and a later pass will resume after them.
+    """
+
+    outcomes: tuple[UnitOutcome, ...]
+    interrupted: bool = False
+
+    @property
+    def executed(self) -> int:
+        """Units actually trained this pass."""
+        return sum(1 for o in self.outcomes if not o.skipped)
+
+    @property
+    def skipped(self) -> int:
+        """Units skipped because their artifacts already existed."""
+        return sum(1 for o in self.outcomes if o.skipped)
+
+
+def _result_document(spec: RunSpec, result: PrototypeResult) -> dict:
+    """The ``result.json`` measurement snapshot for one completed unit."""
+    return {
+        "name": spec.name,
+        "participants": int(result.participants),
+        "epochs": int(result.epochs),
+        "seed": int(spec.seed),
+        "backend": spec.backend,
+        "train_to_target": bool(spec.train_to_target),
+        "rounds": int(result.rounds),
+        "reached_target": bool(result.reached_target),
+        "final_accuracy": float(result.history.final_accuracy()),
+        "final_loss": float(result.history.final_loss()),
+        "total_energy_j": float(result.total_energy_j),
+        "energy_per_round_j": [float(e) for e in result.energy_per_round_j],
+        "wasted_energy_j": float(result.wasted_energy_j),
+        "degraded_rounds": int(result.degraded_rounds),
+        "wall_clock_s": float(result.wall_clock_s),
+        "iot_energy_j": float(result.iot_energy_j),
+    }
+
+
+class CampaignRunner:
+    """Executes a campaign against an artifact store, resumably.
+
+    Args:
+        campaign: the grid to execute.
+        store: artifact store (a path or an :class:`ArtifactStore`);
+            initialised/bound to the campaign on construction.
+        observer: optional campaign-level telemetry sink — receives
+            ``campaign.start`` / ``campaign.unit`` / ``campaign.end``
+            events and the ``campaign.units_run`` / ``campaign.units_skipped``
+            counters.  Per-unit *training* telemetry is controlled by
+            each unit's ``RunSpec.telemetry`` flag and lands in the
+            unit's artifact directory instead.
+        backend_override: run every unit on this execution backend
+            regardless of what its spec says (the ``--backend`` CLI
+            flag).  Applied by rewriting the unit specs, so unit keys
+            — and therefore stored artifacts — reflect the override.
+        fault_plan_override: inject this fault plan into every unit
+            (rewrites specs, like ``backend_override``).
+        quorum_override: force ``min_quorum`` on every unit that has a
+            resilience config (and attach a default one where missing).
+    """
+
+    def __init__(
+        self,
+        campaign: CampaignSpec,
+        store: ArtifactStore | str,
+        observer: Observer | None = None,
+        backend_override: str | None = None,
+        fault_plan_override: FaultPlan | None = None,
+        quorum_override: int | None = None,
+    ) -> None:
+        self.campaign = campaign
+        self.store = store if isinstance(store, ArtifactStore) else ArtifactStore(store)
+        self._observer = active_or_none(observer)
+        self._dataset_cache: dict[tuple, tuple[Dataset, Dataset]] = {}
+        self.units = self._apply_overrides(
+            campaign.expand(),
+            backend_override,
+            fault_plan_override,
+            quorum_override,
+        )
+        if self.units != campaign.expand():
+            # Overrides change unit identities; rebind the store to the
+            # overridden campaign so resume matches what actually ran.
+            self.campaign = self._overridden_campaign(
+                campaign,
+                backend_override,
+                fault_plan_override,
+                quorum_override,
+            )
+        self.store.initialize(self.campaign)
+
+    @staticmethod
+    def _apply_overrides(
+        units: tuple[RunSpec, ...],
+        backend: str | None,
+        fault_plan: FaultPlan | None,
+        quorum: int | None,
+    ) -> tuple[RunSpec, ...]:
+        if backend is None and fault_plan is None and quorum is None:
+            return units
+        rewritten = []
+        for unit in units:
+            changes: dict = {}
+            if backend is not None:
+                changes["backend"] = backend
+            if fault_plan is not None:
+                changes["fault_plan"] = fault_plan
+            if quorum is not None:
+                resilience = unit.resilience or ResilienceConfig()
+                changes["resilience"] = replace(
+                    resilience, min_quorum=quorum
+                )
+            rewritten.append(replace(unit, **changes))
+        return tuple(rewritten)
+
+    @staticmethod
+    def _overridden_campaign(
+        campaign: CampaignSpec,
+        backend: str | None,
+        fault_plan: FaultPlan | None,
+        quorum: int | None,
+    ) -> CampaignSpec:
+        base = campaign.base
+        changes: dict = {}
+        if backend is not None:
+            changes["backend"] = backend
+        if fault_plan is not None:
+            changes["fault_plan"] = fault_plan
+        if quorum is not None:
+            resilience = base.resilience or ResilienceConfig()
+            changes["resilience"] = replace(resilience, min_quorum=quorum)
+        overridden: dict = {"base": replace(base, **changes)}
+        if backend is not None:
+            overridden["backends"] = ()
+        if fault_plan is not None:
+            overridden["faults"] = ()
+        if quorum is not None:
+            overridden["resiliences"] = ()
+        return replace(campaign, **overridden)
+
+    # ------------------------------------------------------------------
+    # Unit execution.
+    # ------------------------------------------------------------------
+    def _datasets(self, spec: RunSpec) -> tuple[Dataset, Dataset]:
+        signature = (spec.n_train, spec.n_test, spec.seed, spec.noise_std)
+        if signature not in self._dataset_cache:
+            self._dataset_cache[signature] = load_synthetic_mnist(
+                n_train=spec.n_train,
+                n_test=spec.n_test,
+                seed=spec.seed,
+                noise_std=spec.noise_std,
+            )
+        return self._dataset_cache[signature]
+
+    def run_unit(self, spec: RunSpec) -> PrototypeResult:
+        """Execute one unit on a fresh, independently seeded testbed."""
+        train, test = self._datasets(spec)
+        scale = spec.scale()
+        prototype = HardwarePrototype(
+            train,
+            test,
+            PrototypeConfig(
+                n_servers=spec.n_servers,
+                model=scale.model_config(),
+                sgd=scale.sgd_config(),
+                seed=spec.seed,
+                backend=spec.backend,
+            ),
+            observer=self._unit_observer(spec),
+        )
+        return prototype.run(
+            participants=spec.participants,
+            epochs=spec.epochs,
+            n_rounds=spec.max_rounds,
+            target_accuracy=(
+                spec.target_accuracy if spec.train_to_target else None
+            ),
+            overselection=spec.overselection,
+            fault_plan=spec.fault_plan,
+            resilience=spec.resilience,
+        )
+
+    def _unit_observer(self, spec: RunSpec) -> Observer | None:
+        self._active_unit_observer = Observer() if spec.telemetry else None
+        return self._active_unit_observer
+
+    def _drain_unit_telemetry(self) -> str | None:
+        observer = getattr(self, "_active_unit_observer", None)
+        if observer is None:
+            return None
+        self._active_unit_observer = None
+        observer.emit("metrics.snapshot", **observer.snapshot())
+        return observer.events.to_jsonl()
+
+    # ------------------------------------------------------------------
+    # The campaign loop.
+    # ------------------------------------------------------------------
+    def run(self, max_units: int | None = None) -> CampaignRunSummary:
+        """Execute every incomplete unit, checkpointing each.
+
+        Args:
+            max_units: stop (gracefully, with everything so far
+                checkpointed) after training this many units — the
+                hook the kill-and-resume tests use.  Skipped units do
+                not count against the cap.
+
+        A ``KeyboardInterrupt`` mid-unit is absorbed the same way: the
+        summary reports ``interrupted=True`` and the partially-run
+        unit's artifacts are simply absent, so the next pass re-runs it
+        from scratch (deterministically, to the same bytes).
+        """
+        obs = self._observer
+        completed = self.store.completed_keys()
+        outcomes: list[UnitOutcome] = []
+        interrupted = False
+        executed = 0
+        if obs is not None:
+            obs.emit(
+                "campaign.start",
+                campaign=self.campaign.name,
+                key=self.campaign.key(),
+                units=len(self.units),
+                already_complete=len(completed),
+            )
+        for spec in self.units:
+            key = spec.key()
+            if key in completed:
+                outcomes.append(
+                    UnitOutcome(key=key, name=spec.name, skipped=True)
+                )
+                if obs is not None:
+                    obs.counter("campaign.units_skipped").inc()
+                    obs.emit(
+                        "campaign.unit",
+                        campaign=self.campaign.name,
+                        unit=spec.name,
+                        key=key,
+                        skipped=True,
+                    )
+                continue
+            if max_units is not None and executed >= max_units:
+                interrupted = True
+                break
+            started = time.perf_counter()
+            try:
+                result = self.run_unit(spec)
+            except KeyboardInterrupt:
+                interrupted = True
+                break
+            duration_s = time.perf_counter() - started
+            self.store.record_unit(
+                spec,
+                result.history,
+                _result_document(spec, result),
+                telemetry_jsonl=self._drain_unit_telemetry(),
+            )
+            executed += 1
+            outcomes.append(
+                UnitOutcome(
+                    key=key,
+                    name=spec.name,
+                    skipped=False,
+                    duration_s=duration_s,
+                )
+            )
+            if obs is not None:
+                obs.counter("campaign.units_run").inc()
+                obs.histogram("campaign.unit_duration_s").observe(duration_s)
+                obs.emit(
+                    "campaign.unit",
+                    campaign=self.campaign.name,
+                    unit=spec.name,
+                    key=key,
+                    skipped=False,
+                    duration_s=duration_s,
+                    rounds=result.rounds,
+                    total_energy_j=result.total_energy_j,
+                    reached_target=result.reached_target,
+                )
+        summary = CampaignRunSummary(
+            outcomes=tuple(outcomes), interrupted=interrupted
+        )
+        if obs is not None:
+            obs.emit(
+                "campaign.end",
+                campaign=self.campaign.name,
+                executed=summary.executed,
+                skipped=summary.skipped,
+                interrupted=summary.interrupted,
+            )
+        return summary

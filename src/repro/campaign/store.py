@@ -1,0 +1,288 @@
+"""On-disk campaign artifact store: checkpoint, verify, resume.
+
+Energy sweeps at paper scale take hours; a campaign must survive being
+killed.  The store checkpoints every completed unit as it finishes:
+
+.. code-block:: text
+
+    <root>/
+      campaign.json            # the CampaignSpec this store belongs to
+      manifest.json            # completed units: key -> files + checksums
+      units/<unit key>/
+        spec.json              # the unit's RunSpec
+        history.json           # repro.fl.history_io document
+        result.json            # energy/rounds/accuracy measurements
+        telemetry.jsonl        # optional per-unit event log
+
+A unit is *complete* exactly when the manifest lists it — the unit files
+are written first and the manifest last (atomically, via a temp file and
+``os.replace``), so a crash mid-unit leaves at worst an orphaned
+directory that the next run overwrites.  The manifest records a SHA-256
+checksum of every artifact file, and :meth:`ArtifactStore.verify`
+re-hashes them so silent corruption is detected before a resumed
+campaign or a report trusts stale bytes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Iterator
+
+from repro.campaign.spec import CampaignSpec, RunSpec
+from repro.fl.history_io import history_from_json, history_to_json
+from repro.fl.metrics import TrainingHistory
+
+__all__ = ["ArtifactStore", "UnitArtifact", "StoreError"]
+
+_MANIFEST_SCHEMA = "repro.campaign-manifest/1"
+_CAMPAIGN_FILE = "campaign.json"
+_MANIFEST_FILE = "manifest.json"
+_UNITS_DIR = "units"
+_SPEC_FILE = "spec.json"
+_HISTORY_FILE = "history.json"
+_RESULT_FILE = "result.json"
+_TELEMETRY_FILE = "telemetry.jsonl"
+
+
+class StoreError(RuntimeError):
+    """A campaign artifact store is missing, mismatched, or corrupt."""
+
+
+def _sha256(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+def _atomic_write(path: Path, text: str) -> None:
+    """Write ``text`` so readers never observe a half-written file."""
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(text, encoding="utf-8")
+    os.replace(tmp, path)
+
+
+class UnitArtifact:
+    """Lazy handle onto one completed unit's artifacts.
+
+    Parsing a history is much more expensive than reading a manifest
+    row, so reports iterate these handles and load only what they use.
+    """
+
+    def __init__(self, store: "ArtifactStore", key: str, entry: dict) -> None:
+        self._store = store
+        self.key = key
+        self.name = entry["name"]
+        self._entry = entry
+
+    @property
+    def directory(self) -> Path:
+        """The unit's artifact directory."""
+        return self._store.unit_dir(self.key)
+
+    def spec(self) -> RunSpec:
+        """The unit's :class:`RunSpec`."""
+        return RunSpec.from_json(
+            (self.directory / _SPEC_FILE).read_text(encoding="utf-8")
+        )
+
+    def history(self) -> TrainingHistory:
+        """The unit's per-round training history."""
+        return history_from_json(
+            (self.directory / _HISTORY_FILE).read_text(encoding="utf-8")
+        )
+
+    def result(self) -> dict:
+        """The unit's measurement snapshot (energy, rounds, accuracy)."""
+        return json.loads(
+            (self.directory / _RESULT_FILE).read_text(encoding="utf-8")
+        )
+
+
+class ArtifactStore:
+    """Checkpointed storage for one campaign's run artifacts.
+
+    Args:
+        root: store directory; created on :meth:`initialize`.
+    """
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+
+    # ------------------------------------------------------------------
+    # Lifecycle.
+    # ------------------------------------------------------------------
+    def initialize(self, campaign: CampaignSpec) -> None:
+        """Bind this store to ``campaign``, creating it if needed.
+
+        Re-initialising an existing store with the *same* campaign (by
+        content key) is the resume path and is a no-op; initialising
+        with a different campaign raises :class:`StoreError` instead of
+        silently mixing artifacts from two grids.
+        """
+        existing = self.campaign_key()
+        if existing is not None:
+            if existing != campaign.key():
+                raise StoreError(
+                    f"store at {self.root} belongs to campaign key "
+                    f"{existing}; refusing to run campaign "
+                    f"{campaign.key()} ({campaign.name!r}) into it"
+                )
+            return
+        self.root.mkdir(parents=True, exist_ok=True)
+        (self.root / _UNITS_DIR).mkdir(exist_ok=True)
+        _atomic_write(
+            self.root / _CAMPAIGN_FILE,
+            json.dumps(
+                {"key": campaign.key(), "spec": campaign.to_dict()}, indent=2
+            )
+            + "\n",
+        )
+        _atomic_write(
+            self.root / _MANIFEST_FILE,
+            json.dumps(self._empty_manifest(campaign), indent=2) + "\n",
+        )
+
+    def _empty_manifest(self, campaign: CampaignSpec) -> dict:
+        return {
+            "schema": _MANIFEST_SCHEMA,
+            "campaign_key": campaign.key(),
+            "campaign_name": campaign.name,
+            "units": {},
+        }
+
+    def campaign_key(self) -> str | None:
+        """The bound campaign's content key (``None`` if uninitialised)."""
+        path = self.root / _CAMPAIGN_FILE
+        if not path.exists():
+            return None
+        try:
+            return json.loads(path.read_text(encoding="utf-8"))["key"]
+        except (json.JSONDecodeError, KeyError) as error:
+            raise StoreError(f"corrupt campaign file {path}: {error}") from None
+
+    def campaign(self) -> CampaignSpec:
+        """The campaign this store was initialised with."""
+        path = self.root / _CAMPAIGN_FILE
+        if not path.exists():
+            raise StoreError(f"no campaign at {self.root}")
+        data = json.loads(path.read_text(encoding="utf-8"))
+        return CampaignSpec.from_dict(data["spec"])
+
+    def manifest(self) -> dict:
+        """The parsed manifest document."""
+        path = self.root / _MANIFEST_FILE
+        if not path.exists():
+            raise StoreError(f"no manifest at {self.root}")
+        try:
+            manifest = json.loads(path.read_text(encoding="utf-8"))
+        except json.JSONDecodeError as error:
+            raise StoreError(f"corrupt manifest {path}: {error}") from None
+        if manifest.get("schema") != _MANIFEST_SCHEMA:
+            raise StoreError(
+                f"unexpected manifest schema {manifest.get('schema')!r}"
+            )
+        return manifest
+
+    def unit_dir(self, key: str) -> Path:
+        """Artifact directory of the unit with content key ``key``."""
+        return self.root / _UNITS_DIR / key
+
+    # ------------------------------------------------------------------
+    # Writing.
+    # ------------------------------------------------------------------
+    def record_unit(
+        self,
+        spec: RunSpec,
+        history: TrainingHistory,
+        result: dict,
+        telemetry_jsonl: str | None = None,
+    ) -> str:
+        """Persist one completed unit and mark it complete.
+
+        Artifact files land first; the manifest entry (with checksums)
+        is written last and atomically, so completion is all-or-nothing.
+        Returns the unit's content key.
+        """
+        key = spec.key()
+        unit_dir = self.unit_dir(key)
+        unit_dir.mkdir(parents=True, exist_ok=True)
+        files = {
+            _SPEC_FILE: spec.to_json(indent=2) + "\n",
+            _HISTORY_FILE: history_to_json(history, indent=2) + "\n",
+            _RESULT_FILE: json.dumps(result, indent=2, sort_keys=True) + "\n",
+        }
+        if telemetry_jsonl is not None:
+            files[_TELEMETRY_FILE] = telemetry_jsonl
+        checksums = {}
+        for filename, text in files.items():
+            _atomic_write(unit_dir / filename, text)
+            checksums[filename] = _sha256(text.encode("utf-8"))
+        manifest = self.manifest()
+        manifest["units"][key] = {
+            "name": spec.name,
+            "files": checksums,
+        }
+        _atomic_write(
+            self.root / _MANIFEST_FILE, json.dumps(manifest, indent=2) + "\n"
+        )
+        return key
+
+    # ------------------------------------------------------------------
+    # Reading.
+    # ------------------------------------------------------------------
+    def completed_keys(self) -> set[str]:
+        """Content keys of every unit the manifest marks complete."""
+        return set(self.manifest()["units"])
+
+    def units(self) -> Iterator[UnitArtifact]:
+        """Handles onto every completed unit, in manifest order."""
+        for key, entry in self.manifest()["units"].items():
+            yield UnitArtifact(self, key, entry)
+
+    def unit(self, key: str) -> UnitArtifact:
+        """Handle onto one completed unit."""
+        entry = self.manifest()["units"].get(key)
+        if entry is None:
+            raise StoreError(f"unit {key} is not complete in {self.root}")
+        return UnitArtifact(self, key, entry)
+
+    # ------------------------------------------------------------------
+    # Integrity.
+    # ------------------------------------------------------------------
+    def verify(self) -> list[str]:
+        """Re-hash every recorded artifact; return the problems found.
+
+        An empty list means the store is internally consistent: every
+        manifest entry's files exist, match their recorded checksums,
+        and every stored spec hashes to its directory key.
+        """
+        problems: list[str] = []
+        manifest = self.manifest()
+        for key, entry in manifest["units"].items():
+            unit_dir = self.unit_dir(key)
+            for filename, recorded in entry["files"].items():
+                path = unit_dir / filename
+                if not path.exists():
+                    problems.append(f"{key}: missing {filename}")
+                    continue
+                actual = _sha256(path.read_bytes())
+                if actual != recorded:
+                    problems.append(
+                        f"{key}: checksum mismatch on {filename} "
+                        f"(recorded {recorded[:12]}, actual {actual[:12]})"
+                    )
+            spec_path = unit_dir / _SPEC_FILE
+            if spec_path.exists():
+                try:
+                    spec = RunSpec.from_json(
+                        spec_path.read_text(encoding="utf-8")
+                    )
+                except ValueError as error:
+                    problems.append(f"{key}: unreadable spec ({error})")
+                else:
+                    if spec.key() != key:
+                        problems.append(
+                            f"{key}: spec content hashes to {spec.key()}"
+                        )
+        return problems

@@ -9,17 +9,28 @@ Usage (also available as ``python -m repro``)::
     python -m repro fig6
     python -m repro plan  --scale test      # calibrate + print the plan
     python -m repro all   --scale tiny
+    python -m repro campaign init --spec sweep.json
+    python -m repro campaign run  --spec sweep.json --dir artifacts/
+    python -m repro campaign report --dir artifacts/
 
-The ``--scale`` flag selects dataset/testbed size: ``tiny`` for smoke
-runs (seconds), ``test`` for the benchmark scale (minutes), ``paper``
-for the full 60 000-sample setup (hours on one core).
+Every subcommand shares one set of cross-cutting flags (factored into a
+single parent parser): ``--telemetry out.jsonl`` attaches a
+:class:`repro.obs.Observer` to the whole pipeline and dumps its
+structured events (plus a trailing ``metrics.snapshot`` line) to the
+file; ``--profile`` additionally enables hot-path timers; ``--backend``
+selects the FL execution engine; ``--fault-plan`` and ``--quorum``
+configure fault injection and resilience.  The per-figure subcommands
+additionally take ``--scale`` (``tiny`` for smoke runs, ``test`` for
+benchmark scale, ``paper`` for the full 60 000-sample setup).
 
-``--telemetry out.jsonl`` attaches a :class:`repro.obs.Observer` to the
-whole pipeline (calibration pilots included): the run's structured
-events are dumped to ``out.jsonl`` — with a trailing ``metrics.snapshot``
-line carrying the metrics registry and span forest — and the metrics
-table is printed to stderr.  ``--profile`` additionally enables the
-hot-path timers.
+The ``campaign`` subcommand drives :mod:`repro.campaign`: ``init``
+writes an editable demo :class:`~repro.campaign.CampaignSpec` JSON,
+``run`` executes a campaign into an artifact store (resuming — by
+content-hashed unit key — if the store already holds completed units),
+``status`` summarises and integrity-checks a store, and ``report``
+regenerates the Fig. 5/6 energy grids from stored artifacts without
+re-running any training.  For ``campaign``, ``--backend``,
+``--fault-plan`` and ``--quorum`` act as grid-wide overrides.
 """
 
 from __future__ import annotations
@@ -39,7 +50,7 @@ from repro.experiments.report import render_table
 from repro.experiments.table1 import run_table1
 from repro.obs import Observer
 
-__all__ = ["main", "SCALES"]
+__all__ = ["main", "SCALES", "common_options", "scale_options"]
 
 TINY_SCALE = ExperimentScale(
     name="tiny",
@@ -275,22 +286,15 @@ EXPERIMENTS: dict[str, Callable[[ExperimentScale], str]] = {
 }
 
 
-def build_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
-        prog="python -m repro",
-        description="Regenerate the EE-FEI paper's tables and figures.",
-    )
-    parser.add_argument(
-        "experiment",
-        choices=sorted(EXPERIMENTS) + ["all"],
-        help="which artifact to regenerate ('all' runs every one)",
-    )
-    parser.add_argument(
-        "--scale",
-        choices=sorted(SCALES),
-        default="tiny",
-        help="dataset/testbed size (default: tiny)",
-    )
+def common_options() -> argparse.ArgumentParser:
+    """The shared parent parser: flags every subcommand accepts.
+
+    This is the single definition of the cross-cutting
+    ``--telemetry/--profile/--backend/--fault-plan/--quorum`` surface;
+    subcommands inherit it via ``parents=[...]`` instead of each
+    re-declaring (and drifting from) its own copies.
+    """
+    parser = argparse.ArgumentParser(add_help=False)
     parser.add_argument(
         "--telemetry",
         metavar="PATH",
@@ -306,24 +310,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="with --telemetry: also enable hot-path timers",
     )
     parser.add_argument(
+        "--backend",
+        choices=("sequential", "batched", "pool"),
+        default=None,
+        help=(
+            "execution engine for FL training: 'sequential' (reference, "
+            "the default), 'batched' (vectorized full-batch cohort "
+            "training), or 'pool' (process pool over shared-memory "
+            "datasets); results are equivalent across backends.  For "
+            "'campaign run' this overrides every unit's backend"
+        ),
+    )
+    parser.add_argument(
         "--fault-plan",
         metavar="PATH",
         default=None,
         help=(
             "JSON fault plan (see repro.faults.FaultPlan.save) for the "
-            "'resilience' experiment; default: a generated mixed plan of "
-            "crashes, stragglers and bursty links"
-        ),
-    )
-    parser.add_argument(
-        "--backend",
-        choices=("sequential", "batched", "pool"),
-        default="sequential",
-        help=(
-            "execution engine for FL training: 'sequential' (reference), "
-            "'batched' (vectorized full-batch cohort training), or 'pool' "
-            "(process pool over shared-memory datasets); results are "
-            "equivalent across backends"
+            "'resilience' experiment (default: a generated mixed plan of "
+            "crashes, stragglers and bursty links); for 'campaign run' "
+            "it is injected into every unit"
         ),
     )
     parser.add_argument(
@@ -333,27 +339,210 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="Q",
         help=(
             "minimum survivor updates per round for the 'resilience' "
-            "experiment (default: half the participants); rounds below "
-            "the quorum degrade gracefully"
+            "experiment (default: half the participants) and a grid-wide "
+            "override for 'campaign run'; rounds below the quorum "
+            "degrade gracefully"
         ),
     )
     return parser
+
+
+def scale_options() -> argparse.ArgumentParser:
+    """Parent parser for the per-figure subcommands' ``--scale`` flag."""
+    parser = argparse.ArgumentParser(add_help=False)
+    parser.add_argument(
+        "--scale",
+        choices=sorted(SCALES),
+        default="tiny",
+        help="dataset/testbed size (default: tiny)",
+    )
+    return parser
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description=(
+            "Regenerate the EE-FEI paper's tables and figures, or run "
+            "scenario campaigns over them."
+        ),
+    )
+    common = common_options()
+    scaled = scale_options()
+    subparsers = parser.add_subparsers(
+        dest="experiment",
+        required=True,
+        metavar="command",
+        help=(
+            "a paper artifact to regenerate ('all' runs every one), or "
+            "'campaign' for declarative sweeps"
+        ),
+    )
+    for name in sorted(EXPERIMENTS) + ["all"]:
+        subparsers.add_parser(name, parents=[scaled, common])
+    campaign = subparsers.add_parser(
+        "campaign",
+        parents=[common],
+        help="declare/execute/resume/report scenario campaigns",
+        description=(
+            "Campaign orchestration over the repro.campaign subsystem: "
+            "'init' writes an editable demo CampaignSpec JSON, 'run' "
+            "executes (or resumes) a campaign into --dir, 'status' "
+            "summarises and integrity-checks the store, and 'report' "
+            "regenerates the energy tables from stored artifacts "
+            "without re-running training."
+        ),
+    )
+    campaign.add_argument(
+        "action",
+        choices=("init", "run", "status", "report"),
+        help="campaign operation",
+    )
+    campaign.add_argument(
+        "--spec",
+        metavar="PATH",
+        default=None,
+        help=(
+            "CampaignSpec JSON: the output target for 'init', the input "
+            "for 'run' (optional when --dir already holds a campaign)"
+        ),
+    )
+    campaign.add_argument(
+        "--dir",
+        dest="store_dir",
+        metavar="DIR",
+        default="campaign_artifacts",
+        help="artifact-store directory (default: campaign_artifacts)",
+    )
+    campaign.add_argument(
+        "--max-units",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "stop (checkpointed) after training N units; a later 'run' "
+            "resumes after them"
+        ),
+    )
+    return parser
+
+
+def _run_campaign(args: argparse.Namespace) -> int:
+    """Handle the ``campaign`` subcommand (init/run/status/report)."""
+    from repro.campaign import (
+        ArtifactStore,
+        CampaignReport,
+        CampaignRunner,
+        CampaignSpec,
+        StoreError,
+        make_demo_campaign,
+    )
+    from repro.faults import FaultPlan
+
+    store = ArtifactStore(args.store_dir)
+    if args.action == "init":
+        if args.spec is None:
+            print("campaign init requires --spec PATH", file=sys.stderr)
+            return 2
+        make_demo_campaign().save(args.spec)
+        print(f"wrote demo campaign spec to {args.spec} (edit, then run)")
+        return 0
+
+    if args.action == "status":
+        try:
+            campaign = store.campaign()
+        except StoreError as error:
+            print(f"no campaign store: {error}", file=sys.stderr)
+            return 2
+        completed = store.completed_keys()
+        problems = store.verify()
+        print(
+            f"campaign {campaign.name!r} (key {campaign.key()}): "
+            f"{len(completed)}/{len(campaign)} units complete"
+        )
+        for problem in problems:
+            print(f"integrity: {problem}", file=sys.stderr)
+        return 1 if problems else 0
+
+    if args.action == "report":
+        try:
+            report = CampaignReport.from_store(store)
+        except StoreError as error:
+            print(f"no campaign store: {error}", file=sys.stderr)
+            return 2
+        print(report.render())
+        return 0
+
+    # action == "run"
+    if args.spec is not None:
+        campaign = CampaignSpec.load(args.spec)
+    else:
+        try:
+            campaign = store.campaign()
+        except StoreError:
+            print(
+                "campaign run needs --spec PATH (or --dir pointing at an "
+                "existing campaign store)",
+                file=sys.stderr,
+            )
+            return 2
+    observer = (
+        Observer(profile_hot_paths=args.profile) if args.telemetry else None
+    )
+    fault_plan = (
+        FaultPlan.load(args.fault_plan) if args.fault_plan is not None else None
+    )
+    try:
+        runner = CampaignRunner(
+            campaign,
+            store,
+            observer=observer,
+            backend_override=args.backend,
+            fault_plan_override=fault_plan,
+            quorum_override=args.quorum,
+        )
+    except StoreError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    summary = runner.run(max_units=args.max_units)
+    if observer is not None:
+        observer.dump_jsonl(args.telemetry)
+        print(
+            f"[telemetry: {len(observer.events)} events -> {args.telemetry}]",
+            file=sys.stderr,
+        )
+    print(
+        f"campaign {runner.campaign.name!r}: {summary.executed} units run, "
+        f"{summary.skipped} resumed from artifacts"
+        + (", interrupted" if summary.interrupted else "")
+    )
+    if not summary.interrupted:
+        print()
+        print(CampaignReport.from_store(store).render())
+    else:
+        print(
+            f"re-run `python -m repro campaign run --dir {args.store_dir}` "
+            "to resume"
+        )
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
     global _ACTIVE_OBSERVER, _FAULT_PLAN_PATH, _QUORUM, _BACKEND
     args = build_parser().parse_args(argv)
+    if args.quorum is not None and args.quorum < 1:
+        print(f"--quorum must be >= 1; got {args.quorum}", file=sys.stderr)
+        return 2
+    if args.experiment == "campaign":
+        return _run_campaign(args)
     scale = SCALES[args.scale]
     observer = (
         Observer(profile_hot_paths=args.profile) if args.telemetry else None
     )
     _ACTIVE_OBSERVER = observer
     _FAULT_PLAN_PATH = args.fault_plan
-    _BACKEND = args.backend
-    if args.quorum is not None and args.quorum < 1:
-        print(f"--quorum must be >= 1; got {args.quorum}", file=sys.stderr)
-        return 2
+    _BACKEND = args.backend or "sequential"
     _QUORUM = args.quorum
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     try:

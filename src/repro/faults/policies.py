@@ -84,6 +84,32 @@ class RetryPolicy:
             raw *= 1.0 + self.jitter_fraction * (2.0 * rng.random() - 1.0)
         return raw
 
+    def to_dict(self) -> dict:
+        """Plain-type dict form; inverse of :meth:`from_dict`."""
+        return {
+            "max_retries": int(self.max_retries),
+            "base_backoff_s": float(self.base_backoff_s),
+            "backoff_factor": float(self.backoff_factor),
+            "max_backoff_s": float(self.max_backoff_s),
+            "jitter_fraction": float(self.jitter_fraction),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RetryPolicy":
+        """Rebuild a policy from :meth:`to_dict` output."""
+        try:
+            return cls(
+                max_retries=int(data["max_retries"]),
+                base_backoff_s=float(data["base_backoff_s"]),
+                backoff_factor=float(data["backoff_factor"]),
+                max_backoff_s=float(data["max_backoff_s"]),
+                jitter_fraction=float(data["jitter_fraction"]),
+            )
+        except (KeyError, TypeError) as error:
+            raise ValueError(
+                f"malformed retry policy {data!r}: {error}"
+            ) from None
+
 
 @dataclass(frozen=True)
 class ResilienceConfig:
@@ -134,6 +160,57 @@ class ResilienceConfig:
             raise ValueError(
                 f"nominal_train_s must be non-negative; got {self.nominal_train_s}"
             )
+
+    def to_dict(self) -> dict:
+        """Plain-type dict form; inverse of :meth:`from_dict`.
+
+        The shape is embedded verbatim in :class:`repro.campaign.RunSpec`
+        documents, so campaign artifacts capture the exact resilience
+        policy a run used.
+        """
+        return {
+            "retry": self.retry.to_dict(),
+            "upload_timeout_s": (
+                None
+                if self.upload_timeout_s is None
+                else float(self.upload_timeout_s)
+            ),
+            "round_deadline_s": (
+                None
+                if self.round_deadline_s is None
+                else float(self.round_deadline_s)
+            ),
+            "min_quorum": int(self.min_quorum),
+            "resample_crashed": bool(self.resample_crashed),
+            "reject_nonfinite": bool(self.reject_nonfinite),
+            "nominal_train_s": float(self.nominal_train_s),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ResilienceConfig":
+        """Rebuild a config from :meth:`to_dict` output."""
+        try:
+            return cls(
+                retry=RetryPolicy.from_dict(data["retry"]),
+                upload_timeout_s=(
+                    None
+                    if data["upload_timeout_s"] is None
+                    else float(data["upload_timeout_s"])
+                ),
+                round_deadline_s=(
+                    None
+                    if data["round_deadline_s"] is None
+                    else float(data["round_deadline_s"])
+                ),
+                min_quorum=int(data["min_quorum"]),
+                resample_crashed=bool(data["resample_crashed"]),
+                reject_nonfinite=bool(data["reject_nonfinite"]),
+                nominal_train_s=float(data["nominal_train_s"]),
+            )
+        except (KeyError, TypeError) as error:
+            raise ValueError(
+                f"malformed resilience config {data!r}: {error}"
+            ) from None
 
 
 @dataclass(frozen=True)

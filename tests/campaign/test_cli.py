@@ -1,0 +1,191 @@
+"""The ``repro campaign`` subcommand and the shared CLI flag surface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.campaign import ArtifactStore, CampaignRunner, CampaignSpec
+from repro.experiments.runner import build_parser, main
+
+pytestmark = pytest.mark.campaign_smoke
+
+
+class TestSharedFlags:
+    """One parent parser supplies the cross-cutting flags everywhere."""
+
+    @pytest.mark.parametrize("command", ["fig5", "resilience", "all"])
+    def test_experiment_subcommands_accept_common_flags(
+        self, command: str
+    ) -> None:
+        args = build_parser().parse_args(
+            [command, "--backend", "pool", "--quorum", "2", "--profile"]
+        )
+        assert args.backend == "pool"
+        assert args.quorum == 2
+        assert args.profile is True
+        assert args.scale == "tiny"
+
+    def test_campaign_accepts_common_flags(self, tmp_path) -> None:
+        args = build_parser().parse_args(
+            [
+                "campaign",
+                "run",
+                "--backend",
+                "batched",
+                "--fault-plan",
+                str(tmp_path / "plan.json"),
+                "--quorum",
+                "3",
+                "--telemetry",
+                str(tmp_path / "t.jsonl"),
+            ]
+        )
+        assert args.experiment == "campaign"
+        assert args.action == "run"
+        assert args.backend == "batched"
+        assert args.quorum == 3
+        assert args.telemetry is not None
+
+    def test_backend_defaults_to_none_everywhere(self) -> None:
+        # None means "no override": experiments fall back to sequential,
+        # campaigns respect each unit's own spec.
+        assert build_parser().parse_args(["fig5"]).backend is None
+        assert (
+            build_parser().parse_args(["campaign", "status"]).backend is None
+        )
+
+    def test_campaign_rejects_unknown_action(self) -> None:
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["campaign", "destroy"])
+
+    def test_quorum_validated_before_dispatch(self, capsys) -> None:
+        assert main(["campaign", "run", "--quorum", "0"]) == 2
+        assert "--quorum" in capsys.readouterr().err
+
+
+class TestCampaignCli:
+    def test_init_writes_loadable_spec(self, tmp_path, capsys) -> None:
+        path = tmp_path / "sweep.json"
+        assert main(["campaign", "init", "--spec", str(path)]) == 0
+        assert "wrote demo campaign spec" in capsys.readouterr().out
+        demo = CampaignSpec.load(path)
+        assert len(demo) > 1
+
+    def test_init_without_spec_fails(self, tmp_path, capsys) -> None:
+        assert main(["campaign", "init"]) == 2
+        assert "--spec" in capsys.readouterr().err
+
+    def test_run_interrupt_resume_and_status(
+        self, tmp_path, capsys, tiny_campaign: CampaignSpec
+    ) -> None:
+        spec_path = tmp_path / "campaign.json"
+        tiny_campaign.save(spec_path)
+        store_dir = tmp_path / "artifacts"
+
+        # First pass: stop after two units, checkpointed.
+        assert (
+            main(
+                [
+                    "campaign",
+                    "run",
+                    "--spec",
+                    str(spec_path),
+                    "--dir",
+                    str(store_dir),
+                    "--max-units",
+                    "2",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "2 units run" in out
+        assert "interrupted" in out
+        assert "to resume" in out
+
+        # Second pass resumes from the store alone (no --spec needed).
+        assert main(["campaign", "run", "--dir", str(store_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "2 units run, 2 resumed from artifacts" in out
+        assert "Mean energy (J) per (K, E) cell" in out
+
+        # Status: complete and integrity-clean.
+        assert main(["campaign", "status", "--dir", str(store_dir)]) == 0
+        captured = capsys.readouterr()
+        assert "4/4 units complete" in captured.out
+        assert captured.err == ""
+
+    def test_status_flags_corruption(
+        self, tmp_path, capsys, tiny_campaign: CampaignSpec
+    ) -> None:
+        store = ArtifactStore(tmp_path / "artifacts")
+        CampaignRunner(tiny_campaign, store).run(max_units=1)
+        key = next(iter(store.completed_keys()))
+        (store.unit_dir(key) / "result.json").unlink()
+        assert main(["campaign", "status", "--dir", str(store.root)]) == 1
+        assert "integrity" in capsys.readouterr().err
+
+    def test_status_without_store_fails(self, tmp_path, capsys) -> None:
+        missing = tmp_path / "nowhere"
+        assert main(["campaign", "status", "--dir", str(missing)]) == 2
+        assert "no campaign store" in capsys.readouterr().err
+
+    def test_report_regenerates_grid_without_training(
+        self, tmp_path, capsys, monkeypatch, tiny_campaign: CampaignSpec
+    ) -> None:
+        store = ArtifactStore(tmp_path / "artifacts")
+        CampaignRunner(tiny_campaign, store).run()
+        capsys.readouterr()
+
+        # From here on, any training attempt is an error: the report
+        # must come from stored artifacts alone.
+        def _no_training(*args, **kwargs):
+            raise AssertionError("report must not re-run training")
+
+        monkeypatch.setattr(
+            "repro.hardware.prototype.HardwarePrototype.run", _no_training
+        )
+        monkeypatch.setattr(
+            "repro.campaign.runner.CampaignRunner.run_unit", _no_training
+        )
+        assert main(["campaign", "report", "--dir", str(store.root)]) == 0
+        out = capsys.readouterr().out
+        assert "4 completed units" in out
+        assert "Mean energy (J) per (K, E) cell" in out
+        assert "best plan: K=" in out
+        assert "saving vs (K=1, E=1) baseline" in out
+
+    def test_report_without_store_fails(self, tmp_path, capsys) -> None:
+        assert main(["campaign", "report", "--dir", str(tmp_path / "x")]) == 2
+        assert "no campaign store" in capsys.readouterr().err
+
+    def test_run_backend_override_rewrites_unit_specs(
+        self, tmp_path, capsys, tiny_campaign: CampaignSpec
+    ) -> None:
+        spec_path = tmp_path / "campaign.json"
+        tiny_campaign.save(spec_path)
+        store_dir = tmp_path / "artifacts"
+        assert (
+            main(
+                [
+                    "campaign",
+                    "run",
+                    "--spec",
+                    str(spec_path),
+                    "--dir",
+                    str(store_dir),
+                    "--backend",
+                    "batched",
+                    "--max-units",
+                    "1",
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        store = ArtifactStore(store_dir)
+        (artifact,) = list(store.units())
+        assert artifact.spec().backend == "batched"
+        # The store is bound to the overridden campaign, so resuming
+        # the original spec into it is refused.
+        assert store.campaign_key() != tiny_campaign.key()

@@ -1,0 +1,105 @@
+"""Kill-and-resume equivalence: the acceptance test for checkpointing.
+
+A campaign interrupted after N units and later resumed must produce
+artifacts *bit-identical* to an uninterrupted run — same history bytes,
+same energy totals — because each unit executes on a fresh testbed
+seeded only by its own spec.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.campaign import ArtifactStore, CampaignRunner, CampaignSpec
+
+pytestmark = pytest.mark.campaign_smoke
+
+_UNIT_FILES = ("spec.json", "history.json", "result.json")
+
+
+def _unit_bytes(store: ArtifactStore) -> dict[tuple[str, str], bytes]:
+    """Raw artifact bytes per (unit key, filename)."""
+    return {
+        (key, filename): (store.unit_dir(key) / filename).read_bytes()
+        for key in store.completed_keys()
+        for filename in _UNIT_FILES
+    }
+
+
+class TestKillAndResume:
+    def test_interrupted_then_resumed_campaign_is_bit_identical(
+        self, tmp_path, tiny_campaign: CampaignSpec
+    ) -> None:
+        # Reference: one uninterrupted pass over all four units.
+        reference = ArtifactStore(tmp_path / "reference")
+        summary = CampaignRunner(tiny_campaign, reference).run()
+        assert not summary.interrupted
+        assert summary.executed == len(tiny_campaign)
+
+        # Killed run: stop (checkpointed) after two units...
+        resumed = ArtifactStore(tmp_path / "resumed")
+        first = CampaignRunner(tiny_campaign, resumed).run(max_units=2)
+        assert first.interrupted
+        assert first.executed == 2
+        assert len(resumed.completed_keys()) == 2
+
+        # ... then resume with a brand-new runner (fresh process stand-in).
+        second = CampaignRunner(tiny_campaign, resumed).run()
+        assert not second.interrupted
+        assert second.executed == 2
+        assert second.skipped == 2
+
+        # Byte-for-byte identical artifacts, unit by unit.
+        assert _unit_bytes(resumed) == _unit_bytes(reference)
+        assert resumed.verify() == []
+
+        # And identical energy totals (already implied by the bytes,
+        # stated explicitly because it is the paper-facing quantity).
+        ref_energy = {
+            a.key: a.result()["total_energy_j"] for a in reference.units()
+        }
+        res_energy = {
+            a.key: a.result()["total_energy_j"] for a in resumed.units()
+        }
+        assert res_energy == ref_energy
+
+    def test_resuming_a_complete_campaign_trains_nothing(
+        self, tmp_path, tiny_campaign: CampaignSpec
+    ) -> None:
+        store = ArtifactStore(tmp_path / "store")
+        CampaignRunner(tiny_campaign, store).run()
+        before = _unit_bytes(store)
+        again = CampaignRunner(tiny_campaign, store).run()
+        assert again.executed == 0
+        assert again.skipped == len(tiny_campaign)
+        assert _unit_bytes(store) == before
+
+    def test_skipped_units_do_not_count_against_max_units(
+        self, tmp_path, tiny_campaign: CampaignSpec
+    ) -> None:
+        store = ArtifactStore(tmp_path / "store")
+        CampaignRunner(tiny_campaign, store).run(max_units=2)
+        # The two completed units are skipped; the cap budgets two
+        # *fresh* executions, which finishes the campaign.
+        summary = CampaignRunner(tiny_campaign, store).run(max_units=2)
+        assert summary.executed == 2
+        assert summary.skipped == 2
+        assert not summary.interrupted
+        assert len(store.completed_keys()) == len(tiny_campaign)
+
+    def test_order_independence_single_unit_matches_grid_unit(
+        self, tmp_path, tiny_campaign: CampaignSpec
+    ) -> None:
+        # Unit independence, directly: running one grid cell alone (in
+        # its own store, its own runner) reproduces the bytes the full
+        # campaign recorded for that cell.
+        full = ArtifactStore(tmp_path / "full")
+        CampaignRunner(tiny_campaign, full).run()
+        target = tiny_campaign.expand()[-1]
+        solo_campaign = CampaignSpec(name=tiny_campaign.name, base=target)
+        solo = ArtifactStore(tmp_path / "solo")
+        CampaignRunner(solo_campaign, solo).run()
+        key = target.key()
+        assert (solo.unit_dir(key) / "history.json").read_bytes() == (
+            full.unit_dir(key) / "history.json"
+        ).read_bytes()

@@ -1,0 +1,159 @@
+"""ArtifactStore integrity: checkpointing, verification, corruption."""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.campaign import (
+    ArtifactStore,
+    CampaignRunner,
+    CampaignSpec,
+    RunSpec,
+    StoreError,
+)
+
+pytestmark = pytest.mark.campaign_smoke
+
+
+@pytest.fixture()
+def populated(tmp_path, tiny_campaign: CampaignSpec):
+    """A store holding every unit of the tiny campaign."""
+    store = ArtifactStore(tmp_path / "store")
+    CampaignRunner(tiny_campaign, store).run()
+    return store
+
+
+class TestLifecycle:
+    def test_initialize_creates_layout(
+        self, tmp_path, tiny_campaign: CampaignSpec
+    ) -> None:
+        store = ArtifactStore(tmp_path / "store")
+        store.initialize(tiny_campaign)
+        assert (store.root / "campaign.json").exists()
+        assert (store.root / "manifest.json").exists()
+        assert store.campaign_key() == tiny_campaign.key()
+        assert store.completed_keys() == set()
+
+    def test_reinitialize_same_campaign_is_noop(
+        self, tmp_path, tiny_campaign: CampaignSpec
+    ) -> None:
+        store = ArtifactStore(tmp_path / "store")
+        store.initialize(tiny_campaign)
+        store.initialize(tiny_campaign)  # resume path: must not raise
+        assert store.campaign_key() == tiny_campaign.key()
+
+    def test_initialize_different_campaign_raises(
+        self, tmp_path, tiny_campaign: CampaignSpec
+    ) -> None:
+        store = ArtifactStore(tmp_path / "store")
+        store.initialize(tiny_campaign)
+        other = dataclasses.replace(tiny_campaign, name="other-grid")
+        with pytest.raises(StoreError, match="refusing"):
+            store.initialize(other)
+
+    def test_uninitialised_store_has_no_campaign(self, tmp_path) -> None:
+        store = ArtifactStore(tmp_path / "missing")
+        assert store.campaign_key() is None
+        with pytest.raises(StoreError):
+            store.campaign()
+        with pytest.raises(StoreError):
+            store.manifest()
+
+
+class TestRecordAndRead:
+    def test_campaign_round_trips_through_store(
+        self, populated: ArtifactStore, tiny_campaign: CampaignSpec
+    ) -> None:
+        assert populated.campaign() == tiny_campaign
+
+    def test_every_unit_is_complete_and_loadable(
+        self, populated: ArtifactStore, tiny_campaign: CampaignSpec
+    ) -> None:
+        expected = {u.key(): u for u in tiny_campaign.expand()}
+        assert populated.completed_keys() == set(expected)
+        for artifact in populated.units():
+            spec = artifact.spec()
+            assert spec == expected[artifact.key]
+            assert spec.key() == artifact.key
+            history = artifact.history()
+            assert len(history) == spec.max_rounds
+            result = artifact.result()
+            assert result["total_energy_j"] > 0
+            assert result["rounds"] == spec.max_rounds
+
+    def test_unit_lookup_by_key(self, populated: ArtifactStore) -> None:
+        key = next(iter(populated.completed_keys()))
+        assert populated.unit(key).key == key
+        with pytest.raises(StoreError, match="not complete"):
+            populated.unit("0" * 16)
+
+
+class TestVerify:
+    def test_clean_store_verifies(self, populated: ArtifactStore) -> None:
+        assert populated.verify() == []
+
+    def test_detects_corrupted_history(self, populated: ArtifactStore) -> None:
+        key = next(iter(populated.completed_keys()))
+        path = populated.unit_dir(key) / "history.json"
+        path.write_text(
+            path.read_text(encoding="utf-8").replace("0", "1"),
+            encoding="utf-8",
+        )
+        problems = populated.verify()
+        assert any(
+            "checksum mismatch" in p and "history.json" in p for p in problems
+        )
+
+    def test_detects_missing_result(self, populated: ArtifactStore) -> None:
+        key = next(iter(populated.completed_keys()))
+        (populated.unit_dir(key) / "result.json").unlink()
+        assert any("missing result.json" in p for p in populated.verify())
+
+    def test_detects_spec_key_mismatch(self, populated: ArtifactStore) -> None:
+        # Rewrite a stored spec (seed bump) and refresh its manifest
+        # checksum so only the content-hash cross-check can catch it.
+        key = next(iter(populated.completed_keys()))
+        spec_path = populated.unit_dir(key) / "spec.json"
+        tampered = dataclasses.replace(
+            RunSpec.from_json(spec_path.read_text(encoding="utf-8")),
+            seed=999,
+        )
+        text = tampered.to_json(indent=2) + "\n"
+        spec_path.write_text(text, encoding="utf-8")
+        manifest_path = populated.root / "manifest.json"
+        manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+        import hashlib
+
+        manifest["units"][key]["files"]["spec.json"] = hashlib.sha256(
+            text.encode("utf-8")
+        ).hexdigest()
+        manifest_path.write_text(json.dumps(manifest), encoding="utf-8")
+        assert any("hashes to" in p for p in populated.verify())
+
+    def test_corrupt_manifest_raises(self, populated: ArtifactStore) -> None:
+        (populated.root / "manifest.json").write_text(
+            "{not json", encoding="utf-8"
+        )
+        with pytest.raises(StoreError, match="corrupt manifest"):
+            populated.manifest()
+
+
+class TestTelemetryArtifacts:
+    def test_telemetry_units_persist_event_logs(
+        self, tmp_path, tiny_spec: RunSpec
+    ) -> None:
+        spec = dataclasses.replace(tiny_spec, telemetry=True)
+        campaign = CampaignSpec(name="telemetered", base=spec)
+        store = ArtifactStore(tmp_path / "store")
+        CampaignRunner(campaign, store).run()
+        (artifact,) = list(store.units())
+        log = artifact.directory / "telemetry.jsonl"
+        assert log.exists()
+        lines = log.read_text(encoding="utf-8").strip().splitlines()
+        assert lines  # at least the trailing metrics.snapshot
+        assert json.loads(lines[-1])["category"] == "metrics.snapshot"
+        # The manifest checksums cover the telemetry file too.
+        assert store.verify() == []

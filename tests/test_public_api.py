@@ -18,6 +18,7 @@ import repro
 
 _PACKAGES = [
     "repro",
+    "repro.campaign",
     "repro.core",
     "repro.data",
     "repro.faults",
@@ -25,6 +26,8 @@ _PACKAGES = [
     "repro.hardware",
     "repro.iot",
     "repro.net",
+    "repro.obs",
+    "repro.perf",
     "repro.sim",
     "repro.experiments",
 ]
