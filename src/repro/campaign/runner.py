@@ -16,8 +16,12 @@ Consequences:
 * killing a campaign after N units and resuming it produces artifacts
   bit-identical to an uninterrupted run (the resume test in
   ``tests/campaign/`` byte-compares the histories);
-* units may use any execution backend (``sequential`` / ``batched`` /
-  ``pool``) without affecting which units run or their keys;
+* a unit's execution backend (``sequential`` / ``batched`` / ``pool``)
+  is part of its spec — and hence its key — so artifacts always record
+  the engine that produced them (the batched engine is numerically, not
+  byte-, identical to the reference); result-neutral knobs such as
+  ``telemetry`` and ``pool_workers`` are excluded from the key, so
+  toggling them never invalidates finished work;
 * completed units are skipped by content key, never re-trained — the
   report stage (:mod:`repro.campaign.report`) regenerates every table
   from the store alone.
@@ -123,12 +127,21 @@ class CampaignRunner:
             unit's artifact directory instead.
         backend_override: run every unit on this execution backend
             regardless of what its spec says (the ``--backend`` CLI
-            flag).  Applied by rewriting the unit specs, so unit keys
-            — and therefore stored artifacts — reflect the override.
+            flag).  Applied by rewriting the *campaign* — the backend
+            axis collapses onto the overridden base — and expanding the
+            unit list from the rewritten campaign, so the stored
+            ``campaign.json``, the unit count, and every unit's
+            name/key all describe exactly what runs (a multi-backend
+            axis deduplicates to one unit instead of running identical
+            work under stale labels).
         fault_plan_override: inject this fault plan into every unit
-            (rewrites specs, like ``backend_override``).
-        quorum_override: force ``min_quorum`` on every unit that has a
-            resilience config (and attach a default one where missing).
+            (rewrites the campaign, collapsing the fault axis, like
+            ``backend_override``).
+        quorum_override: force ``min_quorum`` on every unit.  A
+            labelled resilience axis is preserved — each point keeps
+            its label and other policy fields and only ``min_quorum``
+            is rewritten; without an axis the base spec's resilience
+            config is rewritten (attaching a default one if missing).
     """
 
     def __init__(
@@ -140,50 +153,22 @@ class CampaignRunner:
         fault_plan_override: FaultPlan | None = None,
         quorum_override: int | None = None,
     ) -> None:
-        self.campaign = campaign
         self.store = store if isinstance(store, ArtifactStore) else ArtifactStore(store)
         self._observer = active_or_none(observer)
         self._dataset_cache: dict[tuple, tuple[Dataset, Dataset]] = {}
-        self.units = self._apply_overrides(
-            campaign.expand(),
+        # Overrides rewrite the campaign itself, and the unit list is
+        # always the rewritten campaign's own expansion — so the stored
+        # spec, len(campaign), and every unit name/key agree with what
+        # actually runs (and an overridden multi-point axis collapses
+        # instead of running identical work under stale labels).
+        self.campaign = self._overridden_campaign(
+            campaign,
             backend_override,
             fault_plan_override,
             quorum_override,
         )
-        if self.units != campaign.expand():
-            # Overrides change unit identities; rebind the store to the
-            # overridden campaign so resume matches what actually ran.
-            self.campaign = self._overridden_campaign(
-                campaign,
-                backend_override,
-                fault_plan_override,
-                quorum_override,
-            )
+        self.units = self.campaign.expand()
         self.store.initialize(self.campaign)
-
-    @staticmethod
-    def _apply_overrides(
-        units: tuple[RunSpec, ...],
-        backend: str | None,
-        fault_plan: FaultPlan | None,
-        quorum: int | None,
-    ) -> tuple[RunSpec, ...]:
-        if backend is None and fault_plan is None and quorum is None:
-            return units
-        rewritten = []
-        for unit in units:
-            changes: dict = {}
-            if backend is not None:
-                changes["backend"] = backend
-            if fault_plan is not None:
-                changes["fault_plan"] = fault_plan
-            if quorum is not None:
-                resilience = unit.resilience or ResilienceConfig()
-                changes["resilience"] = replace(
-                    resilience, min_quorum=quorum
-                )
-            rewritten.append(replace(unit, **changes))
-        return tuple(rewritten)
 
     @staticmethod
     def _overridden_campaign(
@@ -192,23 +177,41 @@ class CampaignRunner:
         fault_plan: FaultPlan | None,
         quorum: int | None,
     ) -> CampaignSpec:
-        base = campaign.base
-        changes: dict = {}
+        if backend is None and fault_plan is None and quorum is None:
+            return campaign
+        base_changes: dict = {}
+        axis_changes: dict = {}
         if backend is not None:
-            changes["backend"] = backend
+            base_changes["backend"] = backend
+            axis_changes["backends"] = ()
         if fault_plan is not None:
-            changes["fault_plan"] = fault_plan
+            base_changes["fault_plan"] = fault_plan
+            axis_changes["faults"] = ()
         if quorum is not None:
-            resilience = base.resilience or ResilienceConfig()
-            changes["resilience"] = replace(resilience, min_quorum=quorum)
-        overridden: dict = {"base": replace(base, **changes)}
-        if backend is not None:
-            overridden["backends"] = ()
-        if fault_plan is not None:
-            overridden["faults"] = ()
-        if quorum is not None:
-            overridden["resiliences"] = ()
-        return replace(campaign, **overridden)
+            if campaign.resiliences:
+                # Keep the labelled axis: only min_quorum is forced,
+                # every other policy field (and the labels the unit
+                # names embed) survives.
+                axis_changes["resiliences"] = tuple(
+                    replace(
+                        point,
+                        config=replace(
+                            point.config or ResilienceConfig(),
+                            min_quorum=quorum,
+                        ),
+                    )
+                    for point in campaign.resiliences
+                )
+            else:
+                base_changes["resilience"] = replace(
+                    campaign.base.resilience or ResilienceConfig(),
+                    min_quorum=quorum,
+                )
+        return replace(
+            campaign,
+            base=replace(campaign.base, **base_changes),
+            **axis_changes,
+        )
 
     # ------------------------------------------------------------------
     # Unit execution.
@@ -240,14 +243,13 @@ class CampaignRunner:
             ),
             observer=self._unit_observer(spec),
         )
+        # The spec's full FederatedConfig projection is handed to the
+        # trainer, so every training knob the spec declares — including
+        # dropout_probability, proximal_mu, and pool_workers, which the
+        # loop arguments cannot express — is honored exactly as the
+        # stored spec.json records it.
         return prototype.run(
-            participants=spec.participants,
-            epochs=spec.epochs,
-            n_rounds=spec.max_rounds,
-            target_accuracy=(
-                spec.target_accuracy if spec.train_to_target else None
-            ),
-            overselection=spec.overselection,
+            federated_config=spec.federated_config(),
             fault_plan=spec.fault_plan,
             resilience=spec.resilience,
         )

@@ -26,7 +26,10 @@ Both carry content-hashed keys (:meth:`RunSpec.key`,
 key is the unit's identity in the on-disk artifact store, which is what
 makes interrupted campaigns resumable — a completed unit is recognised
 by its key and skipped, and because every unit is executed on a fresh,
-independently-seeded testbed, the skip is bit-exact.
+independently-seeded testbed, the skip is bit-exact.  Result-neutral
+execution knobs (``telemetry``, ``pool_workers``) are excluded from the
+hash: they cannot change what a run computes, so toggling them on a
+finished campaign must not invalidate its completed units.
 """
 
 from __future__ import annotations
@@ -53,6 +56,12 @@ __all__ = [
 
 _RUN_SCHEMA = "repro.run-spec/1"
 _CAMPAIGN_SCHEMA = "repro.campaign-spec/1"
+
+# Execution knobs that cannot change what a run computes (telemetry only
+# records, pool_workers only partitions bit-identical work) and are
+# therefore excluded from content keys: toggling them on a finished
+# campaign must not force a retrain of already-computed cells.
+_KEY_NEUTRAL_FIELDS = ("telemetry", "pool_workers")
 
 
 def _canonical_json(data: dict) -> str:
@@ -324,16 +333,32 @@ class RunSpec:
         """Inverse of :meth:`to_json`."""
         return cls.from_dict(json.loads(text))
 
+    def identity_dict(self) -> dict:
+        """:meth:`to_dict` minus the result-neutral execution knobs.
+
+        This is the projection the content hash covers: every field that
+        can change what the run computes, and nothing that merely
+        changes how it is executed or observed (``telemetry``,
+        ``pool_workers``).
+        """
+        doc = self.to_dict()
+        for field_name in _KEY_NEUTRAL_FIELDS:
+            del doc[field_name]
+        return doc
+
     def key(self) -> str:
         """Deterministic content hash identifying this unit.
 
         Two specs with equal field values always share a key regardless
         of construction order or process; any semantic change (a
-        different seed, backend, fault plan, ...) changes it.  The
-        artifact store uses the key as the unit's directory name and the
-        resume logic as its completed-work identity.
+        different seed, backend, fault plan, ...) changes it, while
+        result-neutral knobs (``telemetry``, ``pool_workers``) do not —
+        so enabling telemetry on a finished campaign never forces a
+        retrain.  The artifact store uses the key as the unit's
+        directory name and the resume logic as its completed-work
+        identity.
         """
-        return _content_key(self.to_dict())
+        return _content_key(self.identity_dict())
 
 
 @dataclass(frozen=True)
@@ -584,8 +609,16 @@ class CampaignSpec:
         return cls.from_json(Path(path).read_text(encoding="utf-8"))
 
     def key(self) -> str:
-        """Deterministic content hash identifying this campaign."""
-        return _content_key(self.to_dict())
+        """Deterministic content hash identifying this campaign.
+
+        Like :meth:`RunSpec.key`, the hash covers the identity
+        projection of the base spec, so toggling a result-neutral knob
+        (``telemetry``, ``pool_workers``) on a finished campaign keeps
+        the store's campaign binding — and resume — intact.
+        """
+        doc = self.to_dict()
+        doc["base"] = self.base.identity_dict()
+        return _content_key(doc)
 
 
 def make_demo_campaign(

@@ -21,6 +21,15 @@ directory that the next run overwrites.  The manifest records a SHA-256
 checksum of every artifact file, and :meth:`ArtifactStore.verify`
 re-hashes them so silent corruption is detected before a resumed
 campaign or a report trusts stale bytes.
+
+The manifest is a shared read-modify-write point: two ``campaign run``
+processes pointed at the same store both pass :meth:`initialize` (same
+campaign key) and would otherwise interleave manifest rewrites, silently
+dropping each other's completed-unit entries.  Every manifest update —
+and initialisation itself — therefore happens under an advisory
+``flock`` on ``<root>/.lock``, which serialises writers across processes
+(and threads) on POSIX; on platforms without ``fcntl`` the store falls
+back to the single-writer assumption.
 """
 
 from __future__ import annotations
@@ -28,8 +37,14 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+from contextlib import contextmanager
 from pathlib import Path
 from typing import Iterator
+
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None  # type: ignore[assignment]
 
 from repro.campaign.spec import CampaignSpec, RunSpec
 from repro.fl.history_io import history_from_json, history_to_json
@@ -45,6 +60,7 @@ _SPEC_FILE = "spec.json"
 _HISTORY_FILE = "history.json"
 _RESULT_FILE = "result.json"
 _TELEMETRY_FILE = "telemetry.jsonl"
+_LOCK_FILE = ".lock"
 
 
 class StoreError(RuntimeError):
@@ -60,6 +76,26 @@ def _atomic_write(path: Path, text: str) -> None:
     tmp = path.with_name(path.name + ".tmp")
     tmp.write_text(text, encoding="utf-8")
     os.replace(tmp, path)
+
+
+@contextmanager
+def _exclusive_lock(path: Path):
+    """Hold an advisory exclusive ``flock`` on ``path``.
+
+    ``flock`` locks belong to the open file description, so every
+    acquisition opens the file afresh — which serialises concurrent
+    writers across processes *and* across threads within one process.
+    No-op where ``fcntl`` is unavailable (single-writer assumed).
+    """
+    if fcntl is None:
+        yield
+        return
+    with open(path, "a", encoding="utf-8") as handle:
+        fcntl.flock(handle, fcntl.LOCK_EX)
+        try:
+            yield
+        finally:
+            fcntl.flock(handle, fcntl.LOCK_UN)
 
 
 class UnitArtifact:
@@ -118,30 +154,38 @@ class ArtifactStore:
         Re-initialising an existing store with the *same* campaign (by
         content key) is the resume path and is a no-op; initialising
         with a different campaign raises :class:`StoreError` instead of
-        silently mixing artifacts from two grids.
+        silently mixing artifacts from two grids.  The check-then-create
+        runs under the store lock so two processes racing to initialise
+        the same directory cannot both write the seed files.
         """
-        existing = self.campaign_key()
-        if existing is not None:
-            if existing != campaign.key():
-                raise StoreError(
-                    f"store at {self.root} belongs to campaign key "
-                    f"{existing}; refusing to run campaign "
-                    f"{campaign.key()} ({campaign.name!r}) into it"
-                )
-            return
         self.root.mkdir(parents=True, exist_ok=True)
-        (self.root / _UNITS_DIR).mkdir(exist_ok=True)
-        _atomic_write(
-            self.root / _CAMPAIGN_FILE,
-            json.dumps(
-                {"key": campaign.key(), "spec": campaign.to_dict()}, indent=2
+        with self._lock():
+            existing = self.campaign_key()
+            if existing is not None:
+                if existing != campaign.key():
+                    raise StoreError(
+                        f"store at {self.root} belongs to campaign key "
+                        f"{existing}; refusing to run campaign "
+                        f"{campaign.key()} ({campaign.name!r}) into it"
+                    )
+                return
+            (self.root / _UNITS_DIR).mkdir(exist_ok=True)
+            _atomic_write(
+                self.root / _CAMPAIGN_FILE,
+                json.dumps(
+                    {"key": campaign.key(), "spec": campaign.to_dict()},
+                    indent=2,
+                )
+                + "\n",
             )
-            + "\n",
-        )
-        _atomic_write(
-            self.root / _MANIFEST_FILE,
-            json.dumps(self._empty_manifest(campaign), indent=2) + "\n",
-        )
+            _atomic_write(
+                self.root / _MANIFEST_FILE,
+                json.dumps(self._empty_manifest(campaign), indent=2) + "\n",
+            )
+
+    def _lock(self):
+        """The store-wide writer lock (see :func:`_exclusive_lock`)."""
+        return _exclusive_lock(self.root / _LOCK_FILE)
 
     def _empty_manifest(self, campaign: CampaignSpec) -> dict:
         return {
@@ -202,7 +246,9 @@ class ArtifactStore:
 
         Artifact files land first; the manifest entry (with checksums)
         is written last and atomically, so completion is all-or-nothing.
-        Returns the unit's content key.
+        The manifest read-modify-write runs under the store lock, so
+        concurrent runner processes sharing one store never drop each
+        other's completed-unit entries.  Returns the unit's content key.
         """
         key = spec.key()
         unit_dir = self.unit_dir(key)
@@ -218,14 +264,16 @@ class ArtifactStore:
         for filename, text in files.items():
             _atomic_write(unit_dir / filename, text)
             checksums[filename] = _sha256(text.encode("utf-8"))
-        manifest = self.manifest()
-        manifest["units"][key] = {
-            "name": spec.name,
-            "files": checksums,
-        }
-        _atomic_write(
-            self.root / _MANIFEST_FILE, json.dumps(manifest, indent=2) + "\n"
-        )
+        with self._lock():
+            manifest = self.manifest()
+            manifest["units"][key] = {
+                "name": spec.name,
+                "files": checksums,
+            }
+            _atomic_write(
+                self.root / _MANIFEST_FILE,
+                json.dumps(manifest, indent=2) + "\n",
+            )
         return key
 
     # ------------------------------------------------------------------

@@ -270,11 +270,16 @@ class HardwarePrototype:
         update_compressor=None,
         fault_injector: FaultInjector | None = None,
         resilience: ResilienceConfig | None = None,
+        federated_config: FederatedConfig | None = None,
     ) -> FederatedTrainer:
         clients = build_clients(
             self._partitions, self.config.model, seed=self.config.seed
         )
-        fed_config = FederatedConfig(
+        # A caller-supplied config (e.g. a RunSpec projection) is used
+        # verbatim so every training knob it declares — dropout,
+        # proximal mu, pool workers — is honored; otherwise one is
+        # assembled from the loop arguments and the testbed defaults.
+        fed_config = federated_config or FederatedConfig(
             n_rounds=n_rounds,
             participants_per_round=participants,
             local_epochs=epochs,
@@ -359,16 +364,25 @@ class HardwarePrototype:
 
     def run(
         self,
-        participants: int,
-        epochs: int,
+        participants: int | None = None,
+        epochs: int | None = None,
         n_rounds: int = 1000,
         target_accuracy: float | None = None,
         overselection: int = 0,
         update_compressor=None,
         fault_plan: FaultPlan | None = None,
         resilience: ResilienceConfig | None = None,
+        federated_config: FederatedConfig | None = None,
     ) -> PrototypeResult:
         """Train with ``(K, E)`` and measure the energy spent.
+
+        ``federated_config``, when given, is the single source of truth
+        for the training loop: ``(K, E)``, round budget, accuracy
+        target, overselection, and every knob the loop arguments cannot
+        express (dropout probability, FedProx mu, pool workers) are all
+        taken from it and the corresponding arguments are ignored.
+        Without it, ``participants`` and ``epochs`` are required and a
+        config is assembled from the loop arguments.
 
         Stops at ``target_accuracy`` if given, else after ``n_rounds``.
         The simulated wall clock advances round by round: a round lasts
@@ -393,6 +407,17 @@ class HardwarePrototype:
         update rejected) is charged to the ``energy.wasted_j`` counter
         on top of appearing in the round totals.
         """
+        if federated_config is not None:
+            participants = federated_config.participants_per_round
+            epochs = federated_config.local_epochs
+            n_rounds = federated_config.n_rounds
+            target_accuracy = federated_config.target_accuracy
+            overselection = federated_config.overselection
+        elif participants is None or epochs is None:
+            raise ValueError(
+                "run() requires either federated_config or both "
+                "participants and epochs"
+            )
         upload_message = self._upload
         if update_compressor is not None:
             compressor = getattr(update_compressor, "compressor", update_compressor)
@@ -434,6 +459,7 @@ class HardwarePrototype:
             update_compressor=update_compressor,
             fault_injector=injector,
             resilience=resilience,
+            federated_config=federated_config,
         )
         simulator = Simulator(observer=self._observer)
         energy_per_round: list[float] = []

@@ -87,6 +87,24 @@ class TestKillAndResume:
         assert not summary.interrupted
         assert len(store.completed_keys()) == len(tiny_campaign)
 
+    def test_resume_survives_toggling_telemetry(
+        self, tmp_path, tiny_campaign: CampaignSpec
+    ) -> None:
+        # Enabling telemetry changes nothing a unit computes, so a
+        # finished campaign re-run with telemetry on must skip every
+        # unit instead of retraining the whole grid under new keys.
+        import dataclasses
+
+        store = ArtifactStore(tmp_path / "store")
+        CampaignRunner(tiny_campaign, store).run()
+        toggled = dataclasses.replace(
+            tiny_campaign,
+            base=dataclasses.replace(tiny_campaign.base, telemetry=True),
+        )
+        summary = CampaignRunner(toggled, store).run()
+        assert summary.executed == 0
+        assert summary.skipped == len(tiny_campaign)
+
     def test_order_independence_single_unit_matches_grid_unit(
         self, tmp_path, tiny_campaign: CampaignSpec
     ) -> None:

@@ -132,6 +132,26 @@ class TestRunSpecKeys:
     ) -> None:
         assert dataclasses.replace(tiny_spec, **change).key() != tiny_spec.key()
 
+    @pytest.mark.parametrize(
+        "change", [{"telemetry": True}, {"pool_workers": 8}]
+    )
+    def test_result_neutral_knobs_do_not_change_key(
+        self, tiny_spec: RunSpec, change: dict
+    ) -> None:
+        # Telemetry and pool-worker count cannot change what a run
+        # computes; toggling them on a finished campaign must not
+        # invalidate its completed units.
+        assert dataclasses.replace(tiny_spec, **change).key() == tiny_spec.key()
+
+    def test_result_neutral_knobs_do_not_change_campaign_key(
+        self, tiny_campaign: CampaignSpec
+    ) -> None:
+        toggled = dataclasses.replace(
+            tiny_campaign,
+            base=dataclasses.replace(tiny_campaign.base, telemetry=True),
+        )
+        assert toggled.key() == tiny_campaign.key()
+
 
 class TestCampaignSpec:
     def test_expand_is_deterministic_row_major(

@@ -141,6 +141,38 @@ class TestVerify:
             populated.manifest()
 
 
+class TestConcurrentWriters:
+    def test_parallel_record_unit_drops_no_manifest_entries(
+        self, tmp_path, populated: ArtifactStore, tiny_campaign: CampaignSpec
+    ) -> None:
+        # Two 'campaign run' processes sharing a store both pass
+        # initialize (same key) and checkpoint units concurrently; the
+        # manifest read-modify-write is serialised by the store lock,
+        # so no completed-unit entry may be lost.  Simulated here with
+        # threads over independent ArtifactStore handles (the flock is
+        # per open file description, so it serialises threads too).
+        from concurrent.futures import ThreadPoolExecutor
+
+        target_root = tmp_path / "shared"
+        ArtifactStore(target_root).initialize(tiny_campaign)
+        artifacts = list(populated.units())
+
+        def record(artifact) -> str:
+            own_handle = ArtifactStore(target_root)
+            own_handle.initialize(tiny_campaign)
+            return own_handle.record_unit(
+                artifact.spec(), artifact.history(), artifact.result()
+            )
+
+        with ThreadPoolExecutor(max_workers=len(artifacts)) as pool:
+            keys = list(pool.map(record, artifacts))
+
+        shared = ArtifactStore(target_root)
+        assert shared.completed_keys() == set(keys)
+        assert shared.completed_keys() == populated.completed_keys()
+        assert shared.verify() == []
+
+
 class TestTelemetryArtifacts:
     def test_telemetry_units_persist_event_logs(
         self, tmp_path, tiny_spec: RunSpec
