@@ -15,13 +15,24 @@ the subsystem exists for:
   from the store must likewise be a small fraction of the initial run
   (reports never re-train).
 * **pooled backend** — the same campaign with ``backend_override="pool"``,
-  recorded for tracking.  At this benchmark's demo scale the per-round
-  kernels are tiny, so the process pool's IPC can outweigh its
-  parallelism; the speedup is reported, not guarded (bench_engine.py
-  owns the backend-speed guarantees at the scale where they hold).
+  now guarded: the persistent-worker pool must not fall below the
+  bounded-overhead floor (and must beat sequential outright when the
+  container has multiple cores).
+* **parallel campaign** — the same grid with ``jobs=4`` through the
+  longest-first unit scheduler, guarded the same CPU-aware way, plus a
+  whole-store byte-identity check against the sequential run.
+
+Speed guards are CPU-aware because the acceptance speedups are
+physically impossible on a single core: with enough CPUs the full
+thresholds apply, otherwise the bounded-overhead floor applies and the
+JSON records ``cpu_limited: true``.  The measured pool break-even
+crossover lives in ``BENCH_parallel.json`` (benchmarks/bench_parallel.py
+sweeps model size and epochs); this file records the headline-config
+guard verdicts.
 
 Writes ``BENCH_campaign.json`` and exits non-zero if orchestration
-overhead, resume, or report regress past their thresholds.
+overhead, resume, report, pooled, or parallel runs regress past their
+thresholds, or if the parallel store's bytes diverge.
 
 Not a pytest benchmark (no ``test_`` prefix — the timings are a
 tracking artifact, not an assertion):
@@ -31,7 +42,9 @@ Run:  python benchmarks/bench_campaign.py [output.json]
 
 from __future__ import annotations
 
+import hashlib
 import json
+import os
 import shutil
 import sys
 import tempfile
@@ -58,6 +71,30 @@ SEED = 0
 MAX_OVERHEAD_FRACTION = 0.50  # store+manifest cost vs bare training
 MAX_RESUME_FRACTION = 0.20  # resume-noop time vs initial run
 MAX_REPORT_FRACTION = 0.20  # report time vs initial run
+
+# Parallel-mode guards: acceptance thresholds when the cores exist,
+# bounded-overhead floor always.
+PARALLEL_JOBS = 4
+ACCEPT_PARALLEL_SPEEDUP = 2.0  # enforced when cpus >= PARALLEL_JOBS
+ACCEPT_POOL_SPEEDUP = 1.0  # enforced when cpus >= 2
+MIN_BOUNDED_SPEEDUP = 0.5  # always enforced
+
+
+def _available_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def _store_digest(root: Path) -> str:
+    """One hash over every store file (lock excluded), path-keyed."""
+    digest = hashlib.sha256()
+    for path in sorted(root.rglob("*")):
+        if path.is_file() and path.name != ".lock":
+            digest.update(str(path.relative_to(root)).encode())
+            digest.update(path.read_bytes())
+    return digest.hexdigest()
 
 
 def _make_campaign() -> CampaignSpec:
@@ -139,9 +176,26 @@ def main(argv: list[str] | None = None) -> int:
 
         pool_s, _ = _timed_campaign(campaign, workdir / "pool", backend="pool")
         pool_speedup = campaign_s / pool_s
-        print(f"pooled backend: {pool_s:.3f}s ({pool_speedup:.2f}x, tracked)")
+        print(f"pooled backend: {pool_s:.3f}s ({pool_speedup:.2f}x)")
+
+        par_root = workdir / "parallel"
+        runner = CampaignRunner(campaign, ArtifactStore(par_root))
+        started = time.perf_counter()
+        par_summary = runner.run(jobs=PARALLEL_JOBS)
+        parallel_s = time.perf_counter() - started
+        assert par_summary.executed == len(campaign)
+        parallel_speedup = campaign_s / parallel_s
+        parallel_identical = _store_digest(par_root) == _store_digest(
+            workdir / "sequential"
+        )
+        print(
+            f"parallel campaign (jobs={PARALLEL_JOBS}): {parallel_s:.3f}s "
+            f"({parallel_speedup:.2f}x, byte-identical={parallel_identical})"
+        )
     finally:
         shutil.rmtree(workdir, ignore_errors=True)
+
+    cpus = _available_cpus()
 
     payload = {
         "benchmark": "campaign",
@@ -161,15 +215,25 @@ def main(argv: list[str] | None = None) -> int:
             "resume_noop": resume_s,
             "report_from_artifacts": report_s,
             "campaign_pooled": pool_s,
+            "campaign_parallel": parallel_s,
         },
         "orchestration_overhead_fraction": overhead,
         "resume_fraction_of_run": resume_s / campaign_s,
         "report_fraction_of_run": report_s / campaign_s,
         "pool_speedup": pool_speedup,
+        "parallel_jobs": PARALLEL_JOBS,
+        "parallel_speedup": parallel_speedup,
+        "parallel_store_byte_identical": parallel_identical,
+        "available_cpus": cpus,
+        "cpu_limited": cpus < PARALLEL_JOBS,
+        "break_even_reference": "BENCH_parallel.json (break_even section)",
         "thresholds": {
             "max_overhead_fraction": MAX_OVERHEAD_FRACTION,
             "max_resume_fraction": MAX_RESUME_FRACTION,
             "max_report_fraction": MAX_REPORT_FRACTION,
+            "accept_parallel_speedup": ACCEPT_PARALLEL_SPEEDUP,
+            "accept_pool_speedup": ACCEPT_POOL_SPEEDUP,
+            "min_bounded_speedup": MIN_BOUNDED_SPEEDUP,
         },
     }
     out_path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
@@ -190,6 +254,28 @@ def main(argv: list[str] | None = None) -> int:
         failures.append(
             f"report took {100 * report_s / campaign_s:.1f}% of the "
             f"initial run (max {100 * MAX_REPORT_FRACTION:.0f}%)"
+        )
+    pool_threshold = (
+        ACCEPT_POOL_SPEEDUP if cpus >= 2 else MIN_BOUNDED_SPEEDUP
+    )
+    if pool_speedup < pool_threshold:
+        failures.append(
+            f"pooled campaign {pool_speedup:.2f}x below "
+            f"{pool_threshold:.2f}x threshold ({cpus} cpus)"
+        )
+    parallel_threshold = (
+        ACCEPT_PARALLEL_SPEEDUP
+        if cpus >= PARALLEL_JOBS
+        else MIN_BOUNDED_SPEEDUP
+    )
+    if parallel_speedup < parallel_threshold:
+        failures.append(
+            f"parallel campaign {parallel_speedup:.2f}x below "
+            f"{parallel_threshold:.2f}x threshold ({cpus} cpus)"
+        )
+    if not parallel_identical:
+        failures.append(
+            "parallel campaign store is not byte-identical to sequential"
         )
     for failure in failures:
         print(f"FAIL: {failure}", file=sys.stderr)

@@ -1,0 +1,350 @@
+"""Two-level parallel-runtime benchmark: pool engine + campaign jobs.
+
+Measures both layers of the parallel execution runtime against their
+sequential references and certifies the determinism contract alongside
+the timings:
+
+* **engine level** — the persistent-worker pool backend vs the
+  sequential engine at the paper headline (K=20, E=16, 784x10 model),
+  with ``max_abs_param_diff`` (must be exactly 0);
+* **campaign level** — an 8-unit (K, E) grid run with ``jobs=4`` vs the
+  sequential runner, with whole-store byte identity (unit files *and*
+  manifest must hash identically);
+* **break-even sweep** — pool speedup across model sizes and epoch
+  counts, reporting the measured (K, E, model) crossover where the pool
+  starts to pay.
+
+Speed guards are CPU-aware: the acceptance thresholds (pool >= 1.5x,
+parallel campaign >= 2.0x at 4 jobs) are physically impossible without
+multiple cores, so they are enforced only when the container grants
+enough CPUs; on smaller boxes the guard degrades to a bounded-overhead
+floor and the JSON records ``cpu_limited: true``.  The determinism
+guards (param diff 0, store byte identity) are enforced unconditionally
+— parallelism must never change results, whatever the core count.
+
+Writes ``BENCH_parallel.json`` and exits non-zero on any guard failure.
+
+Not a pytest benchmark (no ``test_`` prefix — the timings are a
+tracking artifact, not an assertion):
+
+Run:  python benchmarks/bench_parallel.py [output.json]
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import shutil
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.campaign import ArtifactStore, CampaignRunner, CampaignSpec, RunSpec
+from repro.data.dataset import Dataset
+from repro.fl.model import LogisticRegressionConfig
+from repro.fl.partition import partition_iid
+from repro.fl.sgd import SGDConfig
+from repro.fl.training import FederatedConfig, FederatedTrainer, build_clients
+
+SEED = 0
+N_SERVERS = 20
+
+# Engine-level headline: the paper model at the paper's largest cell.
+HEADLINE_K = 20
+HEADLINE_E = 16
+HEADLINE_ROUNDS = 10
+WARMUP_ROUNDS = 2
+PAPER_MODEL = LogisticRegressionConfig(n_features=784, n_classes=10)
+PAPER_SAMPLES_PER_SERVER = 100
+
+# Campaign-level: the same 8-unit demo grid bench_campaign.py uses.
+CAMPAIGN_N_SERVERS = 8
+CAMPAIGN_N_TRAIN = 800
+CAMPAIGN_N_TEST = 200
+CAMPAIGN_MAX_ROUNDS = 10
+CAMPAIGN_K = (1, 2, 4, 8)
+CAMPAIGN_E = (1, 4)
+CAMPAIGN_JOBS = 4
+
+# Break-even sweep: where does the pool start to pay?
+SWEEP_MODELS = (
+    ("32x5", LogisticRegressionConfig(n_features=32, n_classes=5), 30),
+    ("256x10", LogisticRegressionConfig(n_features=256, n_classes=10), 60),
+    ("784x10", PAPER_MODEL, PAPER_SAMPLES_PER_SERVER),
+)
+SWEEP_E = (1, 4, 16)
+SWEEP_K = 20
+SWEEP_ROUNDS = 4
+
+# CPU-aware guard thresholds.
+ACCEPT_POOL_SPEEDUP = 1.5  # enforced when cpus >= POOL_CPU_FLOOR
+ACCEPT_PARALLEL_SPEEDUP = 2.0  # enforced when cpus >= CAMPAIGN_JOBS
+POOL_CPU_FLOOR = 2
+MIN_BOUNDED_SPEEDUP = 0.5  # always enforced: parallelism may not
+# cost more than 2x even with nothing to parallelise onto
+
+
+def _available_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def _linear_task(n: int, model: LogisticRegressionConfig, seed: int) -> Dataset:
+    d, c = model.n_features, model.n_classes
+    projection = np.random.default_rng(424242).normal(size=(d, c))
+    rng = np.random.default_rng(seed)
+    features = rng.normal(size=(n, d))
+    scores = features @ projection
+    labels = np.argmax(scores + rng.normal(0, 0.5, size=scores.shape), axis=1)
+    return Dataset(features, labels, c)
+
+
+def _make_data(model: LogisticRegressionConfig, samples_per_server: int):
+    train = _linear_task(samples_per_server * N_SERVERS, model, seed=SEED)
+    test = _linear_task(200, model, seed=SEED + 99)
+    partitions = partition_iid(train, N_SERVERS, np.random.default_rng(1))
+    return train, test, partitions
+
+
+def _timed_run(
+    backend: str,
+    model: LogisticRegressionConfig,
+    data,
+    participants: int,
+    epochs: int,
+    rounds: int,
+) -> tuple[float, np.ndarray]:
+    train, test, partitions = data
+    trainer = FederatedTrainer(
+        clients=build_clients(partitions, model),
+        config=FederatedConfig(
+            n_rounds=WARMUP_ROUNDS + rounds,
+            participants_per_round=participants,
+            local_epochs=epochs,
+            sgd=SGDConfig(learning_rate=0.1, decay=0.995),
+            seed=SEED,
+            backend=backend,
+        ),
+        train_eval=train,
+        test_eval=test,
+    )
+    try:
+        for _ in range(WARMUP_ROUNDS):
+            trainer.run_round()
+        started = time.perf_counter()
+        for _ in range(rounds):
+            trainer.run_round()
+        elapsed = time.perf_counter() - started
+        return elapsed, trainer.coordinator.global_parameters.copy()
+    finally:
+        trainer.close()
+
+
+def run_engine_level() -> dict:
+    """Pool vs sequential at the paper headline, identity certified."""
+    data = _make_data(PAPER_MODEL, PAPER_SAMPLES_PER_SERVER)
+    seq_s, seq_params = _timed_run(
+        "sequential", PAPER_MODEL, data, HEADLINE_K, HEADLINE_E,
+        HEADLINE_ROUNDS,
+    )
+    pool_s, pool_params = _timed_run(
+        "pool", PAPER_MODEL, data, HEADLINE_K, HEADLINE_E, HEADLINE_ROUNDS
+    )
+    max_diff = float(np.max(np.abs(pool_params - seq_params)))
+    row = {
+        "participants": HEADLINE_K,
+        "epochs": HEADLINE_E,
+        "rounds": HEADLINE_ROUNDS,
+        "model": "784x10",
+        "seconds_sequential": seq_s,
+        "seconds_pool": pool_s,
+        "speedup_pool": seq_s / pool_s,
+        "max_abs_param_diff": max_diff,
+    }
+    print(
+        f"engine headline (K={HEADLINE_K}, E={HEADLINE_E}, 784x10): "
+        f"pool {row['speedup_pool']:.2f}x, max|dparam| {max_diff:.1e}"
+    )
+    return row
+
+
+def _campaign_spec() -> CampaignSpec:
+    base = RunSpec(
+        name="bench-parallel",
+        n_train=CAMPAIGN_N_TRAIN,
+        n_test=CAMPAIGN_N_TEST,
+        n_servers=CAMPAIGN_N_SERVERS,
+        max_rounds=CAMPAIGN_MAX_ROUNDS,
+        train_to_target=False,
+        seed=SEED,
+    )
+    return CampaignSpec(
+        name="bench-parallel",
+        base=base,
+        participants=CAMPAIGN_K,
+        epochs=CAMPAIGN_E,
+    )
+
+
+def _store_digest(root: Path) -> str:
+    """One hash over every store file (lock excluded), path-keyed."""
+    digest = hashlib.sha256()
+    for path in sorted(root.rglob("*")):
+        if path.is_file() and path.name != ".lock":
+            digest.update(str(path.relative_to(root)).encode())
+            digest.update(path.read_bytes())
+    return digest.hexdigest()
+
+
+def run_campaign_level(workdir: Path) -> dict:
+    """Sequential vs ``jobs=4`` campaign, byte identity certified."""
+    campaign = _campaign_spec()
+    # Warm dataset/import caches so the first timed pass is fair.
+    warm = CampaignRunner(campaign, ArtifactStore(workdir / "warm"))
+    warm.run_unit(warm.units[0])
+
+    seq_root = workdir / "sequential"
+    started = time.perf_counter()
+    summary = CampaignRunner(campaign, ArtifactStore(seq_root)).run()
+    seq_s = time.perf_counter() - started
+    assert summary.executed == len(campaign)
+
+    par_root = workdir / "parallel"
+    started = time.perf_counter()
+    summary = CampaignRunner(campaign, ArtifactStore(par_root)).run(
+        jobs=CAMPAIGN_JOBS
+    )
+    par_s = time.perf_counter() - started
+    assert summary.executed == len(campaign)
+
+    row = {
+        "units": len(campaign),
+        "jobs": CAMPAIGN_JOBS,
+        "seconds_sequential": seq_s,
+        "seconds_parallel": par_s,
+        "speedup_parallel": seq_s / par_s,
+        "stores_byte_identical": _store_digest(seq_root)
+        == _store_digest(par_root),
+    }
+    print(
+        f"campaign ({row['units']} units, jobs={CAMPAIGN_JOBS}): "
+        f"{row['speedup_parallel']:.2f}x, "
+        f"byte-identical={row['stores_byte_identical']}"
+    )
+    return row
+
+
+def run_break_even() -> dict:
+    """Pool speedup across model sizes/epochs; where does it cross 1x?"""
+    rows = []
+    crossover = None
+    for label, model, samples in SWEEP_MODELS:
+        data = _make_data(model, samples)
+        for epochs in SWEEP_E:
+            seq_s, _ = _timed_run(
+                "sequential", model, data, SWEEP_K, epochs, SWEEP_ROUNDS
+            )
+            pool_s, _ = _timed_run(
+                "pool", model, data, SWEEP_K, epochs, SWEEP_ROUNDS
+            )
+            speedup = seq_s / pool_s
+            rows.append(
+                {
+                    "model": label,
+                    "participants": SWEEP_K,
+                    "epochs": epochs,
+                    "seconds_per_round_sequential": seq_s / SWEEP_ROUNDS,
+                    "seconds_per_round_pool": pool_s / SWEEP_ROUNDS,
+                    "speedup_pool": speedup,
+                }
+            )
+            if speedup >= 1.0 and crossover is None:
+                crossover = {
+                    "model": label,
+                    "participants": SWEEP_K,
+                    "epochs": epochs,
+                }
+            print(
+                f"break-even sweep {label} K={SWEEP_K} E={epochs:2d}: "
+                f"pool {speedup:.2f}x"
+            )
+    return {"rows": rows, "first_crossover": crossover}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = sys.argv[1:] if argv is None else argv
+    out_path = Path(args[0]) if args else Path("BENCH_parallel.json")
+    cpus = _available_cpus()
+    cpu_limited = cpus < max(POOL_CPU_FLOOR, CAMPAIGN_JOBS)
+    print(f"available cpus: {cpus} (cpu_limited={cpu_limited})")
+
+    engine = run_engine_level()
+    workdir = Path(tempfile.mkdtemp(prefix="bench_parallel_"))
+    try:
+        campaign = run_campaign_level(workdir)
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+    break_even = run_break_even()
+
+    payload = {
+        "benchmark": "parallel",
+        "available_cpus": cpus,
+        "cpu_limited": cpu_limited,
+        "engine_headline": engine,
+        "campaign_parallel": campaign,
+        "break_even": break_even,
+        "thresholds": {
+            "accept_pool_speedup": ACCEPT_POOL_SPEEDUP,
+            "accept_parallel_speedup": ACCEPT_PARALLEL_SPEEDUP,
+            "min_bounded_speedup": MIN_BOUNDED_SPEEDUP,
+            "pool_cpu_floor": POOL_CPU_FLOOR,
+            "campaign_jobs": CAMPAIGN_JOBS,
+        },
+    }
+    out_path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {out_path}")
+
+    failures = []
+    # Determinism guards: unconditional.
+    if engine["max_abs_param_diff"] != 0.0:
+        failures.append(
+            f"pool backend diverged from sequential "
+            f"(max|dparam| = {engine['max_abs_param_diff']:.2e}, must be 0)"
+        )
+    if not campaign["stores_byte_identical"]:
+        failures.append(
+            "parallel campaign store is not byte-identical to sequential"
+        )
+    # Speed guards: acceptance thresholds where the cores exist,
+    # bounded-overhead floors everywhere.
+    pool_threshold = (
+        ACCEPT_POOL_SPEEDUP if cpus >= POOL_CPU_FLOOR else MIN_BOUNDED_SPEEDUP
+    )
+    if engine["speedup_pool"] < pool_threshold:
+        failures.append(
+            f"pool speedup {engine['speedup_pool']:.2f}x below "
+            f"{pool_threshold:.2f}x threshold ({cpus} cpus)"
+        )
+    parallel_threshold = (
+        ACCEPT_PARALLEL_SPEEDUP
+        if cpus >= CAMPAIGN_JOBS
+        else MIN_BOUNDED_SPEEDUP
+    )
+    if campaign["speedup_parallel"] < parallel_threshold:
+        failures.append(
+            f"parallel campaign speedup {campaign['speedup_parallel']:.2f}x "
+            f"below {parallel_threshold:.2f}x threshold ({cpus} cpus)"
+        )
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -44,8 +44,24 @@ from repro.hardware.prototype import (
     PrototypeResult,
 )
 from repro.obs.observer import Observer, active_or_none
+from repro.perf.scheduler import ParallelUnitScheduler, estimate_unit_cost
 
-__all__ = ["CampaignRunner", "UnitOutcome", "CampaignRunSummary"]
+__all__ = [
+    "CampaignRunner",
+    "UnitOutcome",
+    "CampaignRunSummary",
+    "ParallelUnitError",
+    "execute_unit",
+]
+
+
+class ParallelUnitError(RuntimeError):
+    """One or more units raised during a parallel campaign pass.
+
+    Raised after the scheduler has drained, so every unit that finished
+    cleanly is already checkpointed in the store — re-running the
+    campaign resumes past them and retries only the failed units.
+    """
 
 
 @dataclass(frozen=True)
@@ -88,6 +104,102 @@ class CampaignRunSummary:
     def skipped(self) -> int:
         """Units skipped because their artifacts already existed."""
         return sum(1 for o in self.outcomes if o.skipped)
+
+
+# ----------------------------------------------------------------------
+# Unit execution.  Module-level (and hence picklable) so the parallel
+# scheduler can ship units to worker processes; the sequential runner
+# goes through the same code path, which is what makes the two modes
+# byte-identical.
+# ----------------------------------------------------------------------
+
+# Per-process dataset cache.  Datasets are immutable and keyed only on
+# their generation signature, so a scheduler worker regenerates each
+# distinct dataset at most once no matter how many units it executes.
+_WORKER_DATASETS: dict[tuple, tuple[Dataset, Dataset]] = {}
+
+
+def _unit_datasets(spec: RunSpec) -> tuple[Dataset, Dataset]:
+    signature = (spec.n_train, spec.n_test, spec.seed, spec.noise_std)
+    if signature not in _WORKER_DATASETS:
+        _WORKER_DATASETS[signature] = load_synthetic_mnist(
+            n_train=spec.n_train,
+            n_test=spec.n_test,
+            seed=spec.seed,
+            noise_std=spec.noise_std,
+        )
+    return _WORKER_DATASETS[signature]
+
+
+def execute_unit(
+    spec: RunSpec,
+    datasets: tuple[Dataset, Dataset] | None = None,
+    observer: Observer | None = None,
+) -> PrototypeResult:
+    """Execute one unit on a fresh, independently seeded testbed.
+
+    All randomness derives from ``spec.seed`` alone, so the result is
+    identical no matter which process runs the unit or in what order
+    units run — the property the parallel scheduler relies on.
+    """
+    train, test = datasets if datasets is not None else _unit_datasets(spec)
+    scale = spec.scale()
+    prototype = HardwarePrototype(
+        train,
+        test,
+        PrototypeConfig(
+            n_servers=spec.n_servers,
+            model=scale.model_config(),
+            sgd=scale.sgd_config(),
+            seed=spec.seed,
+            backend=spec.backend,
+        ),
+        observer=observer,
+    )
+    # The spec's full FederatedConfig projection is handed to the
+    # trainer, so every training knob the spec declares — including
+    # dropout_probability, proximal_mu, and pool_workers, which the
+    # loop arguments cannot express — is honored exactly as the
+    # stored spec.json records it.
+    return prototype.run(
+        federated_config=spec.federated_config(),
+        fault_plan=spec.fault_plan,
+        resilience=spec.resilience,
+    )
+
+
+def _execute_and_record(payload: tuple[RunSpec, str]) -> dict:
+    """Scheduler worker: run one unit and checkpoint it into the store.
+
+    Workers write straight into the shared flock-protected store, so a
+    campaign killed mid-parallel-run keeps every unit that finished —
+    exactly the sequential crash contract.  Returns a small summary the
+    parent uses for telemetry and outcome accounting.
+    """
+    spec, store_root = payload
+    observer = Observer() if spec.telemetry else None
+    started = time.perf_counter()
+    result = execute_unit(spec, observer=observer)
+    duration_s = time.perf_counter() - started
+    telemetry_jsonl = None
+    if observer is not None:
+        observer.emit("metrics.snapshot", **observer.snapshot())
+        telemetry_jsonl = observer.events.to_jsonl()
+    store = ArtifactStore(store_root)
+    store.record_unit(
+        spec,
+        result.history,
+        _result_document(spec, result),
+        telemetry_jsonl=telemetry_jsonl,
+    )
+    return {
+        "key": spec.key(),
+        "name": spec.name,
+        "duration_s": duration_s,
+        "rounds": int(result.rounds),
+        "total_energy_j": float(result.total_energy_j),
+        "reached_target": bool(result.reached_target),
+    }
 
 
 def _result_document(spec: RunSpec, result: PrototypeResult) -> dict:
@@ -229,29 +341,10 @@ class CampaignRunner:
 
     def run_unit(self, spec: RunSpec) -> PrototypeResult:
         """Execute one unit on a fresh, independently seeded testbed."""
-        train, test = self._datasets(spec)
-        scale = spec.scale()
-        prototype = HardwarePrototype(
-            train,
-            test,
-            PrototypeConfig(
-                n_servers=spec.n_servers,
-                model=scale.model_config(),
-                sgd=scale.sgd_config(),
-                seed=spec.seed,
-                backend=spec.backend,
-            ),
+        return execute_unit(
+            spec,
+            datasets=self._datasets(spec),
             observer=self._unit_observer(spec),
-        )
-        # The spec's full FederatedConfig projection is handed to the
-        # trainer, so every training knob the spec declares — including
-        # dropout_probability, proximal_mu, and pool_workers, which the
-        # loop arguments cannot express — is honored exactly as the
-        # stored spec.json records it.
-        return prototype.run(
-            federated_config=spec.federated_config(),
-            fault_plan=spec.fault_plan,
-            resilience=spec.resilience,
         )
 
     def _unit_observer(self, spec: RunSpec) -> Observer | None:
@@ -269,7 +362,9 @@ class CampaignRunner:
     # ------------------------------------------------------------------
     # The campaign loop.
     # ------------------------------------------------------------------
-    def run(self, max_units: int | None = None) -> CampaignRunSummary:
+    def run(
+        self, max_units: int | None = None, jobs: int = 1
+    ) -> CampaignRunSummary:
         """Execute every incomplete unit, checkpointing each.
 
         Args:
@@ -277,12 +372,21 @@ class CampaignRunner:
                 checkpointed) after training this many units — the
                 hook the kill-and-resume tests use.  Skipped units do
                 not count against the cap.
+            jobs: worker processes for unit execution.  ``1`` (the
+                default) runs units sequentially in this process;
+                ``>1`` fans incomplete units out longest-first over a
+                :class:`~repro.perf.scheduler.ParallelUnitScheduler`.
+                Because every unit seeds itself and workers checkpoint
+                into the flock-protected store, both modes produce
+                byte-identical artifacts.
 
         A ``KeyboardInterrupt`` mid-unit is absorbed the same way: the
         summary reports ``interrupted=True`` and the partially-run
         unit's artifacts are simply absent, so the next pass re-runs it
         from scratch (deterministically, to the same bytes).
         """
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1; got {jobs}")
         obs = self._observer
         completed = self.store.completed_keys()
         outcomes: list[UnitOutcome] = []
@@ -295,7 +399,10 @@ class CampaignRunner:
                 key=self.campaign.key(),
                 units=len(self.units),
                 already_complete=len(completed),
+                jobs=jobs,
             )
+        if jobs > 1:
+            return self._run_parallel(max_units, jobs, completed)
         for spec in self.units:
             key = spec.key()
             if key in completed:
@@ -361,5 +468,102 @@ class CampaignRunner:
                 executed=summary.executed,
                 skipped=summary.skipped,
                 interrupted=summary.interrupted,
+            )
+        return summary
+
+    def _run_parallel(
+        self, max_units: int | None, jobs: int, completed: set[str]
+    ) -> CampaignRunSummary:
+        """Fan incomplete units out over a process scheduler.
+
+        Unit independence does the heavy lifting: each worker seeds its
+        own prototype from the unit's spec and checkpoints straight into
+        the shared flock-protected store, so the artifact bytes are
+        identical to a sequential pass regardless of completion order.
+        ``max_units`` caps *pending* units in unit order — the same
+        semantics (and kill-and-resume hook) as the sequential loop.
+        """
+        obs = self._observer
+        outcomes: list[UnitOutcome] = []
+        skipped_outcomes: dict[str, UnitOutcome] = {}
+        pending: list[RunSpec] = []
+        for spec in self.units:
+            key = spec.key()
+            if key in completed:
+                skipped_outcomes[key] = UnitOutcome(
+                    key=key, name=spec.name, skipped=True
+                )
+                if obs is not None:
+                    obs.counter("campaign.units_skipped").inc()
+                    obs.emit(
+                        "campaign.unit",
+                        campaign=self.campaign.name,
+                        unit=spec.name,
+                        key=key,
+                        skipped=True,
+                    )
+            else:
+                pending.append(spec)
+        interrupted = False
+        if max_units is not None and len(pending) > max_units:
+            pending = pending[:max_units]
+            interrupted = True
+        scheduler = ParallelUnitScheduler(jobs, observer=obs)
+        payloads = [(spec, str(self.store.root)) for spec in pending]
+        costs = [estimate_unit_cost(spec) for spec in pending]
+        schedule = scheduler.run(payloads, _execute_and_record, costs)
+        interrupted = interrupted or schedule.interrupted
+        executed_outcomes: dict[str, UnitOutcome] = {}
+        for index in schedule.completed:
+            spec = pending[index]
+            summary = schedule.results[index]
+            duration_s = float(summary["duration_s"])
+            executed_outcomes[spec.key()] = UnitOutcome(
+                key=spec.key(),
+                name=spec.name,
+                skipped=False,
+                duration_s=duration_s,
+            )
+            if obs is not None:
+                obs.counter("campaign.units_run").inc()
+                obs.histogram("campaign.unit_duration_s").observe(duration_s)
+                obs.emit(
+                    "campaign.unit",
+                    campaign=self.campaign.name,
+                    unit=spec.name,
+                    key=spec.key(),
+                    skipped=False,
+                    duration_s=duration_s,
+                    rounds=summary["rounds"],
+                    total_energy_j=summary["total_energy_j"],
+                    reached_target=summary["reached_target"],
+                )
+        # Outcomes in unit order, mirroring the sequential loop.
+        for spec in self.units:
+            key = spec.key()
+            if key in skipped_outcomes:
+                outcomes.append(skipped_outcomes[key])
+            elif key in executed_outcomes:
+                outcomes.append(executed_outcomes[key])
+        summary = CampaignRunSummary(
+            outcomes=tuple(outcomes), interrupted=interrupted
+        )
+        if obs is not None:
+            obs.emit(
+                "campaign.end",
+                campaign=self.campaign.name,
+                executed=summary.executed,
+                skipped=summary.skipped,
+                interrupted=summary.interrupted,
+            )
+        if schedule.failed and not schedule.interrupted:
+            failures = ", ".join(
+                f"{pending[i].name}: {err}"
+                for i, err in sorted(schedule.failed.items())
+            )
+            raise ParallelUnitError(
+                f"{len(schedule.failed)} campaign unit(s) failed "
+                f"(completed units are checkpointed; re-run to resume): "
+                f"{failures}"
             )
         return summary

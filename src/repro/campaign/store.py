@@ -180,7 +180,10 @@ class ArtifactStore:
             )
             _atomic_write(
                 self.root / _MANIFEST_FILE,
-                json.dumps(self._empty_manifest(campaign), indent=2) + "\n",
+                json.dumps(
+                    self._empty_manifest(campaign), indent=2, sort_keys=True
+                )
+                + "\n",
             )
 
     def _lock(self):
@@ -270,9 +273,13 @@ class ArtifactStore:
                 "name": spec.name,
                 "files": checksums,
             }
+            # sort_keys makes the manifest bytes a pure function of its
+            # *contents*: a parallel run, whose units complete in
+            # scheduler order, ends with a manifest byte-identical to a
+            # sequential run's.
             _atomic_write(
                 self.root / _MANIFEST_FILE,
-                json.dumps(manifest, indent=2) + "\n",
+                json.dumps(manifest, indent=2, sort_keys=True) + "\n",
             )
         return key
 

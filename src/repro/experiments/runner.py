@@ -424,6 +424,17 @@ def build_parser() -> argparse.ArgumentParser:
             "resumes after them"
         ),
     )
+    campaign.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="J",
+        help=(
+            "worker processes for 'run' (default 1 = sequential); units "
+            "are scheduled longest-first and artifacts are byte-identical "
+            "to a sequential run"
+        ),
+    )
     return parser
 
 
@@ -504,7 +515,7 @@ def _run_campaign(args: argparse.Namespace) -> int:
     except StoreError as error:
         print(str(error), file=sys.stderr)
         return 2
-    summary = runner.run(max_units=args.max_units)
+    summary = runner.run(max_units=args.max_units, jobs=args.jobs)
     if observer is not None:
         observer.dump_jsonl(args.telemetry)
         print(

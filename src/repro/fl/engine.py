@@ -15,13 +15,22 @@ semantics:
   per-client training.  Per-client order of operations matches the
   sequential path (batched ``matmul`` is per-slice gemm), so results
   agree to ``atol=1e-10``.
-* :class:`PoolEngine` — a ``multiprocessing`` pool for the mini-batch
-  and MLP paths.  Client datasets ship once via shared memory
-  (:mod:`repro.perf.shared_data`); each task rebuilds the exact
-  sequential client code path in the worker, with mini-batch shuffles
-  drawn from a per-``(client, round)`` named substream so results are
-  bit-identical regardless of worker count and identical to sequential
-  execution.
+* :class:`PoolEngine` — a persistent-worker ``multiprocessing`` runtime.
+  Workers initialize exactly once per training run: client datasets ship
+  via shared memory (:mod:`repro.perf.shared_data`), the static training
+  configuration (epochs, SGD, FedProx mu, seed) rides in the pool
+  initializer, and per-client model/client objects stay resident in the
+  worker between rounds.  Each round is one *chunked cohort submission*:
+  the cohort is split into at most ``pool_workers`` contiguous chunks
+  and each chunk is a single task carrying only client ids, the round
+  index, and the learning rate — the global parameter vector is
+  broadcast through a :class:`~repro.perf.shared_data.SharedParameterBlock`
+  rewritten by the parent before submission, so per-round IPC is a few
+  tiny pickles instead of ``K`` dataset/config/parameter copies.  Every
+  chunk replays the exact sequential client code path with mini-batch
+  shuffles drawn from a per-``(seed, client, round)`` named substream,
+  so results are bit-identical regardless of worker count (and chunk
+  count) and identical to sequential execution.
 
 All engines return updates in participant order, which the trainer
 relies on for dropout draws, compression, and upload simulation.
@@ -40,7 +49,12 @@ from repro.faults.models import substream
 from repro.fl.client import EdgeServerClient, LocalUpdate
 from repro.fl.model import LogisticRegressionConfig, _sigmoid
 from repro.perf.cache import StackCache
-from repro.perf.shared_data import SharedDatasetStore, attach_datasets
+from repro.perf.shared_data import (
+    SharedDatasetStore,
+    SharedParameterBlock,
+    attach_datasets,
+    attach_parameters,
+)
 
 if TYPE_CHECKING:
     from repro.fl.training import FederatedConfig
@@ -304,58 +318,113 @@ class BatchedEngine(ExecutionEngine):
 _POOL_STATE: dict = {}
 
 
-def _pool_initializer(spec, model_config, seed) -> None:
+def _pool_initializer(
+    spec, param_name, n_parameters, model_config, seed, epochs, sgd, mu
+) -> None:
+    """One-time worker setup: attach shared data, pin the static config.
+
+    Everything that is constant for the lifetime of a training run —
+    datasets, model config, seed, epochs, SGD config, FedProx mu — lands
+    here exactly once, so per-round tasks never re-pickle any of it.
+    """
     datasets, handles = attach_datasets(spec)
+    params, param_handle = attach_parameters(param_name, n_parameters)
     _POOL_STATE["datasets"] = datasets
-    _POOL_STATE["handles"] = handles  # keep the shm buffers alive
+    # Keep every shm buffer alive for the worker's lifetime.
+    _POOL_STATE["handles"] = handles + (param_handle,)
+    _POOL_STATE["params"] = params
     _POOL_STATE["model_config"] = model_config
     _POOL_STATE["seed"] = seed
+    _POOL_STATE["epochs"] = epochs
+    _POOL_STATE["sgd"] = sgd
+    _POOL_STATE["mu"] = mu
     _POOL_STATE["clients"] = {}
 
 
-def _pool_train(task):
-    client_id, params, epochs, learning_rate, sgd, mu, round_index = task
-    started = time.perf_counter()
-    client = _POOL_STATE["clients"].get(client_id)
-    if client is None:
-        client = EdgeServerClient(
-            client_id,
-            _POOL_STATE["datasets"][client_id],
-            _POOL_STATE["model_config"],
+def _pool_train_chunk(task):
+    """Train one contiguous chunk of the round's cohort in this worker.
+
+    The global parameters are snapshotted from the shared block once per
+    chunk; each client then runs the exact sequential
+    :meth:`EdgeServerClient.train` code path (resident client objects,
+    per-``(seed, client, round)`` shuffle substreams), so the result is
+    bit-identical to sequential execution for any chunking.
+    """
+    chunk, round_index, learning_rate = task
+    params = np.array(_POOL_STATE["params"])
+    epochs = _POOL_STATE["epochs"]
+    sgd = _POOL_STATE["sgd"]
+    mu = _POOL_STATE["mu"]
+    seed = _POOL_STATE["seed"]
+    clients = _POOL_STATE["clients"]
+    results = []
+    for client_id in chunk:
+        started = time.perf_counter()
+        client = clients.get(client_id)
+        if client is None:
+            client = EdgeServerClient(
+                client_id,
+                _POOL_STATE["datasets"][client_id],
+                _POOL_STATE["model_config"],
+            )
+            clients[client_id] = client
+        rng = None
+        if sgd is not None and sgd.batch_size is not None:
+            rng = substream(seed, "batches", client_id, round_index)
+        update = client.train(
+            params,
+            epochs=epochs,
+            learning_rate=learning_rate,
+            sgd=sgd,
+            proximal_mu=mu,
+            rng=rng,
         )
-        _POOL_STATE["clients"][client_id] = client
-    rng = None
-    if sgd is not None and sgd.batch_size is not None:
-        rng = substream(_POOL_STATE["seed"], "batches", client_id, round_index)
-    update = client.train(
-        params,
-        epochs=epochs,
-        learning_rate=learning_rate,
-        sgd=sgd,
-        proximal_mu=mu,
-        rng=rng,
-    )
-    return update, time.perf_counter() - started
+        results.append((update, time.perf_counter() - started))
+    return results
 
 
-def _shutdown_pool(pool, store: SharedDatasetStore) -> None:
+def _shutdown_pool(
+    pool, store: SharedDatasetStore, params: SharedParameterBlock
+) -> None:
     try:
         pool.terminate()
         pool.join()
     finally:
-        store.close()
+        try:
+            store.close()
+        finally:
+            params.close()
+
+
+def _chunk_evenly(items: list, n_chunks: int) -> list[list]:
+    """Split ``items`` into at most ``n_chunks`` contiguous, even chunks."""
+    n_chunks = max(1, min(n_chunks, len(items)))
+    base, extra = divmod(len(items), n_chunks)
+    chunks = []
+    start = 0
+    for i in range(n_chunks):
+        size = base + (1 if i < extra else 0)
+        chunks.append(items[start : start + size])
+        start += size
+    return chunks
 
 
 class PoolEngine(ExecutionEngine):
-    """Process-pool backend over shared-memory client datasets.
+    """Persistent-worker process pool over shared-memory client datasets.
 
-    Workers run the *same* :meth:`EdgeServerClient.train` code path as
-    the sequential engine (with the same per-``(client, round)``
-    mini-batch substreams), and ``Pool.map`` preserves task order, so
-    results are deterministic and identical to sequential execution for
-    any worker count.  The pool and the shared blocks are created
-    lazily on the first round and released by :meth:`close` (or at
-    garbage collection via a finalizer).
+    Workers initialize once per training run (datasets via shared
+    memory, static training config via the initializer) and keep their
+    client/model objects resident between rounds; each round submits one
+    task per contiguous cohort chunk with the global parameters
+    broadcast through a shared block.  Workers run the *same*
+    :meth:`EdgeServerClient.train` code path as the sequential engine
+    (with the same per-``(seed, client, round)`` mini-batch substreams),
+    and ``Pool.map`` preserves chunk order, so results are deterministic
+    and bit-identical to sequential execution for any worker count.  The
+    pool and the shared blocks are created lazily on the first round and
+    released by :meth:`close` (or at garbage collection via a
+    finalizer); a failure while the runtime is being brought up rolls
+    back every partially created resource before propagating.
     """
 
     name = "pool"
@@ -371,33 +440,60 @@ class PoolEngine(ExecutionEngine):
         self._observer = observer
         self._pool = None
         self._store: SharedDatasetStore | None = None
+        self._params: SharedParameterBlock | None = None
         self._finalizer = None
 
-    def _ensure_pool(self) -> None:
+    def _ensure_pool(self, n_parameters: int) -> None:
         if self._pool is not None:
             return
         import weakref
 
-        self._store = SharedDatasetStore(
-            [client.dataset for client in self._clients]
-        )
-        method = (
-            "fork"
-            if "fork" in multiprocessing.get_all_start_methods()
-            else "spawn"
-        )
-        context = multiprocessing.get_context(method)
-        self._pool = context.Pool(
-            processes=self._config.pool_workers,
-            initializer=_pool_initializer,
-            initargs=(
-                self._store.spec,
-                self._clients[0].model_config,
-                self._config.seed,
-            ),
-        )
+        store = None
+        params = None
+        pool = None
+        try:
+            store = SharedDatasetStore(
+                [client.dataset for client in self._clients]
+            )
+            params = SharedParameterBlock(n_parameters)
+            method = (
+                "fork"
+                if "fork" in multiprocessing.get_all_start_methods()
+                else "spawn"
+            )
+            context = multiprocessing.get_context(method)
+            config = self._config
+            pool = context.Pool(
+                processes=config.pool_workers,
+                initializer=_pool_initializer,
+                initargs=(
+                    store.spec,
+                    params.name,
+                    params.n_parameters,
+                    self._clients[0].model_config,
+                    config.seed,
+                    config.local_epochs,
+                    config.sgd,
+                    config.proximal_mu,
+                ),
+            )
+        except BaseException:
+            # Roll back partial construction: without this, a failure
+            # between shm creation and pool start would leak segments
+            # that no finalizer knows about yet.
+            if pool is not None:
+                pool.terminate()
+                pool.join()
+            if params is not None:
+                params.close()
+            if store is not None:
+                store.close()
+            raise
+        self._store = store
+        self._params = params
+        self._pool = pool
         self._finalizer = weakref.finalize(
-            self, _shutdown_pool, self._pool, self._store
+            self, _shutdown_pool, pool, store, params
         )
 
     def train_round(
@@ -407,26 +503,27 @@ class PoolEngine(ExecutionEngine):
         round_index: int,
         learning_rate: float,
     ) -> list[ClientTrainResult]:
-        self._ensure_pool()
-        config = self._config
+        if not participants:
+            return []
+        broadcast = np.ascontiguousarray(global_parameters, dtype=np.float64)
+        self._ensure_pool(broadcast.size)
+        # Publish the round's model once; Pool.map is a full barrier, so
+        # no worker can still be reading when the next round rewrites it.
+        self._params.write(broadcast)
+        chunks = _chunk_evenly(list(participants), self._config.pool_workers)
         tasks = [
-            (
-                client_id,
-                global_parameters,
-                config.local_epochs,
-                learning_rate,
-                config.sgd,
-                config.proximal_mu,
-                round_index,
-            )
-            for client_id in participants
+            (tuple(chunk), round_index, learning_rate) for chunk in chunks
         ]
-        results = self._pool.map(_pool_train, tasks)
+        chunk_results = self._pool.map(_pool_train_chunk, tasks)
         if self._observer is not None:
-            self._observer.counter("engine.pool_tasks").inc(len(tasks))
+            self._observer.counter("engine.pool_chunks").inc(len(tasks))
+            self._observer.counter("engine.pool_tasks").inc(
+                len(participants)
+            )
         return [
             ClientTrainResult(update, duration)
-            for update, duration in results
+            for chunk in chunk_results
+            for update, duration in chunk
         ]
 
     def close(self) -> None:
@@ -434,6 +531,7 @@ class PoolEngine(ExecutionEngine):
             self._finalizer()  # runs _shutdown_pool at most once
             self._pool = None
             self._store = None
+            self._params = None
 
 
 def create_engine(

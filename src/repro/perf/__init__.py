@@ -10,20 +10,39 @@ Helpers behind the pluggable execution engine
   tensors for the batched backend;
 * :class:`SharedDatasetStore` / :func:`attach_datasets` — one-time
   shipping of all client datasets to pool workers via
-  ``multiprocessing.shared_memory``.
+  ``multiprocessing.shared_memory``;
+* :class:`SharedParameterBlock` / :func:`attach_parameters` — per-round
+  broadcast of the global model to persistent pool workers;
+* :class:`ParallelUnitScheduler` / :func:`estimate_unit_cost` /
+  :func:`order_longest_first` — longest-job-first parallel dispatch of
+  independent campaign units across processes.
 """
 
 from repro.perf.cache import EvalCache, StackCache
+from repro.perf.scheduler import (
+    ParallelUnitScheduler,
+    ScheduleOutcome,
+    estimate_unit_cost,
+    order_longest_first,
+)
 from repro.perf.shared_data import (
     SharedDatasetSpec,
     SharedDatasetStore,
+    SharedParameterBlock,
     attach_datasets,
+    attach_parameters,
 )
 
 __all__ = [
     "EvalCache",
     "StackCache",
+    "ParallelUnitScheduler",
+    "ScheduleOutcome",
     "SharedDatasetSpec",
     "SharedDatasetStore",
+    "SharedParameterBlock",
     "attach_datasets",
+    "attach_parameters",
+    "estimate_unit_cost",
+    "order_longest_first",
 ]

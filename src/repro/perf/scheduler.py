@@ -1,0 +1,209 @@
+"""Parallel scheduling of independent campaign units across processes.
+
+A campaign grid is embarrassingly parallel: every unit trains from a
+fresh, independently seeded prototype and touches no shared mutable
+state except the flock-protected :class:`ArtifactStore`.  This module
+provides the generic scheduling half of that story:
+
+* a **cost model** derived from the paper's timing law
+  ``t = E * (tau0 * n + tau1)``: one round costs ``K * E * n`` local
+  work (K participants, E local epochs, n samples per client), so a
+  whole unit is estimated at ``rounds * K * E * n``.  Units are
+  dispatched longest-first, which keeps the makespan near-optimal for
+  the wide/short mix a (K, E) grid produces.
+* a **process scheduler** (:class:`ParallelUnitScheduler`) that fans the
+  ordered units out over a ``ProcessPoolExecutor``, drains gracefully on
+  interrupt (running units finish, queued units are cancelled), and
+  reports per-unit outcomes so the caller can decide what a failure
+  means.
+
+Determinism is the caller's contract: each worker must derive all
+randomness from its own unit's seed, and all result recording must be
+safe under concurrent writers.  Under that contract the set of bytes a
+parallel run produces is identical to a sequential run's — only the
+completion *order* differs, which is why the artifact manifest is
+written with sorted keys.
+
+The module deliberately knows nothing about campaign types — the cost
+function is duck-typed over ``max_rounds`` / ``participants`` /
+``epochs`` / ``n_train`` / ``n_servers`` attributes — so ``repro.perf``
+stays import-cycle-free below ``repro.campaign``.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.observer import Observer
+
+__all__ = [
+    "ScheduleOutcome",
+    "ParallelUnitScheduler",
+    "estimate_unit_cost",
+    "order_longest_first",
+]
+
+
+def estimate_unit_cost(unit) -> float:
+    """Estimated local-compute cost of one campaign unit.
+
+    Applies the calibrated timing law ``t = E * (tau0 * n + tau1)`` per
+    participant per round: with ``K`` participants on ``n = n_train /
+    n_servers`` samples each for ``rounds`` rounds, total work scales as
+    ``rounds * K * E * n``.  The constant factors (tau0, tau1) cancel in
+    the longest-first comparison, so they are omitted.
+
+    The unit is duck-typed: anything exposing ``max_rounds``,
+    ``participants``, ``epochs``, ``n_train`` and ``n_servers`` works.
+    """
+    samples_per_client = unit.n_train / max(1, unit.n_servers)
+    return (
+        float(unit.max_rounds)
+        * float(unit.participants)
+        * float(unit.epochs)
+        * samples_per_client
+    )
+
+
+def order_longest_first(units: Sequence) -> list[int]:
+    """Indices of ``units`` ordered by descending estimated cost.
+
+    Ties break on the original index so the dispatch order is fully
+    deterministic for a given grid.
+    """
+    return sorted(
+        range(len(units)),
+        key=lambda i: (-estimate_unit_cost(units[i]), i),
+    )
+
+
+@dataclass
+class ScheduleOutcome:
+    """What happened to one scheduled batch of units.
+
+    Attributes:
+        completed: indices (into the submitted sequence) that finished.
+        results: ``index -> worker return value`` for completed units.
+        failed: ``index -> repr(exception)`` for units that raised.
+        cancelled: indices drained without running (interrupt).
+        interrupted: True when a KeyboardInterrupt triggered draining.
+        wall_clock_s: scheduler wall-clock for the whole batch.
+    """
+
+    completed: list[int] = field(default_factory=list)
+    results: dict[int, object] = field(default_factory=dict)
+    failed: dict[int, str] = field(default_factory=dict)
+    cancelled: list[int] = field(default_factory=list)
+    interrupted: bool = False
+    wall_clock_s: float = 0.0
+
+
+class ParallelUnitScheduler:
+    """Longest-first fan-out of independent unit payloads over processes.
+
+    The scheduler is generic: it receives opaque payloads plus a
+    *picklable, module-level* worker callable and never interprets
+    results beyond success/failure.  Workers are expected to persist
+    their own results (e.g. into a flock-protected store); the scheduler
+    only tracks outcomes, so a killed run loses nothing that completed.
+    """
+
+    def __init__(
+        self, jobs: int, observer: "Observer | None" = None
+    ) -> None:
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1; got {jobs}")
+        self.jobs = int(jobs)
+        self._observer = observer
+
+    def run(
+        self,
+        payloads: Sequence,
+        worker: Callable,
+        costs: Sequence[float] | None = None,
+    ) -> ScheduleOutcome:
+        """Execute ``worker(payload)`` for every payload across processes.
+
+        Payloads are dispatched in descending ``costs`` order (submission
+        order when ``costs`` is None).  On KeyboardInterrupt the queue is
+        drained: queued payloads are cancelled, in-flight ones are
+        allowed to finish, and the outcome records all three buckets.
+        """
+        outcome = ScheduleOutcome()
+        if not payloads:
+            return outcome
+        order = list(range(len(payloads)))
+        if costs is not None:
+            if len(costs) != len(payloads):
+                raise ValueError("costs must match payloads one-to-one")
+            order.sort(key=lambda i: (-costs[i], i))
+        observer = self._observer
+        if observer is not None:
+            observer.emit(
+                "scheduler.start",
+                jobs=self.jobs,
+                units=len(payloads),
+            )
+            observer.counter("scheduler.units_submitted").inc(len(payloads))
+        started = time.perf_counter()
+        executor = ProcessPoolExecutor(max_workers=self.jobs)
+        futures = {}
+        try:
+            for index in order:
+                futures[executor.submit(worker, payloads[index])] = index
+            pending = set(futures)
+            while pending:
+                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    index = futures[future]
+                    error = future.exception()
+                    if error is None:
+                        outcome.completed.append(index)
+                        outcome.results[index] = future.result()
+                        if observer is not None:
+                            observer.counter(
+                                "scheduler.units_completed"
+                            ).inc()
+                    else:
+                        outcome.failed[index] = repr(error)
+                        if observer is not None:
+                            observer.counter("scheduler.units_failed").inc()
+        except KeyboardInterrupt:
+            outcome.interrupted = True
+            if observer is not None:
+                observer.counter("scheduler.interrupts").inc()
+            # Graceful drain: cancel whatever has not started, then wait
+            # for in-flight units so their store writes complete.
+            executor.shutdown(wait=True, cancel_futures=True)
+            for future, index in futures.items():
+                if future.cancelled():
+                    outcome.cancelled.append(index)
+                elif future.done() and index not in outcome.failed:
+                    if index not in outcome.completed:
+                        if future.exception() is None:
+                            outcome.completed.append(index)
+                            outcome.results[index] = future.result()
+                        else:
+                            outcome.failed[index] = repr(future.exception())
+        finally:
+            executor.shutdown(wait=True)
+        outcome.completed.sort()
+        outcome.cancelled.sort()
+        outcome.wall_clock_s = time.perf_counter() - started
+        if observer is not None:
+            observer.emit(
+                "scheduler.end",
+                completed=len(outcome.completed),
+                failed=len(outcome.failed),
+                cancelled=len(outcome.cancelled),
+                interrupted=outcome.interrupted,
+                wall_clock_s=round(outcome.wall_clock_s, 6),
+            )
+            observer.histogram("scheduler.batch_duration_s").observe(
+                outcome.wall_clock_s
+            )
+        return outcome

@@ -25,7 +25,13 @@ import numpy as np
 
 from repro.data.dataset import Dataset
 
-__all__ = ["SharedDatasetSpec", "SharedDatasetStore", "attach_datasets"]
+__all__ = [
+    "SharedDatasetSpec",
+    "SharedDatasetStore",
+    "SharedParameterBlock",
+    "attach_datasets",
+    "attach_parameters",
+]
 
 
 @dataclass(frozen=True)
@@ -114,6 +120,78 @@ class SharedDatasetStore:
                 pass
 
 
+class SharedParameterBlock:
+    """Parent-owned shared block broadcasting one flat parameter vector.
+
+    The persistent-worker pool re-reads the global model every round;
+    shipping it through the task pickle would copy it once per chunk.
+    Instead the parent rewrites this block before each round's
+    submission (``Pool.map`` is a full barrier, so workers never observe
+    a partial write) and the chunk tasks carry only client ids, the
+    round index, and the learning rate.
+    """
+
+    def __init__(self, n_parameters: int) -> None:
+        if n_parameters < 1:
+            raise ValueError(
+                f"n_parameters must be >= 1; got {n_parameters}"
+            )
+        self.n_parameters = int(n_parameters)
+        self._shm = shared_memory.SharedMemory(
+            create=True, size=self.n_parameters * np.dtype(np.float64).itemsize
+        )
+        self._view = np.ndarray(
+            (self.n_parameters,), dtype=np.float64, buffer=self._shm.buf
+        )
+        self.name = self._shm.name
+        self._closed = False
+
+    def write(self, values: np.ndarray) -> None:
+        """Publish ``values`` to every attached worker."""
+        self._view[:] = values
+
+    def close(self) -> None:
+        """Release and unlink the block (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        self._view = None
+        try:
+            self._shm.close()
+            self._shm.unlink()
+        except FileNotFoundError:
+            pass
+
+
+def _attach_untracked(name: str) -> shared_memory.SharedMemory:
+    """Attach to a block without registering with the resource tracker.
+
+    Python 3.11 has no ``track=False``: forked workers share the
+    parent's tracker process, so attach-side register/unregister pairs
+    race each other and the tracker logs spurious KeyErrors at exit.
+    Only the parent (creator) tracks and unlinks the blocks.
+    """
+    register = resource_tracker.register
+    resource_tracker.register = lambda *args, **kwargs: None
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = register
+
+
+def attach_parameters(
+    name: str, n_parameters: int
+) -> tuple[np.ndarray, shared_memory.SharedMemory]:
+    """Worker-side attach to a :class:`SharedParameterBlock`.
+
+    Returns ``(view, handle)``; the caller must keep ``handle`` alive as
+    long as the view is read and must treat the view as read-only.
+    """
+    handle = _attach_untracked(name)
+    view = np.ndarray((n_parameters,), dtype=np.float64, buffer=handle.buf)
+    return view, handle
+
+
 def attach_datasets(
     spec: SharedDatasetSpec,
 ) -> tuple[list[Dataset], tuple[shared_memory.SharedMemory, ...]]:
@@ -124,18 +202,8 @@ def attach_datasets(
     buffers).  The handles are never registered with the resource
     tracker, so only the parent-side owner unlinks the blocks.
     """
-    # Attach without resource-tracker registration (Python 3.11 has no
-    # ``track=False``): forked workers share the parent's tracker
-    # process, so attach-side register/unregister pairs race each other
-    # and the tracker logs spurious KeyErrors at exit.  Only the parent
-    # (creator) tracks and unlinks the blocks.
-    register = resource_tracker.register
-    resource_tracker.register = lambda *args, **kwargs: None
-    try:
-        features_shm = shared_memory.SharedMemory(name=spec.features_name)
-        labels_shm = shared_memory.SharedMemory(name=spec.labels_name)
-    finally:
-        resource_tracker.register = register
+    features_shm = _attach_untracked(spec.features_name)
+    labels_shm = _attach_untracked(spec.labels_name)
     total = spec.total_rows
     all_features = np.ndarray(
         (total, spec.n_features),

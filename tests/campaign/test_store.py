@@ -18,6 +18,18 @@ from repro.campaign import (
 pytestmark = pytest.mark.campaign_smoke
 
 
+def _record_in_process(payload) -> str:
+    """Process-pool worker: checkpoint one pre-built unit into a store.
+
+    Module-level so it pickles; each process opens its own store handle,
+    exactly like concurrent ``campaign run --jobs`` workers do.
+    """
+    root, campaign, spec, history, result = payload
+    own_handle = ArtifactStore(root)
+    own_handle.initialize(campaign)
+    return own_handle.record_unit(spec, history, result)
+
+
 @pytest.fixture()
 def populated(tmp_path, tiny_campaign: CampaignSpec):
     """A store holding every unit of the tiny campaign."""
@@ -166,6 +178,43 @@ class TestConcurrentWriters:
 
         with ThreadPoolExecutor(max_workers=len(artifacts)) as pool:
             keys = list(pool.map(record, artifacts))
+
+        shared = ArtifactStore(target_root)
+        assert shared.completed_keys() == set(keys)
+        assert shared.completed_keys() == populated.completed_keys()
+        assert shared.verify() == []
+
+    def test_multiprocess_record_unit_drops_no_manifest_entries(
+        self, tmp_path, populated: ArtifactStore, tiny_campaign: CampaignSpec
+    ) -> None:
+        # The real thing the flock exists for: separate *processes*
+        # (as under `campaign run --jobs`) sharing one store directory,
+        # each with its own handle, checkpointing concurrently.  The
+        # manifest must end complete and verify() clean.
+        import multiprocessing
+        from concurrent.futures import ProcessPoolExecutor
+
+        target_root = tmp_path / "shared-mp"
+        ArtifactStore(target_root).initialize(tiny_campaign)
+        payloads = [
+            (
+                target_root,
+                tiny_campaign,
+                artifact.spec(),
+                artifact.history(),
+                artifact.result(),
+            )
+            for artifact in populated.units()
+        ]
+        context = multiprocessing.get_context(
+            "fork"
+            if "fork" in multiprocessing.get_all_start_methods()
+            else "spawn"
+        )
+        with ProcessPoolExecutor(
+            max_workers=len(payloads), mp_context=context
+        ) as pool:
+            keys = list(pool.map(_record_in_process, payloads))
 
         shared = ArtifactStore(target_root)
         assert shared.completed_keys() == set(keys)

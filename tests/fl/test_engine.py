@@ -211,6 +211,20 @@ class TestBatchedFallback:
         # stacked group comes from the cache.
         assert observer.metrics.value("engine.cache_hits", cache="stack") > 0
 
+    def test_pool_chunks_and_tasks_counted(self):
+        observer = Observer()
+        _run(
+            "pool",
+            observer=observer,
+            n_rounds=4,
+            participants_per_round=3,
+            pool_workers=2,
+        )
+        # 3 participants over 2 workers -> one chunked submission of 2
+        # IPC tasks per round, covering all 3 clients.
+        assert observer.metrics.value("engine.pool_chunks") == 8
+        assert observer.metrics.value("engine.pool_tasks") == 12
+
 
 class TestEvalCache:
     def test_degraded_rounds_hit_eval_cache(self):

@@ -1,0 +1,33 @@
+"""Shared fixtures for the parallel-runtime tests: millisecond units."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.campaign import CampaignSpec, RunSpec
+
+
+@pytest.fixture()
+def tiny_spec() -> RunSpec:
+    """A fixed-budget unit small enough for byte-level identity tests."""
+    return RunSpec(
+        name="tiny",
+        n_train=160,
+        n_test=80,
+        n_servers=4,
+        participants=2,
+        epochs=2,
+        max_rounds=3,
+        train_to_target=False,
+    )
+
+
+@pytest.fixture()
+def tiny_campaign(tiny_spec: RunSpec) -> CampaignSpec:
+    """A 2x2 (K, E) grid over the tiny unit — four units total."""
+    return CampaignSpec(
+        name="tiny-grid",
+        base=tiny_spec,
+        participants=(1, 2),
+        epochs=(1, 2),
+    )

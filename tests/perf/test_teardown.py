@@ -1,0 +1,172 @@
+"""Resource teardown on failure paths: no leaked shm, no orphan workers.
+
+The pool engine owns three kinds of OS resources — shared-memory
+dataset blocks, a shared parameter block, and worker processes.  These
+tests assert all of them are released on *unhappy* paths: a unit that
+raises mid-round, and a pool whose construction itself fails partway.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import multiprocessing
+import os
+import time
+
+import pytest
+
+from repro.campaign import ArtifactStore, CampaignRunner, CampaignSpec, RunSpec
+from repro.fl.engine import PoolEngine, create_engine
+from repro.fl.training import FederatedConfig
+
+pytestmark = pytest.mark.parallel_smoke
+
+_SHM_DIR = "/dev/shm"
+
+
+def _shm_entries() -> set[str]:
+    if not os.path.isdir(_SHM_DIR):  # pragma: no cover - non-Linux
+        return set()
+    return set(os.listdir(_SHM_DIR))
+
+
+def _wait_no_new_children(before: set, timeout_s: float = 5.0) -> set:
+    """Child processes beyond ``before``, after a grace period to reap."""
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        extra = {
+            child
+            for child in multiprocessing.active_children()
+            if child not in before
+        }
+        if not extra:
+            return set()
+        time.sleep(0.05)
+    return extra
+
+
+class TestFaultingUnitTeardown:
+    def test_faulting_pool_unit_leaks_nothing(
+        self, tmp_path, tiny_spec: RunSpec, monkeypatch
+    ) -> None:
+        # Make the aggregation step blow up mid-run: the pool has been
+        # created (workers alive, shm mapped) and must be torn down by
+        # the trainer's close path even though the unit raises.
+        from repro.fl.server import Coordinator
+
+        calls = {"n": 0}
+        real_aggregate = Coordinator.aggregate
+
+        def failing_aggregate(self, *args, **kwargs):
+            calls["n"] += 1
+            if calls["n"] >= 2:
+                raise RuntimeError("injected aggregation fault")
+            return real_aggregate(self, *args, **kwargs)
+
+        monkeypatch.setattr(Coordinator, "aggregate", failing_aggregate)
+
+        shm_before = _shm_entries()
+        children_before = set(multiprocessing.active_children())
+        spec = dataclasses.replace(tiny_spec, backend="pool")
+        campaign = CampaignSpec(name="faulting", base=spec)
+        store = ArtifactStore(tmp_path / "store")
+        runner = CampaignRunner(campaign, store)
+        with pytest.raises(RuntimeError, match="injected aggregation fault"):
+            runner.run()
+
+        assert _shm_entries() - shm_before == set()
+        assert _wait_no_new_children(children_before) == set()
+        # Nothing half-finished was checkpointed.
+        assert store.completed_keys() == set()
+
+    def test_interrupted_pool_unit_leaks_nothing(
+        self, tmp_path, tiny_spec: RunSpec, monkeypatch
+    ) -> None:
+        # A Ctrl-C mid-round takes the KeyboardInterrupt path through
+        # the runner; the engine must still be torn down.
+        from repro.fl.server import Coordinator
+
+        calls = {"n": 0}
+        real_aggregate = Coordinator.aggregate
+
+        def interrupting_aggregate(self, *args, **kwargs):
+            calls["n"] += 1
+            if calls["n"] >= 2:
+                raise KeyboardInterrupt
+            return real_aggregate(self, *args, **kwargs)
+
+        monkeypatch.setattr(Coordinator, "aggregate", interrupting_aggregate)
+
+        shm_before = _shm_entries()
+        children_before = set(multiprocessing.active_children())
+        spec = dataclasses.replace(tiny_spec, backend="pool")
+        campaign = CampaignSpec(name="interrupted", base=spec)
+        store = ArtifactStore(tmp_path / "store")
+        summary = CampaignRunner(campaign, store).run()
+
+        assert summary.interrupted
+        assert _shm_entries() - shm_before == set()
+        assert _wait_no_new_children(children_before) == set()
+
+
+class TestPartialConstructionRollback:
+    def test_pool_construction_failure_rolls_back_shared_blocks(
+        self, monkeypatch
+    ) -> None:
+        # Fail *after* the shm blocks exist but *before* the pool runs:
+        # _ensure_pool must unlink everything it created, because no
+        # finalizer has been registered yet at that point.
+        import numpy as np
+
+        import repro.fl.engine as engine_module
+        from repro.data.synthetic_mnist import load_synthetic_mnist
+        from repro.fl.model import LogisticRegressionConfig
+        from repro.fl.partition import partition_iid
+        from repro.fl.training import build_clients
+
+        train, _ = load_synthetic_mnist(n_train=80, n_test=40, seed=0)
+        model = LogisticRegressionConfig(
+            n_features=train.n_features, n_classes=train.n_classes
+        )
+        shards = partition_iid(train, 4, np.random.default_rng(0))
+        clients = build_clients(shards, model)
+        config = FederatedConfig(
+            n_rounds=3,
+            participants_per_round=2,
+            local_epochs=1,
+            backend="pool",
+        )
+        engine = create_engine("pool", clients, config)
+        assert isinstance(engine, PoolEngine)
+
+        real_mp = engine_module.multiprocessing
+
+        class _ExplodingContext:
+            def Pool(self, *args, **kwargs):
+                raise RuntimeError("injected pool-start failure")
+
+        class _SabotagedMp:
+            @staticmethod
+            def get_all_start_methods():
+                return real_mp.get_all_start_methods()
+
+            @staticmethod
+            def get_context(method):
+                return _ExplodingContext()
+
+        monkeypatch.setattr(engine_module, "multiprocessing", _SabotagedMp())
+
+        shm_before = _shm_entries()
+        params = np.zeros(model.n_parameters, dtype=np.float64)
+        with pytest.raises(RuntimeError, match="injected pool-start failure"):
+            engine.train_round([0, 1], params, round_index=0, learning_rate=0.1)
+
+        assert _shm_entries() - shm_before == set()
+        # The engine is still usable once the fault clears.
+        monkeypatch.setattr(engine_module, "multiprocessing", real_mp)
+        results = engine.train_round(
+            [0, 1], params, round_index=0, learning_rate=0.1
+        )
+        assert len(results) == 2
+        engine.close()
+        assert _shm_entries() - shm_before == set()
