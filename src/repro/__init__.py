@@ -40,7 +40,9 @@ from repro.campaign import (
     CampaignReport,
     CampaignRunner,
     CampaignSpec,
+    CampaignStatus,
     RunSpec,
+    campaign_telemetry,
 )
 from repro.core import (
     ACSSolver,
@@ -60,6 +62,7 @@ __all__ = [
     "CampaignReport",
     "CampaignRunner",
     "CampaignSpec",
+    "CampaignStatus",
     "ConvergenceBound",
     "EnergyObjective",
     "EnergyParams",
@@ -69,6 +72,7 @@ __all__ = [
     "Observer",
     "RunSpec",
     "__version__",
+    "campaign_telemetry",
 ]
 
 # Thin deprecation shims: the pre-RunSpec configuration trio stays

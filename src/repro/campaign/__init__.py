@@ -23,7 +23,7 @@ per-figure scripts:
 CLI: ``python -m repro campaign {init,run,status,report}``.
 """
 
-from repro.campaign.report import CampaignReport, load_rows
+from repro.campaign.report import CampaignReport, campaign_telemetry, load_rows
 from repro.campaign.runner import (
     CampaignRunner,
     CampaignRunSummary,
@@ -36,6 +36,7 @@ from repro.campaign.spec import (
     RunSpec,
     make_demo_campaign,
 )
+from repro.campaign.status import CampaignStatus, UnitStatus
 from repro.campaign.store import ArtifactStore, StoreError, UnitArtifact
 
 __all__ = [
@@ -44,12 +45,15 @@ __all__ = [
     "CampaignRunSummary",
     "CampaignRunner",
     "CampaignSpec",
+    "CampaignStatus",
     "FaultAxis",
     "ResilienceAxis",
     "RunSpec",
     "StoreError",
     "UnitArtifact",
     "UnitOutcome",
+    "UnitStatus",
+    "campaign_telemetry",
     "load_rows",
     "make_demo_campaign",
 ]

@@ -24,8 +24,28 @@ from dataclasses import dataclass
 
 from repro.campaign.store import ArtifactStore
 from repro.experiments.report import format_percent, render_table
+from repro.obs.aggregate import CampaignTelemetry
 
-__all__ = ["CampaignReport", "load_rows"]
+__all__ = ["CampaignReport", "campaign_telemetry", "load_rows"]
+
+
+def campaign_telemetry(store: ArtifactStore) -> CampaignTelemetry:
+    """Fold every completed unit's stored telemetry into one reducer.
+
+    Units that ran without telemetry contribute nothing; the returned
+    :class:`~repro.obs.aggregate.CampaignTelemetry` is empty when the
+    whole campaign ran dark.  Like everything in this module it reads
+    the store alone — the campaign-wide energy ledger is reproducible
+    from artifacts long after the worker processes are gone.
+    """
+    telemetry = CampaignTelemetry(store.campaign().name)
+    for artifact in store.units():
+        records = artifact.telemetry_records()
+        if records is not None:
+            telemetry.add_unit(
+                artifact.key, artifact.name, records, artifact.result()
+            )
+    return telemetry
 
 
 def load_rows(store: ArtifactStore) -> list[dict]:

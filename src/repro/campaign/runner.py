@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, replace
+from pathlib import Path
 
 from repro.campaign.spec import CampaignSpec, RunSpec
 from repro.campaign.store import ArtifactStore
@@ -44,6 +45,13 @@ from repro.hardware.prototype import (
     PrototypeResult,
 )
 from repro.obs.observer import Observer, active_or_none
+from repro.obs.sink import (
+    SpoolObserver,
+    TelemetryCollector,
+    TelemetrySpool,
+    clear_spool_context,
+    set_spool_context,
+)
 from repro.perf.scheduler import ParallelUnitScheduler, estimate_unit_cost
 
 __all__ = [
@@ -168,21 +176,70 @@ def execute_unit(
     )
 
 
-def _execute_and_record(payload: tuple[RunSpec, str]) -> dict:
+def _unit_spool_observer(spec: RunSpec, spool_dir: str) -> SpoolObserver:
+    """Build a spooling observer for one unit's execution.
+
+    The spool file is named by the unit's content key (unique within a
+    campaign, filesystem-safe) and labelled with the unit's readable
+    name; the spool *context* is set so nested worker tiers — the pool
+    engine forked inside this process — stream their own telemetry into
+    the same directory under the same unit label.
+    """
+    spool = TelemetrySpool(
+        Path(spool_dir) / f"{spec.key()}.jsonl", unit=spec.name, role="unit"
+    )
+    set_spool_context(spool_dir, spec.name)
+    return SpoolObserver(spool)
+
+
+def _execute_and_record(payload: tuple) -> dict:
     """Scheduler worker: run one unit and checkpoint it into the store.
 
     Workers write straight into the shared flock-protected store, so a
     campaign killed mid-parallel-run keeps every unit that finished —
     exactly the sequential crash contract.  Returns a small summary the
     parent uses for telemetry and outcome accounting.
+
+    The payload is ``(spec, store_root)`` or ``(spec, store_root,
+    spool_dir)``; with a spool directory and ``spec.telemetry`` on, the
+    unit's observer streams every event live into a spool file the
+    parent tails while the unit is still training.
     """
-    spec, store_root = payload
-    observer = Observer() if spec.telemetry else None
+    spec, store_root, *rest = payload
+    spool_dir = rest[0] if rest else None
+    observer: Observer | None = None
+    if spec.telemetry:
+        if spool_dir is not None:
+            observer = _unit_spool_observer(spec, spool_dir)
+        else:
+            observer = Observer()
     started = time.perf_counter()
-    result = execute_unit(spec, observer=observer)
+    try:
+        if observer is not None:
+            observer.emit(
+                "unit.start",
+                unit=spec.name,
+                key=spec.key(),
+                rounds_planned=spec.max_rounds,
+                cost=estimate_unit_cost(spec),
+            )
+        result = execute_unit(spec, observer=observer)
+    except BaseException:
+        if isinstance(observer, SpoolObserver):
+            observer.finalize(status="error")
+        raise
+    finally:
+        clear_spool_context()
     duration_s = time.perf_counter() - started
     telemetry_jsonl = None
     if observer is not None:
+        observer.emit(
+            "unit.end",
+            unit=spec.name,
+            key=spec.key(),
+            rounds=int(result.rounds),
+            duration_s=duration_s,
+        )
         observer.emit("metrics.snapshot", **observer.snapshot())
         telemetry_jsonl = observer.events.to_jsonl()
     store = ArtifactStore(store_root)
@@ -192,6 +249,11 @@ def _execute_and_record(payload: tuple[RunSpec, str]) -> dict:
         _result_document(spec, result),
         telemetry_jsonl=telemetry_jsonl,
     )
+    if isinstance(observer, SpoolObserver):
+        # Sealed only after the store write: a spool without its "end"
+        # record means the unit is still running (or died) — exactly
+        # what the status display needs to distinguish.
+        observer.finalize(duration_s=duration_s)
     return {
         "key": spec.key(),
         "name": spec.name,
@@ -388,6 +450,11 @@ class CampaignRunner:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1; got {jobs}")
         obs = self._observer
+        collector = (
+            TelemetryCollector(self.store.spool_dir, observer=obs)
+            if obs is not None
+            else None
+        )
         completed = self.store.completed_keys()
         outcomes: list[UnitOutcome] = []
         interrupted = False
@@ -402,7 +469,8 @@ class CampaignRunner:
                 jobs=jobs,
             )
         if jobs > 1:
-            return self._run_parallel(max_units, jobs, completed)
+            return self._run_parallel(max_units, jobs, completed, collector)
+        spool_dir = str(self.store.spool_dir)
         for spec in self.units:
             key = spec.key()
             if key in completed:
@@ -422,19 +490,21 @@ class CampaignRunner:
             if max_units is not None and executed >= max_units:
                 interrupted = True
                 break
-            started = time.perf_counter()
+            # The sequential loop runs the *same* module-level worker
+            # function as the parallel scheduler — one code path, so
+            # both modes emit the identical unit event stream and write
+            # identical artifacts.
             try:
-                result = self.run_unit(spec)
+                unit_summary = _execute_and_record(
+                    (spec, str(self.store.root), spool_dir)
+                )
             except KeyboardInterrupt:
                 interrupted = True
                 break
-            duration_s = time.perf_counter() - started
-            self.store.record_unit(
-                spec,
-                result.history,
-                _result_document(spec, result),
-                telemetry_jsonl=self._drain_unit_telemetry(),
-            )
+            finally:
+                if collector is not None:
+                    collector.poll()
+            duration_s = float(unit_summary["duration_s"])
             executed += 1
             outcomes.append(
                 UnitOutcome(
@@ -454,9 +524,9 @@ class CampaignRunner:
                     key=key,
                     skipped=False,
                     duration_s=duration_s,
-                    rounds=result.rounds,
-                    total_energy_j=result.total_energy_j,
-                    reached_target=result.reached_target,
+                    rounds=unit_summary["rounds"],
+                    total_energy_j=unit_summary["total_energy_j"],
+                    reached_target=unit_summary["reached_target"],
                 )
         summary = CampaignRunSummary(
             outcomes=tuple(outcomes), interrupted=interrupted
@@ -472,7 +542,11 @@ class CampaignRunner:
         return summary
 
     def _run_parallel(
-        self, max_units: int | None, jobs: int, completed: set[str]
+        self,
+        max_units: int | None,
+        jobs: int,
+        completed: set[str],
+        collector: TelemetryCollector | None = None,
     ) -> CampaignRunSummary:
         """Fan incomplete units out over a process scheduler.
 
@@ -509,9 +583,17 @@ class CampaignRunner:
             pending = pending[:max_units]
             interrupted = True
         scheduler = ParallelUnitScheduler(jobs, observer=obs)
-        payloads = [(spec, str(self.store.root)) for spec in pending]
+        spool_dir = str(self.store.spool_dir)
+        payloads = [
+            (spec, str(self.store.root), spool_dir) for spec in pending
+        ]
         costs = [estimate_unit_cost(spec) for spec in pending]
-        schedule = scheduler.run(payloads, _execute_and_record, costs)
+        schedule = scheduler.run(
+            payloads,
+            _execute_and_record,
+            costs,
+            poll=collector.poll if collector is not None else None,
+        )
         interrupted = interrupted or schedule.interrupted
         executed_outcomes: dict[str, UnitOutcome] = {}
         for index in schedule.completed:

@@ -1,0 +1,322 @@
+"""Live campaign status: per-unit state, round progress, and an ETA.
+
+``repro campaign status`` must answer "how far along is this sweep and
+when will it finish" *from the filesystem alone* — typically from a
+different process than the one training, possibly after that process
+died.  Two sources cover every unit:
+
+* the store **manifest** — the durable record: listed units are done;
+* the **telemetry spools** (:mod:`repro.obs.sink`) — the live record:
+  a unit spool exists while (and after) a worker executes the unit, its
+  streamed ``round.end`` events give round progress, and its terminal
+  ``end`` record distinguishes a finished unit from one mid-flight.  A
+  spool without an ``end`` record whose writer pid is gone means the
+  worker was killed — the unit is reported ``failed`` rather than left
+  ``running`` forever.
+
+The ETA extrapolates from the same cost model the parallel scheduler
+dispatches by (:func:`~repro.perf.scheduler.estimate_unit_cost`,
+``rounds * K * E * n``): completed units calibrate observed throughput
+(cost units per second per worker), remaining work is the cost of
+pending units plus the unfinished fraction of running ones, and the
+estimate divides the two, scaled by how many workers are active.  Units
+that ran without telemetry still count toward the done/pending tallies;
+they simply contribute no throughput observation.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.campaign.store import ArtifactStore
+from repro.experiments.report import render_table
+from repro.obs.sink import read_spool_records
+from repro.perf.scheduler import estimate_unit_cost
+
+__all__ = ["UnitStatus", "CampaignStatus"]
+
+_STATES = ("pending", "running", "done", "failed")
+
+
+def _pid_alive(pid: int) -> bool:
+    """Best-effort liveness probe for a worker pid on this host."""
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except (PermissionError, OSError):
+        return True
+    return True
+
+
+@dataclass(frozen=True)
+class UnitStatus:
+    """One unit's place in the campaign right now.
+
+    Attributes:
+        key: the unit's content key.
+        name: human-readable unit name.
+        state: ``pending`` | ``running`` | ``done`` | ``failed``.
+        cost: scheduler cost estimate (``rounds * K * E * n``).
+        rounds_planned: the unit's round budget.
+        rounds_done: rounds finished so far (streamed ``round.end``
+            events while running; the recorded round count once done).
+        worker: pid of the executing worker, when a spool names one.
+        duration_s: real execution time, when the spool recorded it.
+    """
+
+    key: str
+    name: str
+    state: str
+    cost: float
+    rounds_planned: int
+    rounds_done: int = 0
+    worker: int | None = None
+    duration_s: float | None = None
+
+    @property
+    def remaining_cost(self) -> float:
+        """Unfinished share of this unit's estimated cost."""
+        if self.state in ("done", "failed"):
+            return 0.0
+        if self.rounds_planned <= 0:
+            return self.cost
+        done_fraction = min(1.0, self.rounds_done / self.rounds_planned)
+        return self.cost * (1.0 - done_fraction)
+
+
+def _spool_progress(path: Path) -> dict:
+    """Digest one unit spool: progress, terminal status, worker identity."""
+    records, _ = read_spool_records(path)
+    digest: dict = {
+        "worker": None,
+        "rounds_done": 0,
+        "end_status": None,
+        "duration_s": None,
+    }
+    for record in records:
+        kind = record.get("kind")
+        if kind == "meta":
+            worker = record.get("worker")
+            if isinstance(worker, int):
+                digest["worker"] = worker
+        elif kind == "event":
+            event = record.get("event", {})
+            if event.get("category") == "round.end":
+                digest["rounds_done"] += 1
+        elif kind == "events":
+            # round.* events always flush as their own lines, but stay
+            # robust to a writer that batches them anyway.
+            for event in record.get("events", ()):
+                if event.get("category") == "round.end":
+                    digest["rounds_done"] += 1
+        elif kind == "end":
+            digest["end_status"] = record.get("status", "ok")
+            duration = record.get("duration_s")
+            if duration is not None:
+                digest["duration_s"] = float(duration)
+    return digest
+
+
+@dataclass(frozen=True)
+class CampaignStatus:
+    """Snapshot of a whole campaign's execution state.
+
+    Build with :meth:`collect`; everything else is a pure function of
+    the collected unit statuses.
+    """
+
+    campaign_name: str
+    units: tuple[UnitStatus, ...]
+
+    @classmethod
+    def collect(cls, store: ArtifactStore) -> "CampaignStatus":
+        """Read the manifest and the spools into one status snapshot."""
+        campaign = store.campaign()
+        completed = store.completed_keys()
+        spool_dir = store.spool_dir
+        statuses = []
+        for spec in campaign.expand():
+            key = spec.key()
+            cost = estimate_unit_cost(spec)
+            spool_path = spool_dir / f"{key}.jsonl"
+            if key in completed:
+                rounds = spec.max_rounds
+                try:
+                    rounds = int(store.unit(key).result().get("rounds", rounds))
+                except Exception:
+                    pass
+                digest = (
+                    _spool_progress(spool_path)
+                    if spool_path.exists()
+                    else {"worker": None, "duration_s": None}
+                )
+                statuses.append(
+                    UnitStatus(
+                        key=key,
+                        name=spec.name,
+                        state="done",
+                        cost=cost,
+                        rounds_planned=spec.max_rounds,
+                        rounds_done=rounds,
+                        worker=digest["worker"],
+                        duration_s=digest["duration_s"],
+                    )
+                )
+                continue
+            if not spool_path.exists():
+                statuses.append(
+                    UnitStatus(
+                        key=key,
+                        name=spec.name,
+                        state="pending",
+                        cost=cost,
+                        rounds_planned=spec.max_rounds,
+                    )
+                )
+                continue
+            digest = _spool_progress(spool_path)
+            if digest["end_status"] == "error":
+                state = "failed"
+            elif digest["end_status"] is not None:
+                # Sealed spool but no manifest entry: the worker died
+                # between finalize and the store write barely matters —
+                # the unit will re-run; report the durable truth.
+                state = "pending"
+            elif digest["worker"] is not None and not _pid_alive(
+                digest["worker"]
+            ):
+                state = "failed"
+            else:
+                state = "running"
+            statuses.append(
+                UnitStatus(
+                    key=key,
+                    name=spec.name,
+                    state=state,
+                    cost=cost,
+                    rounds_planned=spec.max_rounds,
+                    rounds_done=digest["rounds_done"],
+                    worker=digest["worker"],
+                    duration_s=digest["duration_s"],
+                )
+            )
+        return cls(campaign_name=campaign.name, units=tuple(statuses))
+
+    # ------------------------------------------------------------------
+    # Aggregates.
+    # ------------------------------------------------------------------
+    def counts(self) -> dict[str, int]:
+        """Unit count per state (every state present, zeros included)."""
+        counts = {state: 0 for state in _STATES}
+        for unit in self.units:
+            counts[unit.state] += 1
+        return counts
+
+    @property
+    def total_cost(self) -> float:
+        return sum(unit.cost for unit in self.units)
+
+    @property
+    def remaining_cost(self) -> float:
+        """Estimated cost still to run (pending + unfinished fractions)."""
+        return sum(unit.remaining_cost for unit in self.units)
+
+    @property
+    def finished(self) -> bool:
+        """No unit is pending or running."""
+        return all(unit.state in ("done", "failed") for unit in self.units)
+
+    def throughput(self) -> float | None:
+        """Observed cost units per second per worker, or ``None``.
+
+        Calibrated from completed units whose spools recorded a real
+        duration — the same cost model the ETA spends, so model error
+        cancels to first order.
+        """
+        cost = 0.0
+        seconds = 0.0
+        for unit in self.units:
+            if unit.state == "done" and unit.duration_s:
+                cost += unit.cost
+                seconds += unit.duration_s
+        if seconds <= 0:
+            return None
+        return cost / seconds
+
+    def eta_s(self) -> float | None:
+        """Estimated seconds until the campaign finishes, or ``None``.
+
+        ``remaining cost / (throughput × active workers)``; undefined
+        until at least one unit has completed with a recorded duration
+        (no throughput observation) or when nothing remains.
+        """
+        remaining = self.remaining_cost
+        if remaining <= 0:
+            return 0.0
+        rate = self.throughput()
+        if rate is None or rate <= 0:
+            return None
+        active = sum(1 for unit in self.units if unit.state == "running")
+        return remaining / (rate * max(1, active))
+
+    # ------------------------------------------------------------------
+    # Rendering.
+    # ------------------------------------------------------------------
+    def render_summary(self) -> str:
+        """The one-line-per-fact summary the plain status command prints."""
+        counts = self.counts()
+        parts = ", ".join(f"{counts[state]} {state}" for state in _STATES)
+        lines = [
+            f"units: {parts}",
+            (
+                f"estimated cost: {self.total_cost:,.0f} total, "
+                f"{self.remaining_cost:,.0f} remaining "
+                f"({self.remaining_cost / self.total_cost:.0%})"
+                if self.total_cost > 0
+                else "estimated cost: 0"
+            ),
+        ]
+        eta = self.eta_s()
+        if eta is not None and not self.finished:
+            lines.append(f"ETA: {_format_duration(eta)}")
+        return "\n".join(lines)
+
+    def render(self) -> str:
+        """Full status: per-unit table plus the summary and ETA."""
+        rows = []
+        for unit in self.units:
+            progress = (
+                f"{unit.rounds_done}/{unit.rounds_planned}"
+                if unit.state in ("running", "done")
+                else "-"
+            )
+            rows.append(
+                [
+                    unit.name,
+                    unit.state,
+                    progress,
+                    f"{unit.cost:,.0f}",
+                    unit.worker if unit.worker is not None else "-",
+                ]
+            )
+        table = render_table(
+            ["unit", "state", "rounds", "est. cost", "worker"],
+            rows,
+            title=f"Campaign {self.campaign_name!r} — live status",
+        )
+        return f"{table}\n{self.render_summary()}"
+
+
+def _format_duration(seconds: float) -> str:
+    """Compact human duration: ``47s``, ``3m12s``, ``2h05m``."""
+    seconds = max(0.0, seconds)
+    if seconds < 60:
+        return f"{seconds:.0f}s"
+    minutes, secs = divmod(int(round(seconds)), 60)
+    if minutes < 60:
+        return f"{minutes}m{secs:02d}s"
+    hours, minutes = divmod(minutes, 60)
+    return f"{hours}h{minutes:02d}m"

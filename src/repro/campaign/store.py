@@ -56,6 +56,7 @@ _MANIFEST_SCHEMA = "repro.campaign-manifest/1"
 _CAMPAIGN_FILE = "campaign.json"
 _MANIFEST_FILE = "manifest.json"
 _UNITS_DIR = "units"
+_SPOOLS_DIR = "spools"
 _SPEC_FILE = "spec.json"
 _HISTORY_FILE = "history.json"
 _RESULT_FILE = "result.json"
@@ -133,6 +134,44 @@ class UnitArtifact:
         return json.loads(
             (self.directory / _RESULT_FILE).read_text(encoding="utf-8")
         )
+
+    @property
+    def telemetry_path(self) -> Path:
+        """Where the unit's event log lives (may not exist)."""
+        return self.directory / _TELEMETRY_FILE
+
+    def has_telemetry(self) -> bool:
+        """Whether the unit ran with telemetry enabled."""
+        return self.telemetry_path.exists()
+
+    def telemetry_records(self) -> list[dict] | None:
+        """The unit's final metric records, or ``None`` without telemetry.
+
+        Reads the last ``metrics.snapshot`` event out of the unit's
+        ``telemetry.jsonl`` — the line the runner appends after training
+        — and recovers the structured per-instrument records that
+        :class:`repro.obs.aggregate.CampaignTelemetry` folds into
+        campaign-wide totals.
+        """
+        path = self.telemetry_path
+        if not path.exists():
+            return None
+        snapshot = None
+        for line in path.read_text(encoding="utf-8").splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                data = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if data.get("category") == "metrics.snapshot":
+                snapshot = data
+        if snapshot is None:
+            return None
+        from repro.obs.aggregate import records_from_snapshot
+
+        return records_from_snapshot(snapshot.get("fields", {}))
 
 
 class ArtifactStore:
@@ -234,6 +273,17 @@ class ArtifactStore:
     def unit_dir(self, key: str) -> Path:
         """Artifact directory of the unit with content key ``key``."""
         return self.root / _UNITS_DIR / key
+
+    @property
+    def spool_dir(self) -> Path:
+        """Where live worker telemetry spools stream during execution.
+
+        Spools are *runtime* telemetry, not artifacts: they carry wall
+        times and worker pids, so they live outside ``units/`` and are
+        excluded from the manifest — the artifact bytes stay a pure
+        function of the campaign spec.
+        """
+        return self.root / _SPOOLS_DIR
 
     # ------------------------------------------------------------------
     # Writing.

@@ -310,6 +310,25 @@ def common_options() -> argparse.ArgumentParser:
         help="with --telemetry: also enable hot-path timers",
     )
     parser.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        default=None,
+        help=(
+            "export final metrics as OpenMetrics/Prometheus text "
+            "exposition to PATH (implies telemetry collection)"
+        ),
+    )
+    parser.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        default=None,
+        help=(
+            "export recorded spans as Chrome trace-event JSON to PATH, "
+            "loadable in chrome://tracing or Perfetto (implies "
+            "telemetry collection)"
+        ),
+    )
+    parser.add_argument(
         "--backend",
         choices=("sequential", "batched", "pool"),
         default=None,
@@ -435,7 +454,76 @@ def build_parser() -> argparse.ArgumentParser:
             "to a sequential run"
         ),
     )
+    campaign.add_argument(
+        "--follow",
+        action="store_true",
+        help=(
+            "for 'status': refresh the live per-unit status (round "
+            "progress streamed from worker telemetry spools, plus an "
+            "ETA) until the campaign finishes"
+        ),
+    )
+    campaign.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        metavar="S",
+        help="refresh period in seconds for 'status --follow' (default 2)",
+    )
     return parser
+
+
+def _wants_observer(args: argparse.Namespace) -> bool:
+    """Whether any flag asks for telemetry collection this run."""
+    return bool(args.telemetry or args.metrics_out or args.trace_out)
+
+
+def _export_observer(observer: Observer, args: argparse.Namespace) -> None:
+    """Write every requested telemetry export format."""
+    if args.telemetry:
+        observer.dump_jsonl(args.telemetry)
+        print(
+            f"[telemetry: {len(observer.events)} events -> {args.telemetry}]",
+            file=sys.stderr,
+        )
+    if args.metrics_out:
+        from repro.obs import write_openmetrics
+
+        write_openmetrics(observer.metrics, args.metrics_out)
+        print(
+            f"[metrics: OpenMetrics text -> {args.metrics_out}]",
+            file=sys.stderr,
+        )
+    if args.trace_out:
+        from repro.obs import write_chrome_trace
+
+        write_chrome_trace(observer.tracer, args.trace_out)
+        print(
+            f"[trace: Chrome trace events -> {args.trace_out}]",
+            file=sys.stderr,
+        )
+
+
+def _follow_status(store, interval: float) -> int:
+    """``campaign status --follow``: refresh until the campaign finishes.
+
+    Each refresh re-reads the manifest and tails the worker telemetry
+    spools, so this works from any process on the machine — including
+    while a separate ``campaign run --jobs N`` is training.
+    """
+    from repro.campaign import CampaignStatus
+
+    try:
+        while True:
+            status = CampaignStatus.collect(store)
+            print(status.render())
+            if status.finished:
+                break
+            print()
+            time.sleep(max(0.1, interval))
+    except KeyboardInterrupt:
+        print()
+    return 0
 
 
 def _run_campaign(args: argparse.Namespace) -> int:
@@ -445,7 +533,9 @@ def _run_campaign(args: argparse.Namespace) -> int:
         CampaignReport,
         CampaignRunner,
         CampaignSpec,
+        CampaignStatus,
         StoreError,
+        campaign_telemetry,
         make_demo_campaign,
     )
     from repro.faults import FaultPlan
@@ -465,12 +555,15 @@ def _run_campaign(args: argparse.Namespace) -> int:
         except StoreError as error:
             print(f"no campaign store: {error}", file=sys.stderr)
             return 2
+        if args.follow:
+            return _follow_status(store, args.interval)
         completed = store.completed_keys()
         problems = store.verify()
         print(
             f"campaign {campaign.name!r} (key {campaign.key()}): "
             f"{len(completed)}/{len(campaign)} units complete"
         )
+        print(CampaignStatus.collect(store).render_summary())
         for problem in problems:
             print(f"integrity: {problem}", file=sys.stderr)
         return 1 if problems else 0
@@ -482,6 +575,12 @@ def _run_campaign(args: argparse.Namespace) -> int:
             print(f"no campaign store: {error}", file=sys.stderr)
             return 2
         print(report.render())
+        telemetry = campaign_telemetry(store)
+        if len(telemetry):
+            print()
+            print(telemetry.render_text())
+            for problem in telemetry.reconcile():
+                print(f"telemetry: {problem}", file=sys.stderr)
         return 0
 
     # action == "run"
@@ -498,7 +597,9 @@ def _run_campaign(args: argparse.Namespace) -> int:
             )
             return 2
     observer = (
-        Observer(profile_hot_paths=args.profile) if args.telemetry else None
+        Observer(profile_hot_paths=args.profile)
+        if _wants_observer(args)
+        else None
     )
     fault_plan = (
         FaultPlan.load(args.fault_plan) if args.fault_plan is not None else None
@@ -517,11 +618,7 @@ def _run_campaign(args: argparse.Namespace) -> int:
         return 2
     summary = runner.run(max_units=args.max_units, jobs=args.jobs)
     if observer is not None:
-        observer.dump_jsonl(args.telemetry)
-        print(
-            f"[telemetry: {len(observer.events)} events -> {args.telemetry}]",
-            file=sys.stderr,
-        )
+        _export_observer(observer, args)
     print(
         f"campaign {runner.campaign.name!r}: {summary.executed} units run, "
         f"{summary.skipped} resumed from artifacts"
@@ -549,7 +646,9 @@ def main(argv: list[str] | None = None) -> int:
         return _run_campaign(args)
     scale = SCALES[args.scale]
     observer = (
-        Observer(profile_hot_paths=args.profile) if args.telemetry else None
+        Observer(profile_hot_paths=args.profile)
+        if _wants_observer(args)
+        else None
     )
     _ACTIVE_OBSERVER = observer
     _FAULT_PLAN_PATH = args.fault_plan
@@ -587,13 +686,9 @@ def main(argv: list[str] | None = None) -> int:
         _QUORUM = None
         _BACKEND = "sequential"
         if observer is not None:
-            observer.dump_jsonl(args.telemetry)
-            print(
-                f"[telemetry: {len(observer.events)} events -> "
-                f"{args.telemetry}]",
-                file=sys.stderr,
-            )
-            print(observer.metrics.render_text(), file=sys.stderr)
+            _export_observer(observer, args)
+            if args.telemetry:
+                print(observer.metrics.render_text(), file=sys.stderr)
     return 0
 
 

@@ -39,8 +39,11 @@ relies on for dropout draws, compression, and upload simulation.
 from __future__ import annotations
 
 import multiprocessing
+import os
+import re
 import time
 from dataclasses import dataclass
+from pathlib import Path
 from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
@@ -48,6 +51,7 @@ import numpy as np
 from repro.faults.models import substream
 from repro.fl.client import EdgeServerClient, LocalUpdate
 from repro.fl.model import LogisticRegressionConfig, _sigmoid
+from repro.obs.sink import TelemetrySpool, get_spool_context
 from repro.perf.cache import StackCache
 from repro.perf.shared_data import (
     SharedDatasetStore,
@@ -319,13 +323,28 @@ _POOL_STATE: dict = {}
 
 
 def _pool_initializer(
-    spec, param_name, n_parameters, model_config, seed, epochs, sgd, mu
+    spec,
+    param_name,
+    n_parameters,
+    model_config,
+    seed,
+    epochs,
+    sgd,
+    mu,
+    spool_context=None,
 ) -> None:
     """One-time worker setup: attach shared data, pin the static config.
 
     Everything that is constant for the lifetime of a training run —
     datasets, model config, seed, epochs, SGD config, FedProx mu — lands
     here exactly once, so per-round tasks never re-pickle any of it.
+
+    ``spool_context`` is the parent's active ``(spool_dir, unit)`` (see
+    :mod:`repro.obs.sink`), present only when the training run has
+    telemetry enabled: the worker then opens its own engine-role spool
+    in the same directory, so even this innermost worker tier streams
+    into the campaign-wide telemetry merge.  Spool failures never break
+    training — telemetry is strictly best-effort here.
     """
     datasets, handles = attach_datasets(spec)
     params, param_handle = attach_parameters(param_name, n_parameters)
@@ -339,6 +358,20 @@ def _pool_initializer(
     _POOL_STATE["sgd"] = sgd
     _POOL_STATE["mu"] = mu
     _POOL_STATE["clients"] = {}
+    _POOL_STATE["spool"] = None
+    _POOL_STATE["spool_epoch"] = time.perf_counter()
+    _POOL_STATE["spool_seq"] = 0
+    if spool_context is not None:
+        directory, unit = spool_context
+        safe_unit = re.sub(r"[^A-Za-z0-9._-]", "_", str(unit)) or "unit"
+        try:
+            _POOL_STATE["spool"] = TelemetrySpool(
+                Path(directory) / f"{safe_unit}.w{os.getpid()}.jsonl",
+                unit=unit,
+                role="engine",
+            )
+        except OSError:
+            _POOL_STATE["spool"] = None
 
 
 def _pool_train_chunk(task):
@@ -380,7 +413,54 @@ def _pool_train_chunk(task):
             rng=rng,
         )
         results.append((update, time.perf_counter() - started))
+    _spool_chunk_telemetry(chunk, round_index, results)
     return results
+
+
+def _spool_chunk_telemetry(chunk, round_index, results) -> None:
+    """Stream one trained chunk's telemetry to this worker's spool.
+
+    One ``engine.chunk`` event plus one metrics *delta* record per
+    chunk: counters in the delta merge by addition at the collector, so
+    per-chunk dumps aggregate to the worker's true totals without the
+    worker retaining cumulative registries.
+    """
+    spool = _POOL_STATE.get("spool")
+    if spool is None or spool.closed:
+        return
+    from repro.obs.metrics import MetricsRegistry
+
+    train_s = sum(duration for _, duration in results)
+    _POOL_STATE["spool_seq"] += 1
+    try:
+        # The event line rides the buffer; the metrics record right
+        # behind it flushes both with one syscall.  Pool shutdown is a
+        # SIGTERM (no interpreter cleanup), so anything less than a
+        # per-chunk flush could silently drop the tail of the deltas.
+        spool.append(
+            "event",
+            flush=False,
+            event={
+                "seq": _POOL_STATE["spool_seq"],
+                "category": "engine.chunk",
+                "wall_s": time.perf_counter() - _POOL_STATE["spool_epoch"],
+                "sim_s": None,
+                "fields": {
+                    "round": int(round_index),
+                    "clients": len(chunk),
+                    "train_s": train_s,
+                },
+            },
+        )
+        delta = MetricsRegistry()
+        delta.counter("engine.pool_clients_trained").inc(len(chunk))
+        delta.counter("engine.pool_chunks_trained").inc()
+        delta.counter("engine.pool_train_s").inc(train_s)
+        spool.append("metrics", flush=True, records=delta.to_records())
+    except (OSError, ValueError):
+        # A torn spool must never fail training; drop the sink instead.
+        spool.close()
+        _POOL_STATE["spool"] = None
 
 
 def _shutdown_pool(
@@ -475,6 +555,11 @@ class PoolEngine(ExecutionEngine):
                     config.local_epochs,
                     config.sgd,
                     config.proximal_mu,
+                    # Propagate the campaign's spool context (if any)
+                    # explicitly rather than relying on fork inheriting
+                    # module state, so the spawn start method telemetry
+                    # behaves identically.
+                    get_spool_context(),
                 ),
             )
         except BaseException:

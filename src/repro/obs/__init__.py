@@ -17,7 +17,16 @@ runtime:
 * :mod:`repro.obs.profiling` — opt-in hot-path timers that aggregate
   ``perf_counter`` deltas into histogram metrics;
 * :mod:`repro.obs.observer` — the :class:`Observer` facade bundling all
-  four, plus the :data:`NULL_OBSERVER` no-op backend.
+  four, plus the :data:`NULL_OBSERVER` no-op backend;
+* :mod:`repro.obs.sink` — cross-process transport: worker-side
+  :class:`TelemetrySpool` files (append-only JSONL, crash-safe readable
+  prefix) and the parent-side :class:`TelemetryCollector` that tails
+  and merges them;
+* :mod:`repro.obs.aggregate` — :class:`CampaignTelemetry`, the reducer
+  folding per-unit metric snapshots into one campaign-wide registry
+  with reconciliation checks;
+* :mod:`repro.obs.export` — standard-format exports: OpenMetrics /
+  Prometheus text and Chrome trace-event JSON.
 
 Every instrumented component (:class:`~repro.fl.training.FederatedTrainer`,
 :class:`~repro.sim.engine.Simulator`, :class:`~repro.core.acs.ACSSolver`,
@@ -26,19 +35,42 @@ optional ``observer`` and behaves identically — at negligible overhead —
 when none is attached.
 """
 
+from repro.obs.aggregate import (
+    CampaignTelemetry,
+    UnitTelemetry,
+    merge_metric_records,
+    records_from_snapshot,
+)
 from repro.obs.events import EventLog, ObsEvent
+from repro.obs.export import (
+    to_chrome_trace,
+    to_openmetrics,
+    write_chrome_trace,
+    write_openmetrics,
+)
 from repro.obs.metrics import (
     Counter,
     Gauge,
     Histogram,
     MetricsRegistry,
     DEFAULT_DURATION_BUCKETS_S,
+    parse_metric_name,
 )
 from repro.obs.observer import NULL_OBSERVER, NullObserver, Observer, active_or_none
 from repro.obs.profiling import HotPathProfiler
+from repro.obs.sink import (
+    SpoolObserver,
+    TelemetryCollector,
+    TelemetrySpool,
+    clear_spool_context,
+    get_spool_context,
+    read_spool_records,
+    set_spool_context,
+)
 from repro.obs.tracing import NullTracer, Span, Tracer
 
 __all__ = [
+    "CampaignTelemetry",
     "Counter",
     "DEFAULT_DURATION_BUCKETS_S",
     "EventLog",
@@ -52,6 +84,21 @@ __all__ = [
     "ObsEvent",
     "Observer",
     "Span",
+    "SpoolObserver",
+    "TelemetryCollector",
+    "TelemetrySpool",
     "Tracer",
+    "UnitTelemetry",
     "active_or_none",
+    "clear_spool_context",
+    "get_spool_context",
+    "merge_metric_records",
+    "parse_metric_name",
+    "read_spool_records",
+    "records_from_snapshot",
+    "set_spool_context",
+    "to_chrome_trace",
+    "to_openmetrics",
+    "write_chrome_trace",
+    "write_openmetrics",
 ]

@@ -1,0 +1,296 @@
+"""Campaign-wide metric aggregation and reconciliation.
+
+One campaign's telemetry ends up as many per-unit metric snapshots —
+one per worker process, stored next to each unit's artifacts.  This
+module folds them back into a single registry and *checks the fold*:
+the paper's accounting story only survives parallelisation if energy
+and round counters aggregate to the same totals no matter which
+backend trained a unit or how many worker processes the campaign used.
+
+* :func:`merge_metric_records` — fold structured metric records (from
+  :meth:`~repro.obs.metrics.MetricsRegistry.to_records`) into a target
+  registry, optionally attaching extra labels.  Counters merge by
+  addition, histograms bucket-wise, gauges last-write-wins — which is
+  exactly why records are safe to apply more than once *per process*
+  but must be applied once per source snapshot.
+* :func:`records_from_snapshot` — recover records from an Observer's
+  ``metrics.snapshot`` event, falling back to parsing rendered names
+  for telemetry written before structured records existed.
+* :class:`CampaignTelemetry` — the reducer: per-unit snapshots in, one
+  campaign-wide registry out, plus :meth:`reconcile` (per-unit totals
+  vs the unit's reported measurements, cross-backend agreement) and a
+  terminal-friendly :meth:`render_text`.
+
+Determinism note: :meth:`CampaignTelemetry.totals` folds units in
+sorted-key order, so the campaign-wide counter values are a pure
+function of the per-unit snapshots — two stores holding bit-identical
+unit telemetry produce bit-identical totals, regardless of the worker
+count or completion order that produced either store.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+from repro.obs.metrics import Histogram, MetricsRegistry, parse_metric_name
+
+__all__ = [
+    "merge_metric_records",
+    "merge_histogram_record",
+    "records_from_snapshot",
+    "UnitTelemetry",
+    "CampaignTelemetry",
+]
+
+
+def merge_histogram_record(histogram: Histogram, record: dict) -> None:
+    """Fold one histogram record into an existing instrument in place."""
+    counts = record.get("counts", ())
+    if len(counts) != len(histogram.counts):
+        raise ValueError(
+            f"histogram {histogram.full_name!r}: incompatible bucket "
+            f"count {len(counts)} (have {len(histogram.counts)})"
+        )
+    for i, count in enumerate(counts):
+        histogram.counts[i] += int(count)
+    histogram.count += int(record.get("count", 0))
+    histogram.sum += float(record.get("sum", 0.0))
+    for bound, pick in (("min", min), ("max", max)):
+        value = record.get(bound)
+        if value is None:
+            continue
+        current = getattr(histogram, bound)
+        setattr(
+            histogram,
+            bound,
+            float(value) if current is None else pick(current, float(value)),
+        )
+
+
+def merge_metric_records(
+    registry: MetricsRegistry,
+    records: Iterable[dict],
+    **extra_labels: Any,
+) -> None:
+    """Fold structured metric records into ``registry``.
+
+    ``extra_labels`` (e.g. ``unit=...``, ``worker=...``) are attached to
+    every instrument, keeping per-source series distinct while their
+    family still sums to the global total via
+    :meth:`MetricsRegistry.sum_values`.  A record whose labels collide
+    with an extra label keeps its own value (the source knew better).
+    """
+    for record in records:
+        labels = {**extra_labels, **record.get("labels", {})}
+        name = record["name"]
+        kind = record.get("kind", "counter")
+        if kind == "counter":
+            registry.counter(name, **labels).inc(float(record["value"]))
+        elif kind == "gauge":
+            registry.gauge(name, **labels).set(float(record["value"]))
+        elif kind == "histogram":
+            histogram = registry.histogram(
+                name, buckets=tuple(record["buckets"]), **labels
+            )
+            merge_histogram_record(histogram, record)
+        else:
+            raise ValueError(f"unknown metric record kind {kind!r}")
+
+
+def records_from_snapshot(snapshot: dict) -> list[dict]:
+    """Metric records out of an Observer ``snapshot()`` document.
+
+    Prefers the structured ``metric_records`` list; for snapshots
+    written before it existed, falls back to parsing the rendered
+    ``metrics`` mapping, where scalar instruments are assumed to be
+    counters (gauges are indistinguishable in that form — acceptable
+    for legacy stores, whose gauges were all last-write throwaways).
+    """
+    records = snapshot.get("metric_records")
+    if records is not None:
+        return list(records)
+    fallback = []
+    for full_name, value in snapshot.get("metrics", {}).items():
+        name, labels = parse_metric_name(full_name)
+        if isinstance(value, dict):
+            fallback.append(
+                {"name": name, "labels": labels, "kind": "histogram", **value}
+            )
+        else:
+            fallback.append(
+                {
+                    "name": name,
+                    "labels": labels,
+                    "kind": "counter",
+                    "value": value,
+                }
+            )
+    return fallback
+
+
+@dataclass(frozen=True)
+class UnitTelemetry:
+    """One unit's contribution to the campaign-wide aggregate.
+
+    Attributes:
+        key: the unit's content key (its identity in the store).
+        name: human-readable unit name.
+        records: the unit's final metric records.
+        reported: the unit's ``result.json`` measurement snapshot (used
+            by reconciliation as the independent ground truth).
+    """
+
+    key: str
+    name: str
+    records: tuple[dict, ...]
+    reported: dict = field(default_factory=dict)
+
+    def sum_counters(self, metric: str) -> float:
+        """Sum of one counter family across this unit's label sets."""
+        return math.fsum(
+            float(r["value"])
+            for r in self.records
+            if r["name"] == metric and r.get("kind") == "counter"
+        )
+
+
+class CampaignTelemetry:
+    """Reducer folding per-unit metric snapshots into campaign totals."""
+
+    def __init__(self, campaign_name: str) -> None:
+        self.campaign_name = campaign_name
+        self._units: dict[str, UnitTelemetry] = {}
+
+    def add_unit(
+        self,
+        key: str,
+        name: str,
+        records: Iterable[dict],
+        reported: dict | None = None,
+    ) -> None:
+        """Register one unit's final metric records (replaces any prior)."""
+        self._units[key] = UnitTelemetry(
+            key=key,
+            name=name,
+            records=tuple(records),
+            reported=dict(reported or {}),
+        )
+
+    def __len__(self) -> int:
+        return len(self._units)
+
+    @property
+    def units(self) -> tuple[UnitTelemetry, ...]:
+        """Registered units in sorted-key order (the fold order)."""
+        return tuple(self._units[key] for key in sorted(self._units))
+
+    # ------------------------------------------------------------------
+    # Aggregation.
+    # ------------------------------------------------------------------
+    def totals(self) -> MetricsRegistry:
+        """One campaign-wide registry: counters summed, histograms merged.
+
+        Gauges are instantaneous per-process values with no meaningful
+        campaign-wide sum, so they keep a ``unit`` label instead of
+        collapsing.  Units fold in sorted-key order, making the result
+        deterministic for a given set of snapshots.
+        """
+        registry = MetricsRegistry()
+        for unit in self.units:
+            scalars = [r for r in unit.records if r.get("kind") != "gauge"]
+            gauges = [r for r in unit.records if r.get("kind") == "gauge"]
+            merge_metric_records(registry, scalars)
+            merge_metric_records(registry, gauges, unit=unit.name)
+        return registry
+
+    def sum_over_units(self, metric: str) -> float:
+        """Σ over units of the unit's own counter-family sum.
+
+        Exact-sum (``math.fsum``) over per-unit values in sorted-key
+        order — the deterministic quantity the cross-process
+        reconciliation tests compare bit-for-bit.
+        """
+        return math.fsum(
+            unit.sum_counters(metric) for unit in self.units
+        )
+
+    # ------------------------------------------------------------------
+    # Reconciliation.
+    # ------------------------------------------------------------------
+    def reconcile(
+        self, rel_tolerance: float = 1e-9, abs_tolerance: float = 1e-9
+    ) -> list[str]:
+        """Cross-check the aggregate; returns the discrepancies found.
+
+        Three invariants, mirroring the single-process telemetry tests:
+
+        1. per unit, the summed ``energy.joules`` counters equal the
+           unit's independently reported ``total_energy_j``;
+        2. per unit, the ``fl.rounds`` counter equals the reported
+           round count;
+        3. units that differ only in execution backend (same K, E,
+           seed) report identical energy — the engine-equivalence
+           contract, checked at a looser 1e-6 relative tolerance since
+           the batched backend is numerically (not bit-) identical.
+        """
+        problems: list[str] = []
+        by_cell: dict[tuple, list[UnitTelemetry]] = {}
+        for unit in self.units:
+            reported = unit.reported
+            if not reported:
+                continue
+            energy = unit.sum_counters("energy.joules")
+            expected = float(reported.get("total_energy_j", energy))
+            if not math.isclose(
+                energy, expected, rel_tol=rel_tolerance, abs_tol=abs_tolerance
+            ):
+                problems.append(
+                    f"{unit.name}: telemetry energy {energy!r} J != "
+                    f"reported {expected!r} J"
+                )
+            rounds = unit.sum_counters("fl.rounds")
+            expected_rounds = float(reported.get("rounds", rounds))
+            if rounds != expected_rounds:
+                problems.append(
+                    f"{unit.name}: telemetry rounds {rounds:g} != "
+                    f"reported {expected_rounds:g}"
+                )
+            cell = (
+                reported.get("participants"),
+                reported.get("epochs"),
+                reported.get("seed"),
+            )
+            by_cell.setdefault(cell, []).append(unit)
+        for cell, units in by_cell.items():
+            backends = {u.reported.get("backend") for u in units}
+            if len(backends) < 2:
+                continue
+            energies = [u.sum_counters("energy.joules") for u in units]
+            low, high = min(energies), max(energies)
+            if not math.isclose(low, high, rel_tol=1e-6, abs_tol=1e-6):
+                problems.append(
+                    f"cell (K={cell[0]}, E={cell[1]}, seed={cell[2]}): "
+                    f"cross-backend energy disagrees "
+                    f"({low:g} .. {high:g} J across {sorted(backends)})"
+                )
+        return problems
+
+    # ------------------------------------------------------------------
+    # Rendering.
+    # ------------------------------------------------------------------
+    def render_text(self) -> str:
+        """Campaign-wide metrics table plus the headline energy line."""
+        if not self._units:
+            return "(no unit telemetry recorded)"
+        totals = self.totals()
+        header = (
+            f"campaign {self.campaign_name!r} — aggregated telemetry over "
+            f"{len(self)} units"
+        )
+        energy = self.sum_over_units("energy.joules")
+        return (
+            f"{header}\n{totals.render_text()}\n"
+            f"campaign energy (exact per-unit fold): {energy:.6f} J"
+        )

@@ -1,0 +1,251 @@
+"""Standard-format telemetry exports: OpenMetrics text and Chrome traces.
+
+The in-repo telemetry formats (JSONL event logs, metric snapshots) are
+self-describing but bespoke.  This module renders the same data in the
+two interchange formats the wider tooling ecosystem already speaks:
+
+* :func:`to_openmetrics` — a :class:`MetricsRegistry` as OpenMetrics /
+  Prometheus text exposition (``# TYPE`` + sample lines, cumulative
+  ``_bucket{le=...}`` histogram series, terminated by ``# EOF``), ready
+  for ``promtool``, a Prometheus file-based collector, or any scraper.
+* :func:`to_chrome_trace` — a :class:`Tracer` span forest as Chrome
+  trace-event JSON (complete ``"X"`` events on one pid/tid timeline),
+  loadable in ``chrome://tracing`` and Perfetto's trace viewer.
+
+Both are pure functions of the in-memory telemetry and deliberately
+dependency-free: no prometheus_client, no perfetto SDK — the formats are
+simple enough that hand-rendering is smaller than a dependency, and the
+container image must not grow one.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+from pathlib import Path
+from typing import Any
+
+from repro.obs.metrics import Histogram, MetricsRegistry
+from repro.obs.tracing import Span, Tracer
+
+__all__ = [
+    "to_openmetrics",
+    "write_openmetrics",
+    "to_chrome_trace",
+    "write_chrome_trace",
+]
+
+
+_INVALID_METRIC_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+_INVALID_LABEL_CHARS = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def _sanitize_metric_name(name: str) -> str:
+    """Dotted internal names → valid Prometheus metric names.
+
+    ``energy.joules`` becomes ``energy_joules``; a leading digit gains a
+    ``_`` prefix.  The mapping is stable but not injective — acceptable
+    because internal names never differ only in punctuation.
+    """
+    sanitized = _INVALID_METRIC_CHARS.sub("_", name)
+    if sanitized and sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return sanitized or "_"
+
+
+def _sanitize_label_name(name: str) -> str:
+    sanitized = _INVALID_LABEL_CHARS.sub("_", name)
+    if sanitized and sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return sanitized or "_"
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace("\n", "\\n").replace('"', '\\"')
+
+
+def _format_value(value: float) -> str:
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if math.isnan(value):
+        return "NaN"
+    return repr(float(value))
+
+
+def _render_labels(labels: dict[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{_sanitize_label_name(k)}="{_escape_label_value(str(v))}"'
+        for k, v in sorted(labels.items())
+    )
+    return "{" + inner + "}"
+
+
+def to_openmetrics(registry: MetricsRegistry) -> str:
+    """Render a registry as OpenMetrics text exposition.
+
+    Families are emitted in sorted-name order, each with one ``# TYPE``
+    line; histogram samples follow the Prometheus convention of
+    *cumulative* ``_bucket`` counts with inclusive ``le`` upper bounds
+    (matching this registry's inclusive bucket edges), a ``+Inf``
+    bucket, and ``_sum``/``_count`` side-cars.  Output ends with
+    ``# EOF`` as OpenMetrics requires.
+    """
+    families: dict[str, list[Any]] = {}
+    kinds: dict[str, str] = {}
+    for instrument in registry:
+        name = _sanitize_metric_name(instrument.name)
+        families.setdefault(name, []).append(instrument)
+        kind = "gauge" if instrument.kind == "gauge" else instrument.kind
+        previous = kinds.setdefault(name, kind)
+        if previous != kind:
+            raise ValueError(
+                f"metric family {name!r} mixes kinds {previous!r} and {kind!r}"
+            )
+    lines: list[str] = []
+    for name in sorted(families):
+        kind = kinds[name]
+        lines.append(f"# TYPE {name} {kind}")
+        for instrument in families[name]:
+            labels = dict(instrument.labels)
+            if isinstance(instrument, Histogram):
+                cumulative = 0
+                for bound, count in zip(
+                    instrument.buckets, instrument.counts
+                ):
+                    cumulative += count
+                    bucket_labels = {**labels, "le": _format_value(bound)}
+                    lines.append(
+                        f"{name}_bucket{_render_labels(bucket_labels)} "
+                        f"{cumulative}"
+                    )
+                cumulative += instrument.counts[-1]
+                inf_labels = {**labels, "le": "+Inf"}
+                lines.append(
+                    f"{name}_bucket{_render_labels(inf_labels)} {cumulative}"
+                )
+                lines.append(
+                    f"{name}_sum{_render_labels(labels)} "
+                    f"{_format_value(instrument.sum)}"
+                )
+                lines.append(
+                    f"{name}_count{_render_labels(labels)} {instrument.count}"
+                )
+            else:
+                lines.append(
+                    f"{name}{_render_labels(labels)} "
+                    f"{_format_value(instrument.value)}"
+                )
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+def write_openmetrics(registry: MetricsRegistry, path: str | Path) -> Path:
+    """Write :func:`to_openmetrics` output to ``path`` (parents created)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(to_openmetrics(registry), encoding="utf-8")
+    return path
+
+
+def _span_to_events(
+    span: Span,
+    pid: int,
+    tid: int,
+    clock_end_us: float | None,
+) -> list[dict[str, Any]]:
+    """One span subtree → flat list of Chrome ``"X"`` complete events.
+
+    An unfinished span (worker killed mid-region) is clamped to
+    ``clock_end_us`` — the latest finished timestamp in the forest — so
+    it still renders instead of being dropped.
+    """
+    start_us = span.start_s * 1e6
+    if span.finished:
+        duration_us = span.duration_s * 1e6
+    elif clock_end_us is not None:
+        duration_us = max(0.0, clock_end_us - start_us)
+    else:
+        duration_us = 0.0
+    event: dict[str, Any] = {
+        "name": span.name,
+        "ph": "X",
+        "ts": start_us,
+        "dur": duration_us,
+        "pid": pid,
+        "tid": tid,
+        "cat": "repro",
+    }
+    if span.attributes:
+        event["args"] = {k: _json_safe(v) for k, v in span.attributes.items()}
+    events = [event]
+    for child in span.children:
+        events.extend(_span_to_events(child, pid, tid, clock_end_us))
+    return events
+
+
+def _json_safe(value: Any) -> Any:
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if hasattr(value, "tolist"):
+        return value.tolist()
+    return str(value)
+
+
+def to_chrome_trace(
+    tracer: Tracer, process_name: str = "repro"
+) -> dict[str, Any]:
+    """Render a span forest as a Chrome trace-event document.
+
+    Spans from different source workers (the collector stamps a
+    ``worker`` attribute on merged roots) land on separate ``tid``
+    tracks, so a parallel campaign's timeline shows the workers side by
+    side; unlabelled local spans share track 0.  Timestamps are the
+    tracer's own monotonic clock in microseconds.
+    """
+    tids: dict[Any, int] = {}
+    events: list[dict[str, Any]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 0,
+            "tid": 0,
+            "args": {"name": process_name},
+        }
+    ]
+    latest_end_us: float | None = None
+    for span in tracer.iter_spans():
+        if span.finished:
+            end_us = span.end_s * 1e6
+            if latest_end_us is None or end_us > latest_end_us:
+                latest_end_us = end_us
+    for root in tracer.roots:
+        worker = root.attributes.get("worker", "")
+        tid = tids.setdefault(worker, len(tids))
+        if worker != "" and tid not in {
+            e.get("tid") for e in events if e.get("name") == "thread_name"
+        }:
+            events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": 0,
+                    "tid": tid,
+                    "args": {"name": f"worker {worker}"},
+                }
+            )
+        events.extend(_span_to_events(root, 0, tid, latest_end_us))
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(
+    tracer: Tracer, path: str | Path, process_name: str = "repro"
+) -> Path:
+    """Write :func:`to_chrome_trace` as JSON to ``path`` (parents created)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    document = to_chrome_trace(tracer, process_name=process_name)
+    path.write_text(json.dumps(document, indent=1), encoding="utf-8")
+    return path

@@ -23,6 +23,7 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "DEFAULT_DURATION_BUCKETS_S",
+    "parse_metric_name",
 ]
 
 # Upper bucket bounds for duration histograms: 10 us to 10 min, roughly
@@ -53,6 +54,25 @@ def render_metric_name(name: str, labels: dict[str, Any] | _LabelKey) -> str:
         return name
     inner = ",".join(f"{k}={v}" for k, v in items)
     return f"{name}{{{inner}}}"
+
+
+def parse_metric_name(full_name: str) -> tuple[str, dict[str, str]]:
+    """Inverse of :func:`render_metric_name` for snapshot keys.
+
+    Label *values* containing ``,`` or ``=`` are not representable in the
+    rendered form; instruments in this codebase use simple identifier-ish
+    values (phases, unit names, pids), for which the round trip is exact.
+    """
+    if not full_name.endswith("}") or "{" not in full_name:
+        return full_name, {}
+    name, _, inner = full_name[:-1].partition("{")
+    labels: dict[str, str] = {}
+    for item in inner.split(","):
+        if not item:
+            continue
+        key, _, value = item.partition("=")
+        labels[key] = value
+    return name, labels
 
 
 class _Instrument:
@@ -238,6 +258,33 @@ class MetricsRegistry:
         if not found:
             raise KeyError(f"no counter/gauge named {name!r}")
         return total
+
+    def to_records(self) -> list[dict[str, Any]]:
+        """Structured JSON-ready record per instrument, in sorted order.
+
+        Unlike :meth:`snapshot` (whose keys are *rendered* names), records
+        keep name, labels, and kind as separate fields, so cross-process
+        aggregation (:mod:`repro.obs.aggregate`) can re-register each
+        instrument — with extra labels — without parsing rendered names.
+        """
+        records: list[dict[str, Any]] = []
+        for instrument in self:
+            record: dict[str, Any] = {
+                "name": instrument.name,
+                "labels": dict(instrument.labels),
+                "kind": instrument.kind,
+            }
+            if isinstance(instrument, Histogram):
+                record["buckets"] = list(instrument.buckets)
+                record["counts"] = list(instrument.counts)
+                record["count"] = instrument.count
+                record["sum"] = instrument.sum
+                record["min"] = instrument.min
+                record["max"] = instrument.max
+            else:
+                record["value"] = instrument.value  # type: ignore[union-attr]
+            records.append(record)
+        return records
 
     def snapshot(self) -> dict[str, Any]:
         """JSON-ready ``{rendered_name: value-or-histogram-dict}`` mapping."""

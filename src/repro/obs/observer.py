@@ -83,9 +83,15 @@ class Observer:
     # Export.
     # ------------------------------------------------------------------
     def snapshot(self) -> dict[str, Any]:
-        """Combined JSON-ready view: metrics snapshot + trace forest."""
+        """Combined JSON-ready view: metrics snapshot + trace forest.
+
+        ``metrics`` is the rendered-name mapping (human-oriented);
+        ``metric_records`` the structured per-instrument list that
+        :mod:`repro.obs.aggregate` folds across processes.
+        """
         return {
             "metrics": self.metrics.snapshot(),
+            "metric_records": self.metrics.to_records(),
             "n_events": len(self.events),
             "spans": self.tracer.to_dicts(),
         }

@@ -55,6 +55,29 @@ class Span:
             "children": [child.to_dict() for child in self.children],
         }
 
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "Span":
+        """Rebuild a span tree from :meth:`to_dict` output.
+
+        An unfinished span (``duration_s`` null — e.g. a worker killed
+        mid-region) stays unfinished after the round trip.
+        """
+        try:
+            span = cls(
+                str(data["name"]),
+                dict(data.get("attributes", {})),
+                float(data["start_s"]),
+            )
+            duration = data.get("duration_s")
+            if duration is not None:
+                span.end_s = span.start_s + float(duration)
+            span.children = [
+                cls.from_dict(child) for child in data.get("children", ())
+            ]
+        except (KeyError, TypeError, ValueError) as error:
+            raise ValueError(f"malformed span record: {error}") from None
+        return span
+
     def iter_spans(self) -> Iterator["Span"]:
         """Pre-order walk over this span and every descendant."""
         yield self

@@ -125,6 +125,7 @@ class ParallelUnitScheduler:
         payloads: Sequence,
         worker: Callable,
         costs: Sequence[float] | None = None,
+        poll: Callable[[], object] | None = None,
     ) -> ScheduleOutcome:
         """Execute ``worker(payload)`` for every payload across processes.
 
@@ -132,6 +133,12 @@ class ParallelUnitScheduler:
         order when ``costs`` is None).  On KeyboardInterrupt the queue is
         drained: queued payloads are cancelled, in-flight ones are
         allowed to finish, and the outcome records all three buckets.
+
+        ``poll``, when given, is invoked from the scheduling loop while
+        units are in flight (the wait then uses a short timeout instead
+        of blocking indefinitely) and once more after the batch drains —
+        the hook the campaign runner uses to tail worker telemetry
+        spools live.  It runs in the parent process and must not raise.
         """
         outcome = ScheduleOutcome()
         if not payloads:
@@ -157,7 +164,13 @@ class ParallelUnitScheduler:
                 futures[executor.submit(worker, payloads[index])] = index
             pending = set(futures)
             while pending:
-                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                done, pending = wait(
+                    pending,
+                    timeout=0.2 if poll is not None else None,
+                    return_when=FIRST_COMPLETED,
+                )
+                if poll is not None:
+                    poll()
                 for future in done:
                     index = futures[future]
                     error = future.exception()
@@ -191,6 +204,11 @@ class ParallelUnitScheduler:
                             outcome.failed[index] = repr(future.exception())
         finally:
             executor.shutdown(wait=True)
+            if poll is not None:
+                # One final poll after every worker has exited, so the
+                # spools' last flushed lines are merged before the
+                # outcome is interpreted.
+                poll()
         outcome.completed.sort()
         outcome.cancelled.sort()
         outcome.wall_clock_s = time.perf_counter() - started

@@ -1,0 +1,174 @@
+"""Standard-format exports: OpenMetrics text and Chrome trace JSON.
+
+No prometheus_client or perfetto in the container, so these tests parse
+the exports by hand against the format rules a real scraper/viewer
+enforces: ``# TYPE`` before samples, cumulative monotone ``_bucket``
+series ending in ``+Inf``, ``# EOF`` termination, escaped label values;
+trace documents must be plain JSON with microsecond ``"X"`` events.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    Observer,
+    to_chrome_trace,
+    to_openmetrics,
+    write_chrome_trace,
+    write_openmetrics,
+)
+
+pytestmark = pytest.mark.telemetry_smoke
+
+_SAMPLE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? (\+Inf|-Inf|NaN|[-+0-9.e]+)$"
+)
+
+
+def _sample_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.counter("energy.joules", phase="training").inc(2.5)
+    registry.counter("energy.joules", phase="uploading").inc(1.5)
+    registry.gauge("queue.depth").set(3)
+    histogram = registry.histogram(
+        "round.duration_s", buckets=(0.1, 1.0, 10.0)
+    )
+    for value in (0.05, 0.5, 0.7, 5.0, 50.0):
+        histogram.observe(value)
+    return registry
+
+
+class TestOpenMetrics:
+    def test_every_line_is_type_comment_sample_or_eof(self):
+        text = to_openmetrics(_sample_registry())
+        assert text.endswith("# EOF\n")
+        for line in text.splitlines()[:-1]:
+            assert line.startswith("# TYPE ") or _SAMPLE.match(line), line
+
+    def test_type_line_precedes_its_family_and_names_are_sanitized(self):
+        lines = to_openmetrics(_sample_registry()).splitlines()
+        type_index = lines.index("# TYPE energy_joules counter")
+        samples = [
+            line for line in lines if line.startswith("energy_joules{")
+        ]
+        assert samples
+        assert all(lines.index(s) > type_index for s in samples)
+        assert 'phase="training"' in "\n".join(samples)
+        # The dotted internal name never leaks.
+        assert "energy.joules" not in "\n".join(lines)
+
+    def test_histogram_buckets_are_cumulative_and_end_at_inf(self):
+        lines = to_openmetrics(_sample_registry()).splitlines()
+        buckets = [
+            line
+            for line in lines
+            if line.startswith("round_duration_s_bucket")
+        ]
+        counts = [int(line.rsplit(" ", 1)[1]) for line in buckets]
+        assert counts == sorted(counts), "bucket series must be cumulative"
+        assert 'le="+Inf"' in buckets[-1]
+        # +Inf bucket equals _count equals total observations.
+        count_line = next(
+            line for line in lines if line.startswith("round_duration_s_count")
+        )
+        assert int(count_line.rsplit(" ", 1)[1]) == 5
+        assert counts[-1] == 5
+        sum_line = next(
+            line for line in lines if line.startswith("round_duration_s_sum")
+        )
+        assert float(sum_line.rsplit(" ", 1)[1]) == pytest.approx(56.25)
+
+    def test_label_values_are_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("weird", note='say "hi"\nback\\slash').inc()
+        text = to_openmetrics(registry)
+        assert r'note="say \"hi\"\nback\\slash"' in text
+
+    def test_non_finite_values_render_per_spec(self):
+        registry = MetricsRegistry()
+        registry.gauge("inf").set(math.inf)
+        registry.gauge("nan").set(math.nan)
+        text = to_openmetrics(registry)
+        assert "inf +Inf" in text
+        assert "nan NaN" in text
+
+    def test_mixed_kind_family_is_an_error(self):
+        registry = MetricsRegistry()
+        registry.counter("clash.metric").inc()
+        registry.gauge("clash_metric").set(1)  # sanitizes to the same family
+        with pytest.raises(ValueError, match="mixes kinds"):
+            to_openmetrics(registry)
+
+    def test_write_creates_parents(self, tmp_path):
+        path = write_openmetrics(
+            _sample_registry(), tmp_path / "deep" / "m.txt"
+        )
+        assert path.read_text().endswith("# EOF\n")
+
+
+class TestChromeTrace:
+    def _traced_observer(self) -> Observer:
+        observer = Observer()
+        with observer.span("unit", unit="u1") as outer:
+            outer.set_attribute("worker", 41)
+            with observer.span("round", round=0):
+                pass
+        with observer.span("unit", unit="u2") as other:
+            other.set_attribute("worker", 42)
+        return observer
+
+    def test_document_shape_and_complete_events(self, tmp_path):
+        observer = self._traced_observer()
+        path = write_chrome_trace(observer.tracer, tmp_path / "t.json")
+        document = json.loads(path.read_text())
+        assert document["displayTimeUnit"] == "ms"
+        spans = [e for e in document["traceEvents"] if e["ph"] == "X"]
+        assert {e["name"] for e in spans} == {"unit", "round"}
+        for event in spans:
+            assert event["dur"] >= 0
+            assert isinstance(event["ts"], float)
+        # Span attributes survive as args.
+        round_event = next(e for e in spans if e["name"] == "round")
+        assert round_event["args"]["round"] == 0
+
+    def test_workers_land_on_separate_named_tracks(self):
+        document = to_chrome_trace(self._traced_observer().tracer)
+        units = [
+            e
+            for e in document["traceEvents"]
+            if e["ph"] == "X" and e["name"] == "unit"
+        ]
+        assert len({e["tid"] for e in units}) == 2
+        thread_names = {
+            e["args"]["name"]
+            for e in document["traceEvents"]
+            if e.get("name") == "thread_name"
+        }
+        assert thread_names == {"worker 41", "worker 42"}
+        assert any(
+            e.get("name") == "process_name" for e in document["traceEvents"]
+        )
+
+    def test_unfinished_span_is_clamped_not_dropped(self):
+        from repro.obs import Span
+
+        observer = Observer()
+        # A worker killed mid-region leaves a root with no end time.
+        span = Span("stuck", {}, 0.0)
+        observer.tracer.roots.append(span)
+        with observer.span("done"):
+            pass
+        document = to_chrome_trace(observer.tracer)
+        stuck = next(
+            e
+            for e in document["traceEvents"]
+            if e["ph"] == "X" and e["name"] == "stuck"
+        )
+        assert stuck["dur"] >= 0
+        assert span.finished is False
