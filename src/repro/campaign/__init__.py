@@ -20,14 +20,24 @@ per-figure scripts:
   Fig. 5/6 energy grids and the best-``(K, E)`` headline from stored
   artifacts alone, without re-running any training.
 
-CLI: ``python -m repro campaign {init,run,status,report}``.
+Campaign passes are *supervised* by default: failed units retry with
+deterministic backoff, hung workers are reclaimed by a watchdog, broken
+process pools are rebuilt, and units that exhaust their budget are
+quarantined with durable failure records instead of sinking the sweep.
+``repro campaign doctor`` audits (and with ``--repair`` self-heals) a
+store that crashed mid-write.
+
+CLI: ``python -m repro campaign {init,run,status,report,doctor}``.
 """
 
 from repro.campaign.report import CampaignReport, campaign_telemetry, load_rows
 from repro.campaign.runner import (
+    DEFAULT_SUPERVISION,
     CampaignRunner,
     CampaignRunSummary,
+    ParallelUnitError,
     UnitOutcome,
+    UnitVerificationError,
 )
 from repro.campaign.spec import (
     CampaignSpec,
@@ -37,7 +47,13 @@ from repro.campaign.spec import (
     make_demo_campaign,
 )
 from repro.campaign.status import CampaignStatus, UnitStatus
-from repro.campaign.store import ArtifactStore, StoreError, UnitArtifact
+from repro.campaign.store import (
+    ArtifactStore,
+    DoctorReport,
+    StoreError,
+    UnitArtifact,
+)
+from repro.perf.scheduler import SupervisionPolicy
 
 __all__ = [
     "ArtifactStore",
@@ -46,13 +62,18 @@ __all__ = [
     "CampaignRunner",
     "CampaignSpec",
     "CampaignStatus",
+    "DEFAULT_SUPERVISION",
+    "DoctorReport",
     "FaultAxis",
+    "ParallelUnitError",
     "ResilienceAxis",
     "RunSpec",
     "StoreError",
+    "SupervisionPolicy",
     "UnitArtifact",
     "UnitOutcome",
     "UnitStatus",
+    "UnitVerificationError",
     "campaign_telemetry",
     "load_rows",
     "make_demo_campaign",

@@ -73,13 +73,34 @@ class CampaignReport:
 
     campaign_name: str
     rows: tuple[dict, ...]
+    quarantined: tuple[dict, ...] = ()
 
     @classmethod
     def from_store(cls, store: ArtifactStore) -> "CampaignReport":
-        """Load every completed unit's measurements from ``store``."""
+        """Load every completed unit's measurements from ``store``.
+
+        Quarantined units contribute no measurement rows, but the
+        report names them (with attempt counts and the last recorded
+        error) so a degraded campaign can't masquerade as a complete
+        one.
+        """
+        quarantined = []
+        for key in sorted(store.quarantined_keys()):
+            records = store.failure_records(key)
+            last = records[-1] if records else {}
+            quarantined.append(
+                {
+                    "key": key,
+                    "name": last.get("unit", key),
+                    "attempts": len(records),
+                    "last_kind": last.get("kind", "?"),
+                    "last_error": last.get("error", "?"),
+                }
+            )
         return cls(
             campaign_name=store.campaign().name,
             rows=tuple(load_rows(store)),
+            quarantined=tuple(quarantined),
         )
 
     # ------------------------------------------------------------------
@@ -201,6 +222,27 @@ class CampaignReport:
             title="Mean energy (J) per (K, E) cell — Fig. 5/6 grid",
         )
         lines = [units_table, "", grid_table]
+        if self.quarantined:
+            quarantine_rows = [
+                [
+                    entry["name"],
+                    entry["attempts"],
+                    entry["last_kind"],
+                    entry["last_error"],
+                ]
+                for entry in self.quarantined
+            ]
+            lines += [
+                "",
+                render_table(
+                    ["unit", "attempts", "kind", "last error"],
+                    quarantine_rows,
+                    title=(
+                        f"QUARANTINED — {len(self.quarantined)} unit(s) "
+                        "excluded from every aggregate above"
+                    ),
+                ),
+            ]
         best = self.best_plan()
         if best is not None:
             lines.append(

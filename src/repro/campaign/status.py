@@ -26,6 +26,7 @@ they simply contribute no throughput observation.
 
 from __future__ import annotations
 
+import errno
 import os
 from dataclasses import dataclass
 from pathlib import Path
@@ -37,17 +38,30 @@ from repro.perf.scheduler import estimate_unit_cost
 
 __all__ = ["UnitStatus", "CampaignStatus"]
 
-_STATES = ("pending", "running", "done", "failed")
+_STATES = ("pending", "running", "retrying", "done", "failed", "quarantined")
 
 
 def _pid_alive(pid: int) -> bool:
-    """Best-effort liveness probe for a worker pid on this host."""
+    """Liveness probe for a worker pid on this host.
+
+    ``kill(pid, 0)`` semantics, interpreted conservatively:
+
+    * ``ProcessLookupError`` (ESRCH) — definitively dead;
+    * ``PermissionError`` / ``EPERM`` — the pid exists but belongs to
+      another user (containers, setuid workers): alive;
+    * any other ``OSError`` (EINVAL and friends) — the probe itself is
+      meaningless, so the pid cannot be *confirmed* alive: dead.  The
+      old behaviour reported every odd errno as alive, which left a
+      unit stuck ``running`` forever on hosts where the probe fails.
+    """
     try:
         os.kill(pid, 0)
     except ProcessLookupError:
         return False
-    except (PermissionError, OSError):
+    except PermissionError:
         return True
+    except OSError as error:
+        return error.errno == errno.EPERM
     return True
 
 
@@ -58,13 +72,18 @@ class UnitStatus:
     Attributes:
         key: the unit's content key.
         name: human-readable unit name.
-        state: ``pending`` | ``running`` | ``done`` | ``failed``.
+        state: ``pending`` | ``running`` | ``retrying`` | ``done`` |
+            ``failed`` | ``quarantined``.  ``retrying`` means failed
+            attempts are on record but the supervised runner still has
+            budget; ``quarantined`` means the budget is exhausted and
+            the unit needs operator attention (``--retry-quarantined``).
         cost: scheduler cost estimate (``rounds * K * E * n``).
         rounds_planned: the unit's round budget.
         rounds_done: rounds finished so far (streamed ``round.end``
             events while running; the recorded round count once done).
         worker: pid of the executing worker, when a spool names one.
         duration_s: real execution time, when the spool recorded it.
+        attempts: failed attempts on durable record for this unit.
     """
 
     key: str
@@ -75,12 +94,17 @@ class UnitStatus:
     rounds_done: int = 0
     worker: int | None = None
     duration_s: float | None = None
+    attempts: int = 0
 
     @property
     def remaining_cost(self) -> float:
         """Unfinished share of this unit's estimated cost."""
-        if self.state in ("done", "failed"):
+        if self.state in ("done", "failed", "quarantined"):
             return 0.0
+        if self.state == "retrying":
+            # A retry starts from scratch: partial rounds from the
+            # failed attempt buy nothing.
+            return self.cost
         if self.rounds_planned <= 0:
             return self.cost
         done_fraction = min(1.0, self.rounds_done / self.rounds_planned)
@@ -136,11 +160,13 @@ class CampaignStatus:
         """Read the manifest and the spools into one status snapshot."""
         campaign = store.campaign()
         completed = store.completed_keys()
+        quarantined = store.quarantined_keys()
         spool_dir = store.spool_dir
         statuses = []
         for spec in campaign.expand():
             key = spec.key()
             cost = estimate_unit_cost(spec)
+            attempts = store.attempts_used(key)
             spool_path = spool_dir / f"{key}.jsonl"
             if key in completed:
                 rounds = spec.max_rounds
@@ -163,6 +189,19 @@ class CampaignStatus:
                         rounds_done=rounds,
                         worker=digest["worker"],
                         duration_s=digest["duration_s"],
+                        attempts=attempts,
+                    )
+                )
+                continue
+            if key in quarantined:
+                statuses.append(
+                    UnitStatus(
+                        key=key,
+                        name=spec.name,
+                        state="quarantined",
+                        cost=cost,
+                        rounds_planned=spec.max_rounds,
+                        attempts=attempts,
                     )
                 )
                 continue
@@ -171,9 +210,10 @@ class CampaignStatus:
                     UnitStatus(
                         key=key,
                         name=spec.name,
-                        state="pending",
+                        state="retrying" if attempts > 0 else "pending",
                         cost=cost,
                         rounds_planned=spec.max_rounds,
+                        attempts=attempts,
                     )
                 )
                 continue
@@ -191,6 +231,10 @@ class CampaignStatus:
                 state = "failed"
             else:
                 state = "running"
+            if state in ("pending", "failed") and attempts > 0:
+                # Failed attempts are on durable record and the budget
+                # is not exhausted — the supervised runner will retry.
+                state = "retrying"
             statuses.append(
                 UnitStatus(
                     key=key,
@@ -201,6 +245,7 @@ class CampaignStatus:
                     rounds_done=digest["rounds_done"],
                     worker=digest["worker"],
                     duration_s=digest["duration_s"],
+                    attempts=attempts,
                 )
             )
         return cls(campaign_name=campaign.name, units=tuple(statuses))
@@ -226,8 +271,18 @@ class CampaignStatus:
 
     @property
     def finished(self) -> bool:
-        """No unit is pending or running."""
-        return all(unit.state in ("done", "failed") for unit in self.units)
+        """No unit is pending, running, or awaiting a retry."""
+        return all(
+            unit.state in ("done", "failed", "quarantined")
+            for unit in self.units
+        )
+
+    @property
+    def troubled(self) -> bool:
+        """Any unit failed or is quarantined (the CLI's exit signal)."""
+        return any(
+            unit.state in ("failed", "quarantined") for unit in self.units
+        )
 
     def throughput(self) -> float | None:
         """Observed cost units per second per worker, or ``None``.
@@ -300,10 +355,11 @@ class CampaignStatus:
                     progress,
                     f"{unit.cost:,.0f}",
                     unit.worker if unit.worker is not None else "-",
+                    unit.attempts if unit.attempts else "-",
                 ]
             )
         table = render_table(
-            ["unit", "state", "rounds", "est. cost", "worker"],
+            ["unit", "state", "rounds", "est. cost", "worker", "attempts"],
             rows,
             title=f"Campaign {self.campaign_name!r} — live status",
         )

@@ -37,7 +37,10 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import re
+import shutil
 from contextlib import contextmanager
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterator
 
@@ -50,18 +53,23 @@ from repro.campaign.spec import CampaignSpec, RunSpec
 from repro.fl.history_io import history_from_json, history_to_json
 from repro.fl.metrics import TrainingHistory
 
-__all__ = ["ArtifactStore", "UnitArtifact", "StoreError"]
+__all__ = ["ArtifactStore", "UnitArtifact", "StoreError", "DoctorReport"]
 
 _MANIFEST_SCHEMA = "repro.campaign-manifest/1"
+_FAILURE_SCHEMA = "repro.failure-record/1"
 _CAMPAIGN_FILE = "campaign.json"
 _MANIFEST_FILE = "manifest.json"
 _UNITS_DIR = "units"
 _SPOOLS_DIR = "spools"
+_QUARANTINE_DIR = "quarantine"
+_HEARTBEATS_DIR = "heartbeats"
+_ARTIFACTS_SUBDIR = "artifacts"
 _SPEC_FILE = "spec.json"
 _HISTORY_FILE = "history.json"
 _RESULT_FILE = "result.json"
 _TELEMETRY_FILE = "telemetry.jsonl"
 _LOCK_FILE = ".lock"
+_ATTEMPT_PATTERN = re.compile(r"^attempt-(\d+)\.json$")
 
 
 class StoreError(RuntimeError):
@@ -285,6 +293,30 @@ class ArtifactStore:
         """
         return self.root / _SPOOLS_DIR
 
+    @property
+    def quarantine_dir(self) -> Path:
+        """Where failure records and quarantined artifacts live.
+
+        ``quarantine/<key>/attempt-N.json`` is the failure record of the
+        unit's N-th failed attempt (1-based); ``quarantine/<key>/artifacts/``
+        holds artifact files evicted from ``units/`` when a recorded
+        unit turned out corrupt.  Like spools, quarantine is *runtime*
+        state — it carries wall times and tracebacks, lives outside the
+        manifest, and never affects artifact bytes.
+        """
+        return self.root / _QUARANTINE_DIR
+
+    @property
+    def heartbeat_dir(self) -> Path:
+        """Where workers drop per-unit heartbeat files while executing.
+
+        ``heartbeats/<key>.json`` names the executing pid and attempt —
+        the mapping the supervised scheduler uses to attribute a broken
+        process pool to the unit whose worker actually died, and to aim
+        watchdog kills at the right process.
+        """
+        return self.root / _HEARTBEATS_DIR
+
     # ------------------------------------------------------------------
     # Writing.
     # ------------------------------------------------------------------
@@ -334,6 +366,101 @@ class ArtifactStore:
         return key
 
     # ------------------------------------------------------------------
+    # Failure records and quarantine.
+    # ------------------------------------------------------------------
+    def record_failure(self, key: str, record: dict) -> Path:
+        """Persist one failed attempt of unit ``key``; return its path.
+
+        Attempt numbers continue from the records already on disk, so a
+        campaign killed mid-retry and resumed keeps counting where it
+        left off — the failure trail *is* the durable attempt counter.
+        """
+        directory = self.quarantine_dir / key
+        directory.mkdir(parents=True, exist_ok=True)
+        with self._lock():
+            attempt = self.attempts_used(key) + 1
+            document = {"schema": _FAILURE_SCHEMA, "key": key, **record}
+            document["attempt"] = attempt
+            path = directory / f"attempt-{attempt}.json"
+            _atomic_write(
+                path, json.dumps(document, indent=2, sort_keys=True) + "\n"
+            )
+        return path
+
+    def failure_records(self, key: str) -> list[dict]:
+        """Every failed-attempt record of ``key``, in attempt order."""
+        directory = self.quarantine_dir / key
+        if not directory.exists():
+            return []
+        numbered = []
+        for path in directory.iterdir():
+            match = _ATTEMPT_PATTERN.match(path.name)
+            if match is None:
+                continue
+            try:
+                numbered.append((int(match.group(1)), json.loads(path.read_text(encoding="utf-8"))))
+            except json.JSONDecodeError:
+                continue
+        numbered.sort(key=lambda pair: pair[0])
+        return [record for _, record in numbered]
+
+    def attempts_used(self, key: str) -> int:
+        """How many failed attempts of ``key`` are on record."""
+        directory = self.quarantine_dir / key
+        if not directory.exists():
+            return 0
+        return sum(
+            1
+            for path in directory.iterdir()
+            if _ATTEMPT_PATTERN.match(path.name)
+        )
+
+    def quarantined_keys(self) -> set[str]:
+        """Keys given up on: a terminal failure record, no manifest entry."""
+        directory = self.quarantine_dir
+        if not directory.exists():
+            return set()
+        completed = self.completed_keys()
+        quarantined = set()
+        for unit_dir in directory.iterdir():
+            if not unit_dir.is_dir() or unit_dir.name in completed:
+                continue
+            records = self.failure_records(unit_dir.name)
+            if records and any(r.get("quarantined") for r in records):
+                quarantined.add(unit_dir.name)
+        return quarantined
+
+    def clear_failures(self, key: str) -> None:
+        """Forget ``key``'s failure trail, granting a fresh retry budget."""
+        directory = self.quarantine_dir / key
+        if directory.exists():
+            shutil.rmtree(directory)
+
+    def quarantine_unit(self, key: str) -> None:
+        """Evict a recorded-but-bad unit from the completed set.
+
+        Drops the manifest entry (under the store lock) and moves the
+        unit's artifact directory under ``quarantine/<key>/artifacts``
+        so the bad bytes stay inspectable but can never satisfy a
+        resume check or feed a report again.
+        """
+        with self._lock():
+            manifest = self.manifest()
+            if key in manifest["units"]:
+                del manifest["units"][key]
+                _atomic_write(
+                    self.root / _MANIFEST_FILE,
+                    json.dumps(manifest, indent=2, sort_keys=True) + "\n",
+                )
+        unit_dir = self.unit_dir(key)
+        if unit_dir.exists():
+            destination = self.quarantine_dir / key / _ARTIFACTS_SUBDIR
+            destination.parent.mkdir(parents=True, exist_ok=True)
+            if destination.exists():
+                shutil.rmtree(destination)
+            shutil.move(str(unit_dir), str(destination))
+
+    # ------------------------------------------------------------------
     # Reading.
     # ------------------------------------------------------------------
     def completed_keys(self) -> set[str]:
@@ -355,39 +482,255 @@ class ArtifactStore:
     # ------------------------------------------------------------------
     # Integrity.
     # ------------------------------------------------------------------
+    def verify_unit(self, key: str, entry: dict | None = None) -> list[str]:
+        """Re-hash one recorded unit's artifacts; return its problems.
+
+        Checks that every file the manifest entry lists exists and
+        matches its recorded checksum, and that the stored spec still
+        hashes to the directory key.  The runner calls this right after
+        every ``record_unit`` — verify-after-write — so a torn or
+        corrupted artifact write fails the *attempt* instead of
+        poisoning resume checks and reports later.
+        """
+        if entry is None:
+            entry = self.manifest()["units"].get(key)
+            if entry is None:
+                return [f"{key}: not in manifest"]
+        problems: list[str] = []
+        unit_dir = self.unit_dir(key)
+        for filename, recorded in entry["files"].items():
+            path = unit_dir / filename
+            if not path.exists():
+                problems.append(f"{key}: missing {filename}")
+                continue
+            actual = _sha256(path.read_bytes())
+            if actual != recorded:
+                problems.append(
+                    f"{key}: checksum mismatch on {filename} "
+                    f"(recorded {recorded[:12]}, actual {actual[:12]})"
+                )
+        spec_path = unit_dir / _SPEC_FILE
+        if spec_path.exists():
+            try:
+                spec = RunSpec.from_json(spec_path.read_text(encoding="utf-8"))
+            except ValueError as error:
+                problems.append(f"{key}: unreadable spec ({error})")
+            else:
+                if spec.key() != key:
+                    problems.append(
+                        f"{key}: spec content hashes to {spec.key()}"
+                    )
+        return problems
+
+    def orphan_unit_keys(self) -> list[str]:
+        """Unit directories on disk that the manifest does not list.
+
+        The crash window between files-first and manifest-last leaves
+        exactly this shape behind.  Sorted for deterministic reporting.
+        Note that a store being written *right now* has transient
+        orphans (units mid-checkpoint); orphan reports are meaningful
+        for stores at rest.
+        """
+        units_dir = self.root / _UNITS_DIR
+        if not units_dir.exists():
+            return []
+        completed = self.completed_keys()
+        return sorted(
+            path.name
+            for path in units_dir.iterdir()
+            if path.is_dir() and path.name not in completed
+        )
+
     def verify(self) -> list[str]:
-        """Re-hash every recorded artifact; return the problems found.
+        """Integrity-check the whole store; return the problems found.
 
         An empty list means the store is internally consistent: every
-        manifest entry's files exist, match their recorded checksums,
-        and every stored spec hashes to its directory key.
+        manifest entry's files exist and match their recorded checksums,
+        every stored spec hashes to its directory key, and no unit
+        directory sits on disk unaccounted for by the manifest.
         """
         problems: list[str] = []
         manifest = self.manifest()
         for key, entry in manifest["units"].items():
-            unit_dir = self.unit_dir(key)
-            for filename, recorded in entry["files"].items():
-                path = unit_dir / filename
-                if not path.exists():
-                    problems.append(f"{key}: missing {filename}")
-                    continue
-                actual = _sha256(path.read_bytes())
-                if actual != recorded:
-                    problems.append(
-                        f"{key}: checksum mismatch on {filename} "
-                        f"(recorded {recorded[:12]}, actual {actual[:12]})"
-                    )
-            spec_path = unit_dir / _SPEC_FILE
-            if spec_path.exists():
-                try:
-                    spec = RunSpec.from_json(
-                        spec_path.read_text(encoding="utf-8")
-                    )
-                except ValueError as error:
-                    problems.append(f"{key}: unreadable spec ({error})")
-                else:
-                    if spec.key() != key:
-                        problems.append(
-                            f"{key}: spec content hashes to {spec.key()}"
-                        )
+            problems.extend(self.verify_unit(key, entry))
+        for key in self.orphan_unit_keys():
+            problems.append(
+                f"{key}: orphan unit directory (on disk but not in manifest)"
+            )
         return problems
+
+    # ------------------------------------------------------------------
+    # Self-healing.
+    # ------------------------------------------------------------------
+    def _adopt_orphan(self, key: str) -> None:
+        """Promote a self-consistent orphan directory into the manifest.
+
+        The directory must hold a parseable spec whose content key
+        matches the directory name, plus parseable history and result
+        documents — i.e. everything ``record_unit`` would have written
+        before the crash stole the manifest update.  Checksums are
+        recomputed from the bytes on disk, so the rebuilt manifest entry
+        is byte-identical to the one the crash lost.
+        """
+        unit_dir = self.unit_dir(key)
+        spec = RunSpec.from_json(
+            (unit_dir / _SPEC_FILE).read_text(encoding="utf-8")
+        )
+        if spec.key() != key:
+            raise StoreError(
+                f"orphan {key}: spec content hashes to {spec.key()}"
+            )
+        history_from_json((unit_dir / _HISTORY_FILE).read_text(encoding="utf-8"))
+        json.loads((unit_dir / _RESULT_FILE).read_text(encoding="utf-8"))
+        checksums = {}
+        for filename in (_SPEC_FILE, _HISTORY_FILE, _RESULT_FILE, _TELEMETRY_FILE):
+            path = unit_dir / filename
+            if path.exists():
+                checksums[filename] = _sha256(path.read_bytes())
+        with self._lock():
+            manifest = self.manifest()
+            manifest["units"][key] = {"name": spec.name, "files": checksums}
+            _atomic_write(
+                self.root / _MANIFEST_FILE,
+                json.dumps(manifest, indent=2, sort_keys=True) + "\n",
+            )
+
+    def doctor(self, repair: bool = False) -> "DoctorReport":
+        """Diagnose — and with ``repair=True``, heal — this store.
+
+        Diagnosis covers a missing manifest, corrupt recorded units
+        (checksum/key mismatches) and orphan unit directories.  Repair
+        never retrains anything: it rebuilds a missing manifest from the
+        campaign binding, adopts orphan directories that are fully
+        self-consistent (recomputing their checksums), and quarantines
+        everything else — corrupt recorded units are evicted to
+        ``quarantine/<key>/artifacts`` with a non-terminal failure
+        record, so a subsequent ``campaign run`` retrains exactly the
+        evicted units and nothing more.
+
+        Meaningful for stores at rest: a campaign writing concurrently
+        makes units mid-checkpoint look like orphans.
+        """
+        report = DoctorReport(repaired=bool(repair))
+        if not (self.root / _CAMPAIGN_FILE).exists():
+            report.problems.append(
+                f"{_CAMPAIGN_FILE} missing — store is not recoverable "
+                "(the campaign binding cannot be reconstructed)"
+            )
+            report.healthy = False
+            return report
+        campaign = self.campaign()
+        if not (self.root / _MANIFEST_FILE).exists():
+            report.problems.append(f"{_MANIFEST_FILE} missing")
+            if repair:
+                with self._lock():
+                    _atomic_write(
+                        self.root / _MANIFEST_FILE,
+                        json.dumps(
+                            self._empty_manifest(campaign),
+                            indent=2,
+                            sort_keys=True,
+                        )
+                        + "\n",
+                    )
+                report.actions.append(
+                    "rebuilt empty manifest from campaign binding"
+                )
+            else:
+                report.healthy = False
+                return report
+        for key, entry in self.manifest()["units"].items():
+            unit_problems = self.verify_unit(key, entry)
+            if not unit_problems:
+                continue
+            report.problems.extend(unit_problems)
+            if repair:
+                self.quarantine_unit(key)
+                # Not a *terminal* record: the eviction grants the unit
+                # back to the next `campaign run`, which retrains it.
+                self.record_failure(
+                    key,
+                    {
+                        "unit": entry.get("name", key),
+                        "kind": "corrupt-artifact",
+                        "error": "; ".join(unit_problems),
+                        "traceback": None,
+                        "spool_tail": None,
+                        "quarantined": False,
+                    },
+                )
+                report.quarantined.append(key)
+                report.actions.append(f"quarantined corrupt unit {key}")
+        for key in self.orphan_unit_keys():
+            report.problems.append(
+                f"{key}: orphan unit directory (on disk but not in manifest)"
+            )
+            if not repair:
+                continue
+            try:
+                self._adopt_orphan(key)
+            except (StoreError, ValueError, OSError, json.JSONDecodeError) as error:
+                self.quarantine_unit(key)
+                self.record_failure(
+                    key,
+                    {
+                        "unit": key,
+                        "kind": "corrupt-artifact",
+                        "error": f"unadoptable orphan: {error}",
+                        "traceback": None,
+                        "spool_tail": None,
+                        "quarantined": False,
+                    },
+                )
+                report.quarantined.append(key)
+                report.actions.append(f"quarantined unadoptable orphan {key}")
+            else:
+                report.adopted.append(key)
+                report.actions.append(f"adopted orphan unit {key} into manifest")
+        if repair:
+            report.healthy = not self.verify()
+        else:
+            report.healthy = not report.problems
+        return report
+
+
+@dataclass
+class DoctorReport:
+    """What ``ArtifactStore.doctor`` found and (optionally) fixed.
+
+    Attributes:
+        repaired: whether the doctor ran in ``--repair`` mode.
+        problems: every integrity problem observed *before* repair.
+        adopted: orphan unit keys promoted into the manifest.
+        quarantined: unit keys evicted to ``quarantine/`` with failure
+            records.  The records are non-terminal, so the next
+            ``campaign run`` retrains exactly these units.
+        actions: human-readable log of every repair action taken.
+        healthy: store consistency verdict — after repair when
+            ``repaired``, otherwise simply "no problems found".
+    """
+
+    repaired: bool = False
+    problems: list[str] = field(default_factory=list)
+    adopted: list[str] = field(default_factory=list)
+    quarantined: list[str] = field(default_factory=list)
+    actions: list[str] = field(default_factory=list)
+    healthy: bool = True
+
+    def render(self) -> str:
+        """Multi-line report for the ``campaign doctor`` CLI."""
+        lines = []
+        if not self.problems:
+            lines.append("store is healthy: no problems found")
+        else:
+            lines.append(f"{len(self.problems)} problem(s) found:")
+            lines.extend(f"  - {problem}" for problem in self.problems)
+        for action in self.actions:
+            lines.append(f"repair: {action}")
+        if self.repaired and self.problems:
+            lines.append(
+                "store is healthy after repair"
+                if self.healthy
+                else "store still has problems after repair"
+            )
+        return "\n".join(lines)

@@ -27,10 +27,14 @@ The ``campaign`` subcommand drives :mod:`repro.campaign`: ``init``
 writes an editable demo :class:`~repro.campaign.CampaignSpec` JSON,
 ``run`` executes a campaign into an artifact store (resuming — by
 content-hashed unit key — if the store already holds completed units),
-``status`` summarises and integrity-checks a store, and ``report``
+``status`` summarises and integrity-checks a store, ``report``
 regenerates the Fig. 5/6 energy grids from stored artifacts without
-re-running any training.  For ``campaign``, ``--backend``,
-``--fault-plan`` and ``--quorum`` act as grid-wide overrides.
+re-running any training, and ``doctor`` audits — with ``--repair``,
+self-heals — a store damaged by crashes or torn writes.  Runs are
+supervised by default (bounded retries, watchdog deadlines, quarantine;
+``--no-supervise`` restores fail-fast).  For ``campaign``,
+``--backend``, ``--fault-plan`` and ``--quorum`` act as grid-wide
+overrides.
 """
 
 from __future__ import annotations
@@ -38,6 +42,8 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from dataclasses import replace
+from pathlib import Path
 from typing import Callable
 
 from repro.experiments.calibrate import CalibratedSystem, calibrate_system
@@ -406,15 +412,18 @@ def build_parser() -> argparse.ArgumentParser:
         description=(
             "Campaign orchestration over the repro.campaign subsystem: "
             "'init' writes an editable demo CampaignSpec JSON, 'run' "
-            "executes (or resumes) a campaign into --dir, 'status' "
-            "summarises and integrity-checks the store, and 'report' "
-            "regenerates the energy tables from stored artifacts "
-            "without re-running training."
+            "executes (or resumes) a campaign into --dir under "
+            "supervision (bounded retries, watchdog deadlines, "
+            "quarantine), 'status' summarises and integrity-checks the "
+            "store, 'report' regenerates the energy tables from stored "
+            "artifacts without re-running training, and 'doctor' "
+            "audits (with --repair, self-heals) a store damaged by "
+            "crashes or torn writes."
         ),
     )
     campaign.add_argument(
         "action",
-        choices=("init", "run", "status", "report"),
+        choices=("init", "run", "status", "report", "doctor"),
         help="campaign operation",
     )
     campaign.add_argument(
@@ -469,6 +478,62 @@ def build_parser() -> argparse.ArgumentParser:
         default=2.0,
         metavar="S",
         help="refresh period in seconds for 'status --follow' (default 2)",
+    )
+    campaign.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "for 'run': retry a failed unit up to N times before "
+            "quarantining it (default: supervision default)"
+        ),
+    )
+    campaign.add_argument(
+        "--unit-timeout",
+        type=float,
+        default=None,
+        metavar="S",
+        help=(
+            "for 'run': hard per-unit deadline in seconds; overrides the "
+            "cost-model deadline the watchdog derives from observed "
+            "throughput"
+        ),
+    )
+    campaign.add_argument(
+        "--no-supervise",
+        action="store_true",
+        help=(
+            "for 'run': disable retries/watchdog/quarantine and fail "
+            "fast on the first unit error (the pre-supervision "
+            "behaviour)"
+        ),
+    )
+    campaign.add_argument(
+        "--retry-quarantined",
+        action="store_true",
+        help=(
+            "for 'run': clear existing quarantine records first, giving "
+            "previously given-up units a fresh retry budget"
+        ),
+    )
+    campaign.add_argument(
+        "--chaos-plan",
+        metavar="PATH",
+        default=None,
+        help=(
+            "for 'run': JSON saboteur plan (repro.faults.ChaosPlan) "
+            "injected into unit workers — fault-injection testing only"
+        ),
+    )
+    campaign.add_argument(
+        "--repair",
+        action="store_true",
+        help=(
+            "for 'doctor': quarantine corrupt artifacts, adopt orphan "
+            "unit directories, and rebuild the manifest instead of just "
+            "reporting"
+        ),
     )
     return parser
 
@@ -527,8 +592,9 @@ def _follow_status(store, interval: float) -> int:
 
 
 def _run_campaign(args: argparse.Namespace) -> int:
-    """Handle the ``campaign`` subcommand (init/run/status/report)."""
+    """Handle the ``campaign`` subcommand (init/run/status/report/doctor)."""
     from repro.campaign import (
+        DEFAULT_SUPERVISION,
         ArtifactStore,
         CampaignReport,
         CampaignRunner,
@@ -538,7 +604,7 @@ def _run_campaign(args: argparse.Namespace) -> int:
         campaign_telemetry,
         make_demo_campaign,
     )
-    from repro.faults import FaultPlan
+    from repro.faults import ChaosPlan, FaultPlan
 
     store = ArtifactStore(args.store_dir)
     if args.action == "init":
@@ -548,6 +614,16 @@ def _run_campaign(args: argparse.Namespace) -> int:
         make_demo_campaign().save(args.spec)
         print(f"wrote demo campaign spec to {args.spec} (edit, then run)")
         return 0
+
+    if args.action == "doctor":
+        try:
+            store.campaign()
+        except StoreError as error:
+            print(f"no campaign store: {error}", file=sys.stderr)
+            return 2
+        report = store.doctor(repair=args.repair)
+        print(report.render())
+        return 0 if report.healthy else 1
 
     if args.action == "status":
         try:
@@ -563,10 +639,13 @@ def _run_campaign(args: argparse.Namespace) -> int:
             f"campaign {campaign.name!r} (key {campaign.key()}): "
             f"{len(completed)}/{len(campaign)} units complete"
         )
-        print(CampaignStatus.collect(store).render_summary())
+        status = CampaignStatus.collect(store)
+        print(status.render_summary())
         for problem in problems:
             print(f"integrity: {problem}", file=sys.stderr)
-        return 1 if problems else 0
+        # Non-zero for anything an operator must look at: integrity
+        # problems, failed units, or quarantined units.
+        return 1 if problems or status.troubled else 0
 
     if args.action == "report":
         try:
@@ -604,6 +683,24 @@ def _run_campaign(args: argparse.Namespace) -> int:
     fault_plan = (
         FaultPlan.load(args.fault_plan) if args.fault_plan is not None else None
     )
+    chaos = None
+    if args.chaos_plan is not None:
+        chaos = ChaosPlan.from_json(
+            Path(args.chaos_plan).read_text(encoding="utf-8")
+        )
+    if args.no_supervise:
+        supervision = None
+    else:
+        supervision = DEFAULT_SUPERVISION
+        if args.retries is not None:
+            supervision = replace(
+                supervision,
+                retry=replace(supervision.retry, max_retries=args.retries),
+            )
+        if args.unit_timeout is not None:
+            supervision = replace(
+                supervision, unit_timeout_s=args.unit_timeout
+            )
     try:
         runner = CampaignRunner(
             campaign,
@@ -612,16 +709,27 @@ def _run_campaign(args: argparse.Namespace) -> int:
             backend_override=args.backend,
             fault_plan_override=fault_plan,
             quorum_override=args.quorum,
+            chaos=chaos,
         )
     except StoreError as error:
         print(str(error), file=sys.stderr)
         return 2
-    summary = runner.run(max_units=args.max_units, jobs=args.jobs)
+    summary = runner.run(
+        max_units=args.max_units,
+        jobs=args.jobs,
+        supervision=supervision,
+        retry_quarantined=args.retry_quarantined,
+    )
     if observer is not None:
         _export_observer(observer, args)
     print(
         f"campaign {runner.campaign.name!r}: {summary.executed} units run, "
         f"{summary.skipped} resumed from artifacts"
+        + (
+            f", {summary.quarantined} QUARANTINED"
+            if summary.quarantined
+            else ""
+        )
         + (", interrupted" if summary.interrupted else "")
     )
     if not summary.interrupted:
@@ -632,6 +740,14 @@ def _run_campaign(args: argparse.Namespace) -> int:
             f"re-run `python -m repro campaign run --dir {args.store_dir}` "
             "to resume"
         )
+    if summary.degraded:
+        print(
+            "campaign completed DEGRADED: quarantined units have failure "
+            f"records under {store.quarantine_dir}/; re-run with "
+            "--retry-quarantined to grant a fresh budget",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 

@@ -15,6 +15,11 @@ in two halves:
   with graceful degradation, and crash resampling — consumed by
   :class:`repro.fl.training.FederatedTrainer` via a
   :class:`ResilienceConfig`.
+* **Process-level chaos** (:mod:`repro.faults.chaos`): deterministic
+  saboteurs (crash-N-times-then-succeed, hang, SIGKILL, torn artifact
+  writes) that the ``chaos_smoke`` suite drives through the supervised
+  campaign runtime to prove retries, watchdog kills, pool rebuilds and
+  quarantine all work end-to-end.
 
 Every injected fault and every recovery action is observable (the
 ``fault.injected``, ``fl.retries``, ``fl.rounds_degraded`` and
@@ -23,6 +28,7 @@ failures in joules at the measured upload/waiting powers so the energy
 objective reflects what failures actually cost.
 """
 
+from repro.faults.chaos import ChaosError, ChaosPlan, Saboteur
 from repro.faults.injector import FaultInjector
 from repro.faults.models import (
     BatteryFault,
@@ -46,6 +52,8 @@ from repro.faults.policies import (
 __all__ = [
     "BatteryFault",
     "BurstLossFault",
+    "ChaosError",
+    "ChaosPlan",
     "CorruptionFault",
     "CrashFault",
     "FaultInjector",
@@ -54,6 +62,7 @@ __all__ = [
     "ResilienceConfig",
     "RetryPolicy",
     "RoundResilienceReport",
+    "Saboteur",
     "StragglerFault",
     "UploadOutcome",
     "make_demo_plan",

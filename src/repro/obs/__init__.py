@@ -65,6 +65,7 @@ from repro.obs.sink import (
     clear_spool_context,
     get_spool_context,
     read_spool_records,
+    read_spool_tail,
     set_spool_context,
 )
 from repro.obs.tracing import NullTracer, Span, Tracer
@@ -95,6 +96,7 @@ __all__ = [
     "merge_metric_records",
     "parse_metric_name",
     "read_spool_records",
+    "read_spool_tail",
     "records_from_snapshot",
     "set_spool_context",
     "to_chrome_trace",

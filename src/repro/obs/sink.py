@@ -58,6 +58,7 @@ __all__ = [
     "SpoolObserver",
     "TelemetryCollector",
     "read_spool_records",
+    "read_spool_tail",
     "set_spool_context",
     "get_spool_context",
     "clear_spool_context",
@@ -277,6 +278,21 @@ def read_spool_records(
         if isinstance(record, dict) and "kind" in record:
             records.append(record)
     return records, offset + cut + 1
+
+
+def read_spool_tail(path: str | Path, limit: int = 20) -> list[dict]:
+    """The last ``limit`` records of a spool file, best-effort.
+
+    Failure records embed this as forensic context — what the unit was
+    doing when it died.  A missing, empty, or unreadable spool yields an
+    empty list rather than an error: evidence collection must never turn
+    a unit failure into a campaign failure.
+    """
+    try:
+        records, _ = read_spool_records(path)
+    except OSError:
+        return []
+    return records[-limit:] if limit > 0 else []
 
 
 class TelemetryCollector:

@@ -161,8 +161,10 @@ class TestKilledWorker:
         assert status.counts() == {
             "pending": 2,
             "running": 0,
+            "retrying": 0,
             "done": 1,
             "failed": 1,
+            "quarantined": 0,
         }
 
     def test_rerun_replaces_the_partial_spool_and_completes(
@@ -256,7 +258,10 @@ class TestCli:
         assert main(["campaign", "status", "--dir", str(store)]) == 0
         out = capsys.readouterr().out
         assert "2/4 units complete" in out
-        assert "units: 2 pending, 0 running, 2 done, 0 failed" in out
+        assert (
+            "units: 2 pending, 0 running, 0 retrying, 2 done, 0 failed, "
+            "0 quarantined" in out
+        )
         assert "estimated cost:" in out and "remaining" in out
 
     def test_run_exports_openmetrics_and_chrome_trace(

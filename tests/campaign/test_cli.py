@@ -189,3 +189,146 @@ class TestCampaignCli:
         # The store is bound to the overridden campaign, so resuming
         # the original spec into it is refused.
         assert store.campaign_key() != tiny_campaign.key()
+
+
+class TestSupervisionCli:
+    def _solo_spec_path(self, tmp_path, tiny_spec):
+        campaign = CampaignSpec(name="solo", base=tiny_spec)
+        path = tmp_path / "spec.json"
+        campaign.save(path)
+        return path, campaign
+
+    def _chaos_path(self, tmp_path, kind="crash", times=-1):
+        from repro.faults import ChaosPlan, Saboteur
+
+        plan = ChaosPlan.build({"solo": Saboteur(kind=kind, times=times)})
+        path = tmp_path / "chaos.json"
+        path.write_text(plan.to_json())
+        return path
+
+    def test_parser_accepts_supervision_flags(self) -> None:
+        args = build_parser().parse_args(
+            [
+                "campaign",
+                "run",
+                "--retries",
+                "5",
+                "--unit-timeout",
+                "30",
+                "--retry-quarantined",
+                "--chaos-plan",
+                "plan.json",
+            ]
+        )
+        assert args.retries == 5
+        assert args.unit_timeout == 30.0
+        assert args.retry_quarantined is True
+        assert args.chaos_plan == "plan.json"
+        assert args.no_supervise is False
+        doctor = build_parser().parse_args(
+            ["campaign", "doctor", "--dir", "d", "--repair"]
+        )
+        assert doctor.action == "doctor"
+        assert doctor.repair is True
+
+    def test_chaos_run_exits_degraded_then_heals(
+        self, tmp_path, capsys, tiny_spec
+    ) -> None:
+        spec_path, campaign = self._solo_spec_path(tmp_path, tiny_spec)
+        chaos_path = self._chaos_path(tmp_path)
+        store = tmp_path / "store"
+        code = main(
+            [
+                "campaign",
+                "run",
+                "--spec",
+                str(spec_path),
+                "--dir",
+                str(store),
+                "--chaos-plan",
+                str(chaos_path),
+                "--retries",
+                "0",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "1 QUARANTINED" in captured.out
+        assert "DEGRADED" in captured.err
+        assert "--retry-quarantined" in captured.err
+
+        # status flags the quarantined unit with a non-zero exit...
+        assert main(["campaign", "status", "--dir", str(store)]) == 1
+        out = capsys.readouterr().out
+        assert "1 quarantined" in out
+
+        # ... and a fresh budget (chaos gone) heals to a clean exit.
+        assert (
+            main(
+                [
+                    "campaign",
+                    "run",
+                    "--dir",
+                    str(store),
+                    "--retry-quarantined",
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert main(["campaign", "status", "--dir", str(store)]) == 0
+
+    def test_no_supervise_restores_fail_fast(
+        self, tmp_path, capsys, tiny_spec
+    ) -> None:
+        from repro.faults import ChaosError
+
+        spec_path, _ = self._solo_spec_path(tmp_path, tiny_spec)
+        chaos_path = self._chaos_path(tmp_path)
+        with pytest.raises(ChaosError):
+            main(
+                [
+                    "campaign",
+                    "run",
+                    "--spec",
+                    str(spec_path),
+                    "--dir",
+                    str(tmp_path / "store"),
+                    "--chaos-plan",
+                    str(chaos_path),
+                    "--no-supervise",
+                ]
+            )
+
+    def test_doctor_diagnoses_and_repairs_with_exit_codes(
+        self, tmp_path, capsys, tiny_spec
+    ) -> None:
+        spec_path, _ = self._solo_spec_path(tmp_path, tiny_spec)
+        store = tmp_path / "store"
+        assert (
+            main(
+                ["campaign", "run", "--spec", str(spec_path), "--dir", str(store)]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert main(["campaign", "doctor", "--dir", str(store)]) == 0
+        assert "healthy" in capsys.readouterr().out
+
+        (store / "manifest.json").unlink()
+        assert main(["campaign", "doctor", "--dir", str(store)]) == 1
+        assert "manifest.json missing" in capsys.readouterr().out
+        assert (
+            main(["campaign", "doctor", "--dir", str(store), "--repair"]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "adopted orphan" in out
+        # Zero retraining afterwards: the run resumes from artifacts.
+        assert main(["campaign", "run", "--dir", str(store)]) == 0
+        assert "0 units run, 1 resumed from artifacts" in capsys.readouterr().out
+
+    def test_doctor_without_store_exits_2(self, tmp_path, capsys) -> None:
+        assert (
+            main(["campaign", "doctor", "--dir", str(tmp_path / "nope")]) == 2
+        )
+        assert "no campaign store" in capsys.readouterr().err

@@ -1,0 +1,115 @@
+"""Status edge cases added with supervision: retrying/quarantined states
+and the hardened pid-liveness probe."""
+
+from __future__ import annotations
+
+import errno
+import os
+
+import pytest
+
+from repro.campaign import (
+    ArtifactStore,
+    CampaignRunner,
+    CampaignSpec,
+    CampaignStatus,
+)
+from repro.campaign.status import _pid_alive
+
+pytestmark = pytest.mark.campaign_smoke
+
+
+def _fail(store, key, quarantined=False):
+    store.record_failure(
+        key,
+        {
+            "unit": "tiny/unit",
+            "kind": "error",
+            "error": "RuntimeError('boom')",
+            "traceback": None,
+            "spool_tail": None,
+            "quarantined": quarantined,
+        },
+    )
+
+
+class TestPidAlive:
+    def test_own_pid_is_alive(self) -> None:
+        assert _pid_alive(os.getpid()) is True
+
+    def test_esrch_means_dead(self, monkeypatch) -> None:
+        def probe(pid, sig):
+            raise ProcessLookupError
+
+        monkeypatch.setattr(os, "kill", probe)
+        assert _pid_alive(12345) is False
+
+    def test_eperm_means_alive_but_foreign(self, monkeypatch) -> None:
+        # A pid owned by another user exists — PermissionError and the
+        # raw-errno OSError spelling must both read as alive.
+        def permission(pid, sig):
+            raise PermissionError
+
+        monkeypatch.setattr(os, "kill", permission)
+        assert _pid_alive(12345) is True
+
+        def raw_eperm(pid, sig):
+            error = OSError("op not permitted")
+            error.errno = errno.EPERM
+            raise error
+
+        monkeypatch.setattr(os, "kill", raw_eperm)
+        assert _pid_alive(12345) is True
+
+    def test_unprobeable_pid_is_not_reported_alive(self, monkeypatch) -> None:
+        # EINVAL (or any other probe failure) cannot confirm liveness;
+        # claiming alive would leave a unit "running" forever.
+        def einval(pid, sig):
+            error = OSError("invalid argument")
+            error.errno = errno.EINVAL
+            raise error
+
+        monkeypatch.setattr(os, "kill", einval)
+        assert _pid_alive(12345) is False
+
+
+class TestSupervisedStates:
+    def test_retrying_and_quarantined_states_come_from_the_trail(
+        self, tmp_path, tiny_campaign: CampaignSpec
+    ) -> None:
+        store = ArtifactStore(tmp_path / "store")
+        store.initialize(tiny_campaign)
+        units = tiny_campaign.expand()
+        retrying, quarantined = units[0].key(), units[1].key()
+        _fail(store, retrying, quarantined=False)
+        _fail(store, quarantined, quarantined=False)
+        _fail(store, quarantined, quarantined=True)
+
+        status = CampaignStatus.collect(store)
+        by_key = {unit.key: unit for unit in status.units}
+        assert by_key[retrying].state == "retrying"
+        assert by_key[retrying].attempts == 1
+        # A retry restarts from scratch: its full cost is still owed.
+        assert by_key[retrying].remaining_cost == by_key[retrying].cost
+        assert by_key[quarantined].state == "quarantined"
+        assert by_key[quarantined].attempts == 2
+        assert by_key[quarantined].remaining_cost == 0.0
+        assert status.counts()["retrying"] == 1
+        assert status.counts()["quarantined"] == 1
+        assert status.troubled  # quarantine needs operator attention
+        assert not status.finished  # retrying/pending work remains
+
+    def test_completion_clears_the_retrying_state(
+        self, tmp_path, tiny_campaign: CampaignSpec
+    ) -> None:
+        store = ArtifactStore(tmp_path / "store")
+        store.initialize(tiny_campaign)
+        key = tiny_campaign.expand()[0].key()
+        _fail(store, key, quarantined=False)
+        CampaignRunner(tiny_campaign, store).run()
+        status = CampaignStatus.collect(store)
+        by_key = {unit.key: unit for unit in status.units}
+        assert by_key[key].state == "done"
+        assert by_key[key].attempts == 1  # the trail remains visible
+        assert status.finished
+        assert not status.troubled

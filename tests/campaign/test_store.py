@@ -238,3 +238,97 @@ class TestTelemetryArtifacts:
         assert json.loads(lines[-1])["category"] == "metrics.snapshot"
         # The manifest checksums cover the telemetry file too.
         assert store.verify() == []
+
+
+class TestFailureTrail:
+    def _fail(self, store, key, quarantined=False, kind="error"):
+        return store.record_failure(
+            key,
+            {
+                "unit": "tiny/unit",
+                "kind": kind,
+                "error": "RuntimeError('boom')",
+                "traceback": None,
+                "spool_tail": None,
+                "quarantined": quarantined,
+            },
+        )
+
+    def test_failure_records_number_attempts_durably(
+        self, tmp_path, tiny_campaign: CampaignSpec
+    ) -> None:
+        store = ArtifactStore(tmp_path / "store")
+        store.initialize(tiny_campaign)
+        key = tiny_campaign.expand()[0].key()
+        assert store.attempts_used(key) == 0
+        assert store.failure_records(key) == []
+
+        first = self._fail(store, key)
+        second = self._fail(store, key)
+        assert first.name == "attempt-1.json"
+        assert second.name == "attempt-2.json"
+        assert store.attempts_used(key) == 2
+        records = store.failure_records(key)
+        assert [r["attempt"] for r in records] == [1, 2]
+        assert all(r["key"] == key for r in records)
+
+    def test_quarantined_keys_needs_a_terminal_record(
+        self, tmp_path, tiny_campaign: CampaignSpec
+    ) -> None:
+        store = ArtifactStore(tmp_path / "store")
+        store.initialize(tiny_campaign)
+        key = tiny_campaign.expand()[0].key()
+        self._fail(store, key, quarantined=False)
+        assert store.quarantined_keys() == set()  # retries are not terminal
+        self._fail(store, key, quarantined=True)
+        assert store.quarantined_keys() == {key}
+
+    def test_completed_unit_is_never_reported_quarantined(
+        self, populated: ArtifactStore, tiny_campaign: CampaignSpec
+    ) -> None:
+        # A stale terminal record loses to a manifest entry: the unit
+        # completed on a later pass, so it is healthy.
+        key = tiny_campaign.expand()[0].key()
+        self._fail(populated, key, quarantined=True)
+        assert key in populated.completed_keys()
+        assert populated.quarantined_keys() == set()
+
+    def test_clear_failures_grants_a_fresh_budget(
+        self, tmp_path, tiny_campaign: CampaignSpec
+    ) -> None:
+        store = ArtifactStore(tmp_path / "store")
+        store.initialize(tiny_campaign)
+        key = tiny_campaign.expand()[0].key()
+        self._fail(store, key, quarantined=True)
+        store.clear_failures(key)
+        assert store.attempts_used(key) == 0
+        assert store.quarantined_keys() == set()
+        store.clear_failures(key)  # idempotent on a clean slate
+
+    def test_quarantine_unit_evicts_manifest_entry_and_artifacts(
+        self, populated: ArtifactStore, tiny_campaign: CampaignSpec
+    ) -> None:
+        key = tiny_campaign.expand()[0].key()
+        unit_dir = populated.unit_dir(key)
+        assert unit_dir.exists()
+        populated.quarantine_unit(key)
+        assert key not in populated.completed_keys()
+        assert not unit_dir.exists()
+        evicted = populated.quarantine_dir / key / "artifacts"
+        assert (evicted / "spec.json").exists()
+        assert (evicted / "history.json").exists()
+        # The rest of the store still verifies clean.
+        assert populated.verify() == []
+
+    def test_orphan_unit_dirs_are_detected_by_verify(
+        self, populated: ArtifactStore, tiny_campaign: CampaignSpec
+    ) -> None:
+        key = tiny_campaign.expand()[1].key()
+        manifest = populated.manifest()
+        del manifest["units"][key]
+        (populated.root / "manifest.json").write_text(
+            json.dumps(manifest, indent=2, sort_keys=True) + "\n"
+        )
+        assert populated.orphan_unit_keys() == [key]
+        problems = populated.verify()
+        assert any("orphan unit directory" in p for p in problems)

@@ -1,0 +1,106 @@
+"""Unit tests for the process-level chaos harness (repro.faults.chaos)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.faults import ChaosError, ChaosPlan, Saboteur
+
+pytestmark = pytest.mark.chaos_smoke
+
+
+class TestSaboteur:
+    def test_rejects_unknown_kind(self) -> None:
+        with pytest.raises(ValueError, match="unknown saboteur kind"):
+            Saboteur(kind="meltdown")
+
+    def test_rejects_bad_times_and_hang(self) -> None:
+        with pytest.raises(ValueError, match="times"):
+            Saboteur(kind="crash", times=-2)
+        with pytest.raises(ValueError, match="hang_s"):
+            Saboteur(kind="hang", hang_s=0.0)
+
+    def test_crash_acts_exactly_times_attempts_then_stops(self) -> None:
+        saboteur = Saboteur(kind="crash", times=2)
+        assert [saboteur.should_act(a) for a in range(4)] == [
+            True,
+            True,
+            False,
+            False,
+        ]
+        with pytest.raises(ChaosError, match="attempt 0"):
+            saboteur.on_start(0)
+        with pytest.raises(ChaosError, match="attempt 1"):
+            saboteur.on_start(1)
+        saboteur.on_start(2)  # silent: the retry succeeds
+
+    def test_negative_times_means_unrecoverable(self) -> None:
+        saboteur = Saboteur(kind="crash", times=-1)
+        assert all(saboteur.should_act(a) for a in range(10))
+
+    def test_interrupt_raises_keyboard_interrupt(self) -> None:
+        with pytest.raises(KeyboardInterrupt):
+            Saboteur(kind="interrupt").on_start(0)
+
+    def test_corrupt_tears_history_bytes(self, tmp_path) -> None:
+        unit_dir = tmp_path / "unit"
+        unit_dir.mkdir()
+        original = json.dumps({"rounds": list(range(50))}).encode()
+        (unit_dir / "history.json").write_bytes(original)
+        saboteur = Saboteur(kind="corrupt", times=1)
+        saboteur.corrupt_artifacts(unit_dir, attempt=0)
+        torn = (unit_dir / "history.json").read_bytes()
+        assert torn != original
+        assert len(torn) == len(original)  # torn write, not truncation
+        assert b"CHAOS" in torn
+
+        # Attempt 1 is past the budget: the rewrite stays clean.
+        (unit_dir / "history.json").write_bytes(original)
+        saboteur.corrupt_artifacts(unit_dir, attempt=1)
+        assert (unit_dir / "history.json").read_bytes() == original
+
+    def test_corrupt_does_not_touch_other_kinds(self, tmp_path) -> None:
+        unit_dir = tmp_path / "unit"
+        unit_dir.mkdir()
+        (unit_dir / "history.json").write_bytes(b"{}")
+        Saboteur(kind="crash").corrupt_artifacts(unit_dir, attempt=0)
+        assert (unit_dir / "history.json").read_bytes() == b"{}"
+
+    def test_dict_round_trip(self) -> None:
+        saboteur = Saboteur(kind="hang", times=3, hang_s=7.5)
+        assert Saboteur.from_dict(saboteur.to_dict()) == saboteur
+
+    def test_from_dict_rejects_garbage(self) -> None:
+        with pytest.raises(ValueError, match="malformed saboteur"):
+            Saboteur.from_dict({"times": 1})
+
+
+class TestChaosPlan:
+    def test_matches_by_name_substring_first_wins(self) -> None:
+        plan = ChaosPlan.build(
+            {
+                "K2-E4": Saboteur(kind="crash"),
+                "K2": Saboteur(kind="hang"),
+            }
+        )
+        assert plan.saboteur_for("grid-K2-E4-s0").kind == "crash"
+        assert plan.saboteur_for("grid-K2-E1-s0").kind == "hang"
+        assert plan.saboteur_for("grid-K8-E1-s0") is None
+
+    def test_json_round_trip(self) -> None:
+        plan = ChaosPlan.build(
+            {
+                "a": Saboteur(kind="kill", times=-1),
+                "b": Saboteur(kind="corrupt", times=2),
+            }
+        )
+        assert ChaosPlan.from_json(plan.to_json()) == plan
+
+    def test_from_dict_requires_match_token(self) -> None:
+        with pytest.raises(ValueError, match="missing 'match'"):
+            ChaosPlan.from_dict({"saboteurs": [{"kind": "crash"}]})
+
+    def test_empty_plan_matches_nothing(self) -> None:
+        assert ChaosPlan().saboteur_for("anything") is None

@@ -192,15 +192,72 @@ class TestParallelCampaign:
         monkeypatch.setattr(runner_module, "execute_unit", sabotaged)
         store = ArtifactStore(tmp_path / "store")
         with pytest.raises(ParallelUnitError, match="sabotaged"):
-            CampaignRunner(tiny_campaign, store).run(jobs=2)
+            CampaignRunner(tiny_campaign, store).run(jobs=2, supervision=None)
         assert len(store.completed_keys()) == len(tiny_campaign) - 1
         assert store.verify() == []
 
         # Re-running (unsabotaged) retries only the failed unit.
         monkeypatch.setattr(runner_module, "execute_unit", real)
-        summary = CampaignRunner(tiny_campaign, store).run(jobs=2)
+        summary = CampaignRunner(tiny_campaign, store).run(
+            jobs=2, supervision=None
+        )
         assert summary.executed == 1
         assert summary.skipped == len(tiny_campaign) - 1
+
+    def test_supervised_parallel_pass_quarantines_instead_of_raising(
+        self, tmp_path, tiny_campaign: CampaignSpec, monkeypatch
+    ) -> None:
+        # The same sabotage under default supervision: the pass retries
+        # the bad unit, quarantines it at budget exhaustion, and the
+        # campaign completes degraded with every healthy unit stored.
+        import dataclasses
+
+        import repro.campaign.runner as runner_module
+        from repro.campaign.runner import DEFAULT_SUPERVISION
+
+        real = runner_module.execute_unit
+
+        def sabotaged(spec, datasets=None, observer=None):
+            if spec.epochs == 2 and spec.participants == 2:
+                raise RuntimeError("sabotaged unit")
+            return real(spec, datasets=datasets, observer=observer)
+
+        monkeypatch.setattr(runner_module, "execute_unit", sabotaged)
+        store = ArtifactStore(tmp_path / "store")
+        supervision = dataclasses.replace(
+            DEFAULT_SUPERVISION,
+            retry=dataclasses.replace(
+                DEFAULT_SUPERVISION.retry, max_retries=1, base_backoff_s=0.01
+            ),
+        )
+        summary = CampaignRunner(tiny_campaign, store).run(
+            jobs=2, supervision=supervision
+        )
+        assert summary.degraded
+        assert summary.quarantined == 1
+        assert summary.executed == len(tiny_campaign) - 1
+        assert len(store.completed_keys()) == len(tiny_campaign) - 1
+        assert store.verify() == []
+        (bad_key,) = store.quarantined_keys()
+        records = store.failure_records(bad_key)
+        assert len(records) == 2  # first attempt + one retry
+        assert records[-1]["quarantined"] is True
+        assert "sabotaged unit" in records[-1]["error"]
+
+        # A later pass skips the quarantined unit outright...
+        monkeypatch.setattr(runner_module, "execute_unit", real)
+        again = CampaignRunner(tiny_campaign, store).run(jobs=2)
+        assert again.executed == 0
+        assert again.quarantined == 1
+
+        # ... until the operator grants a fresh budget.
+        healed = CampaignRunner(tiny_campaign, store).run(
+            jobs=2, retry_quarantined=True
+        )
+        assert healed.executed == 1
+        assert not healed.degraded
+        assert len(store.completed_keys()) == len(tiny_campaign)
+        assert store.quarantined_keys() == set()
 
     def test_campaign_observer_sees_scheduler_counters(
         self, tmp_path, tiny_campaign: CampaignSpec
