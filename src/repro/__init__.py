@@ -13,6 +13,10 @@ Public API highlights:
   over K/E/seed/backend/fault axes, execute it with checkpoint/resume,
   and regenerate the Fig. 5/6 grids from stored artifacts
   (:mod:`repro.campaign`).
+* :class:`CampaignRepository` / :func:`open_store` — the campaign
+  storage API: JSON-manifest and SQLite-indexed backends behind one
+  interface, with typed :class:`StoreHealthReport` integrity results
+  and backend migration (:mod:`repro.campaign.repository`).
 * :class:`repro.core.EnergyPlanner` — calibrated constants in, optimal
   integer ``(K, E, T)`` schedule out (the paper's contribution).
 * :mod:`repro.fl` — FedAvg substrate (model, clients, coordinator, loop).
@@ -27,8 +31,9 @@ Deprecated (still importable from here, with a ``DeprecationWarning``):
 ``ExperimentScale``, ``FederatedConfig``, and ``ResilienceConfig`` are
 now projections of :class:`RunSpec` — new code should declare a
 :class:`RunSpec` and derive them via :meth:`RunSpec.scale` /
-:meth:`RunSpec.federated_config` / the ``resilience`` field.  The
-legacy constructors keep working indefinitely at their original homes
+:meth:`RunSpec.federated_config` / the ``resilience`` field.  These
+top-level aliases will be removed in repro 2.0; the classes themselves
+keep working indefinitely at their original homes
 (:mod:`repro.experiments.config`, :mod:`repro.fl.training`,
 :mod:`repro.faults`).
 """
@@ -38,11 +43,14 @@ import warnings
 from repro.campaign import (
     ArtifactStore,
     CampaignReport,
+    CampaignRepository,
     CampaignRunner,
     CampaignSpec,
     CampaignStatus,
     RunSpec,
+    StoreHealthReport,
     campaign_telemetry,
+    open_store,
 )
 from repro.core import (
     ACSSolver,
@@ -60,6 +68,7 @@ __all__ = [
     "ACSSolver",
     "ArtifactStore",
     "CampaignReport",
+    "CampaignRepository",
     "CampaignRunner",
     "CampaignSpec",
     "CampaignStatus",
@@ -71,8 +80,10 @@ __all__ = [
     "NullObserver",
     "Observer",
     "RunSpec",
+    "StoreHealthReport",
     "__version__",
     "campaign_telemetry",
+    "open_store",
 ]
 
 # Thin deprecation shims: the pre-RunSpec configuration trio stays
@@ -102,8 +113,8 @@ def __getattr__(name: str):
         raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
     module_name, advice = shim
     warnings.warn(
-        f"repro.{name} is deprecated; {advice} "
-        f"(the class itself remains at {module_name})",
+        f"repro.{name} is deprecated and will be removed in repro 2.0; "
+        f"{advice} (the class itself remains at {module_name})",
         DeprecationWarning,
         stacklevel=2,
     )

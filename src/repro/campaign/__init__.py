@@ -16,6 +16,12 @@ per-figure scripts:
   fresh testbeds (any :mod:`repro.fl.engine` backend), checkpointing
   each into an :class:`~repro.campaign.store.ArtifactStore`; interrupted
   campaigns resume bit-identically by skipping completed keys.
+* :class:`~repro.campaign.repository.CampaignRepository` /
+  :func:`~repro.campaign.repository.open_store` — the storage API.
+  Two index backends implement it: the JSON manifest (compatibility)
+  and a WAL-mode SQLite index for large grids;
+  :func:`~repro.campaign.repository.migrate_store` converts between
+  them byte-identically.
 * :class:`~repro.campaign.report.CampaignReport` — regenerates the
   Fig. 5/6 energy grids and the best-``(K, E)`` headline from stored
   artifacts alone, without re-running any training.
@@ -27,10 +33,16 @@ quarantined with durable failure records instead of sinking the sweep.
 ``repro campaign doctor`` audits (and with ``--repair`` self-heals) a
 store that crashed mid-write.
 
-CLI: ``python -m repro campaign {init,run,status,report,doctor}``.
+CLI: ``python -m repro campaign {init,run,status,report,doctor,migrate}``.
 """
 
 from repro.campaign.report import CampaignReport, campaign_telemetry, load_rows
+from repro.campaign.repository import (
+    CampaignRepository,
+    MigrationResult,
+    migrate_store,
+    open_store,
+)
 from repro.campaign.runner import (
     DEFAULT_SUPERVISION,
     CampaignRunner,
@@ -46,35 +58,48 @@ from repro.campaign.spec import (
     RunSpec,
     make_demo_campaign,
 )
-from repro.campaign.status import CampaignStatus, UnitStatus
+from repro.campaign.sqlite_store import SqliteArtifactStore
+from repro.campaign.status import CampaignStatus, CampaignStatusMonitor, UnitStatus
 from repro.campaign.store import (
     ArtifactStore,
     DoctorReport,
+    JsonArtifactStore,
     StoreError,
+    StoreHealthReport,
     UnitArtifact,
+    detect_backend,
 )
 from repro.perf.scheduler import SupervisionPolicy
 
 __all__ = [
     "ArtifactStore",
     "CampaignReport",
+    "CampaignRepository",
     "CampaignRunSummary",
     "CampaignRunner",
     "CampaignSpec",
     "CampaignStatus",
+    "CampaignStatusMonitor",
     "DEFAULT_SUPERVISION",
     "DoctorReport",
     "FaultAxis",
+    "JsonArtifactStore",
+    "MigrationResult",
     "ParallelUnitError",
     "ResilienceAxis",
     "RunSpec",
+    "SqliteArtifactStore",
     "StoreError",
+    "StoreHealthReport",
     "SupervisionPolicy",
     "UnitArtifact",
     "UnitOutcome",
     "UnitStatus",
     "UnitVerificationError",
     "campaign_telemetry",
+    "detect_backend",
     "load_rows",
     "make_demo_campaign",
+    "migrate_store",
+    "open_store",
 ]

@@ -1,6 +1,7 @@
 """Campaign aggregation: tables and grids from stored artifacts alone.
 
-Everything here reads the :class:`~repro.campaign.store.ArtifactStore`
+Everything here reads the campaign store through its repository API
+(:class:`~repro.campaign.repository.CampaignRepository` — any backend)
 and nothing else — no trainer, no prototype, no randomness — so a
 finished (or half-finished) campaign can be re-analysed arbitrarily
 often without re-running a single round of training.  That is the
@@ -49,7 +50,7 @@ def campaign_telemetry(store: ArtifactStore) -> CampaignTelemetry:
 
 
 def load_rows(store: ArtifactStore) -> list[dict]:
-    """One plain-dict row per completed unit, in manifest order.
+    """One plain-dict row per completed unit, in index (key) order.
 
     Each row is the unit's ``result.json`` measurement snapshot with
     its content ``key`` added — everything the aggregations below need,

@@ -1,0 +1,257 @@
+"""The campaign repository API: protocol, factory, and migration.
+
+This module is the *contract* layer of campaign storage.  Runners,
+schedulers, status monitors, reports, and the CLI program against
+:class:`CampaignRepository` — the structural protocol every store
+backend satisfies — and open stores through :func:`open_store`, so
+none of them knows (or cares) whether a store indexes its completed
+units in a JSON manifest or a SQLite database.
+
+The two shipped implementations live next door:
+
+* :class:`~repro.campaign.store.JsonArtifactStore` — the original
+  ``manifest.json`` format; O(n) lookups under an advisory flock.
+* :class:`~repro.campaign.sqlite_store.SqliteArtifactStore` — a
+  WAL-mode ``manifest.db`` with one indexed row per unit; O(log n)
+  probes, no store-wide writer lock.
+
+:func:`migrate_store` converts a store between backends in either
+direction.  Only the index representation changes: artifact bytes are
+copied verbatim and the index is rebuilt from the source's entries, so
+a json → sqlite → json round trip is byte-identical (and a
+sqlite → json → sqlite round trip is logical-index-identical, which
+is the strongest possible claim — raw SQLite file bytes depend on
+page-allocation order).
+"""
+
+from __future__ import annotations
+
+import shutil
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator, Protocol, runtime_checkable
+
+from repro.campaign.spec import CampaignSpec, RunSpec
+from repro.campaign.store import (
+    ArtifactStore,
+    StoreError,
+    StoreHealthReport,
+    UnitArtifact,
+    detect_backend,
+    _LOCK_FILE,
+)
+from repro.fl.metrics import TrainingHistory
+
+__all__ = [
+    "CampaignRepository",
+    "MigrationResult",
+    "open_store",
+    "migrate_store",
+]
+
+
+@runtime_checkable
+class CampaignRepository(Protocol):
+    """What campaign storage looks like to everything above it.
+
+    A structural protocol (``isinstance`` works, subclassing is not
+    required): any object with these methods can back a campaign.  The
+    semantics each implementation must honour:
+
+    * **Completion is atomic.** A unit is either listed with all its
+      artifact checksums or absent; :meth:`put` writes artifacts first
+      and the index entry last.
+    * **Content-addressed.** Keys are ``RunSpec.key()`` content hashes;
+      the same spec always lands in the same slot, which is what makes
+      kill-and-resume and parallel-vs-sequential runs converge on
+      byte-identical stores.
+    * **Verifiable.** :meth:`verify` re-hashes every recorded artifact
+      against the index; :meth:`doctor` additionally heals (rebuilds a
+      missing index, adopts self-consistent orphans, quarantines the
+      rest).  Both return the same typed
+      :class:`~repro.campaign.store.StoreHealthReport`.
+    """
+
+    backend_name: str
+
+    def initialize(self, campaign: CampaignSpec) -> None:
+        """Bind the store to ``campaign``; no-op on same-key resume."""
+        ...
+
+    def campaign(self) -> CampaignSpec:
+        """The campaign this store was initialised with."""
+        ...
+
+    def contains(self, key: str) -> bool:
+        """Whether the unit with content key ``key`` is complete."""
+        ...
+
+    def keys(self, prefix: str | None = None) -> list[str]:
+        """Sorted completed-unit keys, optionally prefix-filtered."""
+        ...
+
+    def get(self, key: str) -> UnitArtifact:
+        """Handle onto one completed unit (raises if incomplete)."""
+        ...
+
+    def put(
+        self,
+        spec: RunSpec,
+        history: TrainingHistory,
+        result: dict,
+        telemetry_jsonl: str | None = None,
+    ) -> str:
+        """Persist one completed unit; return its content key."""
+        ...
+
+    def iter_units(self) -> Iterator[UnitArtifact]:
+        """Handles onto every completed unit, in key order."""
+        ...
+
+    def verify(self) -> StoreHealthReport:
+        """Re-hash every recorded artifact; report integrity problems."""
+        ...
+
+    def doctor(self, repair: bool = False) -> StoreHealthReport:
+        """Diagnose (and with ``repair=True`` heal) the store."""
+        ...
+
+    def close(self) -> None:
+        """Release backend resources (idempotent)."""
+        ...
+
+
+def open_store(
+    root: str | Path, backend: str | None = None
+) -> ArtifactStore:
+    """Open the campaign store at ``root``; the repository entry point.
+
+    Resolution order: the backend already on disk (detected from the
+    index file — asking for a different one raises
+    :class:`~repro.campaign.store.StoreError`); else the explicit
+    ``backend`` argument; else ``$REPRO_STORE_BACKEND``; else JSON.
+    Equivalent to ``ArtifactStore(root, backend)`` — this spelling
+    exists so callers can program against :class:`CampaignRepository`
+    without importing a concrete class.
+    """
+    return ArtifactStore(root, backend)
+
+
+@dataclass(frozen=True)
+class MigrationResult:
+    """What :func:`migrate_store` did.
+
+    Attributes:
+        source: root of the store migrated from.
+        destination: root of the store created.
+        source_backend: index backend of the source.
+        destination_backend: index backend of the destination.
+        units: completed-unit entries carried over.
+        files_copied: artifact/runtime files copied verbatim.
+        index_digest: logical index digest shared by both stores —
+            migration fails loudly rather than return with the
+            digests unequal.
+    """
+
+    source: Path
+    destination: Path
+    source_backend: str
+    destination_backend: str
+    units: int
+    files_copied: int
+    index_digest: str
+
+    def render(self) -> str:
+        """One-paragraph summary for the ``campaign migrate`` CLI."""
+        return (
+            f"migrated {self.source} ({self.source_backend}) -> "
+            f"{self.destination} ({self.destination_backend}): "
+            f"{self.units} unit(s), {self.files_copied} file(s) copied, "
+            f"index digest {self.index_digest[:12]}"
+        )
+
+
+def migrate_store(
+    source: str | Path, destination: str | Path, backend: str
+) -> MigrationResult:
+    """Convert the store at ``source`` into ``backend`` at ``destination``.
+
+    Everything except the index is copied byte-for-byte — ``units/``,
+    ``campaign.json``, and the ``quarantine/`` failure trail (attempt
+    counters must survive migration or resumed campaigns would restart
+    retry budgets).  Runtime droppings that only describe a *live* run
+    are left behind: the ``.lock`` file, ``heartbeats/``, ``spools/``,
+    and the source's own index file.  The destination index is then
+    rebuilt in one batch from the source's entries and both logical
+    index digests are compared — a mismatch raises
+    :class:`~repro.campaign.store.StoreError` and nothing is reported
+    migrated.
+
+    ``destination`` must not already contain a store (or anything
+    else); migration never merges.  The source is read-only throughout,
+    so a failed or interrupted migration costs nothing but the partial
+    destination directory.
+    """
+    source = Path(source)
+    destination = Path(destination)
+    source_backend = detect_backend(source)
+    if source_backend is None:
+        raise StoreError(f"no campaign store at {source}")
+    src = ArtifactStore(source)
+    if destination.resolve() == source.resolve():
+        raise StoreError("migration destination must differ from the source")
+    if destination.exists() and any(destination.iterdir()):
+        raise StoreError(
+            f"migration destination {destination} is not empty; "
+            "refusing to merge into an existing directory"
+        )
+    campaign = src.campaign()
+    entries = src._index_entries()
+
+    skip_names = {
+        _LOCK_FILE,
+        src.index_filename,
+        src.index_filename + "-wal",
+        src.index_filename + "-shm",
+        "heartbeats",
+        "spools",
+    }
+    destination.mkdir(parents=True, exist_ok=True)
+    files_copied = 0
+    for item in sorted(source.iterdir()):
+        if item.name in skip_names:
+            continue
+        target = destination / item.name
+        if item.is_dir():
+            shutil.copytree(item, target)
+            files_copied += sum(1 for p in target.rglob("*") if p.is_file())
+        else:
+            shutil.copy2(item, target)
+            files_copied += 1
+
+    dst = ArtifactStore(destination, backend=backend)
+    # initialize() would no-op on the already-copied campaign.json
+    # without ever creating the destination index — create it directly.
+    with dst._lock():
+        dst._index_create(campaign)
+    dst.bulk_put_entries(entries)
+
+    source_digest = src.index_digest()
+    destination_digest = dst.index_digest()
+    if source_digest != destination_digest:
+        raise StoreError(
+            f"migration produced a different logical index "
+            f"(source {source_digest[:12]}, "
+            f"destination {destination_digest[:12]})"
+        )
+    dst.close()
+    src.close()
+    return MigrationResult(
+        source=source,
+        destination=destination,
+        source_backend=source_backend,
+        destination_backend=dst.backend_name,
+        units=len(entries),
+        files_copied=files_copied,
+        index_digest=destination_digest,
+    )

@@ -336,10 +336,11 @@ def _clear_heartbeat(store: ArtifactStore, key: str) -> None:
 def _execute_and_record(payload) -> dict:
     """Scheduler worker: run one unit and checkpoint it into the store.
 
-    Workers write straight into the shared flock-protected store, so a
-    campaign killed mid-parallel-run keeps every unit that finished —
-    exactly the sequential crash contract.  Returns a small summary the
-    parent uses for telemetry and outcome accounting.
+    Workers open the shared store through the repository API (the
+    backend is auto-detected from the index file the parent created),
+    so a campaign killed mid-parallel-run keeps every unit that
+    finished — exactly the sequential crash contract.  Returns a small
+    summary the parent uses for telemetry and outcome accounting.
 
     The payload is a :class:`UnitPayload` (or the legacy ``(spec,
     store_root[, spool_dir])`` tuple); with a spool directory and
@@ -663,7 +664,7 @@ class CampaignRunner:
                 ).isoformat(),
             },
         )
-        if quarantined and key in self.store.completed_keys():
+        if quarantined and self.store.contains(key):
             # The failure was detected *after* the manifest write (a
             # corrupt artifact); evict the bad bytes from the store.
             self.store.quarantine_unit(key)
@@ -703,8 +704,8 @@ class CampaignRunner:
                 ``>1`` fans incomplete units out longest-first over a
                 :class:`~repro.perf.scheduler.ParallelUnitScheduler`.
                 Because every unit seeds itself and workers checkpoint
-                into the flock-protected store, both modes produce
-                byte-identical artifacts.
+                through the shared store's repository API, both modes
+                produce byte-identical artifacts.
             supervision: failure policy.  The default retries a failed
                 unit with deterministic backoff and, once the attempt
                 budget is spent, *quarantines* it (durable failure
@@ -943,9 +944,10 @@ class CampaignRunner:
         """Fan incomplete units out over a process scheduler.
 
         Unit independence does the heavy lifting: each worker seeds its
-        own prototype from the unit's spec and checkpoints straight into
-        the shared flock-protected store, so the artifact bytes are
-        identical to a sequential pass regardless of completion order.
+        own prototype from the unit's spec and checkpoints straight
+        into the shared store (each index update is atomic in either
+        backend), so the artifact bytes are identical to a sequential
+        pass regardless of completion order.
         ``max_units`` caps *pending* units in unit order — the same
         semantics (and kill-and-resume hook) as the sequential loop.
 
@@ -1034,7 +1036,7 @@ class CampaignRunner:
                 # would be exonerated as "already complete".
                 key = keys[index]
                 return (
-                    key in self.store.completed_keys()
+                    self.store.contains(key)
                     and self.store.verify_unit(key) == []
                 )
 

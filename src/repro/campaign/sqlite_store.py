@@ -1,0 +1,286 @@
+"""SQLite-indexed campaign store backend (``manifest.db``, WAL mode).
+
+The JSON manifest backend re-parses its whole document per lookup and
+serialises every writer on one advisory flock — O(n) work and a global
+lock on the parallel runner's hot path.  This backend replaces the
+manifest *document* with a SQLite database:
+
+* one ``units`` row per completed unit, keyed by the unit's content
+  hash, with the per-file SHA-256 checksums as columns — so
+  ``contains`` is an O(log n) clustered-primary-key probe and key
+  scans are index-ordered range reads, independent of how much else
+  the store holds;
+* WAL (write-ahead-log) journal mode, so concurrent runner processes
+  commit single-row transactions without queuing on a store-wide file
+  lock — readers never block writers and writers never block readers;
+* ``campaign.json``, ``units/``, ``quarantine/``, ``heartbeats/`` and
+  ``spools/`` exactly as the JSON backend lays them out — only the
+  *index* differs, so every store invariant (kill-and-resume
+  byte-identity, parallel-vs-sequential equivalence, quarantine
+  semantics, doctor repair) carries over unchanged.
+
+Connections are opened per operation and closed before returning.
+That costs a few tens of microseconds per call but buys fork safety:
+the process-pool runner forks workers, and a SQLite connection (with
+its POSIX fcntl locks, which die with *any* fd close in the process)
+must never cross a fork.  Closing the last connection also
+auto-checkpoints and removes the ``-wal``/``-shm`` sidecars, so a
+store at rest is ``manifest.db`` alone.
+
+Raw database bytes are not deterministic (page layout depends on
+operation order), so cross-store comparisons use the *logical* index:
+:meth:`SqliteArtifactStore.manifest` renders the same canonical
+document the JSON backend stores, and ``index_digest()`` hashes it.
+"""
+
+from __future__ import annotations
+
+import json
+from contextlib import closing
+from pathlib import Path
+
+try:
+    import sqlite3
+except ImportError:  # pragma: no cover - stdlib sqlite absent
+    sqlite3 = None  # type: ignore[assignment]
+
+from repro.campaign.spec import CampaignSpec
+from repro.campaign.store import (
+    ArtifactStore,
+    StoreError,
+    _INDEX_DB_FILE,
+    _MANIFEST_SCHEMA,
+)
+
+__all__ = ["SqliteArtifactStore"]
+
+#: Manifest filenames whose checksums live in dedicated columns.  Any
+#: other recorded file rides in the ``extra`` JSON column, so the row
+#: schema never constrains what a unit may store.
+_FILE_COLUMNS = {
+    "spec.json": "spec_sha256",
+    "history.json": "history_sha256",
+    "result.json": "result_sha256",
+    "telemetry.jsonl": "telemetry_sha256",
+}
+
+_SCHEMA_SQL = """
+CREATE TABLE IF NOT EXISTS meta (
+    key TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+) WITHOUT ROWID;
+CREATE TABLE IF NOT EXISTS units (
+    key TEXT PRIMARY KEY,
+    name TEXT NOT NULL,
+    spec_sha256 TEXT,
+    history_sha256 TEXT,
+    result_sha256 TEXT,
+    telemetry_sha256 TEXT,
+    extra TEXT NOT NULL DEFAULT '{}'
+) WITHOUT ROWID;
+CREATE INDEX IF NOT EXISTS idx_units_name ON units (name);
+"""
+
+_UPSERT_SQL = """
+INSERT INTO units (
+    key, name, spec_sha256, history_sha256, result_sha256,
+    telemetry_sha256, extra
+) VALUES (?, ?, ?, ?, ?, ?, ?)
+ON CONFLICT (key) DO UPDATE SET
+    name = excluded.name,
+    spec_sha256 = excluded.spec_sha256,
+    history_sha256 = excluded.history_sha256,
+    result_sha256 = excluded.result_sha256,
+    telemetry_sha256 = excluded.telemetry_sha256,
+    extra = excluded.extra
+"""
+
+_ROW_COLUMNS = (
+    "key, name, spec_sha256, history_sha256, result_sha256, "
+    "telemetry_sha256, extra"
+)
+
+
+def _entry_to_row(key: str, entry: dict) -> tuple:
+    columns = dict.fromkeys(_FILE_COLUMNS.values())
+    extra = {}
+    for filename, digest in entry.get("files", {}).items():
+        column = _FILE_COLUMNS.get(filename)
+        if column is not None:
+            columns[column] = digest
+        else:
+            extra[filename] = digest
+    return (
+        key,
+        entry["name"],
+        columns["spec_sha256"],
+        columns["history_sha256"],
+        columns["result_sha256"],
+        columns["telemetry_sha256"],
+        json.dumps(extra, sort_keys=True),
+    )
+
+
+def _row_to_entry(row: tuple) -> tuple[str, dict]:
+    key, name = row[0], row[1]
+    files = {}
+    for filename, position in zip(_FILE_COLUMNS, range(2, 6)):
+        if row[position] is not None:
+            files[filename] = row[position]
+    files.update(json.loads(row[6]))
+    # Filename order must match what record_unit writes so the
+    # canonical manifest document is backend-independent byte-for-byte
+    # (json.dumps(sort_keys=True) re-sorts anyway; this keeps the
+    # un-sorted dict shape identical too).
+    return key, {"name": name, "files": dict(sorted(files.items()))}
+
+
+class SqliteArtifactStore(ArtifactStore):
+    """Campaign artifact store indexed by a WAL-mode SQLite database.
+
+    Same artifact layout and invariants as
+    :class:`~repro.campaign.store.JsonArtifactStore`; only the
+    completed-unit index differs (``manifest.db`` instead of
+    ``manifest.json``).  Construct directly, or let
+    ``ArtifactStore(root)`` auto-detect from disk, or pass
+    ``backend="sqlite"`` / set ``REPRO_STORE_BACKEND=sqlite`` for new
+    stores.
+    """
+
+    backend_name = "sqlite"
+    index_filename = _INDEX_DB_FILE
+
+    def __init__(self, root: str | Path, backend: str | None = None) -> None:
+        if sqlite3 is None:  # pragma: no cover - stdlib sqlite absent
+            raise StoreError(
+                "the sqlite store backend needs the stdlib sqlite3 module, "
+                "which this python build lacks; use the json backend"
+            )
+        super().__init__(root, backend)
+
+    # ------------------------------------------------------------------
+    # Connection plumbing.
+    # ------------------------------------------------------------------
+    def _db_path(self) -> Path:
+        return self.root / _INDEX_DB_FILE
+
+    def _connect(self, create: bool = False) -> "sqlite3.Connection":
+        """Open a fresh connection (per-operation; see module docstring)."""
+        path = self._db_path()
+        if not create and not path.exists():
+            raise StoreError(f"no manifest at {self.root}")
+        connection = sqlite3.connect(path, timeout=30.0, isolation_level=None)
+        try:
+            connection.execute("PRAGMA journal_mode=WAL")
+            connection.execute("PRAGMA busy_timeout=30000")
+            # WAL + NORMAL is durable against process crash (the
+            # paper-scale failure mode the chaos suite injects); only a
+            # power loss can lose the tail of the log, and campaigns
+            # re-run missing units.
+            connection.execute("PRAGMA synchronous=NORMAL")
+        except sqlite3.DatabaseError as error:
+            connection.close()
+            raise StoreError(f"corrupt manifest index at {path}: {error}")
+        return connection
+
+    # ------------------------------------------------------------------
+    # Index hooks.
+    # ------------------------------------------------------------------
+    def _index_exists(self) -> bool:
+        return self._db_path().exists()
+
+    def _index_create(self, campaign: CampaignSpec) -> None:
+        with closing(self._connect(create=True)) as connection:
+            connection.execute("BEGIN IMMEDIATE")
+            connection.executescript(_SCHEMA_SQL)
+            connection.executemany(
+                "INSERT OR REPLACE INTO meta (key, value) VALUES (?, ?)",
+                [
+                    ("schema", _MANIFEST_SCHEMA),
+                    ("campaign_key", campaign.key()),
+                    ("campaign_name", campaign.name),
+                ],
+            )
+            connection.commit()
+
+    def _meta(self, connection: "sqlite3.Connection") -> dict[str, str]:
+        rows = connection.execute("SELECT key, value FROM meta").fetchall()
+        meta = dict(rows)
+        if meta.get("schema") != _MANIFEST_SCHEMA:
+            raise StoreError(
+                f"unexpected manifest schema {meta.get('schema')!r}"
+            )
+        return meta
+
+    def _index_entries(self) -> dict[str, dict]:
+        with closing(self._connect()) as connection:
+            rows = connection.execute(
+                f"SELECT {_ROW_COLUMNS} FROM units ORDER BY key"
+            ).fetchall()
+        return dict(_row_to_entry(row) for row in rows)
+
+    def _index_get(self, key: str) -> dict | None:
+        with closing(self._connect()) as connection:
+            row = connection.execute(
+                f"SELECT {_ROW_COLUMNS} FROM units WHERE key = ?", (key,)
+            ).fetchone()
+        if row is None:
+            return None
+        return _row_to_entry(row)[1]
+
+    def _index_put(self, key: str, entry: dict) -> None:
+        with closing(self._connect()) as connection:
+            connection.execute(_UPSERT_SQL, _entry_to_row(key, entry))
+
+    def _index_delete(self, key: str) -> None:
+        with closing(self._connect()) as connection:
+            connection.execute("DELETE FROM units WHERE key = ?", (key,))
+
+    def _index_bulk_put(self, entries: dict[str, dict]) -> None:
+        rows = [_entry_to_row(key, entry) for key, entry in entries.items()]
+        with closing(self._connect()) as connection:
+            connection.execute("BEGIN IMMEDIATE")
+            connection.executemany(_UPSERT_SQL, rows)
+            connection.commit()
+
+    def _index_contains(self, key: str) -> bool:
+        with closing(self._connect()) as connection:
+            row = connection.execute(
+                "SELECT 1 FROM units WHERE key = ?", (key,)
+            ).fetchone()
+        return row is not None
+
+    def _index_count(self) -> int:
+        with closing(self._connect()) as connection:
+            return connection.execute("SELECT COUNT(*) FROM units").fetchone()[0]
+
+    def _index_keys(self, prefix: str | None = None) -> list[str]:
+        with closing(self._connect()) as connection:
+            if prefix is None:
+                rows = connection.execute(
+                    "SELECT key FROM units ORDER BY key"
+                ).fetchall()
+            else:
+                # Content keys are lowercase hex, so a prefix names the
+                # contiguous key range [prefix, prefix + '￿') — an
+                # indexed range scan, not a table scan.
+                rows = connection.execute(
+                    "SELECT key FROM units WHERE key >= ? AND key < ? "
+                    "ORDER BY key",
+                    (prefix, prefix + "￿"),
+                ).fetchall()
+        return [row[0] for row in rows]
+
+    def manifest(self) -> dict:
+        """The canonical index document (same shape as ``manifest.json``)."""
+        with closing(self._connect()) as connection:
+            meta = self._meta(connection)
+            rows = connection.execute(
+                f"SELECT {_ROW_COLUMNS} FROM units ORDER BY key"
+            ).fetchall()
+        return {
+            "schema": meta["schema"],
+            "campaign_key": meta["campaign_key"],
+            "campaign_name": meta["campaign_name"],
+            "units": dict(_row_to_entry(row) for row in rows),
+        }

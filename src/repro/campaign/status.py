@@ -36,7 +36,7 @@ from repro.experiments.report import render_table
 from repro.obs.sink import read_spool_records
 from repro.perf.scheduler import estimate_unit_cost
 
-__all__ = ["UnitStatus", "CampaignStatus"]
+__all__ = ["UnitStatus", "CampaignStatus", "CampaignStatusMonitor"]
 
 _STATES = ("pending", "running", "retrying", "done", "failed", "quarantined")
 
@@ -157,98 +157,14 @@ class CampaignStatus:
 
     @classmethod
     def collect(cls, store: ArtifactStore) -> "CampaignStatus":
-        """Read the manifest and the spools into one status snapshot."""
-        campaign = store.campaign()
-        completed = store.completed_keys()
-        quarantined = store.quarantined_keys()
-        spool_dir = store.spool_dir
-        statuses = []
-        for spec in campaign.expand():
-            key = spec.key()
-            cost = estimate_unit_cost(spec)
-            attempts = store.attempts_used(key)
-            spool_path = spool_dir / f"{key}.jsonl"
-            if key in completed:
-                rounds = spec.max_rounds
-                try:
-                    rounds = int(store.unit(key).result().get("rounds", rounds))
-                except Exception:
-                    pass
-                digest = (
-                    _spool_progress(spool_path)
-                    if spool_path.exists()
-                    else {"worker": None, "duration_s": None}
-                )
-                statuses.append(
-                    UnitStatus(
-                        key=key,
-                        name=spec.name,
-                        state="done",
-                        cost=cost,
-                        rounds_planned=spec.max_rounds,
-                        rounds_done=rounds,
-                        worker=digest["worker"],
-                        duration_s=digest["duration_s"],
-                        attempts=attempts,
-                    )
-                )
-                continue
-            if key in quarantined:
-                statuses.append(
-                    UnitStatus(
-                        key=key,
-                        name=spec.name,
-                        state="quarantined",
-                        cost=cost,
-                        rounds_planned=spec.max_rounds,
-                        attempts=attempts,
-                    )
-                )
-                continue
-            if not spool_path.exists():
-                statuses.append(
-                    UnitStatus(
-                        key=key,
-                        name=spec.name,
-                        state="retrying" if attempts > 0 else "pending",
-                        cost=cost,
-                        rounds_planned=spec.max_rounds,
-                        attempts=attempts,
-                    )
-                )
-                continue
-            digest = _spool_progress(spool_path)
-            if digest["end_status"] == "error":
-                state = "failed"
-            elif digest["end_status"] is not None:
-                # Sealed spool but no manifest entry: the worker died
-                # between finalize and the store write barely matters —
-                # the unit will re-run; report the durable truth.
-                state = "pending"
-            elif digest["worker"] is not None and not _pid_alive(
-                digest["worker"]
-            ):
-                state = "failed"
-            else:
-                state = "running"
-            if state in ("pending", "failed") and attempts > 0:
-                # Failed attempts are on durable record and the budget
-                # is not exhausted — the supervised runner will retry.
-                state = "retrying"
-            statuses.append(
-                UnitStatus(
-                    key=key,
-                    name=spec.name,
-                    state=state,
-                    cost=cost,
-                    rounds_planned=spec.max_rounds,
-                    rounds_done=digest["rounds_done"],
-                    worker=digest["worker"],
-                    duration_s=digest["duration_s"],
-                    attempts=attempts,
-                )
-            )
-        return cls(campaign_name=campaign.name, units=tuple(statuses))
+        """Read the store and the spools into one status snapshot.
+
+        One-shot convenience over :class:`CampaignStatusMonitor`; a
+        poller (``status --follow``) should hold a monitor instead, so
+        the campaign grid and finished-unit statuses are computed once
+        rather than re-derived every poll.
+        """
+        return CampaignStatusMonitor(store).refresh()
 
     # ------------------------------------------------------------------
     # Aggregates.
@@ -364,6 +280,163 @@ class CampaignStatus:
             title=f"Campaign {self.campaign_name!r} — live status",
         )
         return f"{table}\n{self.render_summary()}"
+
+
+class CampaignStatusMonitor:
+    """Incremental status collection over one open store handle.
+
+    ``status --follow`` used to rebuild everything every poll: re-read
+    the campaign spec, re-expand the grid, re-estimate every unit cost,
+    and re-open every completed unit's result file — linear work per
+    tick that grows with campaign size even when nothing changed.  The
+    monitor splits status into what cannot change and what can:
+
+    * computed **once** at construction: the campaign spec, the
+      expanded unit grid, per-unit cost estimates;
+    * cached **once observed**: a unit that reached ``done`` is
+      immutable (content-addressed artifacts, recorded result), so its
+      status row — including the result read and the final spool
+      digest — is computed on the poll that first sees it and reused
+      ever after;
+    * read **every poll**: the completed/quarantined key sets (one
+      index scan each) and the spools of not-yet-done units.
+
+    Per-tick work is therefore proportional to the *active* frontier
+    of the campaign, not its total size.
+    """
+
+    def __init__(self, store: ArtifactStore) -> None:
+        self._store = store
+        self._campaign = store.campaign()
+        self._grid = tuple(
+            (spec, spec.key(), estimate_unit_cost(spec))
+            for spec in self._campaign.expand()
+        )
+        self._done: dict[str, UnitStatus] = {}
+
+    @property
+    def store(self) -> ArtifactStore:
+        """The repository handle this monitor polls."""
+        return self._store
+
+    @property
+    def campaign_name(self) -> str:
+        """Name of the campaign being watched."""
+        return self._campaign.name
+
+    def _done_status(
+        self, key: str, spec, cost: float, spool_path: Path, attempts: int
+    ) -> UnitStatus:
+        """Build (or replay) the immutable status of a completed unit."""
+        cached = self._done.get(key)
+        if cached is not None:
+            return cached
+        rounds = spec.max_rounds
+        try:
+            rounds = int(
+                self._store.unit(key).result().get("rounds", rounds)
+            )
+        except Exception:
+            pass
+        digest = (
+            _spool_progress(spool_path)
+            if spool_path.exists()
+            else {"worker": None, "duration_s": None}
+        )
+        status = UnitStatus(
+            key=key,
+            name=spec.name,
+            state="done",
+            cost=cost,
+            rounds_planned=spec.max_rounds,
+            rounds_done=rounds,
+            worker=digest["worker"],
+            duration_s=digest["duration_s"],
+            attempts=attempts,
+        )
+        self._done[key] = status
+        return status
+
+    def refresh(self) -> CampaignStatus:
+        """Poll the store and spools; return a fresh status snapshot."""
+        store = self._store
+        completed = store.completed_keys()
+        quarantined = store.quarantined_keys()
+        spool_dir = store.spool_dir
+        statuses = []
+        for spec, key, cost in self._grid:
+            spool_path = spool_dir / f"{key}.jsonl"
+            if key in completed:
+                if key in self._done:
+                    statuses.append(self._done[key])
+                else:
+                    statuses.append(
+                        self._done_status(
+                            key, spec, cost, spool_path,
+                            store.attempts_used(key),
+                        )
+                    )
+                continue
+            attempts = store.attempts_used(key)
+            if key in quarantined:
+                statuses.append(
+                    UnitStatus(
+                        key=key,
+                        name=spec.name,
+                        state="quarantined",
+                        cost=cost,
+                        rounds_planned=spec.max_rounds,
+                        attempts=attempts,
+                    )
+                )
+                continue
+            if not spool_path.exists():
+                statuses.append(
+                    UnitStatus(
+                        key=key,
+                        name=spec.name,
+                        state="retrying" if attempts > 0 else "pending",
+                        cost=cost,
+                        rounds_planned=spec.max_rounds,
+                        attempts=attempts,
+                    )
+                )
+                continue
+            digest = _spool_progress(spool_path)
+            if digest["end_status"] == "error":
+                state = "failed"
+            elif digest["end_status"] is not None:
+                # Sealed spool but no index entry: whether the worker
+                # died between finalize and the store write barely
+                # matters — the unit will re-run; report the durable
+                # truth.
+                state = "pending"
+            elif digest["worker"] is not None and not _pid_alive(
+                digest["worker"]
+            ):
+                state = "failed"
+            else:
+                state = "running"
+            if state in ("pending", "failed") and attempts > 0:
+                # Failed attempts are on durable record and the budget
+                # is not exhausted — the supervised runner will retry.
+                state = "retrying"
+            statuses.append(
+                UnitStatus(
+                    key=key,
+                    name=spec.name,
+                    state=state,
+                    cost=cost,
+                    rounds_planned=spec.max_rounds,
+                    rounds_done=digest["rounds_done"],
+                    worker=digest["worker"],
+                    duration_s=digest["duration_s"],
+                    attempts=attempts,
+                )
+            )
+        return CampaignStatus(
+            campaign_name=self._campaign.name, units=tuple(statuses)
+        )
 
 
 def _format_duration(seconds: float) -> str:

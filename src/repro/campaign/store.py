@@ -1,4 +1,4 @@
-"""On-disk campaign artifact store: checkpoint, verify, resume.
+"""On-disk campaign artifact stores: checkpoint, verify, resume.
 
 Energy sweeps at paper scale take hours; a campaign must survive being
 killed.  The store checkpoints every completed unit as it finishes:
@@ -7,29 +7,52 @@ killed.  The store checkpoints every completed unit as it finishes:
 
     <root>/
       campaign.json            # the CampaignSpec this store belongs to
-      manifest.json            # completed units: key -> files + checksums
+      manifest.json | manifest.db   # completed-unit index (backend-specific)
       units/<unit key>/
         spec.json              # the unit's RunSpec
         history.json           # repro.fl.history_io document
         result.json            # energy/rounds/accuracy measurements
         telemetry.jsonl        # optional per-unit event log
 
-A unit is *complete* exactly when the manifest lists it — the unit files
-are written first and the manifest last (atomically, via a temp file and
-``os.replace``), so a crash mid-unit leaves at worst an orphaned
-directory that the next run overwrites.  The manifest records a SHA-256
-checksum of every artifact file, and :meth:`ArtifactStore.verify`
-re-hashes them so silent corruption is detected before a resumed
-campaign or a report trusts stale bytes.
+A unit is *complete* exactly when the index lists it — the unit files
+are written first and the index entry last (atomically), so a crash
+mid-unit leaves at worst an orphaned directory that the next run
+overwrites.  The index records a SHA-256 checksum of every artifact
+file, and :meth:`ArtifactStore.verify` re-hashes them so silent
+corruption is detected before a resumed campaign or a report trusts
+stale bytes.
 
-The manifest is a shared read-modify-write point: two ``campaign run``
-processes pointed at the same store both pass :meth:`initialize` (same
-campaign key) and would otherwise interleave manifest rewrites, silently
-dropping each other's completed-unit entries.  Every manifest update —
-and initialisation itself — therefore happens under an advisory
-``flock`` on ``<root>/.lock``, which serialises writers across processes
-(and threads) on POSIX; on platforms without ``fcntl`` the store falls
-back to the single-writer assumption.
+Two index **backends** implement the same repository API (see
+:mod:`repro.campaign.repository` for the :class:`CampaignRepository`
+protocol):
+
+* :class:`JsonArtifactStore` (``manifest.json``) — the original format:
+  one JSON document holding every entry, rewritten atomically under an
+  advisory ``flock`` on ``<root>/.lock``.  Simple and transparent, but
+  every lookup re-parses the whole manifest and every writer serialises
+  on the flock — O(n) per operation, which caps campaigns well below
+  the 10^5–10^6-unit grids a campaign service must index.
+* :class:`~repro.campaign.sqlite_store.SqliteArtifactStore`
+  (``manifest.db``) — a SQLite database in WAL mode, one row per unit
+  keyed by content hash with the checksums as columns.  ``contains``
+  is an O(log n) primary-key probe, scans are index-ordered, and WAL
+  lets concurrent workers commit without queuing on a store-wide file
+  lock.
+
+``ArtifactStore(root)`` is the polymorphic constructor: it detects the
+backend from the index file on disk (``manifest.db`` wins over
+``manifest.json``), falls back to the ``REPRO_STORE_BACKEND``
+environment variable and then to JSON for brand-new stores, and
+returns an instance of the matching backend class.  Both backends
+share the artifact layout, the quarantine/heartbeat/spool runtime
+areas, and every invariant the runner relies on — kill-and-resume
+byte-identity, parallel-vs-sequential equivalence, verify-after-write
+— so campaigns, reports, and the doctor are backend-agnostic.
+
+The logical index content is canonicalised by :meth:`ArtifactStore.manifest`
+(a pure function of the entries, identical across backends), and
+:meth:`ArtifactStore.index_digest` hashes it — the cross-backend
+equality check that migration and the parity tests assert.
 """
 
 from __future__ import annotations
@@ -53,12 +76,22 @@ from repro.campaign.spec import CampaignSpec, RunSpec
 from repro.fl.history_io import history_from_json, history_to_json
 from repro.fl.metrics import TrainingHistory
 
-__all__ = ["ArtifactStore", "UnitArtifact", "StoreError", "DoctorReport"]
+__all__ = [
+    "ArtifactStore",
+    "JsonArtifactStore",
+    "UnitArtifact",
+    "StoreError",
+    "StoreHealthReport",
+    "DoctorReport",
+    "detect_backend",
+    "STORE_BACKENDS",
+]
 
 _MANIFEST_SCHEMA = "repro.campaign-manifest/1"
 _FAILURE_SCHEMA = "repro.failure-record/1"
 _CAMPAIGN_FILE = "campaign.json"
 _MANIFEST_FILE = "manifest.json"
+_INDEX_DB_FILE = "manifest.db"
 _UNITS_DIR = "units"
 _SPOOLS_DIR = "spools"
 _QUARANTINE_DIR = "quarantine"
@@ -70,6 +103,13 @@ _RESULT_FILE = "result.json"
 _TELEMETRY_FILE = "telemetry.jsonl"
 _LOCK_FILE = ".lock"
 _ATTEMPT_PATTERN = re.compile(r"^attempt-(\d+)\.json$")
+
+#: Recognised index backends, in detection-priority order.
+STORE_BACKENDS = ("sqlite", "json")
+
+#: Environment default consulted when a brand-new store is created
+#: without an explicit backend choice.
+_BACKEND_ENV = "REPRO_STORE_BACKEND"
 
 
 class StoreError(RuntimeError):
@@ -107,10 +147,163 @@ def _exclusive_lock(path: Path):
             fcntl.flock(handle, fcntl.LOCK_UN)
 
 
+def detect_backend(root: str | Path) -> str | None:
+    """Which index backend the store at ``root`` uses, by inspection.
+
+    ``"sqlite"`` when ``manifest.db`` exists, ``"json"`` when
+    ``manifest.json`` does, ``None`` when neither is present (a
+    brand-new directory, or a store whose index was destroyed — the
+    doctor can rebuild the latter once a backend is chosen).
+    """
+    root = Path(root)
+    if (root / _INDEX_DB_FILE).exists():
+        return "sqlite"
+    if (root / _MANIFEST_FILE).exists():
+        return "json"
+    return None
+
+
+def _validated_backend(name: str, origin: str) -> str:
+    if name not in STORE_BACKENDS:
+        raise StoreError(
+            f"unknown store backend {name!r} (from {origin}); "
+            f"expected one of {', '.join(STORE_BACKENDS)}"
+        )
+    return name
+
+
+def _resolve_backend(root: Path, backend: str | None) -> str:
+    """Pick the backend class for ``ArtifactStore(root, backend)``.
+
+    Detection wins for existing stores: asking for a backend that
+    contradicts the index already on disk is an error (``migrate`` is
+    the conversion path), never a silent mix of two index formats in
+    one directory.  For new stores the explicit argument wins, then
+    the ``REPRO_STORE_BACKEND`` environment default, then JSON — the
+    compatibility default every pre-repository store used.
+    """
+    detected = detect_backend(root)
+    if backend is not None:
+        backend = _validated_backend(backend, "argument")
+        if detected is not None and detected != backend:
+            raise StoreError(
+                f"store at {root} is {detected}-backed but backend="
+                f"{backend!r} was requested; use 'campaign migrate' to "
+                "convert between index formats"
+            )
+        return backend
+    if detected is not None:
+        return detected
+    env = os.environ.get(_BACKEND_ENV)
+    if env:
+        return _validated_backend(env, f"${_BACKEND_ENV}")
+    return "json"
+
+
+def _backend_class(name: str) -> type["ArtifactStore"]:
+    if name == "json":
+        return JsonArtifactStore
+    from repro.campaign.sqlite_store import SqliteArtifactStore
+
+    return SqliteArtifactStore
+
+
+@dataclass(eq=False)
+class StoreHealthReport:
+    """Unified result of :meth:`ArtifactStore.verify` and ``doctor``.
+
+    One typed report replaces the ad-hoc problem lists and exit codes
+    the two integrity entry points used to return, so ``campaign
+    status`` and ``campaign doctor`` render health identically.
+
+    Attributes:
+        backend: index backend of the store examined.
+        checked: recorded units whose artifacts were re-hashed.
+        repaired: whether the examination ran in ``--repair`` mode.
+        problems: every integrity problem observed *before* repair.
+        adopted: orphan unit keys promoted into the index.
+        quarantined: unit keys evicted to ``quarantine/`` with failure
+            records.  The records are non-terminal, so the next
+            ``campaign run`` retrains exactly these units.
+        actions: human-readable log of every repair action taken.
+        healthy: store consistency verdict — after repair when
+            ``repaired``, otherwise simply "no problems found".
+
+    For compatibility with the legacy ``verify() -> list[str]``
+    contract the report behaves as a sequence of its problem strings:
+    it iterates over ``problems``, compares equal to a plain list of
+    them, and is *truthy exactly when problems were found*.
+    """
+
+    backend: str = ""
+    checked: int = 0
+    repaired: bool = False
+    problems: list[str] = field(default_factory=list)
+    adopted: list[str] = field(default_factory=list)
+    quarantined: list[str] = field(default_factory=list)
+    actions: list[str] = field(default_factory=list)
+    healthy: bool = True
+
+    # -- legacy list-of-problems protocol -------------------------------
+    def __iter__(self):
+        return iter(self.problems)
+
+    def __len__(self) -> int:
+        return len(self.problems)
+
+    def __contains__(self, item) -> bool:
+        return item in self.problems
+
+    def __bool__(self) -> bool:
+        return bool(self.problems)
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, list):
+            return self.problems == other
+        if isinstance(other, StoreHealthReport):
+            return (
+                self.backend == other.backend
+                and self.checked == other.checked
+                and self.repaired == other.repaired
+                and self.problems == other.problems
+                and self.adopted == other.adopted
+                and self.quarantined == other.quarantined
+                and self.actions == other.actions
+                and self.healthy == other.healthy
+            )
+        return NotImplemented
+
+    def render(self) -> str:
+        """Multi-line health report for ``campaign status`` / ``doctor``."""
+        lines = []
+        if not self.problems:
+            lines.append(
+                "store is healthy: no integrity problems found"
+                + (f" ({self.checked} unit(s) checked)" if self.checked else "")
+            )
+        else:
+            lines.append(f"{len(self.problems)} integrity problem(s) found:")
+            lines.extend(f"  - {problem}" for problem in self.problems)
+        for action in self.actions:
+            lines.append(f"repair: {action}")
+        if self.repaired and self.problems:
+            lines.append(
+                "store is healthy after repair"
+                if self.healthy
+                else "store still has problems after repair"
+            )
+        return "\n".join(lines)
+
+
+#: Deprecated alias: ``doctor`` used to return its own ``DoctorReport``
+#: type; it now shares :class:`StoreHealthReport` with ``verify``.
+DoctorReport = StoreHealthReport
+
+
 class UnitArtifact:
     """Lazy handle onto one completed unit's artifacts.
 
-    Parsing a history is much more expensive than reading a manifest
+    Parsing a history is much more expensive than reading an index
     row, so reports iterate these handles and load only what they use.
     """
 
@@ -185,12 +378,98 @@ class UnitArtifact:
 class ArtifactStore:
     """Checkpointed storage for one campaign's run artifacts.
 
+    ``ArtifactStore(root)`` is polymorphic: it resolves the index
+    backend (auto-detected from disk, else the explicit ``backend``
+    argument, else ``$REPRO_STORE_BACKEND``, else JSON) and returns an
+    instance of the matching subclass — :class:`JsonArtifactStore` or
+    :class:`~repro.campaign.sqlite_store.SqliteArtifactStore`.  All
+    artifact-layout logic (unit directories, quarantine, heartbeats,
+    spools, verification, the doctor) lives here and is shared; only
+    the completed-unit *index* operations are backend-specific.
+
     Args:
         root: store directory; created on :meth:`initialize`.
+        backend: index backend for a brand-new store (``"json"`` or
+            ``"sqlite"``); must match the store on disk if one exists.
     """
 
-    def __init__(self, root: str | Path) -> None:
+    #: Subclass identity; also the value of ``--store-backend`` that
+    #: selects it.
+    backend_name = "auto"
+    #: Name of the index file under ``root`` (backend-specific).
+    index_filename = ""
+
+    def __new__(cls, root: str | Path, backend: str | None = None):
+        if cls is ArtifactStore:
+            cls = _backend_class(_resolve_backend(Path(root), backend))
+        return object.__new__(cls)
+
+    def __init__(self, root: str | Path, backend: str | None = None) -> None:
         self.root = Path(root)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({str(self.root)!r})"
+
+    # ------------------------------------------------------------------
+    # Index hooks — each backend supplies these.
+    # ------------------------------------------------------------------
+    def _index_exists(self) -> bool:
+        """Whether the index file is present on disk."""
+        raise NotImplementedError
+
+    def _index_create(self, campaign: CampaignSpec) -> None:
+        """Create an empty index bound to ``campaign`` (caller locks)."""
+        raise NotImplementedError
+
+    def _index_entries(self) -> dict[str, dict]:
+        """Every ``key -> entry`` mapping, sorted by key."""
+        raise NotImplementedError
+
+    def _index_get(self, key: str) -> dict | None:
+        """One entry, or ``None`` when the unit is not recorded."""
+        raise NotImplementedError
+
+    def _index_put(self, key: str, entry: dict) -> None:
+        """Atomically upsert one entry."""
+        raise NotImplementedError
+
+    def _index_delete(self, key: str) -> None:
+        """Remove one entry (no-op when absent)."""
+        raise NotImplementedError
+
+    def _index_bulk_put(self, entries: dict[str, dict]) -> None:
+        """Upsert many entries in one atomic batch (migration path)."""
+        raise NotImplementedError
+
+    def _index_contains(self, key: str) -> bool:
+        """Membership probe; the hot path resumes and schedulers hit."""
+        raise NotImplementedError
+
+    def _index_count(self) -> int:
+        """Number of recorded units."""
+        raise NotImplementedError
+
+    def _index_keys(self, prefix: str | None = None) -> list[str]:
+        """Sorted unit keys, optionally restricted to a key prefix."""
+        raise NotImplementedError
+
+    def manifest(self) -> dict:
+        """The canonical index document (schema, campaign, units).
+
+        A pure function of the index *contents* — byte-for-byte
+        identical across backends holding the same entries, which is
+        what makes :meth:`index_digest` a cross-backend equality check.
+        """
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release any backend resources (idempotent; no-op for JSON)."""
+
+    def __enter__(self) -> "ArtifactStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # Lifecycle.
@@ -225,25 +504,11 @@ class ArtifactStore:
                 )
                 + "\n",
             )
-            _atomic_write(
-                self.root / _MANIFEST_FILE,
-                json.dumps(
-                    self._empty_manifest(campaign), indent=2, sort_keys=True
-                )
-                + "\n",
-            )
+            self._index_create(campaign)
 
     def _lock(self):
         """The store-wide writer lock (see :func:`_exclusive_lock`)."""
         return _exclusive_lock(self.root / _LOCK_FILE)
-
-    def _empty_manifest(self, campaign: CampaignSpec) -> dict:
-        return {
-            "schema": _MANIFEST_SCHEMA,
-            "campaign_key": campaign.key(),
-            "campaign_name": campaign.name,
-            "units": {},
-        }
 
     def campaign_key(self) -> str | None:
         """The bound campaign's content key (``None`` if uninitialised)."""
@@ -263,21 +528,6 @@ class ArtifactStore:
         data = json.loads(path.read_text(encoding="utf-8"))
         return CampaignSpec.from_dict(data["spec"])
 
-    def manifest(self) -> dict:
-        """The parsed manifest document."""
-        path = self.root / _MANIFEST_FILE
-        if not path.exists():
-            raise StoreError(f"no manifest at {self.root}")
-        try:
-            manifest = json.loads(path.read_text(encoding="utf-8"))
-        except json.JSONDecodeError as error:
-            raise StoreError(f"corrupt manifest {path}: {error}") from None
-        if manifest.get("schema") != _MANIFEST_SCHEMA:
-            raise StoreError(
-                f"unexpected manifest schema {manifest.get('schema')!r}"
-            )
-        return manifest
-
     def unit_dir(self, key: str) -> Path:
         """Artifact directory of the unit with content key ``key``."""
         return self.root / _UNITS_DIR / key
@@ -288,7 +538,7 @@ class ArtifactStore:
 
         Spools are *runtime* telemetry, not artifacts: they carry wall
         times and worker pids, so they live outside ``units/`` and are
-        excluded from the manifest — the artifact bytes stay a pure
+        excluded from the index — the artifact bytes stay a pure
         function of the campaign spec.
         """
         return self.root / _SPOOLS_DIR
@@ -302,7 +552,7 @@ class ArtifactStore:
         holds artifact files evicted from ``units/`` when a recorded
         unit turned out corrupt.  Like spools, quarantine is *runtime*
         state — it carries wall times and tracebacks, lives outside the
-        manifest, and never affects artifact bytes.
+        index, and never affects artifact bytes.
         """
         return self.root / _QUARANTINE_DIR
 
@@ -329,11 +579,13 @@ class ArtifactStore:
     ) -> str:
         """Persist one completed unit and mark it complete.
 
-        Artifact files land first; the manifest entry (with checksums)
-        is written last and atomically, so completion is all-or-nothing.
-        The manifest read-modify-write runs under the store lock, so
-        concurrent runner processes sharing one store never drop each
-        other's completed-unit entries.  Returns the unit's content key.
+        Artifact files land first; the index entry (with checksums) is
+        written last and atomically, so completion is all-or-nothing.
+        Concurrent runner processes sharing one store never drop each
+        other's completed-unit entries — the JSON backend serialises
+        its read-modify-write under the store lock, the SQLite backend
+        commits a single-row transaction.  Returns the unit's content
+        key.
         """
         key = spec.key()
         unit_dir = self.unit_dir(key)
@@ -349,21 +601,39 @@ class ArtifactStore:
         for filename, text in files.items():
             _atomic_write(unit_dir / filename, text)
             checksums[filename] = _sha256(text.encode("utf-8"))
-        with self._lock():
-            manifest = self.manifest()
-            manifest["units"][key] = {
-                "name": spec.name,
-                "files": checksums,
-            }
-            # sort_keys makes the manifest bytes a pure function of its
-            # *contents*: a parallel run, whose units complete in
-            # scheduler order, ends with a manifest byte-identical to a
-            # sequential run's.
-            _atomic_write(
-                self.root / _MANIFEST_FILE,
-                json.dumps(manifest, indent=2, sort_keys=True) + "\n",
-            )
+        self._index_put(key, {"name": spec.name, "files": checksums})
         return key
+
+    # The repository-protocol spelling of record_unit.
+    def put(
+        self,
+        spec: RunSpec,
+        history: TrainingHistory,
+        result: dict,
+        telemetry_jsonl: str | None = None,
+    ) -> str:
+        """Alias of :meth:`record_unit` (the repository API spelling)."""
+        return self.record_unit(spec, history, result, telemetry_jsonl)
+
+    def put_entry(self, key: str, entry: dict) -> None:
+        """Upsert one *index entry* without touching artifact files.
+
+        Low-level: the entry is trusted as-is (``{"name": ..., "files":
+        {filename: sha256}}``).  Migration tooling and the store
+        benchmark use this; campaign execution goes through
+        :meth:`record_unit`, which writes the artifacts the entry
+        vouches for.
+        """
+        self._index_put(key, entry)
+
+    def bulk_put_entries(self, entries: dict[str, dict]) -> None:
+        """Upsert many index entries in one atomic batch.
+
+        The migration fast path: converting a 10^5-unit store must not
+        pay one index rewrite (JSON) or one fsync (SQLite) per unit.
+        """
+        if entries:
+            self._index_bulk_put(dict(entries))
 
     # ------------------------------------------------------------------
     # Failure records and quarantine.
@@ -416,14 +686,13 @@ class ArtifactStore:
         )
 
     def quarantined_keys(self) -> set[str]:
-        """Keys given up on: a terminal failure record, no manifest entry."""
+        """Keys given up on: a terminal failure record, no index entry."""
         directory = self.quarantine_dir
         if not directory.exists():
             return set()
-        completed = self.completed_keys()
         quarantined = set()
         for unit_dir in directory.iterdir():
-            if not unit_dir.is_dir() or unit_dir.name in completed:
+            if not unit_dir.is_dir() or self._index_contains(unit_dir.name):
                 continue
             records = self.failure_records(unit_dir.name)
             if records and any(r.get("quarantined") for r in records):
@@ -439,19 +708,12 @@ class ArtifactStore:
     def quarantine_unit(self, key: str) -> None:
         """Evict a recorded-but-bad unit from the completed set.
 
-        Drops the manifest entry (under the store lock) and moves the
-        unit's artifact directory under ``quarantine/<key>/artifacts``
-        so the bad bytes stay inspectable but can never satisfy a
-        resume check or feed a report again.
+        Drops the index entry and moves the unit's artifact directory
+        under ``quarantine/<key>/artifacts`` so the bad bytes stay
+        inspectable but can never satisfy a resume check or feed a
+        report again.
         """
-        with self._lock():
-            manifest = self.manifest()
-            if key in manifest["units"]:
-                del manifest["units"][key]
-                _atomic_write(
-                    self.root / _MANIFEST_FILE,
-                    json.dumps(manifest, indent=2, sort_keys=True) + "\n",
-                )
+        self._index_delete(key)
         unit_dir = self.unit_dir(key)
         if unit_dir.exists():
             destination = self.quarantine_dir / key / _ARTIFACTS_SUBDIR
@@ -463,21 +725,59 @@ class ArtifactStore:
     # ------------------------------------------------------------------
     # Reading.
     # ------------------------------------------------------------------
+    def contains(self, key: str) -> bool:
+        """Whether the unit with content key ``key`` is complete.
+
+        The resume hot path: the SQLite backend answers with one
+        indexed probe instead of re-parsing a manifest document.
+        """
+        return self._index_contains(key)
+
+    def keys(self, prefix: str | None = None) -> list[str]:
+        """Sorted content keys of every complete unit.
+
+        ``prefix`` restricts to keys starting with it — an indexed
+        range scan on the SQLite backend (content keys are hex, so a
+        prefix names a contiguous key range).
+        """
+        return self._index_keys(prefix)
+
     def completed_keys(self) -> set[str]:
-        """Content keys of every unit the manifest marks complete."""
-        return set(self.manifest()["units"])
+        """Content keys of every unit the index marks complete."""
+        return set(self._index_keys())
 
     def units(self) -> Iterator[UnitArtifact]:
-        """Handles onto every completed unit, in manifest order."""
-        for key, entry in self.manifest()["units"].items():
+        """Handles onto every completed unit, in key order."""
+        for key, entry in self._index_entries().items():
             yield UnitArtifact(self, key, entry)
+
+    def iter_units(self) -> Iterator[UnitArtifact]:
+        """Alias of :meth:`units` (the repository API spelling)."""
+        return self.units()
 
     def unit(self, key: str) -> UnitArtifact:
         """Handle onto one completed unit."""
-        entry = self.manifest()["units"].get(key)
+        entry = self._index_get(key)
         if entry is None:
             raise StoreError(f"unit {key} is not complete in {self.root}")
         return UnitArtifact(self, key, entry)
+
+    def get(self, key: str) -> UnitArtifact:
+        """Alias of :meth:`unit` (the repository API spelling)."""
+        return self.unit(key)
+
+    def index_digest(self) -> str:
+        """SHA-256 over the canonical index content.
+
+        Hashes the :meth:`manifest` document, which is a pure function
+        of the entries — so two stores (of *either* backend) holding
+        the same completed units under the same campaign produce the
+        same digest.  The parity and migration tests assert exactly
+        this.
+        """
+        return _sha256(
+            json.dumps(self.manifest(), sort_keys=True).encode("utf-8")
+        )
 
     # ------------------------------------------------------------------
     # Integrity.
@@ -485,7 +785,7 @@ class ArtifactStore:
     def verify_unit(self, key: str, entry: dict | None = None) -> list[str]:
         """Re-hash one recorded unit's artifacts; return its problems.
 
-        Checks that every file the manifest entry lists exists and
+        Checks that every file the index entry lists exists and
         matches its recorded checksum, and that the stored spec still
         hashes to the directory key.  The runner calls this right after
         every ``record_unit`` — verify-after-write — so a torn or
@@ -493,7 +793,7 @@ class ArtifactStore:
         poisoning resume checks and reports later.
         """
         if entry is None:
-            entry = self.manifest()["units"].get(key)
+            entry = self._index_get(key)
             if entry is None:
                 return [f"{key}: not in manifest"]
         problems: list[str] = []
@@ -523,9 +823,9 @@ class ArtifactStore:
         return problems
 
     def orphan_unit_keys(self) -> list[str]:
-        """Unit directories on disk that the manifest does not list.
+        """Unit directories on disk that the index does not list.
 
-        The crash window between files-first and manifest-last leaves
+        The crash window between files-first and index-last leaves
         exactly this shape behind.  Sorted for deterministic reporting.
         Note that a store being written *right now* has transient
         orphans (units mid-checkpoint); orphan reports are meaningful
@@ -541,35 +841,42 @@ class ArtifactStore:
             if path.is_dir() and path.name not in completed
         )
 
-    def verify(self) -> list[str]:
-        """Integrity-check the whole store; return the problems found.
+    def verify(self) -> StoreHealthReport:
+        """Integrity-check the whole store; return the health report.
 
-        An empty list means the store is internally consistent: every
-        manifest entry's files exist and match their recorded checksums,
-        every stored spec hashes to its directory key, and no unit
-        directory sits on disk unaccounted for by the manifest.
+        A healthy report means the store is internally consistent:
+        every index entry's files exist and match their recorded
+        checksums, every stored spec hashes to its directory key, and
+        no unit directory sits on disk unaccounted for by the index.
+        (The report compares equal to a plain list of problem strings,
+        preserving the legacy ``verify() == []`` contract.)
         """
         problems: list[str] = []
-        manifest = self.manifest()
-        for key, entry in manifest["units"].items():
+        entries = self._index_entries()
+        for key, entry in entries.items():
             problems.extend(self.verify_unit(key, entry))
         for key in self.orphan_unit_keys():
             problems.append(
                 f"{key}: orphan unit directory (on disk but not in manifest)"
             )
-        return problems
+        return StoreHealthReport(
+            backend=self.backend_name,
+            checked=len(entries),
+            problems=problems,
+            healthy=not problems,
+        )
 
     # ------------------------------------------------------------------
     # Self-healing.
     # ------------------------------------------------------------------
     def _adopt_orphan(self, key: str) -> None:
-        """Promote a self-consistent orphan directory into the manifest.
+        """Promote a self-consistent orphan directory into the index.
 
         The directory must hold a parseable spec whose content key
         matches the directory name, plus parseable history and result
         documents — i.e. everything ``record_unit`` would have written
-        before the crash stole the manifest update.  Checksums are
-        recomputed from the bytes on disk, so the rebuilt manifest entry
+        before the crash stole the index update.  Checksums are
+        recomputed from the bytes on disk, so the rebuilt index entry
         is byte-identical to the one the crash lost.
         """
         unit_dir = self.unit_dir(key)
@@ -587,20 +894,14 @@ class ArtifactStore:
             path = unit_dir / filename
             if path.exists():
                 checksums[filename] = _sha256(path.read_bytes())
-        with self._lock():
-            manifest = self.manifest()
-            manifest["units"][key] = {"name": spec.name, "files": checksums}
-            _atomic_write(
-                self.root / _MANIFEST_FILE,
-                json.dumps(manifest, indent=2, sort_keys=True) + "\n",
-            )
+        self._index_put(key, {"name": spec.name, "files": checksums})
 
-    def doctor(self, repair: bool = False) -> "DoctorReport":
+    def doctor(self, repair: bool = False) -> StoreHealthReport:
         """Diagnose — and with ``repair=True``, heal — this store.
 
-        Diagnosis covers a missing manifest, corrupt recorded units
+        Diagnosis covers a missing index, corrupt recorded units
         (checksum/key mismatches) and orphan unit directories.  Repair
-        never retrains anything: it rebuilds a missing manifest from the
+        never retrains anything: it rebuilds a missing index from the
         campaign binding, adopts orphan directories that are fully
         self-consistent (recomputing their checksums), and quarantines
         everything else — corrupt recorded units are evicted to
@@ -611,7 +912,9 @@ class ArtifactStore:
         Meaningful for stores at rest: a campaign writing concurrently
         makes units mid-checkpoint look like orphans.
         """
-        report = DoctorReport(repaired=bool(repair))
+        report = StoreHealthReport(
+            backend=self.backend_name, repaired=bool(repair)
+        )
         if not (self.root / _CAMPAIGN_FILE).exists():
             report.problems.append(
                 f"{_CAMPAIGN_FILE} missing — store is not recoverable "
@@ -620,26 +923,21 @@ class ArtifactStore:
             report.healthy = False
             return report
         campaign = self.campaign()
-        if not (self.root / _MANIFEST_FILE).exists():
-            report.problems.append(f"{_MANIFEST_FILE} missing")
+        if not self._index_exists():
+            report.problems.append(f"{self.index_filename} missing")
             if repair:
                 with self._lock():
-                    _atomic_write(
-                        self.root / _MANIFEST_FILE,
-                        json.dumps(
-                            self._empty_manifest(campaign),
-                            indent=2,
-                            sort_keys=True,
-                        )
-                        + "\n",
-                    )
+                    if not self._index_exists():
+                        self._index_create(campaign)
                 report.actions.append(
                     "rebuilt empty manifest from campaign binding"
                 )
             else:
                 report.healthy = False
                 return report
-        for key, entry in self.manifest()["units"].items():
+        entries = self._index_entries()
+        report.checked = len(entries)
+        for key, entry in entries.items():
             unit_problems = self.verify_unit(key, entry)
             if not unit_problems:
                 continue
@@ -688,49 +986,112 @@ class ArtifactStore:
                 report.adopted.append(key)
                 report.actions.append(f"adopted orphan unit {key} into manifest")
         if repair:
-            report.healthy = not self.verify()
+            report.healthy = self.verify().healthy
         else:
             report.healthy = not report.problems
         return report
 
 
-@dataclass
-class DoctorReport:
-    """What ``ArtifactStore.doctor`` found and (optionally) fixed.
+class JsonArtifactStore(ArtifactStore):
+    """The JSON-manifest index backend (compatibility format).
 
-    Attributes:
-        repaired: whether the doctor ran in ``--repair`` mode.
-        problems: every integrity problem observed *before* repair.
-        adopted: orphan unit keys promoted into the manifest.
-        quarantined: unit keys evicted to ``quarantine/`` with failure
-            records.  The records are non-terminal, so the next
-            ``campaign run`` retrains exactly these units.
-        actions: human-readable log of every repair action taken.
-        healthy: store consistency verdict — after repair when
-            ``repaired``, otherwise simply "no problems found".
+    One ``manifest.json`` document lists every completed unit; each
+    update re-reads, modifies, and atomically rewrites it under the
+    store's advisory ``flock``.  Every operation is O(n) in recorded
+    units and all writers serialise on one lock, so this backend is
+    right for small grids and human inspection; large campaigns should
+    use (or :func:`~repro.campaign.repository.migrate_store` to) the
+    SQLite backend.
+
+    ``sort_keys`` makes the manifest bytes a pure function of its
+    *contents*: a parallel run, whose units complete in scheduler
+    order, ends with a manifest byte-identical to a sequential run's —
+    and a store migrated away and back round-trips byte-identically.
     """
 
-    repaired: bool = False
-    problems: list[str] = field(default_factory=list)
-    adopted: list[str] = field(default_factory=list)
-    quarantined: list[str] = field(default_factory=list)
-    actions: list[str] = field(default_factory=list)
-    healthy: bool = True
+    backend_name = "json"
+    index_filename = _MANIFEST_FILE
 
-    def render(self) -> str:
-        """Multi-line report for the ``campaign doctor`` CLI."""
-        lines = []
-        if not self.problems:
-            lines.append("store is healthy: no problems found")
-        else:
-            lines.append(f"{len(self.problems)} problem(s) found:")
-            lines.extend(f"  - {problem}" for problem in self.problems)
-        for action in self.actions:
-            lines.append(f"repair: {action}")
-        if self.repaired and self.problems:
-            lines.append(
-                "store is healthy after repair"
-                if self.healthy
-                else "store still has problems after repair"
+    # ------------------------------------------------------------------
+    # Manifest document plumbing.
+    # ------------------------------------------------------------------
+    def _manifest_path(self) -> Path:
+        return self.root / _MANIFEST_FILE
+
+    def _empty_manifest(self, campaign: CampaignSpec) -> dict:
+        return {
+            "schema": _MANIFEST_SCHEMA,
+            "campaign_key": campaign.key(),
+            "campaign_name": campaign.name,
+            "units": {},
+        }
+
+    def manifest(self) -> dict:
+        """The parsed manifest document."""
+        path = self._manifest_path()
+        if not path.exists():
+            raise StoreError(f"no manifest at {self.root}")
+        try:
+            manifest = json.loads(path.read_text(encoding="utf-8"))
+        except json.JSONDecodeError as error:
+            raise StoreError(f"corrupt manifest {path}: {error}") from None
+        if manifest.get("schema") != _MANIFEST_SCHEMA:
+            raise StoreError(
+                f"unexpected manifest schema {manifest.get('schema')!r}"
             )
-        return "\n".join(lines)
+        return manifest
+
+    def _write_manifest(self, manifest: dict) -> None:
+        _atomic_write(
+            self._manifest_path(),
+            json.dumps(manifest, indent=2, sort_keys=True) + "\n",
+        )
+
+    # ------------------------------------------------------------------
+    # Index hooks.
+    # ------------------------------------------------------------------
+    def _index_exists(self) -> bool:
+        return self._manifest_path().exists()
+
+    def _index_create(self, campaign: CampaignSpec) -> None:
+        self._write_manifest(self._empty_manifest(campaign))
+
+    def _index_entries(self) -> dict[str, dict]:
+        # sort_keys on write keeps the stored document key-ordered, but
+        # sort defensively so hand-edited manifests stay deterministic.
+        units = self.manifest()["units"]
+        return {key: units[key] for key in sorted(units)}
+
+    def _index_get(self, key: str) -> dict | None:
+        return self.manifest()["units"].get(key)
+
+    def _index_put(self, key: str, entry: dict) -> None:
+        with self._lock():
+            manifest = self.manifest()
+            manifest["units"][key] = entry
+            self._write_manifest(manifest)
+
+    def _index_delete(self, key: str) -> None:
+        with self._lock():
+            manifest = self.manifest()
+            if key in manifest["units"]:
+                del manifest["units"][key]
+                self._write_manifest(manifest)
+
+    def _index_bulk_put(self, entries: dict[str, dict]) -> None:
+        with self._lock():
+            manifest = self.manifest()
+            manifest["units"].update(entries)
+            self._write_manifest(manifest)
+
+    def _index_contains(self, key: str) -> bool:
+        return key in self.manifest()["units"]
+
+    def _index_count(self) -> int:
+        return len(self.manifest()["units"])
+
+    def _index_keys(self, prefix: str | None = None) -> list[str]:
+        keys = sorted(self.manifest()["units"])
+        if prefix is not None:
+            keys = [key for key in keys if key.startswith(prefix)]
+        return keys

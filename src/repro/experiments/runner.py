@@ -29,9 +29,13 @@ writes an editable demo :class:`~repro.campaign.CampaignSpec` JSON,
 content-hashed unit key — if the store already holds completed units),
 ``status`` summarises and integrity-checks a store, ``report``
 regenerates the Fig. 5/6 energy grids from stored artifacts without
-re-running any training, and ``doctor`` audits — with ``--repair``,
-self-heals — a store damaged by crashes or torn writes.  Runs are
-supervised by default (bounded retries, watchdog deadlines, quarantine;
+re-running any training, ``doctor`` audits — with ``--repair``,
+self-heals — a store damaged by crashes or torn writes, and
+``migrate`` converts a store between index backends.  Stores open
+through the repository API (:mod:`repro.campaign.repository`):
+``--store-backend {json,sqlite}`` picks the index format for new
+stores, existing stores auto-detect from disk.  Runs are supervised by
+default (bounded retries, watchdog deadlines, quarantine;
 ``--no-supervise`` restores fail-fast).  For ``campaign``,
 ``--backend``, ``--fault-plan`` and ``--quorum`` act as grid-wide
 overrides.
@@ -416,15 +420,40 @@ def build_parser() -> argparse.ArgumentParser:
             "supervision (bounded retries, watchdog deadlines, "
             "quarantine), 'status' summarises and integrity-checks the "
             "store, 'report' regenerates the energy tables from stored "
-            "artifacts without re-running training, and 'doctor' "
+            "artifacts without re-running training, 'doctor' "
             "audits (with --repair, self-heals) a store damaged by "
-            "crashes or torn writes."
+            "crashes or torn writes, and 'migrate' converts a store "
+            "between index backends (--store-backend into --out)."
         ),
     )
     campaign.add_argument(
         "action",
-        choices=("init", "run", "status", "report", "doctor"),
+        choices=("init", "run", "status", "report", "doctor", "migrate"),
         help="campaign operation",
+    )
+    campaign.add_argument(
+        "--store-backend",
+        choices=("json", "sqlite"),
+        default=None,
+        metavar="BACKEND",
+        help=(
+            "store index backend: 'json' (one manifest.json document; "
+            "the compatibility default) or 'sqlite' (indexed WAL-mode "
+            "manifest.db; use for large grids).  Existing stores "
+            "auto-detect from disk — passing a conflicting backend is "
+            "an error, except for 'doctor --repair', where it names "
+            "the index to rebuild, and 'migrate', where it names the "
+            "destination format (required there)"
+        ),
+    )
+    campaign.add_argument(
+        "--out",
+        metavar="DIR",
+        default=None,
+        help=(
+            "for 'migrate': destination directory (must not already "
+            "contain a store; the source in --dir is left untouched)"
+        ),
     )
     campaign.add_argument(
         "--spec",
@@ -572,15 +601,20 @@ def _export_observer(observer: Observer, args: argparse.Namespace) -> None:
 def _follow_status(store, interval: float) -> int:
     """``campaign status --follow``: refresh until the campaign finishes.
 
-    Each refresh re-reads the manifest and tails the worker telemetry
-    spools, so this works from any process on the machine — including
-    while a separate ``campaign run --jobs N`` is training.
+    One :class:`~repro.campaign.CampaignStatusMonitor` lives across the
+    whole follow: the campaign grid and every finished unit's status
+    are computed once and reused, so each tick costs work proportional
+    to the units still moving — not a full re-parse of the store.  The
+    poll reads the store and the worker telemetry spools, so this works
+    from any process on the machine — including while a separate
+    ``campaign run --jobs N`` is training.
     """
-    from repro.campaign import CampaignStatus
+    from repro.campaign import CampaignStatusMonitor
 
+    monitor = CampaignStatusMonitor(store)
     try:
         while True:
-            status = CampaignStatus.collect(store)
+            status = monitor.refresh()
             print(status.render())
             if status.finished:
                 break
@@ -604,9 +638,9 @@ def _run_campaign(args: argparse.Namespace) -> int:
         campaign_telemetry,
         make_demo_campaign,
     )
+    from repro.campaign import migrate_store
     from repro.faults import ChaosPlan, FaultPlan
 
-    store = ArtifactStore(args.store_dir)
     if args.action == "init":
         if args.spec is None:
             print("campaign init requires --spec PATH", file=sys.stderr)
@@ -614,6 +648,30 @@ def _run_campaign(args: argparse.Namespace) -> int:
         make_demo_campaign().save(args.spec)
         print(f"wrote demo campaign spec to {args.spec} (edit, then run)")
         return 0
+
+    if args.action == "migrate":
+        if args.out is None or args.store_backend is None:
+            print(
+                "campaign migrate requires --out DIR and "
+                "--store-backend {json,sqlite}",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            result = migrate_store(
+                args.store_dir, args.out, args.store_backend
+            )
+        except StoreError as error:
+            print(f"migrate failed: {error}", file=sys.stderr)
+            return 2
+        print(result.render())
+        return 0
+
+    try:
+        store = ArtifactStore(args.store_dir, backend=args.store_backend)
+    except StoreError as error:
+        print(str(error), file=sys.stderr)
+        return 2
 
     if args.action == "doctor":
         try:
@@ -634,18 +692,21 @@ def _run_campaign(args: argparse.Namespace) -> int:
         if args.follow:
             return _follow_status(store, args.interval)
         completed = store.completed_keys()
-        problems = store.verify()
+        health = store.verify()
         print(
             f"campaign {campaign.name!r} (key {campaign.key()}): "
-            f"{len(completed)}/{len(campaign)} units complete"
+            f"{len(completed)}/{len(campaign)} units complete "
+            f"[{store.backend_name} store]"
         )
         status = CampaignStatus.collect(store)
         print(status.render_summary())
-        for problem in problems:
-            print(f"integrity: {problem}", file=sys.stderr)
+        if not health.healthy:
+            # Same StoreHealthReport rendering `campaign doctor` uses,
+            # on stderr because it is an operator alarm, not status.
+            print(health.render(), file=sys.stderr)
         # Non-zero for anything an operator must look at: integrity
         # problems, failed units, or quarantined units.
-        return 1 if problems or status.troubled else 0
+        return 1 if not health.healthy or status.troubled else 0
 
     if args.action == "report":
         try:

@@ -2,8 +2,11 @@
 
 A campaign grid is embarrassingly parallel: every unit trains from a
 fresh, independently seeded prototype and touches no shared mutable
-state except the flock-protected :class:`ArtifactStore`.  This module
-provides the generic scheduling half of that story:
+state except the campaign store — whose index updates are atomic in
+either backend (flock-serialised manifest rewrites for JSON,
+single-row WAL transactions for SQLite; see
+:mod:`repro.campaign.repository`).  This module provides the generic
+scheduling half of that story:
 
 * a **cost model** derived from the paper's timing law
   ``t = E * (tau0 * n + tau1)``: one round costs ``K * E * n`` local
@@ -29,8 +32,8 @@ Determinism is the caller's contract: each worker must derive all
 randomness from its own unit's seed, and all result recording must be
 safe under concurrent writers.  Under that contract the set of bytes a
 parallel run produces is identical to a sequential run's — only the
-completion *order* differs, which is why the artifact manifest is
-written with sorted keys.  Supervision preserves the contract: retry
+completion *order* differs, which is why the store's canonical index
+document is key-sorted.  Supervision preserves the contract: retry
 backoff jitter derives from ``(unit key, attempt)`` alone, so a resumed
 campaign replays the same schedule decisions.
 
@@ -278,8 +281,9 @@ class ParallelUnitScheduler:
     The scheduler is generic: it receives opaque payloads plus a
     *picklable, module-level* worker callable and never interprets
     results beyond success/failure.  Workers are expected to persist
-    their own results (e.g. into a flock-protected store); the scheduler
-    only tracks outcomes, so a killed run loses nothing that completed.
+    their own results (e.g. through the campaign repository API); the
+    scheduler only tracks outcomes, so a killed run loses nothing that
+    completed.
     """
 
     def __init__(

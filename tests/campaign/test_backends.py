@@ -1,0 +1,422 @@
+"""Backend parity: JSON and SQLite stores are observably identical.
+
+The repository redesign's core promise is that the index backend is an
+implementation detail: the same campaign run against either backend
+produces the same unit keys, the same artifact bytes, the same logical
+index, the same reports, and the same CLI output — and ``migrate``
+converts between them without changing any of it.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.campaign import (
+    ArtifactStore,
+    CampaignRepository,
+    CampaignRunner,
+    CampaignSpec,
+    CampaignReport,
+    JsonArtifactStore,
+    SqliteArtifactStore,
+    StoreError,
+    StoreHealthReport,
+    detect_backend,
+    migrate_store,
+    open_store,
+)
+from repro.experiments.runner import main
+
+pytestmark = pytest.mark.campaign_smoke
+
+BACKENDS = ("json", "sqlite")
+
+
+def _unit_fingerprint(root: Path) -> dict[str, bytes]:
+    """Every artifact byte under ``units/`` plus the campaign binding."""
+    fingerprint = {}
+    units = root / "units"
+    if units.exists():
+        for path in sorted(units.rglob("*")):
+            if path.is_file():
+                fingerprint[str(path.relative_to(root))] = path.read_bytes()
+    campaign = root / "campaign.json"
+    if campaign.exists():
+        fingerprint["campaign.json"] = campaign.read_bytes()
+    return fingerprint
+
+
+@pytest.fixture()
+def both_stores(tmp_path, tiny_campaign: CampaignSpec):
+    """The tiny campaign fully executed against each backend."""
+    stores = {}
+    for backend in BACKENDS:
+        store = ArtifactStore(tmp_path / backend, backend=backend)
+        CampaignRunner(tiny_campaign, store).run()
+        stores[backend] = store
+    return stores
+
+
+class TestDispatch:
+    """``ArtifactStore(root)`` resolves the right backend class."""
+
+    def test_default_is_json(self, tmp_path, monkeypatch) -> None:
+        monkeypatch.delenv("REPRO_STORE_BACKEND", raising=False)
+        assert isinstance(ArtifactStore(tmp_path / "new"), JsonArtifactStore)
+
+    def test_explicit_sqlite(self, tmp_path) -> None:
+        store = ArtifactStore(tmp_path / "new", backend="sqlite")
+        assert isinstance(store, SqliteArtifactStore)
+
+    def test_auto_detect_each_backend(
+        self, tmp_path, tiny_campaign: CampaignSpec
+    ) -> None:
+        for backend in BACKENDS:
+            root = tmp_path / backend
+            ArtifactStore(root, backend=backend).initialize(tiny_campaign)
+            assert detect_backend(root) == backend
+            reopened = open_store(root)
+            assert reopened.backend_name == backend
+
+    def test_env_default_for_new_stores(self, tmp_path, monkeypatch) -> None:
+        monkeypatch.setenv("REPRO_STORE_BACKEND", "sqlite")
+        assert isinstance(
+            ArtifactStore(tmp_path / "new"), SqliteArtifactStore
+        )
+        monkeypatch.setenv("REPRO_STORE_BACKEND", "bogus")
+        with pytest.raises(StoreError, match="REPRO_STORE_BACKEND"):
+            ArtifactStore(tmp_path / "other")
+
+    def test_backend_mismatch_raises(
+        self, tmp_path, tiny_campaign: CampaignSpec
+    ) -> None:
+        root = tmp_path / "store"
+        ArtifactStore(root, backend="sqlite").initialize(tiny_campaign)
+        with pytest.raises(StoreError, match="migrate"):
+            ArtifactStore(root, backend="json")
+
+    def test_both_satisfy_repository_protocol(self, tmp_path) -> None:
+        for backend in BACKENDS:
+            store = ArtifactStore(tmp_path / backend, backend=backend)
+            assert isinstance(store, CampaignRepository)
+
+
+class TestParity:
+    """Same campaign, either backend: observably identical stores."""
+
+    def test_same_keys_and_artifact_bytes(self, both_stores) -> None:
+        json_store, sqlite_store = (
+            both_stores["json"],
+            both_stores["sqlite"],
+        )
+        assert json_store.keys() == sqlite_store.keys()
+        assert _unit_fingerprint(json_store.root) == _unit_fingerprint(
+            sqlite_store.root
+        )
+
+    def test_same_logical_index(self, both_stores) -> None:
+        assert (
+            both_stores["json"].index_digest()
+            == both_stores["sqlite"].index_digest()
+        )
+        assert both_stores["json"].manifest() == both_stores[
+            "sqlite"
+        ].manifest()
+
+    def test_same_histories(self, both_stores) -> None:
+        for key in both_stores["json"].keys():
+            json_unit = both_stores["json"].get(key)
+            sqlite_unit = both_stores["sqlite"].get(key)
+            assert json_unit.history().records == (
+                sqlite_unit.history().records
+            )
+            assert json_unit.result() == sqlite_unit.result()
+
+    def test_same_report_tables(self, both_stores) -> None:
+        assert (
+            CampaignReport.from_store(both_stores["json"]).render()
+            == CampaignReport.from_store(both_stores["sqlite"]).render()
+        )
+
+    def test_same_cli_report_output(self, both_stores, capsys) -> None:
+        outputs = {}
+        for backend, store in both_stores.items():
+            assert (
+                main(["campaign", "report", "--dir", str(store.root)]) == 0
+            )
+            outputs[backend] = capsys.readouterr().out
+        assert outputs["json"] == outputs["sqlite"]
+
+    def test_prefix_scan_matches_filter(self, both_stores) -> None:
+        for store in both_stores.values():
+            key = store.keys()[0]
+            prefix = key[:3]
+            assert store.keys(prefix=prefix) == [
+                k for k in store.keys() if k.startswith(prefix)
+            ]
+
+    def test_contains_is_membership(self, both_stores) -> None:
+        for store in both_stores.values():
+            for key in store.keys():
+                assert store.contains(key)
+            assert not store.contains("0" * 16)
+
+
+class TestSqliteInvariants:
+    """The store invariants the runner relies on, on the new backend."""
+
+    def test_kill_and_resume_byte_identity(
+        self, tmp_path, tiny_campaign: CampaignSpec
+    ) -> None:
+        oneshot = ArtifactStore(tmp_path / "oneshot", backend="sqlite")
+        CampaignRunner(tiny_campaign, oneshot).run()
+        resumed = ArtifactStore(tmp_path / "resumed", backend="sqlite")
+        CampaignRunner(tiny_campaign, resumed).run(max_units=2)
+        assert len(resumed.keys()) == 2
+        summary = CampaignRunner(tiny_campaign, resumed).run()
+        assert summary.skipped == 2
+        assert _unit_fingerprint(resumed.root) == _unit_fingerprint(
+            oneshot.root
+        )
+        assert resumed.index_digest() == oneshot.index_digest()
+
+    @pytest.mark.parallel_smoke
+    def test_parallel_matches_sequential(
+        self, tmp_path, tiny_campaign: CampaignSpec
+    ) -> None:
+        sequential = ArtifactStore(tmp_path / "seq", backend="sqlite")
+        CampaignRunner(tiny_campaign, sequential).run()
+        parallel = ArtifactStore(tmp_path / "par", backend="sqlite")
+        CampaignRunner(tiny_campaign, parallel).run(jobs=2)
+        assert _unit_fingerprint(parallel.root) == _unit_fingerprint(
+            sequential.root
+        )
+        assert parallel.index_digest() == sequential.index_digest()
+
+    def test_doctor_rebuilds_deleted_index(
+        self, tmp_path, tiny_campaign: CampaignSpec
+    ) -> None:
+        store = ArtifactStore(tmp_path / "store", backend="sqlite")
+        CampaignRunner(tiny_campaign, store).run()
+        digest = store.index_digest()
+        (store.root / "manifest.db").unlink()
+        broken = ArtifactStore(store.root, backend="sqlite")
+        report = broken.doctor(repair=True)
+        assert "manifest.db missing" in report.problems
+        assert sorted(report.adopted) == broken.keys()
+        assert report.healthy
+        assert broken.index_digest() == digest
+
+    def test_doctor_quarantines_corrupt_unit(
+        self, tmp_path, tiny_campaign: CampaignSpec
+    ) -> None:
+        store = ArtifactStore(tmp_path / "store", backend="sqlite")
+        CampaignRunner(tiny_campaign, store).run()
+        victim = store.keys()[0]
+        (store.unit_dir(victim) / "result.json").write_text(
+            "garbage", encoding="utf-8"
+        )
+        report = store.doctor(repair=True)
+        assert victim in report.quarantined
+        assert not store.contains(victim)
+        assert store.attempts_used(victim) == 1
+        assert store.verify().healthy
+
+    def test_store_at_rest_is_single_file_index(
+        self, tmp_path, tiny_campaign: CampaignSpec
+    ) -> None:
+        # Per-operation connections auto-checkpoint the WAL on close,
+        # so nothing but manifest.db survives a finished run — the
+        # fingerprint/migration story depends on this.
+        store = ArtifactStore(tmp_path / "store", backend="sqlite")
+        CampaignRunner(tiny_campaign, store).run()
+        assert not (store.root / "manifest.db-wal").exists()
+        assert not (store.root / "manifest.db-shm").exists()
+
+
+class TestHealthReport:
+    """verify()/doctor() share one typed report, list-compatible."""
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_typed_and_list_compatible(
+        self, tmp_path, tiny_campaign: CampaignSpec, backend: str
+    ) -> None:
+        store = ArtifactStore(tmp_path / backend, backend=backend)
+        CampaignRunner(tiny_campaign, store).run(max_units=1)
+        health = store.verify()
+        assert isinstance(health, StoreHealthReport)
+        assert health == []  # legacy list contract
+        assert not health  # falsy when problem-free
+        assert list(health) == []
+        assert health.healthy
+        assert health.backend == backend
+        assert health.checked == 1
+        checkup = store.doctor()
+        assert isinstance(checkup, StoreHealthReport)
+        assert checkup.healthy
+
+    def test_problems_surface_through_list_protocol(
+        self, tmp_path, tiny_campaign: CampaignSpec
+    ) -> None:
+        store = ArtifactStore(tmp_path / "store", backend="sqlite")
+        CampaignRunner(tiny_campaign, store).run(max_units=1)
+        key = store.keys()[0]
+        (store.unit_dir(key) / "history.json").write_text(
+            "{}", encoding="utf-8"
+        )
+        health = store.verify()
+        assert health  # truthy when problems exist
+        assert len(health) == 1
+        assert any("checksum mismatch" in problem for problem in health)
+        assert not health.healthy
+        assert "integrity problem" in health.render()
+
+
+class TestMigration:
+    """``migrate`` round-trips byte-identically, either direction."""
+
+    def test_round_trip_byte_identity_with_quarantine_trail(
+        self, tmp_path, tiny_campaign: CampaignSpec
+    ) -> None:
+        source = ArtifactStore(tmp_path / "src", backend="json")
+        CampaignRunner(tiny_campaign, source).run()
+        # A failure trail must survive migration: attempt counters are
+        # durable state a resumed campaign keeps counting from.
+        loser = tiny_campaign.expand()[0].key()
+        source.record_failure(
+            loser, {"unit": "u", "kind": "crash", "error": "boom"}
+        )
+        result = migrate_store(source.root, tmp_path / "mid", "sqlite")
+        assert result.units == len(source.keys())
+        assert result.index_digest == source.index_digest()
+        back = migrate_store(tmp_path / "mid", tmp_path / "dst", "json")
+        assert back.index_digest == result.index_digest
+        assert (tmp_path / "dst" / "manifest.json").read_bytes() == (
+            source.root / "manifest.json"
+        ).read_bytes()
+        assert _unit_fingerprint(tmp_path / "dst") == _unit_fingerprint(
+            source.root
+        )
+        migrated = ArtifactStore(tmp_path / "dst")
+        assert migrated.failure_records(loser) == source.failure_records(
+            loser
+        )
+        assert migrated.verify().healthy
+
+    def test_refuses_nonempty_destination(
+        self, tmp_path, tiny_campaign: CampaignSpec
+    ) -> None:
+        source = ArtifactStore(tmp_path / "src", backend="json")
+        CampaignRunner(tiny_campaign, source).run(max_units=1)
+        occupied = tmp_path / "dst"
+        occupied.mkdir()
+        (occupied / "keep.txt").write_text("mine", encoding="utf-8")
+        with pytest.raises(StoreError, match="not empty"):
+            migrate_store(source.root, occupied, "sqlite")
+        assert (occupied / "keep.txt").read_text(encoding="utf-8") == "mine"
+
+    def test_refuses_missing_source(self, tmp_path) -> None:
+        with pytest.raises(StoreError, match="no campaign store"):
+            migrate_store(tmp_path / "nothing", tmp_path / "dst", "sqlite")
+
+
+class TestCli:
+    """--store-backend and the migrate action on the campaign CLI."""
+
+    def test_run_status_with_sqlite_backend(
+        self, tmp_path, tiny_campaign: CampaignSpec, capsys
+    ) -> None:
+        spec_path = tmp_path / "campaign.json"
+        tiny_campaign.save(spec_path)
+        store_dir = tmp_path / "store"
+        assert (
+            main(
+                [
+                    "campaign",
+                    "run",
+                    "--spec",
+                    str(spec_path),
+                    "--dir",
+                    str(store_dir),
+                    "--store-backend",
+                    "sqlite",
+                ]
+            )
+            == 0
+        )
+        assert (store_dir / "manifest.db").exists()
+        assert not (store_dir / "manifest.json").exists()
+        capsys.readouterr()
+        assert main(["campaign", "status", "--dir", str(store_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "4/4 units complete" in out
+        assert "[sqlite store]" in out
+
+    def test_cli_migrate_round_trip(
+        self, tmp_path, tiny_campaign: CampaignSpec, capsys
+    ) -> None:
+        store = ArtifactStore(tmp_path / "src", backend="json")
+        CampaignRunner(tiny_campaign, store).run()
+        assert (
+            main(
+                [
+                    "campaign",
+                    "migrate",
+                    "--dir",
+                    str(store.root),
+                    "--out",
+                    str(tmp_path / "mid"),
+                    "--store-backend",
+                    "sqlite",
+                ]
+            )
+            == 0
+        )
+        assert "migrated" in capsys.readouterr().out
+        assert (
+            main(
+                [
+                    "campaign",
+                    "migrate",
+                    "--dir",
+                    str(tmp_path / "mid"),
+                    "--out",
+                    str(tmp_path / "dst"),
+                    "--store-backend",
+                    "json",
+                ]
+            )
+            == 0
+        )
+        assert (tmp_path / "dst" / "manifest.json").read_bytes() == (
+            store.root / "manifest.json"
+        ).read_bytes()
+
+    def test_cli_migrate_requires_out_and_backend(
+        self, tmp_path, capsys
+    ) -> None:
+        assert main(["campaign", "migrate", "--dir", str(tmp_path)]) == 2
+        assert "requires --out" in capsys.readouterr().err
+
+    def test_cli_backend_mismatch_is_an_error(
+        self, tmp_path, tiny_campaign: CampaignSpec, capsys
+    ) -> None:
+        store = ArtifactStore(tmp_path / "store", backend="sqlite")
+        store.initialize(tiny_campaign)
+        assert (
+            main(
+                [
+                    "campaign",
+                    "status",
+                    "--dir",
+                    str(store.root),
+                    "--store-backend",
+                    "json",
+                ]
+            )
+            == 2
+        )
+        assert "migrate" in capsys.readouterr().err

@@ -315,9 +315,10 @@ class TestSupervisionCli:
         assert main(["campaign", "doctor", "--dir", str(store)]) == 0
         assert "healthy" in capsys.readouterr().out
 
-        (store / "manifest.json").unlink()
+        index_filename = ArtifactStore(store).index_filename
+        (store / index_filename).unlink()
         assert main(["campaign", "doctor", "--dir", str(store)]) == 1
-        assert "manifest.json missing" in capsys.readouterr().out
+        assert f"{index_filename} missing" in capsys.readouterr().out
         assert (
             main(["campaign", "doctor", "--dir", str(store), "--repair"]) == 0
         )

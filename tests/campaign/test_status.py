@@ -13,6 +13,7 @@ from repro.campaign import (
     CampaignRunner,
     CampaignSpec,
     CampaignStatus,
+    CampaignStatusMonitor,
 )
 from repro.campaign.status import _pid_alive
 
@@ -113,3 +114,48 @@ class TestSupervisedStates:
         assert by_key[key].attempts == 1  # the trail remains visible
         assert status.finished
         assert not status.troubled
+
+
+class TestStatusMonitor:
+    """The ``--follow`` monitor must poll incrementally, not rebuild."""
+
+    def test_done_rows_are_computed_once_and_reused(
+        self, tmp_path, tiny_campaign: CampaignSpec
+    ) -> None:
+        store = ArtifactStore(tmp_path / "store")
+        store.initialize(tiny_campaign)
+        CampaignRunner(tiny_campaign, store).run(max_units=2)
+
+        monitor = CampaignStatusMonitor(store)
+        first = monitor.refresh()
+        done_rows = {u.key: u for u in first.units if u.state == "done"}
+        assert len(done_rows) == 2
+
+        # A done unit is immutable, so its row must be replayed from
+        # cache — deleting the result file on disk proves later polls
+        # never re-open it.
+        for key in done_rows:
+            (store.unit_dir(key) / "result.json").unlink()
+        second = monitor.refresh()
+        for unit in second.units:
+            if unit.key in done_rows:
+                assert unit is done_rows[unit.key]
+
+    def test_monitor_picks_up_newly_completed_units(
+        self, tmp_path, tiny_campaign: CampaignSpec
+    ) -> None:
+        store = ArtifactStore(tmp_path / "store")
+        store.initialize(tiny_campaign)
+        monitor = CampaignStatusMonitor(store)
+        assert monitor.refresh().counts()["pending"] == len(tiny_campaign)
+
+        CampaignRunner(tiny_campaign, store).run()
+        status = monitor.refresh()
+        assert status.finished
+        assert status.counts()["done"] == len(tiny_campaign)
+        # collect() delegates to a throwaway monitor: same snapshot.
+        fresh = CampaignStatus.collect(store)
+        assert [u.key for u in fresh.units] == [u.key for u in status.units]
+        assert [u.state for u in fresh.units] == [
+            u.state for u in status.units
+        ]

@@ -45,7 +45,7 @@ class TestLifecycle:
         store = ArtifactStore(tmp_path / "store")
         store.initialize(tiny_campaign)
         assert (store.root / "campaign.json").exists()
-        assert (store.root / "manifest.json").exists()
+        assert (store.root / store.index_filename).exists()
         assert store.campaign_key() == tiny_campaign.key()
         assert store.completed_keys() == set()
 
@@ -125,7 +125,7 @@ class TestVerify:
         assert any("missing result.json" in p for p in populated.verify())
 
     def test_detects_spec_key_mismatch(self, populated: ArtifactStore) -> None:
-        # Rewrite a stored spec (seed bump) and refresh its manifest
+        # Rewrite a stored spec (seed bump) and refresh its index
         # checksum so only the content-hash cross-check can catch it.
         key = next(iter(populated.completed_keys()))
         spec_path = populated.unit_dir(key) / "spec.json"
@@ -135,18 +135,17 @@ class TestVerify:
         )
         text = tampered.to_json(indent=2) + "\n"
         spec_path.write_text(text, encoding="utf-8")
-        manifest_path = populated.root / "manifest.json"
-        manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
         import hashlib
 
-        manifest["units"][key]["files"]["spec.json"] = hashlib.sha256(
+        entry = populated.manifest()["units"][key]
+        entry["files"]["spec.json"] = hashlib.sha256(
             text.encode("utf-8")
         ).hexdigest()
-        manifest_path.write_text(json.dumps(manifest), encoding="utf-8")
+        populated.put_entry(key, entry)
         assert any("hashes to" in p for p in populated.verify())
 
     def test_corrupt_manifest_raises(self, populated: ArtifactStore) -> None:
-        (populated.root / "manifest.json").write_text(
+        (populated.root / populated.index_filename).write_text(
             "{not json", encoding="utf-8"
         )
         with pytest.raises(StoreError, match="corrupt manifest"):
@@ -323,12 +322,10 @@ class TestFailureTrail:
     def test_orphan_unit_dirs_are_detected_by_verify(
         self, populated: ArtifactStore, tiny_campaign: CampaignSpec
     ) -> None:
+        # Drop the index entry while leaving the unit directory behind,
+        # as a crash between artifact write and index write would.
         key = tiny_campaign.expand()[1].key()
-        manifest = populated.manifest()
-        del manifest["units"][key]
-        (populated.root / "manifest.json").write_text(
-            json.dumps(manifest, indent=2, sort_keys=True) + "\n"
-        )
+        populated._index_delete(key)
         assert populated.orphan_unit_keys() == [key]
         problems = populated.verify()
         assert any("orphan unit directory" in p for p in problems)

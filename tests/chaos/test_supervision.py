@@ -414,19 +414,23 @@ class TestDoctor:
         campaign = self._grid(tiny_spec)
         store = ArtifactStore(tmp_path / "store")
         CampaignRunner(campaign, store).run()
-        manifest_path = store.root / "manifest.json"
-        original = manifest_path.read_bytes()
-        manifest_path.unlink()
+        index_path = store.root / store.index_filename
+        original = store.index_digest()
+        store.close()
+        index_path.unlink()
 
         diagnosis = store.doctor(repair=False)
         assert not diagnosis.healthy
-        assert any("manifest.json missing" in p for p in diagnosis.problems)
-        assert manifest_path.exists() is False  # diagnosis never mutates
+        assert any(
+            f"{store.index_filename} missing" in p for p in diagnosis.problems
+        )
+        assert index_path.exists() is False  # diagnosis never mutates
 
         report = store.doctor(repair=True)
         assert report.healthy
         assert len(report.adopted) == 4
-        assert manifest_path.read_bytes() == original
+        # The rebuilt index is logically identical to the lost one.
+        assert store.index_digest() == original
         # Zero retraining: the adopted store satisfies every resume check.
         summary = CampaignRunner(campaign, store).run()
         assert summary.executed == 0
@@ -470,22 +474,18 @@ class TestDoctor:
         campaign = self._grid(tiny_spec)
         store = ArtifactStore(tmp_path / "store")
         CampaignRunner(campaign, store).run()
-        # Fabricate the files-written/manifest-lost crash shape for one
-        # unit by dropping its manifest entry.
+        # Fabricate the files-written/index-lost crash shape for one
+        # unit by dropping its index entry.
         victim = campaign.expand()[2].key()
-        manifest = store.manifest()
-        original = (store.root / "manifest.json").read_bytes()
-        del manifest["units"][victim]
-        (store.root / "manifest.json").write_text(
-            json.dumps(manifest, indent=2, sort_keys=True) + "\n"
-        )
+        original = store.index_digest()
+        store._index_delete(victim)
         assert store.orphan_unit_keys() == [victim]
         assert any("orphan" in problem for problem in store.verify())
 
         report = store.doctor(repair=True)
         assert report.healthy
         assert report.adopted == [victim]
-        assert (store.root / "manifest.json").read_bytes() == original
+        assert store.index_digest() == original
         assert store.verify() == []
 
     def test_doctor_refuses_a_store_without_campaign_binding(

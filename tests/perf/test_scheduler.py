@@ -31,14 +31,25 @@ pytestmark = pytest.mark.parallel_smoke
 
 
 def _store_digest(root: Path) -> dict[str, str]:
-    """SHA-256 of every store file (lock excluded) by relative path."""
-    return {
+    """SHA-256 of every store file by relative path, plus the index.
+
+    The lock file is excluded, and the index file is compared through
+    ``index_digest()`` (the canonical key-sorted document) rather than
+    raw bytes: a JSON manifest is byte-deterministic, but SQLite page
+    layout varies with insertion order even when the indexed content is
+    identical — logical identity is the invariant both backends share.
+    """
+    store = ArtifactStore(root)
+    skip = {".lock", store.index_filename}
+    digests = {
         str(path.relative_to(root)): hashlib.sha256(
             path.read_bytes()
         ).hexdigest()
         for path in sorted(root.rglob("*"))
-        if path.is_file() and path.name != ".lock"
+        if path.is_file() and path.name not in skip
     }
+    digests["<index>"] = store.index_digest()
+    return digests
 
 
 # Module-level scheduler workers (must be picklable).

@@ -84,6 +84,44 @@ def test_top_level_exports() -> None:
     assert repro.__version__
 
 
+def test_repository_surface_exported() -> None:
+    # The campaign storage API is part of the top-level contract.
+    from repro import (  # noqa: F401
+        CampaignRepository,
+        StoreHealthReport,
+        open_store,
+    )
+
+    from repro.campaign import JsonArtifactStore, SqliteArtifactStore
+
+    assert issubclass(JsonArtifactStore, repro.ArtifactStore)
+    assert issubclass(SqliteArtifactStore, repro.ArtifactStore)
+
+
+@pytest.mark.parametrize(
+    "name", ["ExperimentScale", "FederatedConfig", "ResilienceConfig"]
+)
+def test_deprecated_shim_warning_text(name: str) -> None:
+    """The shims must say what to use instead *and* when they go away."""
+    import warnings
+
+    # Module __getattr__ never caches the attribute, so every access
+    # re-warns — no import-state gymnastics needed.
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        getattr(repro, name)
+    messages = [
+        str(w.message)
+        for w in caught
+        if issubclass(w.category, DeprecationWarning)
+    ]
+    assert messages, f"repro.{name} did not warn"
+    message = messages[0]
+    assert f"repro.{name} is deprecated" in message
+    assert "will be removed in repro 2.0" in message
+    assert "RunSpec" in message  # points at the replacement surface
+
+
 def test_version_is_semver_like() -> None:
     parts = repro.__version__.split(".")
     assert len(parts) == 3
