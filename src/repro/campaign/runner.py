@@ -214,6 +214,7 @@ def execute_unit(
             sgd=scale.sgd_config(),
             seed=spec.seed,
             backend=spec.backend,
+            aggregation_tiers=spec.tiers,
         ),
         observer=observer,
     )
@@ -449,6 +450,8 @@ def _result_document(spec: RunSpec, result: PrototypeResult) -> dict:
         "degraded_rounds": int(result.degraded_rounds),
         "wall_clock_s": float(result.wall_clock_s),
         "iot_energy_j": float(result.iot_energy_j),
+        "tiers": int(spec.tiers),
+        "aggregation_energy_j": float(result.aggregation_energy_j),
     }
 
 
@@ -508,6 +511,9 @@ class CampaignRunner:
         fault_plan_override: inject this fault plan into every unit
             (rewrites the campaign, collapsing the fault axis, like
             ``backend_override``).
+        population_dtype_override: force every unit's population-backend
+            compute dtype (the ``--population-dtype`` CLI flag; rewrites
+            the campaign base — there is no dtype axis to collapse).
         quorum_override: force ``min_quorum`` on every unit.  A
             labelled resilience axis is preserved — each point keeps
             its label and other policy fields and only ``min_quorum``
@@ -529,6 +535,7 @@ class CampaignRunner:
         fault_plan_override: FaultPlan | None = None,
         quorum_override: int | None = None,
         chaos: ChaosPlan | None = None,
+        population_dtype_override: str | None = None,
     ) -> None:
         self.store = store if isinstance(store, ArtifactStore) else ArtifactStore(store)
         self._observer = active_or_none(observer)
@@ -544,6 +551,7 @@ class CampaignRunner:
             backend_override,
             fault_plan_override,
             quorum_override,
+            population_dtype_override,
         )
         self.units = self.campaign.expand()
         self.store.initialize(self.campaign)
@@ -554,14 +562,22 @@ class CampaignRunner:
         backend: str | None,
         fault_plan: FaultPlan | None,
         quorum: int | None,
+        population_dtype: str | None = None,
     ) -> CampaignSpec:
-        if backend is None and fault_plan is None and quorum is None:
+        if (
+            backend is None
+            and fault_plan is None
+            and quorum is None
+            and population_dtype is None
+        ):
             return campaign
         base_changes: dict = {}
         axis_changes: dict = {}
         if backend is not None:
             base_changes["backend"] = backend
             axis_changes["backends"] = ()
+        if population_dtype is not None:
+            base_changes["population_dtype"] = population_dtype
         if fault_plan is not None:
             base_changes["fault_plan"] = fault_plan
             axis_changes["faults"] = ()
@@ -855,7 +871,13 @@ class CampaignRunner:
                         )
                     finally:
                         if collector is not None:
-                            collector.poll()
+                            try:
+                                collector.poll()
+                            except KeyboardInterrupt:
+                                # The unit (if it finished) is already
+                                # durably checkpointed; remember the
+                                # interrupt but keep its summary.
+                                interrupted = True
                     if unit_summary is not None or interrupted or quarantined_now:
                         break
                     try:
@@ -865,6 +887,45 @@ class CampaignRunner:
                         # exactly like an interrupt during the unit itself.
                         interrupted = True
                         break
+                if unit_summary is not None:
+                    # Bookkeeping for a completed unit runs before any
+                    # interrupt is honored: the store already holds the
+                    # artifact, so the summary must count it — otherwise
+                    # a drain landing between checkpoint and accounting
+                    # under-reports `executed` relative to the store.
+                    duration_s = float(unit_summary["duration_s"])
+                    executed += 1
+                    outcomes.append(
+                        UnitOutcome(
+                            key=key,
+                            name=spec.name,
+                            skipped=False,
+                            duration_s=duration_s,
+                            attempts=attempt + 1,
+                        )
+                    )
+                    try:
+                        if obs is not None:
+                            obs.counter("campaign.units_run").inc()
+                            obs.histogram("campaign.unit_duration_s").observe(
+                                duration_s
+                            )
+                            obs.emit(
+                                "campaign.unit",
+                                campaign=self.campaign.name,
+                                unit=spec.name,
+                                key=key,
+                                skipped=False,
+                                duration_s=duration_s,
+                                rounds=unit_summary["rounds"],
+                                total_energy_j=unit_summary["total_energy_j"],
+                                reached_target=unit_summary["reached_target"],
+                            )
+                    except KeyboardInterrupt:
+                        interrupted = True
+                    if interrupted:
+                        break
+                    continue
                 if interrupted:
                     break
                 if quarantined_now:
@@ -888,31 +949,6 @@ class CampaignRunner:
                             attempts=attempt,
                         )
                     continue
-                duration_s = float(unit_summary["duration_s"])
-                executed += 1
-                outcomes.append(
-                    UnitOutcome(
-                        key=key,
-                        name=spec.name,
-                        skipped=False,
-                        duration_s=duration_s,
-                        attempts=attempt + 1,
-                    )
-                )
-                if obs is not None:
-                    obs.counter("campaign.units_run").inc()
-                    obs.histogram("campaign.unit_duration_s").observe(duration_s)
-                    obs.emit(
-                        "campaign.unit",
-                        campaign=self.campaign.name,
-                        unit=spec.name,
-                        key=key,
-                        skipped=False,
-                        duration_s=duration_s,
-                        rounds=unit_summary["rounds"],
-                        total_energy_j=unit_summary["total_energy_j"],
-                        reached_target=unit_summary["reached_target"],
-                    )
         except KeyboardInterrupt:
             # An interrupt landing *between* units (skip bookkeeping,
             # attempts lookups, telemetry emits) checkpoints exactly

@@ -43,7 +43,7 @@ from pathlib import Path
 from repro.experiments.config import ExperimentScale
 from repro.faults.models import FaultPlan
 from repro.faults.policies import ResilienceConfig
-from repro.fl.engine import BACKENDS
+from repro.fl.engine import AUTO_BACKEND, BACKENDS
 from repro.fl.training import FederatedConfig
 
 __all__ = [
@@ -62,6 +62,13 @@ _CAMPAIGN_SCHEMA = "repro.campaign-spec/1"
 # therefore excluded from content keys: toggling them on a finished
 # campaign must not force a retrain of already-computed cells.
 _KEY_NEUTRAL_FIELDS = ("telemetry", "pool_workers")
+
+# Fields added after schema v1 shipped.  At their defaults they describe
+# exactly what the field's absence used to describe, so they are dropped
+# from the identity projection — otherwise every key minted before the
+# field existed would dangle and finished campaigns would retrain from
+# scratch.  Non-default values *do* change results and enter the hash.
+_DEFAULTED_IDENTITY_FIELDS = (("tiers", 0), ("population_dtype", "float64"))
 
 
 def _canonical_json(data: dict) -> str:
@@ -105,8 +112,16 @@ class RunSpec:
         dropout_probability / proximal_mu / overselection: forwarded to
             :class:`~repro.fl.training.FederatedConfig`.
         backend: execution engine (``sequential`` / ``batched`` /
-            ``pool``; see :mod:`repro.fl.engine`).
+            ``pool`` / ``population``, or ``auto`` for data-driven
+            selection; see :mod:`repro.fl.engine`).
         pool_workers: worker count for the ``pool`` backend.
+        tiers: fog aggregation tiers between edge and cloud; ``0``
+            keeps the paper's flat (single-hop) aggregation.  Tiered
+            folds match the flat mean to ``~1e-12``, not bit-for-bit,
+            so a non-zero value changes the unit's identity key.
+        population_dtype: compute dtype for the ``population`` backend
+            (``float64`` default; ``float32`` halves memory at a
+            documented accuracy delta and changes the identity key).
         telemetry: attach an :class:`~repro.obs.Observer` to the run and
             persist its event log next to the run's artifacts.
         fault_plan: optional declarative fault plan injected into the
@@ -132,6 +147,8 @@ class RunSpec:
     overselection: int = 0
     backend: str = "sequential"
     pool_workers: int = 2
+    tiers: int = 0
+    population_dtype: str = "float64"
     telemetry: bool = False
     fault_plan: FaultPlan | None = None
     resilience: ResilienceConfig | None = None
@@ -155,10 +172,13 @@ class RunSpec:
             raise ValueError(
                 f"noise_std must be non-negative; got {self.noise_std}"
             )
-        if self.backend not in BACKENDS:
+        if self.backend not in BACKENDS and self.backend != AUTO_BACKEND:
             raise ValueError(
-                f"backend must be one of {BACKENDS}; got {self.backend!r}"
+                f"backend must be one of {BACKENDS} or {AUTO_BACKEND!r}; "
+                f"got {self.backend!r}"
             )
+        if self.tiers < 0:
+            raise ValueError(f"tiers must be >= 0; got {self.tiers}")
         # Delegate the remaining range checks to the legacy constructors
         # so RunSpec can never describe a run they would reject.
         self.scale()
@@ -197,6 +217,7 @@ class RunSpec:
             seed=self.seed,
             backend=self.backend,
             pool_workers=self.pool_workers,
+            population_dtype=self.population_dtype,
         )
 
     @classmethod
@@ -240,6 +261,7 @@ class RunSpec:
                 seed=federated.seed,
                 backend=federated.backend,
                 pool_workers=federated.pool_workers,
+                population_dtype=federated.population_dtype,
             )
             if federated.target_accuracy is not None:
                 fields["target_accuracy"] = federated.target_accuracy
@@ -270,6 +292,8 @@ class RunSpec:
             "overselection": int(self.overselection),
             "backend": str(self.backend),
             "pool_workers": int(self.pool_workers),
+            "tiers": int(self.tiers),
+            "population_dtype": str(self.population_dtype),
             "telemetry": bool(self.telemetry),
             "fault_plan": (
                 None if self.fault_plan is None else self.fault_plan.to_dict()
@@ -309,6 +333,12 @@ class RunSpec:
                 overselection=int(data["overselection"]),
                 backend=str(data["backend"]),
                 pool_workers=int(data["pool_workers"]),
+                # Post-v1 fields: absent in documents written before
+                # they existed, where absence means the default.
+                tiers=int(data.get("tiers", 0)),
+                population_dtype=str(
+                    data.get("population_dtype", "float64")
+                ),
                 telemetry=bool(data["telemetry"]),
                 fault_plan=(
                     None
@@ -339,11 +369,17 @@ class RunSpec:
         This is the projection the content hash covers: every field that
         can change what the run computes, and nothing that merely
         changes how it is executed or observed (``telemetry``,
-        ``pool_workers``).
+        ``pool_workers``).  Post-v1 fields (``tiers``,
+        ``population_dtype``) are dropped at their default values so
+        keys minted before those fields existed keep resolving; away
+        from the defaults they change results and enter the hash.
         """
         doc = self.to_dict()
         for field_name in _KEY_NEUTRAL_FIELDS:
             del doc[field_name]
+        for field_name, default in _DEFAULTED_IDENTITY_FIELDS:
+            if doc[field_name] == default:
+                del doc[field_name]
         return doc
 
     def key(self) -> str:
@@ -446,7 +482,11 @@ class CampaignSpec:
         participants: swept ``K`` values (Fig. 5's axis).
         epochs: swept ``E`` values (Fig. 6's axis).
         seeds: swept base seeds (multi-seed replication).
-        backends: swept execution engines.
+        backends: swept execution engines (``auto`` allowed).
+        tiers: swept fog-tier counts (``0`` = flat aggregation).  Unit
+            names carry a ``-T{t}`` suffix only for non-zero points, so
+            campaigns that never sweep tiers keep their exact pre-tiers
+            unit names.
         faults: labelled fault-plan axis (``FaultAxis`` points).
         resiliences: labelled resilience-policy axis.
     """
@@ -457,6 +497,7 @@ class CampaignSpec:
     epochs: tuple[int, ...] = ()
     seeds: tuple[int, ...] = ()
     backends: tuple[str, ...] = ()
+    tiers: tuple[int, ...] = ()
     faults: tuple[FaultAxis, ...] = ()
     resiliences: tuple[ResilienceAxis, ...] = ()
 
@@ -470,11 +511,18 @@ class CampaignSpec:
             "epochs",
             "seeds",
             "backends",
+            "tiers",
             "faults",
             "resiliences",
         ):
             object.__setattr__(self, attr, tuple(getattr(self, attr)))
-        for axis_name in ("participants", "epochs", "seeds", "backends"):
+        for axis_name in (
+            "participants",
+            "epochs",
+            "seeds",
+            "backends",
+            "tiers",
+        ):
             values = getattr(self, axis_name)
             if len(values) != len(set(values)):
                 raise ValueError(f"duplicate values on axis {axis_name!r}")
@@ -483,9 +531,10 @@ class CampaignSpec:
             if len(labels) != len(set(labels)):
                 raise ValueError(f"duplicate labels on axis {axis_name!r}")
         for backend in self.backends:
-            if backend not in BACKENDS:
+            if backend not in BACKENDS and backend != AUTO_BACKEND:
                 raise ValueError(
-                    f"backend must be one of {BACKENDS}; got {backend!r}"
+                    f"backend must be one of {BACKENDS} or "
+                    f"{AUTO_BACKEND!r}; got {backend!r}"
                 )
         # Fail at declaration time, not mid-campaign: every grid cell
         # must be a valid RunSpec.
@@ -499,6 +548,7 @@ class CampaignSpec:
             "epochs": max(1, len(self.epochs)),
             "seeds": max(1, len(self.seeds)),
             "backends": max(1, len(self.backends)),
+            "tiers": max(1, len(self.tiers)),
             "faults": max(1, len(self.faults)),
             "resiliences": max(1, len(self.resiliences)),
         }
@@ -515,6 +565,7 @@ class CampaignSpec:
         e_axis = self.epochs or (self.base.epochs,)
         seed_axis = self.seeds or (self.base.seed,)
         backend_axis = self.backends or (self.base.backend,)
+        tier_axis = self.tiers or (self.base.tiers,)
         fault_axis = self.faults or (
             FaultAxis(label="base", plan=self.base.fault_plan),
         )
@@ -522,11 +573,20 @@ class CampaignSpec:
             ResilienceAxis(label="base", config=self.base.resilience),
         )
         units = []
-        for k, e, seed, backend, fault, res in itertools.product(
-            k_axis, e_axis, seed_axis, backend_axis, fault_axis, res_axis
+        for k, e, seed, backend, tier, fault, res in itertools.product(
+            k_axis,
+            e_axis,
+            seed_axis,
+            backend_axis,
+            tier_axis,
+            fault_axis,
+            res_axis,
         ):
+            # Flat aggregation (tier 0) keeps the historical name form
+            # so pre-tiers campaign manifests stay byte-identical.
+            tier_tag = f"-T{tier}" if tier else ""
             unit_name = (
-                f"{self.name}/K{k}-E{e}-s{seed}-{backend}"
+                f"{self.name}/K{k}-E{e}-s{seed}-{backend}{tier_tag}"
                 f"-f.{fault.label}-r.{res.label}"
             )
             units.append(
@@ -537,6 +597,7 @@ class CampaignSpec:
                     epochs=e,
                     seed=seed,
                     backend=backend,
+                    tiers=tier,
                     fault_plan=fault.plan,
                     resilience=res.config,
                 )
@@ -556,6 +617,7 @@ class CampaignSpec:
             "epochs": [int(e) for e in self.epochs],
             "seeds": [int(s) for s in self.seeds],
             "backends": [str(b) for b in self.backends],
+            "tiers": [int(t) for t in self.tiers],
             "faults": [point.to_dict() for point in self.faults],
             "resiliences": [point.to_dict() for point in self.resiliences],
         }
@@ -579,6 +641,7 @@ class CampaignSpec:
                 epochs=tuple(int(e) for e in data["epochs"]),
                 seeds=tuple(int(s) for s in data["seeds"]),
                 backends=tuple(str(b) for b in data["backends"]),
+                tiers=tuple(int(t) for t in data.get("tiers", ())),
                 faults=tuple(
                     FaultAxis.from_dict(point) for point in data["faults"]
                 ),
@@ -614,10 +677,15 @@ class CampaignSpec:
         Like :meth:`RunSpec.key`, the hash covers the identity
         projection of the base spec, so toggling a result-neutral knob
         (``telemetry``, ``pool_workers``) on a finished campaign keeps
-        the store's campaign binding — and resume — intact.
+        the store's campaign binding — and resume — intact.  The
+        post-v1 ``tiers`` axis is dropped when empty for the same
+        reason: an un-swept axis describes exactly what its absence
+        used to.
         """
         doc = self.to_dict()
         doc["base"] = self.base.identity_dict()
+        if not doc["tiers"]:
+            del doc["tiers"]
         return _content_key(doc)
 
 

@@ -29,6 +29,8 @@ from repro.core import constants
 __all__ = [
     "EnergyParams",
     "HeterogeneousEnergyParams",
+    "aggregation_energy",
+    "cloud_fan_in",
     "data_collection_energy",
     "local_training_energy",
     "round_energy_per_server",
@@ -154,6 +156,48 @@ class HeterogeneousEnergyParams:
             e_upload=float(self.e_upload.mean()),
             n_samples=self.n_samples,
         )
+
+
+def cloud_fan_in(participants: int, tiers: int = 0) -> int:
+    """Messages the cloud aggregator combines in one round.
+
+    Flat aggregation (``tiers=0``, the paper's single-hop topology)
+    means the cloud receives all ``K`` participant uploads.  With
+    ``tiers`` fog nodes interposed, each fog node pre-folds its share of
+    the uploads and the cloud combines only the ``min(tiers, K)`` tier
+    partials — the cloud-side cost stops growing with ``K`` once
+    ``K > tiers``, which is what makes million-client rounds feasible at
+    a fixed-capacity cloud link.
+    """
+    if participants < 1:
+        raise ValueError(f"participants must be >= 1; got {participants}")
+    if tiers < 0:
+        raise ValueError(f"tiers must be >= 0; got {tiers}")
+    if tiers == 0:
+        return participants
+    return min(tiers, participants)
+
+
+def aggregation_energy(
+    e_receive: float,
+    participants: int,
+    rounds: int | float,
+    tiers: int = 0,
+) -> float:
+    """Total cloud-side reception energy over ``rounds`` rounds.
+
+    Each message the cloud combines is priced at ``e_receive`` joules
+    (symmetric-link assumption: receiving one model costs what
+    transmitting it does).  Fog-tier reception is charged to the fog
+    nodes, not the cloud, so the tiered value is what the cloud's
+    energy budget actually sees: ``T * min(tiers, K) * e_receive``
+    against the flat ``T * K * e_receive``.
+    """
+    if e_receive < 0:
+        raise ValueError(f"e_receive must be non-negative; got {e_receive}")
+    if rounds <= 0:
+        raise ValueError(f"rounds must be positive; got {rounds}")
+    return float(rounds) * cloud_fan_in(participants, tiers) * e_receive
 
 
 def round_energy_per_server(params: EnergyParams, epochs: int | float) -> float:

@@ -340,14 +340,29 @@ def common_options() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--backend",
-        choices=("sequential", "batched", "pool"),
+        choices=("sequential", "batched", "pool", "population", "auto"),
         default=None,
         help=(
             "execution engine for FL training: 'sequential' (reference, "
             "the default), 'batched' (vectorized full-batch cohort "
-            "training), or 'pool' (process pool over shared-memory "
-            "datasets); results are equivalent across backends.  For "
-            "'campaign run' this overrides every unit's backend"
+            "training), 'pool' (process pool over shared-memory "
+            "datasets), 'population' (struct-of-arrays cohort training "
+            "for large testbeds), or 'auto' (data-driven selection from "
+            "the workload and the measured break-even table); results "
+            "are equivalent across backends.  For 'campaign run' this "
+            "overrides every unit's backend"
+        ),
+    )
+    parser.add_argument(
+        "--population-dtype",
+        choices=("float64", "float32"),
+        default=None,
+        help=(
+            "compute dtype for the 'population' backend: 'float64' "
+            "(default, matches the reference bit-for-bit at equal op "
+            "order) or 'float32' (half the memory at a ~1e-6 relative "
+            "parameter delta; see BENCH_population.json).  For "
+            "'campaign run' this overrides every unit's dtype"
         ),
     )
     parser.add_argument(
@@ -771,6 +786,7 @@ def _run_campaign(args: argparse.Namespace) -> int:
             fault_plan_override=fault_plan,
             quorum_override=args.quorum,
             chaos=chaos,
+            population_dtype_override=args.population_dtype,
         )
     except StoreError as error:
         print(str(error), file=sys.stderr)

@@ -33,9 +33,20 @@ from repro.fl.partition import (
     partition_dirichlet,
     partition_iid,
 )
+from repro.fl.population import (
+    AggregationTree,
+    GridResult,
+    GridUnit,
+    PopulationGroup,
+    PopulationState,
+    fullbatch_gd_stack,
+    train_cohort,
+    train_unit_grid,
+)
 from repro.fl.sampling import (
     ClientSampler,
     FixedSampler,
+    FloydSampler,
     RoundRobinSampler,
     UniformSampler,
 )
@@ -75,8 +86,17 @@ __all__ = [
     "partition_by_shards",
     "partition_dirichlet",
     "partition_iid",
+    "AggregationTree",
+    "GridResult",
+    "GridUnit",
+    "PopulationGroup",
+    "PopulationState",
+    "fullbatch_gd_stack",
+    "train_cohort",
+    "train_unit_grid",
     "ClientSampler",
     "FixedSampler",
+    "FloydSampler",
     "RoundRobinSampler",
     "UniformSampler",
     "Coordinator",

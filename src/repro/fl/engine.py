@@ -38,6 +38,7 @@ relies on for dropout draws, compression, and upload simulation.
 
 from __future__ import annotations
 
+import json
 import multiprocessing
 import os
 import re
@@ -50,7 +51,12 @@ import numpy as np
 
 from repro.faults.models import substream
 from repro.fl.client import EdgeServerClient, LocalUpdate
-from repro.fl.model import LogisticRegressionConfig, _sigmoid
+from repro.fl.model import LogisticRegressionConfig
+from repro.fl.population import (
+    PopulationState,
+    fullbatch_gd_stack,
+    train_cohort,
+)
 from repro.obs.sink import TelemetrySpool, get_spool_context
 from repro.perf.cache import StackCache
 from repro.perf.shared_data import (
@@ -65,16 +71,30 @@ if TYPE_CHECKING:
     from repro.obs.observer import Observer
 
 __all__ = [
+    "AUTO_BACKEND",
     "BACKENDS",
     "ClientTrainResult",
     "ExecutionEngine",
     "SequentialEngine",
     "BatchedEngine",
     "PoolEngine",
+    "PopulationEngine",
     "create_engine",
+    "load_break_even_table",
+    "resolve_backend",
+    "select_backend",
 ]
 
-BACKENDS = ("sequential", "batched", "pool")
+BACKENDS = ("sequential", "batched", "pool", "population")
+
+# Sentinel accepted wherever a backend name is: resolved to a concrete
+# member of BACKENDS per host/workload by :func:`resolve_backend`.
+AUTO_BACKEND = "auto"
+
+# Cohorts below this size gain little from population stacks over the
+# batched engine's per-cohort stacking; above it, struct-of-arrays state
+# avoids re-stacking per round entirely.
+POPULATION_MIN_CLIENTS = 256
 
 
 @dataclass(frozen=True)
@@ -216,54 +236,21 @@ class BatchedEngine(ExecutionEngine):
         l2 = model_config.l2
         epochs = config.local_epochs
         features, labels = self._stacked(group)
-        n_group, n = labels.shape
-        rows = np.arange(n)
-        group_index = np.arange(n_group)[:, None]
+        n = labels.shape[1]
 
-        weights_global = global_parameters[: d * n_classes].reshape(d, n_classes)
-        bias_global = global_parameters[d * n_classes :]
-        # Start every client from broadcast *views* of the global model;
-        # each epoch rebinds out-of-place, never writing through.
-        weights = np.broadcast_to(weights_global, (n_group, d, n_classes))
-        bias = np.broadcast_to(bias_global, (n_group, n_classes))
-        losses = np.zeros(n_group)
-        features_t = features.transpose(0, 2, 1)
-
-        for _ in range(epochs):
-            logits = features @ weights
-            logits += bias[:, None, :]
-            if model_config.activation == "softmax":
-                shifted = logits - logits.max(axis=-1, keepdims=True)
-                exp = np.exp(shifted, out=shifted)
-                probs = np.divide(
-                    exp, exp.sum(axis=-1, keepdims=True), out=exp
-                )
-                picked = probs[group_index, rows, labels]
-            else:
-                probs = _sigmoid(logits)
-                total = probs.sum(axis=-1, keepdims=True)
-                picked = (probs / np.maximum(total, 1e-12))[
-                    group_index, rows, labels
-                ]
-            losses = -np.mean(np.log(np.maximum(picked, 1e-12)), axis=1)
-            if l2:
-                losses = losses + 0.5 * l2 * np.sum(weights**2, axis=(1, 2))
-            probs[group_index, rows, labels] -= 1.0
-            grad_w = features_t @ probs
-            grad_w /= n
-            grad_b = probs.sum(axis=1)
-            grad_b /= n
-            if l2:
-                grad_w += l2 * weights
-            if mu:
-                grad_w += mu * (weights - weights_global)
-                grad_b += mu * (bias - bias_global)
-            # In-place scale then subtract: same values as
-            # ``weights - lr * grad`` with half the large temporaries.
-            grad_w *= learning_rate
-            grad_b *= learning_rate
-            weights = weights - grad_w
-            bias = bias - grad_b
+        # The arithmetic lives in the shared population kernel so the
+        # batched, population, and stacked-grid paths stay one code path.
+        weights, bias, losses = fullbatch_gd_stack(
+            features,
+            labels,
+            global_parameters[: d * n_classes].reshape(d, n_classes),
+            global_parameters[d * n_classes :],
+            epochs=epochs,
+            learning_rate=learning_rate,
+            activation=model_config.activation,
+            l2=l2,
+            proximal_mu=mu,
+        )
 
         return [
             LocalUpdate(
@@ -313,6 +300,117 @@ class BatchedEngine(ExecutionEngine):
             ClientTrainResult(updates[client_id], per_client)
             for client_id in participants
         ]
+
+
+class PopulationEngine(ExecutionEngine):
+    """Struct-of-arrays backend over a :class:`PopulationState`.
+
+    Where the batched engine stacks each round's cohort on demand from
+    per-object clients, this backend adopts the *whole population* into
+    group stacks once at construction and trains every cohort by fancy-
+    indexed gather + one :func:`fullbatch_gd_stack` call per group — no
+    per-client Python objects on the hot path, so N scales to millions.
+    Same restrictions as the batched engine (logistic regression,
+    full batch); anything else falls back to sequential per-client
+    training.  With the float64 default the results are bit-identical
+    to the batched engine and ``atol=1e-10`` against sequential; the
+    opt-in float32 population trades that for half the memory.
+    """
+
+    name = "population"
+
+    def __init__(
+        self,
+        clients: list[EdgeServerClient],
+        config: "FederatedConfig",
+        observer: "Observer | None" = None,
+        *,
+        state: PopulationState | None = None,
+    ) -> None:
+        self._config = config
+        self._observer = observer
+        if state is not None:
+            self._state = state
+            self._supported = config.sgd.batch_size is None and isinstance(
+                state.model_config, LogisticRegressionConfig
+            )
+            self._fallback = (
+                SequentialEngine(clients, config, observer)
+                if clients
+                else None
+            )
+            return
+        model_config = clients[0].model_config
+        self._supported = (
+            isinstance(model_config, LogisticRegressionConfig)
+            and config.sgd.batch_size is None
+        )
+        self._fallback = SequentialEngine(clients, config, observer)
+        self._state = (
+            PopulationState.from_clients(
+                clients,
+                dtype=getattr(config, "population_dtype", "float64"),
+            )
+            if self._supported
+            else None
+        )
+
+    @classmethod
+    def from_state(
+        cls,
+        state: PopulationState,
+        config: "FederatedConfig",
+        observer: "Observer | None" = None,
+    ) -> "PopulationEngine":
+        """Build directly on population stacks, no client objects at all.
+
+        The benchmark/synthetic path: at N=10^6 even *constructing* a
+        client-object list is prohibitive, so the engine must be
+        reachable from :meth:`PopulationState.synthesize` alone.  The
+        unsupported-config fallback is unavailable in this mode.
+        """
+        return cls([], config, observer, state=state)
+
+    @property
+    def state(self) -> PopulationState | None:
+        return self._state
+
+    def train_round(
+        self,
+        participants: Sequence[int],
+        global_parameters: np.ndarray,
+        round_index: int,
+        learning_rate: float,
+    ) -> list[ClientTrainResult]:
+        if not self._supported or self._state is None:
+            if self._fallback is None:
+                raise RuntimeError(
+                    "population engine built from_state cannot fall back "
+                    "to per-client training"
+                )
+            return self._fallback.train_round(
+                participants, global_parameters, round_index, learning_rate
+            )
+        if not participants:
+            return []
+        started = time.perf_counter()
+        config = self._config
+        updates = train_cohort(
+            self._state,
+            participants,
+            global_parameters,
+            epochs=config.local_epochs,
+            learning_rate=learning_rate,
+            proximal_mu=config.proximal_mu,
+        )
+        elapsed = time.perf_counter() - started
+        if self._observer is not None:
+            self._observer.counter("engine.population_rounds").inc()
+            self._observer.counter("engine.population_clients").inc(
+                len(participants)
+            )
+        per_client = elapsed / max(1, len(participants))
+        return [ClientTrainResult(update, per_client) for update in updates]
 
 
 # ----------------------------------------------------------------------
@@ -619,19 +717,163 @@ class PoolEngine(ExecutionEngine):
             self._params = None
 
 
+# ----------------------------------------------------------------------
+# Data-driven backend selection (``--backend auto``).
+#
+# Selection is grounded in two measurements rather than flags: the
+# timing-law work proxy ``K * E * d`` (per-client samples are fixed by
+# the partition, so ``n`` cancels when comparing like against like) and
+# the measured pool break-even table in ``BENCH_parallel.json``.  On a
+# host where the table shows pool below break-even everywhere (this
+# repo's 1-CPU container), ``auto`` never picks pool — not because of a
+# hard-coded rule, but because no measured row crosses speedup 1.0.
+# ----------------------------------------------------------------------
+
+_BREAK_EVEN_PATH = (
+    Path(__file__).resolve().parents[3] / "BENCH_parallel.json"
+)
+
+
+def _available_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def _row_work(row: dict) -> float:
+    """Timing-law work proxy for one break-even row: ``K * E * d``."""
+    model = str(row.get("model", "0x0"))
+    try:
+        n_features = int(model.split("x", 1)[0])
+    except ValueError:
+        n_features = 0
+    return (
+        float(row.get("participants", 0))
+        * float(row.get("epochs", 0))
+        * float(n_features)
+    )
+
+
+def load_break_even_table(path: str | Path | None = None) -> dict | None:
+    """Load the measured pool break-even table, or ``None`` if absent.
+
+    Defaults to the repo-root ``BENCH_parallel.json`` written by
+    ``benchmarks/bench_parallel.py``.  A missing or malformed table
+    simply disables the pool branch of ``auto`` — selection then falls
+    back to the always-safe vectorized/sequential choice.
+    """
+    candidate = Path(path) if path is not None else _BREAK_EVEN_PATH
+    try:
+        payload = json.loads(candidate.read_text())
+    except (OSError, ValueError):
+        return None
+    return payload if isinstance(payload, dict) else None
+
+
+def _pool_crossover_work(table: dict | None) -> float | None:
+    """Smallest measured work at which pool beats sequential, if any."""
+    if not table:
+        return None
+    break_even = table.get("break_even") or {}
+    rows = break_even.get("rows") or []
+    profitable = [
+        _row_work(row)
+        for row in rows
+        if float(row.get("speedup_pool", 0.0)) >= 1.0
+    ]
+    return min(profitable) if profitable else None
+
+
+def select_backend(
+    *,
+    n_clients: int,
+    participants: int,
+    epochs: int,
+    n_features: int,
+    vectorizable: bool,
+    available_cpus: int | None = None,
+    table: dict | None = None,
+) -> str:
+    """Pick a concrete backend for one workload, data-driven.
+
+    Vectorizable workloads (logistic regression, full batch) always
+    take a stacked path — the batched engine's measured headline
+    (~4.5x, ``BENCH_engine.json``) dominates anything the pool can
+    reach on any core count this repo has measured — with the
+    population backend taking over once the client count justifies
+    struct-of-arrays state.  Non-vectorizable workloads go to the pool
+    only when (a) the host has at least ``pool_cpu_floor`` cores and
+    (b) the measured break-even table contains a profitable row at or
+    below this workload's timing-law work; otherwise sequential.
+    """
+    if vectorizable:
+        if n_clients >= POPULATION_MIN_CLIENTS:
+            return "population"
+        if participants >= 2:
+            return "batched"
+        return "sequential"
+    cpus = available_cpus if available_cpus is not None else _available_cpus()
+    thresholds = (table or {}).get("thresholds") or {}
+    cpu_floor = int(thresholds.get("pool_cpu_floor", 2))
+    crossover = _pool_crossover_work(table)
+    if cpus >= cpu_floor and crossover is not None:
+        work = float(participants) * float(epochs) * float(n_features)
+        if work >= crossover:
+            return "pool"
+    return "sequential"
+
+
+def resolve_backend(
+    backend: str,
+    clients: list[EdgeServerClient],
+    config: "FederatedConfig",
+    *,
+    available_cpus: int | None = None,
+    table: dict | None = None,
+) -> str:
+    """Resolve ``"auto"`` to a concrete backend; pass others through."""
+    if backend != AUTO_BACKEND:
+        return backend
+    model_config = clients[0].model_config if clients else None
+    vectorizable = (
+        isinstance(model_config, LogisticRegressionConfig)
+        and config.sgd.batch_size is None
+    )
+    if table is None:
+        table = load_break_even_table()
+    return select_backend(
+        n_clients=len(clients),
+        participants=config.participants_per_round,
+        epochs=config.local_epochs,
+        n_features=getattr(model_config, "n_features", 0),
+        vectorizable=vectorizable,
+        available_cpus=available_cpus,
+        table=table,
+    )
+
+
 def create_engine(
     backend: str,
     clients: list[EdgeServerClient],
     config: "FederatedConfig",
     observer: "Observer | None" = None,
 ) -> ExecutionEngine:
-    """Instantiate the execution backend named by ``backend``."""
+    """Instantiate the execution backend named by ``backend``.
+
+    ``"auto"`` is resolved against the current host and workload first
+    (see :func:`resolve_backend`).
+    """
+    if backend == AUTO_BACKEND:
+        backend = resolve_backend(backend, clients, config)
     if backend == "sequential":
         return SequentialEngine(clients, config, observer)
     if backend == "batched":
         return BatchedEngine(clients, config, observer)
     if backend == "pool":
         return PoolEngine(clients, config, observer)
+    if backend == "population":
+        return PopulationEngine(clients, config, observer)
     raise ValueError(
         f"backend must be one of {BACKENDS}; got {backend!r}"
     )

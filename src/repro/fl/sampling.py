@@ -19,6 +19,7 @@ __all__ = [
     "UniformSampler",
     "RoundRobinSampler",
     "FixedSampler",
+    "FloydSampler",
 ]
 
 
@@ -48,6 +49,41 @@ class UniformSampler(ClientSampler):
     def select(self, round_index: int) -> np.ndarray:
         chosen = self._rng.choice(self.n_clients, size=self.k, replace=False)
         return np.sort(chosen)
+
+
+class FloydSampler(ClientSampler):
+    """Uniform ``k``-subset in O(k) memory via Floyd's algorithm.
+
+    :class:`UniformSampler` delegates to ``Generator.choice``, whose
+    no-replacement path allocates an O(N) permutation — fine for the
+    paper's 20 servers, wasteful when the population engine samples a
+    10^5-cohort out of 10^6 clients every round.  Floyd's algorithm
+    touches only ``k`` draws and a ``k``-sized set, so sampling cost
+    scales with the cohort, not the population.
+
+    Statelessly keyed by ``(seed, round)``: every round draws from its
+    own derived generator, so selection for round ``t`` is reproducible
+    in isolation (no dependence on which rounds ran before) — the
+    contract checkpoint/resume at population scale needs.  The draw
+    *sequence* therefore differs from :class:`UniformSampler`; the
+    marginal distribution (uniform over ``k``-subsets) is the same.
+    """
+
+    def __init__(self, n_clients: int, k: int, seed: int = 0) -> None:
+        super().__init__(n_clients, k)
+        self._seed = seed
+
+    def select(self, round_index: int) -> np.ndarray:
+        if round_index < 0:
+            raise ValueError(f"round_index must be non-negative; got {round_index}")
+        rng = np.random.default_rng((self._seed, 0x0F1D, round_index))
+        chosen: set[int] = set()
+        # Floyd: for j in [N-k, N), pick t uniform in [0, j]; take t
+        # unless already taken, else take j.  Uniform over k-subsets.
+        for j in range(self.n_clients - self.k, self.n_clients):
+            t = int(rng.integers(0, j + 1))
+            chosen.add(t if t not in chosen else j)
+        return np.sort(np.fromiter(chosen, dtype=np.int64, count=self.k))
 
 
 class RoundRobinSampler(ClientSampler):

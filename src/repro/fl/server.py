@@ -20,6 +20,7 @@ from repro.fl.model import LogisticRegressionConfig, LogisticRegressionModel
 from repro.obs.observer import active_or_none
 
 if TYPE_CHECKING:
+    from repro.fl.population import AggregationTree
     from repro.obs.observer import Observer
 
 __all__ = [
@@ -76,6 +77,13 @@ class Coordinator:
         initial_parameters: optional starting point ``omega_0``; defaults
             to the zero vector, which for logistic regression is the
             conventional neutral initialisation.
+        aggregation_tree: optional
+            :class:`~repro.fl.population.AggregationTree`.  When set
+            (and ``aggregation="mean"``), a round's updates fold through
+            fog tier nodes before the cloud combines the tier partials —
+            cloud fan-in ``min(tiers, K)`` instead of ``K``.  The tiered
+            fold equals the flat mean to ``~1e-12`` (summation order
+            differs), which is why it is opt-in rather than the default.
     """
 
     def __init__(
@@ -84,14 +92,21 @@ class Coordinator:
         aggregation: str = "mean",
         initial_parameters: np.ndarray | None = None,
         observer: Observer | None = None,
+        aggregation_tree: "AggregationTree | None" = None,
     ) -> None:
         self._observer = active_or_none(observer)
         if aggregation not in ("mean", "weighted"):
             raise ValueError(
                 f"aggregation must be 'mean' or 'weighted'; got {aggregation!r}"
             )
+        if aggregation_tree is not None and aggregation != "mean":
+            raise ValueError(
+                "aggregation_tree requires the 'mean' rule; "
+                f"got aggregation={aggregation!r}"
+            )
         self.model_config = model_config
         self.aggregation = aggregation
+        self.aggregation_tree = aggregation_tree
         if initial_parameters is None:
             # The config's factory defines omega_0 (zeros for logistic
             # regression, deterministic He init for the MLP extension);
@@ -170,7 +185,9 @@ class Coordinator:
                     clients=poisoned,
                 )
             raise NonFiniteUpdateError(poisoned)
-        if self.aggregation == "mean":
+        if self.aggregation_tree is not None:
+            self._parameters = self.aggregation_tree.fold_updates(updates)
+        elif self.aggregation == "mean":
             self._parameters = aggregate_mean(updates)
         else:
             self._parameters = aggregate_weighted(updates)
@@ -178,6 +195,11 @@ class Coordinator:
         self.parameters_version += 1
         if self._observer is not None:
             self._observer.counter("fl.aggregations").inc()
+            if self.aggregation_tree is not None:
+                self._observer.counter("fl.tree_aggregations").inc()
+                self._observer.counter("fl.tree_fan_in").inc(
+                    self.aggregation_tree.fan_in(len(updates))
+                )
             self._observer.profiler.observe(
                 "profile.aggregate_s", time.perf_counter() - started
             )

@@ -46,7 +46,7 @@ from repro.faults.policies import (
 )
 from repro.fl.client import EdgeServerClient, LocalUpdate
 from repro.fl.compression import ErrorFeedback
-from repro.fl.engine import BACKENDS, create_engine
+from repro.fl.engine import AUTO_BACKEND, BACKENDS, create_engine, resolve_backend
 from repro.fl.metrics import RoundRecord, TrainingHistory
 from repro.fl.model import LogisticRegressionConfig
 from repro.fl.sampling import ClientSampler, UniformSampler
@@ -92,11 +92,19 @@ class FederatedConfig:
         backend: execution engine for the round's local training —
             ``"sequential"`` (reference), ``"batched"`` (vectorized
             full-batch cohort training; equivalent to sequential to
-            ``atol=1e-10``), or ``"pool"`` (process pool over
-            shared-memory datasets; bit-identical to sequential).  See
+            ``atol=1e-10``), ``"pool"`` (process pool over
+            shared-memory datasets; bit-identical to sequential),
+            ``"population"`` (struct-of-arrays cohort training over
+            stacked population tensors; bit-identical to batched), or
+            ``"auto"`` (resolved per host/workload from the timing-law
+            cost model and the measured break-even table).  See
             :mod:`repro.fl.engine`.
         pool_workers: worker-process count for the ``"pool"`` backend
             (ignored by the other backends).
+        population_dtype: array dtype for the ``"population"``
+            backend's stacks — ``"float64"`` (default, equivalence-
+            tested) or ``"float32"`` (half the memory; accuracy delta
+            measured in ``BENCH_population.json``).
     """
 
     n_rounds: int
@@ -110,6 +118,7 @@ class FederatedConfig:
     seed: int = 0
     backend: str = "sequential"
     pool_workers: int = 2
+    population_dtype: str = "float64"
 
     def __post_init__(self) -> None:
         if self.n_rounds < 1:
@@ -137,13 +146,19 @@ class FederatedConfig:
             raise ValueError(
                 f"proximal_mu must be non-negative; got {self.proximal_mu}"
             )
-        if self.backend not in BACKENDS:
+        if self.backend not in BACKENDS and self.backend != AUTO_BACKEND:
             raise ValueError(
-                f"backend must be one of {BACKENDS}; got {self.backend!r}"
+                f"backend must be one of {BACKENDS} or {AUTO_BACKEND!r}; "
+                f"got {self.backend!r}"
             )
         if self.pool_workers < 1:
             raise ValueError(
                 f"pool_workers must be >= 1; got {self.pool_workers}"
+            )
+        if self.population_dtype not in ("float64", "float32"):
+            raise ValueError(
+                "population_dtype must be 'float64' or 'float32'; "
+                f"got {self.population_dtype!r}"
             )
 
 
@@ -232,8 +247,11 @@ class FederatedTrainer:
         self.resilience_log: list[RoundResilienceReport] = []
         self.history = TrainingHistory()
         self._schedule = LearningRateSchedule(config.sgd)
+        # "auto" resolves once per trainer so the whole run uses one
+        # engine, and the resolved choice is observable for tests/logs.
+        self.resolved_backend = resolve_backend(config.backend, clients, config)
         self._engine = create_engine(
-            config.backend, clients, config, self._observer
+            self.resolved_backend, clients, config, self._observer
         )
         self._eval_cache = EvalCache()
         self.total_gradient_steps = 0

@@ -23,13 +23,15 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.energy_model import HeterogeneousEnergyParams
+from repro.core.energy_model import HeterogeneousEnergyParams, cloud_fan_in
 from repro.data.dataset import Dataset
 from repro.faults.injector import FaultInjector
 from repro.faults.models import FaultPlan
 from repro.faults.policies import ResilienceConfig
 from repro.fl.model import LogisticRegressionConfig
 from repro.fl.partition import partition_iid
+from repro.fl.population import AggregationTree
+from repro.fl.server import Coordinator
 from repro.fl.sgd import SGDConfig
 from repro.fl.training import FederatedConfig, FederatedTrainer, build_clients
 from repro.fl.metrics import TrainingHistory
@@ -76,6 +78,12 @@ class PrototypeConfig:
     heterogeneity: float = 0.0
     seed: int = 0
     backend: str = "sequential"
+    # Fog aggregation tiers between the edge servers and the cloud.
+    # 0 keeps the paper's flat single-hop aggregation; a positive value
+    # folds each round's updates through that many fog nodes before the
+    # cloud combines the tier partials (matches the flat mean to
+    # ~1e-12, not bit-for-bit).
+    aggregation_tiers: int = 0
 
     def __post_init__(self) -> None:
         if self.n_servers < 1:
@@ -84,6 +92,10 @@ class PrototypeConfig:
             raise ValueError(
                 "heterogeneity must be in [0, 0.9) — it is the relative "
                 f"spread of per-device power/speed factors; got {self.heterogeneity}"
+            )
+        if self.aggregation_tiers < 0:
+            raise ValueError(
+                f"aggregation_tiers must be >= 0; got {self.aggregation_tiers}"
             )
 
 
@@ -108,6 +120,14 @@ class PrototypeResult:
             clients whose round was futile (0 in a failure-free run).
         degraded_rounds: rounds where the quorum was missed and the
             previous global model was carried forward.
+        aggregation_energy_j: cloud-side reception energy of the
+            aggregation step, priced per combined message at the mean
+            upload energy (symmetric link).  With fog tiers the cloud
+            combines ``min(tiers, K)`` tier partials instead of ``K``
+            uploads, so this is where the hierarchical topology's
+            saving shows up.  Reported separately from
+            ``total_energy_j`` (which remains the paper's
+            participant-side eq. (3)/(6) metric).
     """
 
     history: TrainingHistory
@@ -121,6 +141,7 @@ class PrototypeResult:
     epochs: int
     wasted_energy_j: float = 0.0
     degraded_rounds: int = 0
+    aggregation_energy_j: float = 0.0
 
     @property
     def mean_round_energy_j(self) -> float:
@@ -289,6 +310,13 @@ class HardwarePrototype:
             seed=self.config.seed,
             backend=self.config.backend,
         )
+        coordinator = None
+        if self.config.aggregation_tiers > 0:
+            coordinator = Coordinator(
+                self.config.model,
+                observer=self._observer,
+                aggregation_tree=AggregationTree(self.config.aggregation_tiers),
+            )
         client_time_fn = None
         if resilience is not None:
             # Deadline checks use the measured timing law (jitter-free,
@@ -303,6 +331,7 @@ class HardwarePrototype:
             config=fed_config,
             train_eval=self.train,
             test_eval=self.test,
+            coordinator=coordinator,
             completion_ranker=completion_ranker,
             update_compressor=update_compressor,
             observer=self._observer,
@@ -464,6 +493,15 @@ class HardwarePrototype:
         simulator = Simulator(observer=self._observer)
         energy_per_round: list[float] = []
         wasted_energy = {"total": 0.0}
+        # One combined message at the cloud is priced at the mean upload
+        # energy (symmetric link: receiving a model costs what sending
+        # it does).  Fog tiers shrink the per-round message count from K
+        # to min(tiers, K); fog-side reception is the fog nodes' budget,
+        # not the cloud's, so it is deliberately not charged here.
+        e_receive = float(
+            np.mean([d.upload_energy(upload_message) for d in self.devices])
+        )
+        aggregation_messages = {"total": 0}
         iot_energy = 0.0
         state = {"stop": False}
 
@@ -529,6 +567,10 @@ class HardwarePrototype:
                     injector.note_participation(
                         server_id, record.round_index, energy_j=client_energy
                     )
+            if record.aggregated:
+                aggregation_messages["total"] += cloud_fan_in(
+                    len(record.aggregated), self.config.aggregation_tiers
+                )
             awaited = record.aggregated or record.participants
             for server_id in awaited:
                 if timings is not None:
@@ -613,6 +655,7 @@ class HardwarePrototype:
             epochs=epochs,
             wasted_energy_j=wasted_energy["total"],
             degraded_rounds=history.degraded_round_count(),
+            aggregation_energy_j=aggregation_messages["total"] * e_receive,
         )
 
     def run_async(

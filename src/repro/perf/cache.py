@@ -52,6 +52,16 @@ class EvalCache:
         self._value = None
 
 
+def _value_nbytes(value: Any) -> int:
+    """Bytes held by a cached value (arrays, or containers of arrays)."""
+    nbytes = getattr(value, "nbytes", None)
+    if nbytes is not None:
+        return int(nbytes)
+    if isinstance(value, (tuple, list)):
+        return sum(_value_nbytes(item) for item in value)
+    return 0
+
+
 class StackCache:
     """Bounded FIFO cache of stacked per-cohort tensors.
 
@@ -60,13 +70,27 @@ class StackCache:
     sampler cycles through a small set of cohorts in practice, so FIFO
     with a small capacity captures nearly all repeats without ever
     holding more than ``capacity`` stacked tensors alive.
+
+    ``max_bytes`` adds a second bound for population-scale cohorts,
+    where entry *count* stops being a useful memory proxy (32 stacks of
+    a 10^5-client cohort is gigabytes): insertion evicts oldest-first
+    until the tracked payload fits.  A single entry larger than the
+    bound is simply not cached — better a re-stack than an eviction
+    storm.
     """
 
-    def __init__(self, capacity: int = 32) -> None:
+    def __init__(
+        self, capacity: int = 32, max_bytes: int | None = None
+    ) -> None:
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1; got {capacity}")
+        if max_bytes is not None and max_bytes < 1:
+            raise ValueError(f"max_bytes must be >= 1; got {max_bytes}")
         self.capacity = capacity
+        self.max_bytes = max_bytes
         self._entries: dict[tuple[int, ...], Any] = {}
+        self._nbytes: dict[tuple[int, ...], int] = {}
+        self.total_bytes = 0
         self.hits = 0
         self.misses = 0
 
@@ -78,10 +102,26 @@ class StackCache:
             self.hits += 1
         return value
 
+    def _evict_oldest(self) -> None:
+        oldest = next(iter(self._entries))
+        self._entries.pop(oldest)
+        self.total_bytes -= self._nbytes.pop(oldest, 0)
+
     def store(self, key: tuple[int, ...], value: Any) -> None:
-        if key not in self._entries and len(self._entries) >= self.capacity:
-            self._entries.pop(next(iter(self._entries)))
+        size = _value_nbytes(value) if self.max_bytes is not None else 0
+        if self.max_bytes is not None and size > self.max_bytes:
+            return
+        if key in self._entries:
+            self.total_bytes -= self._nbytes.pop(key, 0)
+            self._entries.pop(key)
+        while len(self._entries) >= self.capacity:
+            self._evict_oldest()
+        if self.max_bytes is not None:
+            while self._entries and self.total_bytes + size > self.max_bytes:
+                self._evict_oldest()
         self._entries[key] = value
+        self._nbytes[key] = size
+        self.total_bytes += size
 
     def __len__(self) -> int:
         return len(self._entries)

@@ -64,6 +64,7 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.obs.observer import Observer
 
 __all__ = [
+    "BACKEND_COST_FACTORS",
     "ScheduleOutcome",
     "SupervisionPolicy",
     "UnitFailure",
@@ -71,6 +72,26 @@ __all__ = [
     "estimate_unit_cost",
     "order_longest_first",
 ]
+
+
+# Per-backend wall-clock efficiency relative to sequential execution,
+# calibrated against BENCH_engine.json's measured headline (batched
+# trains the K=20/E=16 cell ~4.2x faster at IoT scale; the population
+# backend runs the same stacked kernel without per-round re-stacking).
+# Factors are deliberately conservative — at BLAS-bound paper scale
+# (784x10) vectorization only buys ~1.1x, and an *under*-estimated cost
+# would tighten watchdog deadlines, so we err toward sequential-like
+# cost.  Pool stays at 1.0: on the measured 1-CPU container it is below
+# break-even, and the deadline must cover the slow case.
+BACKEND_COST_FACTORS = {
+    "sequential": 1.0,
+    "batched": 0.25,
+    "pool": 1.0,
+    "population": 0.2,
+    # "auto" resolves to a vectorized backend whenever the workload
+    # supports one, so it inherits the batched factor.
+    "auto": 0.25,
+}
 
 
 def estimate_unit_cost(unit) -> float:
@@ -82,15 +103,28 @@ def estimate_unit_cost(unit) -> float:
     ``rounds * K * E * n``.  The constant factors (tau0, tau1) cancel in
     the longest-first comparison, so they are omitted.
 
+    Units that train as stacked tensors finish well before sequential
+    units of the same (rounds, K, E, n) — without a correction, a mixed
+    backends-axis campaign would schedule vectorized units as if they
+    were long and derive watchdog deadlines from a blended throughput.
+    The per-backend factor (:data:`BACKEND_COST_FACTORS`) keeps both
+    the longest-first order and the deadline derivation honest.
+
     The unit is duck-typed: anything exposing ``max_rounds``,
-    ``participants``, ``epochs``, ``n_train`` and ``n_servers`` works.
+    ``participants``, ``epochs``, ``n_train`` and ``n_servers`` works;
+    an optional ``backend`` attribute selects the efficiency factor
+    (unknown or absent backends count as sequential).
     """
     samples_per_client = unit.n_train / max(1, unit.n_servers)
+    factor = BACKEND_COST_FACTORS.get(
+        getattr(unit, "backend", "sequential"), 1.0
+    )
     return (
         float(unit.max_rounds)
         * float(unit.participants)
         * float(unit.epochs)
         * samples_per_client
+        * factor
     )
 
 

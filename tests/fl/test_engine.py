@@ -267,7 +267,7 @@ class TestEvalCache:
 
 class TestEngineLifecycle:
     def test_backends_tuple(self):
-        assert BACKENDS == ("sequential", "batched", "pool")
+        assert BACKENDS == ("sequential", "batched", "pool", "population")
 
     def test_unknown_backend_rejected(self):
         with pytest.raises(ValueError, match="backend"):
